@@ -1,0 +1,39 @@
+//! **Fig. 3** — "Pl@ntNet Engine: user response time" versus the number of
+//! simultaneous requests, with the production (baseline) configuration.
+//! The paper's reference point: ≈3.86 ± 0.13 s at 120 simultaneous
+//! requests; the 4-second tolerance bound is crossed shortly above 120.
+
+use e2c_bench::spec;
+use e2c_metrics::Table;
+use plantnet::sim::Experiment;
+use plantnet::PoolConfig;
+
+fn main() {
+    let reps = e2c_bench::reps();
+    println!(
+        "Fig. 3 — user response time vs simultaneous requests (baseline config, {} reps x {} s)\n",
+        reps,
+        e2c_bench::duration_secs()
+    );
+    let mut table = Table::new(["simultaneous_requests", "resp_mean(s)", "resp_std(s)", "over_4s"]);
+    let mut knee: Option<usize> = None;
+    for clients in (40..=160).step_by(10) {
+        let rep = Experiment::run_repeated(spec(PoolConfig::baseline(), clients), reps, 7);
+        let over = rep.response.mean > 4.0;
+        if over && knee.is_none() {
+            knee = Some(clients);
+        }
+        table.row([
+            clients.to_string(),
+            format!("{:.3}", rep.response.mean),
+            format!("{:.4}", rep.response.std),
+            if over { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    print!("{table}");
+    match knee {
+        Some(k) => println!("\n4 s tolerance exceeded from {k} simultaneous requests"),
+        None => println!("\n4 s tolerance never exceeded in the swept range"),
+    }
+    println!("paper: 3.86 ± 0.13 s at 120 simultaneous requests; cannot serve more than ~120 within 4 s");
+}

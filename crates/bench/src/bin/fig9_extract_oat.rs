@@ -1,0 +1,119 @@
+//! **Fig. 9 (a–g)** — impact of the *Extract* thread-pool size, varied
+//! one-at-a-time (±2) around the preliminary optimum at 80 simultaneous
+//! requests:
+//!
+//! * (a) user response time — the paper finds the minimum at **6** threads
+//!   (−8.5% vs 7);
+//! * (b) per-task processing times — wait-extract falls with more threads,
+//!   simsearch time rises;
+//! * (c) CPU usage — pinned at 100% with 8–9 threads, 85–100% otherwise;
+//! * (d) GPU memory — grows with the pool, flat over time;
+//! * (e) system memory — grows with the pool;
+//! * (f) extract-pool busy time — ~100% at 5–7, 80–100% at 8–9;
+//! * (g) simsearch-pool busy time — ~50/55/60% at 5/6/7, higher at 8–9.
+
+use e2c_bench::{pct, spec};
+use e2c_metrics::Table;
+use e2c_optim::sensitivity::OatPlan;
+use plantnet::monitor::names;
+use plantnet::pipeline::Task;
+use plantnet::sim::Experiment;
+use plantnet::PoolConfig;
+
+fn main() {
+    let reps = e2c_bench::reps();
+    println!(
+        "Fig. 9 — OAT on the Extract pool around the preliminary optimum ({} reps x {} s)\n",
+        reps,
+        e2c_bench::duration_secs()
+    );
+    let center = PoolConfig::preliminary_optimum();
+    let space = PoolConfig::space();
+    // Eq. 2 order: (http, download, simsearch, extract); extract is dim 3.
+    let plan = OatPlan::around(&space, &center.to_point(), &[(3, 2.0)]);
+    let sweep = plan.sweep_of(3);
+
+    let mut results = Vec::new();
+    for (extract, point) in &sweep {
+        let cfg = PoolConfig::from_point(point);
+        let rep = Experiment::run_repeated(spec(cfg, 80), reps, 42);
+        results.push((*extract as u32, rep));
+    }
+
+    // (a) user response time.
+    println!("(a) user response time");
+    let center_resp = results
+        .iter()
+        .find(|(e, _)| *e == center.extract)
+        .expect("center in sweep")
+        .1
+        .response
+        .mean;
+    let mut ta = Table::new(["extract_threads", "resp(s)", "vs_extract_7"]);
+    for (e, rep) in &results {
+        ta.row([
+            e.to_string(),
+            format!("{}", rep.response),
+            pct(rep.response.mean, center_resp),
+        ]);
+    }
+    print!("{ta}");
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.response.mean.partial_cmp(&b.1.response.mean).expect("finite"))
+        .expect("non-empty sweep");
+    println!("minimum at extract={} | paper: minimum at 6 (-8.5% vs 7)\n", best.0);
+
+    // (b) per-task processing times.
+    println!("(b) identification processing time per task (ms)");
+    let mut tb = Table::new([
+        "extract_threads",
+        "pre-process",
+        "wait-download",
+        "download",
+        "wait-extract",
+        "extract",
+        "process",
+        "wait-simsearch",
+        "simsearch",
+        "post-process",
+    ]);
+    for (e, rep) in &results {
+        let mut row = vec![e.to_string()];
+        for task in Task::ORDER {
+            row.push(format!("{:.0}", rep.task_mean(task.label()) * 1e3));
+        }
+        tb.row(row);
+    }
+    print!("{tb}");
+    println!("paper: wait-extract falls with more threads; simsearch time rises; extract time does not fall\n");
+
+    // (c–g) resource usage.
+    println!("(c-g) resource usage");
+    let mut tc = Table::new([
+        "extract_threads",
+        "cpu_usage%",
+        "gpu_mem(GB)",
+        "sys_mem(GB)",
+        "extract_busy%",
+        "simsearch_busy%",
+    ]);
+    for (e, rep) in &results {
+        tc.row([
+            e.to_string(),
+            format!("{:.0}", rep.mean_of(|r| r.mean_cpu()) * 100.0),
+            format!("{:.1}", rep.runs[0].gpu_mem_gb),
+            format!("{:.1}", rep.runs[0].sys_mem_gb),
+            format!(
+                "{:.0}",
+                rep.mean_of(|r| r.mean_busy(names::EXTRACT_BUSY)) * 100.0
+            ),
+            format!(
+                "{:.0}",
+                rep.mean_of(|r| r.mean_busy(names::SIMSEARCH_BUSY)) * 100.0
+            ),
+        ]);
+    }
+    print!("{tc}");
+    println!("paper: CPU 100% at 8-9; GPU/system memory grow with the pool; extract busy ~100% at 5-7; simsearch busy ~50-60% at 5-7");
+}

@@ -1,0 +1,102 @@
+//! **Table IV and Fig. 11** — the three configurations (baseline,
+//! preliminary optimum, refined optimum) compared head-to-head: Table IV at
+//! 80 simultaneous requests, Fig. 11 across all workloads (80/120/140).
+//! Paper gaps vs baseline: preliminary −6.9/−2.2/−6.7%, refined
+//! −7.2/−6.3/−9.8%; plus 30% lower GPU memory for the refined optimum.
+
+use e2c_bench::{pct, spec};
+use e2c_metrics::Table;
+use plantnet::sim::Experiment;
+use plantnet::PoolConfig;
+
+fn main() {
+    let reps = e2c_bench::reps();
+    println!(
+        "Table IV + Fig. 11 — baseline vs preliminary vs refined ({} reps x {} s)\n",
+        reps,
+        e2c_bench::duration_secs()
+    );
+    let configs = [
+        ("baseline", PoolConfig::baseline()),
+        ("preliminary", PoolConfig::preliminary_optimum()),
+        ("refined", PoolConfig::refined_optimum()),
+    ];
+
+    // Table IV: the configurations and their response at 80 requests.
+    println!("Table IV (workload: 80 simultaneous requests)");
+    let mut t4 = Table::new(["Thread pool", "baseline", "preliminary", "refined"]);
+    t4.row([
+        "HTTP".to_string(),
+        configs[0].1.http.to_string(),
+        configs[1].1.http.to_string(),
+        configs[2].1.http.to_string(),
+    ]);
+    t4.row([
+        "Download".to_string(),
+        configs[0].1.download.to_string(),
+        configs[1].1.download.to_string(),
+        configs[2].1.download.to_string(),
+    ]);
+    t4.row([
+        "Extract".to_string(),
+        configs[0].1.extract.to_string(),
+        configs[1].1.extract.to_string(),
+        configs[2].1.extract.to_string(),
+    ]);
+    t4.row([
+        "Simsearch".to_string(),
+        configs[0].1.simsearch.to_string(),
+        configs[1].1.simsearch.to_string(),
+        configs[2].1.simsearch.to_string(),
+    ]);
+    let at80: Vec<_> = configs
+        .iter()
+        .map(|(_, cfg)| Experiment::run_repeated(spec(*cfg, 80), reps, 42))
+        .collect();
+    t4.row([
+        "User response time".to_string(),
+        format!("{}", at80[0].response),
+        format!("{}", at80[1].response),
+        format!("{}", at80[2].response),
+    ]);
+    print!("{t4}");
+    println!("paper: 2.657(±0.0914) / 2.484(±0.0912) / 2.476(±0.0826)\n");
+
+    // Fig. 11: all three configurations across all three workloads.
+    println!("Fig. 11 (all workloads)");
+    let mut f11 = Table::new([
+        "simultaneous_requests",
+        "baseline(s)",
+        "preliminary(s)",
+        "refined(s)",
+        "prelim_vs_base",
+        "refined_vs_base",
+    ]);
+    for clients in [80usize, 120, 140] {
+        let runs: Vec<_> = configs
+            .iter()
+            .map(|(_, cfg)| Experiment::run_repeated(spec(*cfg, clients), reps, 42))
+            .collect();
+        f11.row([
+            clients.to_string(),
+            format!("{:.3}", runs[0].response.mean),
+            format!("{:.3}", runs[1].response.mean),
+            format!("{:.3}", runs[2].response.mean),
+            pct(runs[1].response.mean, runs[0].response.mean),
+            pct(runs[2].response.mean, runs[0].response.mean),
+        ]);
+    }
+    print!("{f11}");
+    println!("paper: prelim -6.9/-2.2/-6.7%, refined -7.2/-6.3/-9.8% vs baseline\n");
+
+    // GPU memory claim of the conclusions.
+    let gpu_base = at80[0].runs[0].gpu_mem_gb;
+    let gpu_refined = at80[2].runs[0].gpu_mem_gb;
+    println!(
+        "GPU memory: baseline(extract=7) {:.1} GB vs refined(extract=6) {:.1} GB ({})",
+        gpu_base,
+        gpu_refined,
+        pct(gpu_refined, gpu_base)
+    );
+    println!("paper: 30% less GPU memory (7 GB vs 10 GB) — our memory model is linear in the pool size; see EXPERIMENTS.md");
+}

@@ -1,0 +1,66 @@
+//! # e2c-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index). Binaries print the same rows/series the paper reports and
+//! honor two environment variables so CI can run them quickly:
+//!
+//! * `E2C_REPS` — repetitions per configuration (paper: 7);
+//! * `E2C_DURATION` — seconds per run (paper: 1380).
+//!
+//! `cargo bench -p e2c-bench` additionally runs Criterion micro-benchmarks
+//! over the substrates (DES throughput, samplers, surrogates,
+//! metaheuristics).
+
+use plantnet::sim::ExperimentSpec;
+use plantnet::PoolConfig;
+use e2c_des::SimTime;
+
+/// Repetitions per configuration (`E2C_REPS`, default 7 — the paper's
+/// protocol).
+pub fn reps() -> usize {
+    std::env::var("E2C_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Run duration in seconds (`E2C_DURATION`, default 1380 s).
+pub fn duration_secs() -> u64 {
+    std::env::var("E2C_DURATION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1380)
+}
+
+/// The paper's experiment spec with the env-var overrides applied.
+pub fn spec(config: PoolConfig, clients: usize) -> ExperimentSpec {
+    let mut s = ExperimentSpec::paper(config, clients);
+    s.duration = SimTime::from_secs(duration_secs());
+    // Keep the warm-up under 10% of the duration for short CI runs.
+    s.warmup = SimTime::from_secs((duration_secs() / 10).min(60));
+    s
+}
+
+/// Render a percentage difference `new vs base` with sign, e.g. `-6.9%`.
+pub fn pct(new: f64, base: f64) -> String {
+    format!("{:+.1}%", (new - base) / base * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_signed() {
+        assert_eq!(pct(93.1, 100.0), "-6.9%");
+        assert_eq!(pct(110.0, 100.0), "+10.0%");
+    }
+
+    #[test]
+    fn spec_honors_defaults() {
+        let s = spec(PoolConfig::baseline(), 80);
+        assert_eq!(s.clients, 80);
+        assert!(s.duration.as_secs_f64() > 0.0);
+        assert!(s.warmup < s.duration);
+    }
+}

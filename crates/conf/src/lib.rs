@@ -1,0 +1,24 @@
+//! # e2c-conf — configuration substrate
+//!
+//! E2Clab is configuration-file driven: `layers_services.yaml`,
+//! `network.yaml`, `workflow.yaml` and (new in the paper) `optimizer_conf`
+//! describe an experiment. This crate keeps that user experience with zero
+//! external parser dependencies:
+//!
+//! * [`parse`] — a from-scratch parser for a YAML subset (block mappings,
+//!   block sequences, flow sequences, scalars, comments);
+//! * [`Value`] — the parsed document tree with typed accessors;
+//! * [`schema`] — the typed experiment description ([`schema::ExperimentConf`])
+//!   built by validating a parsed document, covering layers/services,
+//!   network constraints and the optimization setup of the paper's
+//!   Listing 1.
+//!
+//! The supported subset is documented on [`parse`]; anchors, multi-line
+//! scalars and flow mappings are intentionally out of scope.
+
+pub mod parser;
+pub mod schema;
+pub mod value;
+
+pub use parser::{parse, ParseError};
+pub use value::Value;

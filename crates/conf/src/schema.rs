@@ -1,0 +1,504 @@
+//! Typed experiment configuration, validated from a parsed document.
+//!
+//! Mirrors E2Clab's configuration files: layers & services, network
+//! constraints, and the optimization setup introduced by the paper
+//! (Listing 1). [`ExperimentConf::from_value`] performs the validation the
+//! framework's managers rely on.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Validation failure with a config path like `layers[0].services[1].name`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Dotted path to the offending element.
+    pub path: String,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn err(path: &str, message: impl Into<String>) -> SchemaError {
+    SchemaError {
+        path: path.to_string(),
+        message: message.into(),
+    }
+}
+
+/// One service within a layer (e.g. the engine, or a group of clients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConf {
+    /// Service name, unique within the experiment.
+    pub name: String,
+    /// Testbed cluster hosting it.
+    pub cluster: String,
+    /// Number of nodes.
+    pub quantity: usize,
+}
+
+/// A continuum layer (edge / fog / cloud) with its services.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerConf {
+    /// Layer name.
+    pub name: String,
+    /// Services deployed on this layer.
+    pub services: Vec<ServiceConf>,
+}
+
+/// A network constraint between two layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConf {
+    /// Source layer/group.
+    pub src: String,
+    /// Destination layer/group.
+    pub dst: String,
+    /// One-way delay in milliseconds.
+    pub delay_ms: f64,
+    /// Rate in Mbps.
+    pub rate_mbps: f64,
+    /// Loss probability in `[0, 1)`.
+    pub loss: f64,
+}
+
+/// Kind of an optimization variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Integer-valued, inclusive bounds (`tune.randint` style).
+    Int,
+    /// Real-valued, inclusive bounds.
+    Real,
+}
+
+/// One optimization variable (a dimension of the search space).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableConf {
+    /// Variable name (e.g. `http`).
+    pub name: String,
+    /// Integer or real.
+    pub kind: VarKind,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+/// The optimization section (the paper's Listing 1 / `optimizer_conf`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationConf {
+    /// Metric to optimize (e.g. `user_resp_time`).
+    pub metric: String,
+    /// `min` or `max`.
+    pub minimize: bool,
+    /// Experiment name for the archive.
+    pub name: String,
+    /// Total evaluations budget.
+    pub num_samples: usize,
+    /// Parallel evaluation cap (the paper's `ConcurrencyLimiter`).
+    pub max_concurrent: usize,
+    /// Surrogate / search algorithm name (e.g. `extra_trees`).
+    pub algo: String,
+    /// Initial random/LHS design size.
+    pub n_initial_points: usize,
+    /// Initial point generator (`lhs`, `halton`, `sobol`, `random`).
+    pub initial_point_generator: String,
+    /// Acquisition function (`ei`, `pi`, `lcb`, `gp_hedge`).
+    pub acq_func: String,
+    /// The search space.
+    pub variables: Vec<VariableConf>,
+}
+
+/// A full experiment description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConf {
+    /// Experiment name.
+    pub name: String,
+    /// Continuum layers with their services.
+    pub layers: Vec<LayerConf>,
+    /// Network constraints between layers.
+    pub network: Vec<NetworkConf>,
+    /// Optional optimization setup.
+    pub optimization: Option<OptimizationConf>,
+}
+
+impl ExperimentConf {
+    /// Validate a parsed document into a typed configuration.
+    pub fn from_value(doc: &Value) -> Result<ExperimentConf, SchemaError> {
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("name", "missing or not a string"))?
+            .to_string();
+
+        let mut layers = Vec::new();
+        if let Some(layers_val) = doc.get("layers") {
+            let seq = layers_val
+                .as_seq()
+                .ok_or_else(|| err("layers", "must be a sequence"))?;
+            for (i, layer) in seq.iter().enumerate() {
+                layers.push(parse_layer(layer, i)?);
+            }
+        }
+
+        let mut network = Vec::new();
+        if let Some(net_val) = doc.get("network") {
+            let seq = net_val
+                .as_seq()
+                .ok_or_else(|| err("network", "must be a sequence"))?;
+            for (i, rule) in seq.iter().enumerate() {
+                network.push(parse_network(rule, i)?);
+            }
+        }
+
+        let optimization = match doc.get("optimization") {
+            Some(v) if !v.is_null() => Some(parse_optimization(v)?),
+            _ => None,
+        };
+
+        // Cross-checks: network rules must reference declared layers.
+        if !layers.is_empty() {
+            for (i, rule) in network.iter().enumerate() {
+                for end in [&rule.src, &rule.dst] {
+                    if !layers.iter().any(|l| l.name == *end) {
+                        return Err(err(
+                            &format!("network[{i}]"),
+                            format!("references undeclared layer `{end}`"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        Ok(ExperimentConf {
+            name,
+            layers,
+            network,
+            optimization,
+        })
+    }
+}
+
+fn parse_layer(v: &Value, i: usize) -> Result<LayerConf, SchemaError> {
+    let path = format!("layers[{i}]");
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err(&format!("{path}.name"), "missing or not a string"))?
+        .to_string();
+    let mut services = Vec::new();
+    if let Some(svc_val) = v.get("services") {
+        let seq = svc_val
+            .as_seq()
+            .ok_or_else(|| err(&format!("{path}.services"), "must be a sequence"))?;
+        for (j, svc) in seq.iter().enumerate() {
+            let spath = format!("{path}.services[{j}]");
+            let sname = svc
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err(&format!("{spath}.name"), "missing or not a string"))?
+                .to_string();
+            let cluster = svc
+                .get("cluster")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err(&format!("{spath}.cluster"), "missing or not a string"))?
+                .to_string();
+            let quantity = svc
+                .get("quantity")
+                .map(|q| {
+                    q.as_int()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| err(&format!("{spath}.quantity"), "must be a positive integer"))
+                })
+                .transpose()?
+                .unwrap_or(1) as usize;
+            services.push(ServiceConf {
+                name: sname,
+                cluster,
+                quantity,
+            });
+        }
+    }
+    Ok(LayerConf { name, services })
+}
+
+fn parse_network(v: &Value, i: usize) -> Result<NetworkConf, SchemaError> {
+    let path = format!("network[{i}]");
+    let get_str = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| err(&format!("{path}.{key}"), "missing or not a string"))
+    };
+    let get_num = |key: &str, default: f64| {
+        v.get(key)
+            .map(|x| {
+                x.as_float()
+                    .ok_or_else(|| err(&format!("{path}.{key}"), "must be a number"))
+            })
+            .transpose()
+            .map(|o| o.unwrap_or(default))
+    };
+    let loss = get_num("loss", 0.0)?;
+    if !(0.0..1.0).contains(&loss) {
+        return Err(err(&format!("{path}.loss"), "must be in [0, 1)"));
+    }
+    Ok(NetworkConf {
+        src: get_str("src")?,
+        dst: get_str("dst")?,
+        delay_ms: get_num("delay_ms", 0.0)?,
+        rate_mbps: get_num("rate_mbps", 100_000.0)?,
+        loss,
+    })
+}
+
+fn parse_optimization(v: &Value) -> Result<OptimizationConf, SchemaError> {
+    let path = "optimization";
+    let metric = v
+        .get("metric")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err(&format!("{path}.metric"), "missing or not a string"))?
+        .to_string();
+    let mode = v.get("mode").and_then(Value::as_str).unwrap_or("min");
+    let minimize = match mode {
+        "min" => true,
+        "max" => false,
+        other => {
+            return Err(err(
+                &format!("{path}.mode"),
+                format!("must be `min` or `max`, got `{other}`"),
+            ))
+        }
+    };
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("optimization")
+        .to_string();
+    let num_samples = v
+        .get("num_samples")
+        .and_then(Value::as_int)
+        .filter(|&n| n > 0)
+        .ok_or_else(|| err(&format!("{path}.num_samples"), "must be a positive integer"))?
+        as usize;
+    let max_concurrent = v
+        .get("max_concurrent")
+        .and_then(Value::as_int)
+        .filter(|&n| n > 0)
+        .unwrap_or(1) as usize;
+
+    let search = v.get("search").unwrap_or(&Value::Null);
+    let algo = search
+        .get("algo")
+        .and_then(Value::as_str)
+        .unwrap_or("extra_trees")
+        .to_string();
+    let n_initial_points = search
+        .get("n_initial_points")
+        .and_then(Value::as_int)
+        .filter(|&n| n > 0)
+        .unwrap_or(10) as usize;
+    let initial_point_generator = search
+        .get("initial_point_generator")
+        .and_then(Value::as_str)
+        .unwrap_or("lhs")
+        .to_string();
+    let acq_func = search
+        .get("acq_func")
+        .and_then(Value::as_str)
+        .unwrap_or("gp_hedge")
+        .to_string();
+
+    let config = v
+        .get("config")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| err(&format!("{path}.config"), "missing variable sequence"))?;
+    if config.is_empty() {
+        return Err(err(&format!("{path}.config"), "needs at least one variable"));
+    }
+    let mut variables = Vec::new();
+    for (i, var) in config.iter().enumerate() {
+        let vpath = format!("{path}.config[{i}]");
+        let vname = var
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err(&format!("{vpath}.name"), "missing or not a string"))?
+            .to_string();
+        if variables.iter().any(|x: &VariableConf| x.name == vname) {
+            return Err(err(&vpath, format!("duplicate variable `{vname}`")));
+        }
+        let kind = match var.get("type").and_then(Value::as_str).unwrap_or("randint") {
+            "randint" | "int" => VarKind::Int,
+            "uniform" | "real" => VarKind::Real,
+            other => {
+                return Err(err(
+                    &format!("{vpath}.type"),
+                    format!("unknown variable type `{other}`"),
+                ))
+            }
+        };
+        let bounds = var
+            .get("bounds")
+            .and_then(Value::as_seq)
+            .filter(|b| b.len() == 2)
+            .ok_or_else(|| err(&format!("{vpath}.bounds"), "must be [lo, hi]"))?;
+        let lo = bounds[0]
+            .as_float()
+            .ok_or_else(|| err(&format!("{vpath}.bounds"), "lo must be a number"))?;
+        let hi = bounds[1]
+            .as_float()
+            .ok_or_else(|| err(&format!("{vpath}.bounds"), "hi must be a number"))?;
+        if hi < lo {
+            return Err(err(&format!("{vpath}.bounds"), "hi must be >= lo"));
+        }
+        variables.push(VariableConf {
+            name: vname,
+            kind,
+            lo,
+            hi,
+        });
+    }
+
+    Ok(OptimizationConf {
+        metric,
+        minimize,
+        name,
+        num_samples,
+        max_concurrent,
+        algo,
+        n_initial_points,
+        initial_point_generator,
+        acq_func,
+        variables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const FULL: &str = r#"
+name: plantnet-optimization
+layers:
+  - name: cloud
+    services:
+      - name: engine
+        cluster: chifflot
+        quantity: 1
+  - name: edge
+    services:
+      - name: clients
+        cluster: gros
+        quantity: 10
+network:
+  - src: edge
+    dst: cloud
+    delay_ms: 5.0
+    rate_mbps: 10000
+optimization:
+  metric: user_resp_time
+  mode: min
+  name: plantnet_engine
+  num_samples: 10
+  max_concurrent: 2
+  search:
+    algo: extra_trees
+    n_initial_points: 45
+    initial_point_generator: lhs
+    acq_func: gp_hedge
+  config:
+    - name: http
+      type: randint
+      bounds: [20, 60]
+    - name: extract
+      type: randint
+      bounds: [3, 9]
+"#;
+
+    #[test]
+    fn full_config_validates() {
+        let conf = ExperimentConf::from_value(&parse(FULL).unwrap()).unwrap();
+        assert_eq!(conf.name, "plantnet-optimization");
+        assert_eq!(conf.layers.len(), 2);
+        assert_eq!(conf.layers[0].services[0].cluster, "chifflot");
+        assert_eq!(conf.layers[1].services[0].quantity, 10);
+        assert_eq!(conf.network.len(), 1);
+        assert_eq!(conf.network[0].delay_ms, 5.0);
+        let opt = conf.optimization.unwrap();
+        assert!(opt.minimize);
+        assert_eq!(opt.algo, "extra_trees");
+        assert_eq!(opt.n_initial_points, 45);
+        assert_eq!(opt.variables.len(), 2);
+        assert_eq!(opt.variables[1].kind, VarKind::Int);
+        assert_eq!(opt.variables[1].lo, 3.0);
+    }
+
+    #[test]
+    fn missing_name_fails() {
+        let doc = parse("layers: []").unwrap();
+        let e = ExperimentConf::from_value(&doc).unwrap_err();
+        assert_eq!(e.path, "name");
+    }
+
+    #[test]
+    fn network_must_reference_layers() {
+        let src = r#"
+name: x
+layers:
+  - name: cloud
+network:
+  - src: cloud
+    dst: mars
+"#;
+        let e = ExperimentConf::from_value(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("mars"));
+    }
+
+    #[test]
+    fn bad_mode_fails() {
+        let src = "name: x\noptimization:\n  metric: m\n  mode: sideways\n  num_samples: 5\n  config:\n    - name: a\n      bounds: [0, 1]\n";
+        let e = ExperimentConf::from_value(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("sideways"));
+    }
+
+    #[test]
+    fn inverted_bounds_fail() {
+        let src = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  config:\n    - name: a\n      bounds: [9, 3]\n";
+        let e = ExperimentConf::from_value(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("hi must be >= lo"));
+    }
+
+    #[test]
+    fn duplicate_variable_fails() {
+        let src = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  config:\n    - name: a\n      bounds: [0, 1]\n    - name: a\n      bounds: [0, 1]\n";
+        let e = ExperimentConf::from_value(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let src = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  config:\n    - name: a\n      bounds: [0, 1]\n";
+        let conf = ExperimentConf::from_value(&parse(src).unwrap()).unwrap();
+        let opt = conf.optimization.unwrap();
+        assert!(opt.minimize);
+        assert_eq!(opt.max_concurrent, 1);
+        assert_eq!(opt.acq_func, "gp_hedge");
+        assert_eq!(opt.initial_point_generator, "lhs");
+        // default type is randint
+        assert_eq!(opt.variables[0].kind, VarKind::Int);
+    }
+
+    #[test]
+    fn experiment_without_optimization() {
+        let src = "name: plain\nlayers:\n  - name: cloud\n";
+        let conf = ExperimentConf::from_value(&parse(src).unwrap()).unwrap();
+        assert!(conf.optimization.is_none());
+        assert!(conf.network.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! The Phase III reproducibility archive.
+//!
+//! "Providing all this information at the end of computations allows other
+//! researchers to reproduce the research results" (§III-C). The archive is
+//! a plain directory:
+//!
+//! ```text
+//! <root>/
+//!   problem.yaml       # Phase I: variables, objective, constraints
+//!   summary.txt        # Phase III report (sampler, algo, best config)
+//!   evaluations.csv    # every evaluated point with its metric value
+//!   best.yaml          # the best configuration found
+//!   evals/trial_<id>/  # per-evaluation directories (prepare())
+//!     result.csv       # finalize(): the point and value of this trial
+//! ```
+
+use crate::optimization::OptimizationSummary;
+use e2c_conf::schema::{OptimizationConf, VarKind};
+use e2c_conf::Value;
+use e2c_optim::space::Point;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Serialize a problem definition to a configuration document.
+pub fn problem_to_value(conf: &OptimizationConf) -> Value {
+    let variables: Vec<Value> = conf
+        .variables
+        .iter()
+        .map(|v| {
+            Value::Map(vec![
+                ("name".into(), Value::Str(v.name.clone())),
+                (
+                    "type".into(),
+                    Value::Str(
+                        match v.kind {
+                            VarKind::Int => "randint",
+                            VarKind::Real => "uniform",
+                        }
+                        .into(),
+                    ),
+                ),
+                (
+                    "bounds".into(),
+                    Value::Seq(vec![Value::Float(v.lo), Value::Float(v.hi)]),
+                ),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        ("name".into(), Value::Str(conf.name.clone())),
+        ("metric".into(), Value::Str(conf.metric.clone())),
+        (
+            "mode".into(),
+            Value::Str(if conf.minimize { "min" } else { "max" }.into()),
+        ),
+        ("num_samples".into(), Value::Int(conf.num_samples as i64)),
+        (
+            "max_concurrent".into(),
+            Value::Int(conf.max_concurrent as i64),
+        ),
+        (
+            "search".into(),
+            Value::Map(vec![
+                ("algo".into(), Value::Str(conf.algo.clone())),
+                (
+                    "n_initial_points".into(),
+                    Value::Int(conf.n_initial_points as i64),
+                ),
+                (
+                    "initial_point_generator".into(),
+                    Value::Str(conf.initial_point_generator.clone()),
+                ),
+                ("acq_func".into(), Value::Str(conf.acq_func.clone())),
+            ]),
+        ),
+        ("config".into(), Value::Seq(variables)),
+    ])
+}
+
+/// Write the full Phase III archive.
+pub fn write_summary(summary: &OptimizationSummary, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(
+        dir.join("problem.yaml"),
+        problem_to_value(&summary.conf).to_yaml(),
+    )?;
+    fs::write(dir.join("summary.txt"), summary.render())?;
+
+    // evaluations.csv — trial id, status, variables..., value.
+    let mut csv = fs::File::create(dir.join("evaluations.csv"))?;
+    write!(csv, "trial,status")?;
+    for v in &summary.conf.variables {
+        write!(csv, ",{}", v.name)?;
+    }
+    writeln!(csv, ",{}", summary.conf.metric)?;
+    for t in summary.analysis.trials() {
+        let status = match &t.status {
+            e2c_tune::TrialStatus::Terminated(_) => "terminated",
+            e2c_tune::TrialStatus::StoppedEarly(_) => "stopped_early",
+            e2c_tune::TrialStatus::Failed(_) => "failed",
+            _ => "incomplete",
+        };
+        write!(csv, "{},{}", t.id, status)?;
+        for x in &t.config {
+            write!(csv, ",{x}")?;
+        }
+        match t.value() {
+            Some(v) => writeln!(csv, ",{v}")?,
+            None => writeln!(csv, ",")?,
+        }
+    }
+
+    // best.yaml
+    let best = match (&summary.best_point, summary.best_value) {
+        (Some(p), Some(v)) => {
+            let mut pairs: Vec<(String, Value)> = summary
+                .conf
+                .variables
+                .iter()
+                .zip(p)
+                .map(|(var, &x)| (var.name.clone(), Value::Float(x)))
+                .collect();
+            pairs.push((summary.conf.metric.clone(), Value::Float(v)));
+            Value::Map(pairs)
+        }
+        _ => Value::Null,
+    };
+    fs::write(dir.join("best.yaml"), best.to_yaml())?;
+    Ok(())
+}
+
+/// finalize() for one evaluation: record its point and value.
+pub fn write_evaluation(dir: &Path, trial: u64, point: &Point, value: f64) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut f = fs::File::create(dir.join("result.csv"))?;
+    writeln!(f, "trial,point,value")?;
+    let point_str = point
+        .iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(";");
+    writeln!(f, "{trial},{point_str},{value}")?;
+    Ok(())
+}
+
+/// Read back `evaluations.csv` as `(trial, point, value)` rows (failed
+/// trials come back with `None`). Used by tests and by `--repeat` replays.
+pub fn load_evaluations(dir: &Path) -> io::Result<Vec<(u64, Point, Option<f64>)>> {
+    let text = fs::read_to_string(dir.join("evaluations.csv"))?;
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    let n_cols = header.split(',').count();
+    let mut out = Vec::new();
+    for line in lines {
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != n_cols {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ragged row: {line}"),
+            ));
+        }
+        let trial: u64 = cols[0]
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+        let point: Point = cols[2..n_cols - 1]
+            .iter()
+            .map(|c| c.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+        let value = cols[n_cols - 1].parse::<f64>().ok();
+        out.push((trial, point, value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2c_conf::parse;
+    use e2c_conf::schema::ExperimentConf;
+
+    fn conf() -> OptimizationConf {
+        let src = r#"
+name: x
+optimization:
+  metric: user_resp_time
+  mode: min
+  name: plantnet_engine
+  num_samples: 10
+  max_concurrent: 2
+  search:
+    algo: extra_trees
+    n_initial_points: 45
+    initial_point_generator: lhs
+    acq_func: gp_hedge
+  config:
+    - name: http
+      bounds: [20, 60]
+    - name: extract
+      bounds: [3, 9]
+"#;
+        ExperimentConf::from_value(&parse(src).unwrap())
+            .unwrap()
+            .optimization
+            .unwrap()
+    }
+
+    #[test]
+    fn problem_roundtrips_through_yaml() {
+        let v = problem_to_value(&conf());
+        let text = v.to_yaml();
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(
+            reparsed.get("metric").unwrap().as_str(),
+            Some("user_resp_time")
+        );
+        assert_eq!(
+            reparsed
+                .get("search")
+                .unwrap()
+                .get("n_initial_points")
+                .unwrap()
+                .as_int(),
+            Some(45)
+        );
+        let config = reparsed.get("config").unwrap().as_seq().unwrap();
+        assert_eq!(config.len(), 2);
+        assert_eq!(
+            config[1].get("bounds").unwrap().as_seq().unwrap()[1].as_float(),
+            Some(9.0)
+        );
+    }
+
+    #[test]
+    fn evaluation_record_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "e2clab-eval-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        write_evaluation(&dir, 3, &vec![40.0, 7.0], 2.5).unwrap();
+        let text = fs::read_to_string(dir.join("result.csv")).unwrap();
+        assert!(text.contains("3,40;7,2.5"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

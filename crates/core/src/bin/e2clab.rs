@@ -1,0 +1,191 @@
+//! The `e2clab` command-line interface.
+//!
+//! Mirrors the workflow the paper demonstrates, including the repeatability
+//! command it quotes verbatim ("*one may repeat those experiments easily by
+//! issuing: `e2clab optimize --repeat 6 --duration 1380 ...`*"):
+//!
+//! ```text
+//! e2clab validate <conf.yaml>
+//!     Parse and validate an experiment configuration.
+//! e2clab deploy <conf.yaml>
+//!     Dry-run deployment: reserve nodes on the simulated Grid'5000
+//!     testbed, apply network emulation, print the scenario.
+//! e2clab optimize [--repeat N] [--duration SECS] [--seed S]
+//!                 [--archive DIR] <conf.yaml>
+//!     Run the optimization cycle of the configuration's `optimization`
+//!     section against the Pl@ntNet engine model and print the Phase III
+//!     summary.
+//! e2clab report <archive-dir>
+//!     Re-print the summary of a previously written archive.
+//! ```
+
+use e2c_conf::schema::ExperimentConf;
+use e2c_core::experiment::Experiment;
+use e2c_core::optimization::OptimizationManager;
+use e2c_des::SimTime;
+use e2c_testbed::grid5000;
+use plantnet::sim::{Experiment as EngineRun, ExperimentSpec};
+use plantnet::PoolConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  e2clab validate <conf.yaml>\n  e2clab deploy <conf.yaml>\n  \
+         e2clab optimize [--repeat N] [--duration SECS] [--seed S] [--archive DIR] <conf.yaml>\n  \
+         e2clab report <archive-dir>"
+    );
+    ExitCode::from(2)
+}
+
+fn load_conf(path: &str) -> Result<ExperimentConf, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = e2c_conf::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    ExperimentConf::from_value(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(|s| s.as_str()) else {
+        return usage();
+    };
+    match command {
+        "validate" => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load_conf(path) {
+                Ok(conf) => {
+                    println!("ok: experiment `{}`", conf.name);
+                    println!(
+                        "  layers: {}  network rules: {}  optimization: {}",
+                        conf.layers.len(),
+                        conf.network.len(),
+                        if conf.optimization.is_some() { "yes" } else { "no" }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("invalid: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "deploy" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let conf = match load_conf(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("invalid: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut exp = Experiment::new(conf, grid5000::paper_testbed());
+            match exp.deploy() {
+                Ok(()) => {
+                    print!("{}", exp.describe());
+                    exp.teardown();
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("deployment failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "optimize" => {
+            // Flag parsing: --repeat N --duration SECS --seed S --archive DIR.
+            let mut repeat = 1usize;
+            let mut duration = 1380u64;
+            let mut seed = 0u64;
+            let mut archive: Option<PathBuf> = None;
+            let mut conf_path: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut grab = |name: &str| -> Option<String> {
+                    let v = it.next();
+                    if v.is_none() {
+                        eprintln!("{name} needs a value");
+                    }
+                    v.cloned()
+                };
+                match arg.as_str() {
+                    "--repeat" => match grab("--repeat").and_then(|v| v.parse().ok()) {
+                        Some(v) => repeat = v,
+                        None => return usage(),
+                    },
+                    "--duration" => match grab("--duration").and_then(|v| v.parse().ok()) {
+                        Some(v) => duration = v,
+                        None => return usage(),
+                    },
+                    "--seed" => match grab("--seed").and_then(|v| v.parse().ok()) {
+                        Some(v) => seed = v,
+                        None => return usage(),
+                    },
+                    "--archive" => match grab("--archive") {
+                        Some(v) => archive = Some(PathBuf::from(v)),
+                        None => return usage(),
+                    },
+                    other if !other.starts_with("--") => conf_path = Some(other.to_string()),
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        return usage();
+                    }
+                }
+            }
+            let Some(path) = conf_path else { return usage() };
+            let conf = match load_conf(&path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("invalid: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(opt_conf) = conf.optimization else {
+                eprintln!("{path}: no `optimization` section");
+                return ExitCode::FAILURE;
+            };
+            // Workload: total concurrent requests of all client services
+            // (falls back to the paper's 80).
+            let clients: usize = conf
+                .layers
+                .iter()
+                .flat_map(|l| &l.services)
+                .filter(|s| s.name.contains("client"))
+                .map(|s| s.quantity * 20)
+                .sum::<usize>()
+                .max(80);
+            let mut manager = OptimizationManager::new(opt_conf).with_seed(seed);
+            if let Some(dir) = archive.clone() {
+                manager = manager.with_archive(dir);
+            }
+            let summary = manager.run(move |ctx| {
+                let cfg = PoolConfig::from_point(&ctx.point);
+                let mut spec = ExperimentSpec::paper(cfg, clients);
+                spec.duration = SimTime::from_secs(duration);
+                spec.warmup = SimTime::from_secs((duration / 10).min(60));
+                EngineRun::run_repeated(spec, repeat, 1000 + ctx.trial_id)
+                    .response
+                    .mean
+            });
+            print!("{}", summary.render());
+            if let Some(dir) = archive {
+                println!("archive written to {}", dir.display());
+            }
+            ExitCode::SUCCESS
+        }
+        "report" => {
+            let Some(dir) = args.get(1) else { return usage() };
+            let path = PathBuf::from(dir).join("summary.txt");
+            match std::fs::read_to_string(&path) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,242 @@
+//! The experiment lifecycle (Fig. 6): define → deploy → emulate → run →
+//! backup, with the `--repeat` protocol used throughout §IV.
+
+use crate::managers::{InfrastructureManager, MonitoringManager, NetworkManager};
+use e2c_conf::schema::ExperimentConf;
+use e2c_metrics::Registry;
+use e2c_net::Topology;
+use e2c_testbed::{Deployment, Reservation, Testbed};
+use std::fmt;
+
+/// Errors across the experiment lifecycle.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Node reservation failed.
+    Reserve(e2c_testbed::ReserveError),
+    /// Lifecycle misuse (e.g. running before deploying).
+    State(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Reserve(e) => write!(f, "reservation: {e}"),
+            ExperimentError::State(s) => write!(f, "lifecycle: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<e2c_testbed::ReserveError> for ExperimentError {
+    fn from(e: e2c_testbed::ReserveError) -> Self {
+        ExperimentError::Reserve(e)
+    }
+}
+
+/// One experiment on the testbed, from configuration to backup.
+pub struct Experiment {
+    conf: ExperimentConf,
+    testbed: Testbed,
+    deployment: Option<Deployment>,
+    reservations: Vec<Reservation>,
+    topology: Option<Topology>,
+    monitoring: MonitoringManager,
+    run_duration_secs: f64,
+}
+
+impl Experiment {
+    /// Define an experiment against a testbed.
+    pub fn new(conf: ExperimentConf, testbed: Testbed) -> Self {
+        Experiment {
+            conf,
+            testbed,
+            deployment: None,
+            reservations: Vec::new(),
+            topology: None,
+            monitoring: MonitoringManager::new(),
+            run_duration_secs: 1380.0,
+        }
+    }
+
+    /// Set the per-run duration (the paper's 1380 s default).
+    pub fn with_duration_secs(mut self, secs: f64) -> Self {
+        self.run_duration_secs = secs;
+        self
+    }
+
+    /// The experiment configuration.
+    pub fn conf(&self) -> &ExperimentConf {
+        &self.conf
+    }
+
+    /// Phase: provision infrastructure and apply network emulation.
+    pub fn deploy(&mut self) -> Result<(), ExperimentError> {
+        if self.deployment.is_some() {
+            return Err(ExperimentError::State("already deployed".into()));
+        }
+        let (deployment, reservations) =
+            InfrastructureManager::provision(&self.conf, &mut self.testbed)?;
+        self.deployment = Some(deployment);
+        self.reservations = reservations;
+        self.topology = Some(NetworkManager::emulate(&self.conf.network));
+        Ok(())
+    }
+
+    /// The resolved deployment (after [`Experiment::deploy`]).
+    pub fn deployment(&self) -> Option<&Deployment> {
+        self.deployment.as_ref()
+    }
+
+    /// The emulated topology (after [`Experiment::deploy`]).
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// The testbed view (for services that need node capacities).
+    pub fn testbed(&self) -> &Testbed {
+        &self.testbed
+    }
+
+    /// Phase: run the workload `repeats` times. The application callback
+    /// receives `(repetition, deployment, topology)` and returns the run's
+    /// metric registry, which the monitoring manager absorbs into the
+    /// backup. This is `e2clab optimize --repeat N --duration D`.
+    pub fn run_repeated<F>(
+        &mut self,
+        repeats: usize,
+        mut application: F,
+    ) -> Result<(), ExperimentError>
+    where
+        F: FnMut(usize, &Deployment, &Topology) -> Registry,
+    {
+        let deployment = self
+            .deployment
+            .as_ref()
+            .ok_or_else(|| ExperimentError::State("run before deploy".into()))?;
+        let topology = self.topology.as_ref().expect("set together with deployment");
+        for rep in 0..repeats {
+            let registry = application(rep, deployment, topology);
+            self.monitoring.absorb(&registry, self.run_duration_secs);
+        }
+        Ok(())
+    }
+
+    /// The merged metric backup across repetitions.
+    pub fn backup(&self) -> &Registry {
+        self.monitoring.backup()
+    }
+
+    /// Number of repetitions recorded.
+    pub fn repetitions(&self) -> usize {
+        self.monitoring.runs()
+    }
+
+    /// Phase: release all reservations.
+    pub fn teardown(&mut self) {
+        InfrastructureManager::teardown(&mut self.testbed, &self.reservations);
+        self.reservations.clear();
+        self.deployment = None;
+        self.topology = None;
+    }
+
+    /// Human-readable description of the deployed scenario — part of the
+    /// reproducibility archive.
+    pub fn describe(&self) -> String {
+        let mut out = format!("experiment: {}\n", self.conf.name);
+        if let Some(dep) = &self.deployment {
+            out.push_str(&dep.describe(&self.testbed));
+        } else {
+            out.push_str("(not deployed)\n");
+        }
+        if let Some(topo) = &self.topology {
+            for pair in self.conf.network.iter() {
+                let link = topo.link(&pair.src, &pair.dst);
+                out.push_str(&format!(
+                    "net {} <-> {}: {} ms, {} Mbps, loss {}\n",
+                    pair.src, pair.dst, link.latency_ms, link.bandwidth_mbps, link.loss
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2c_conf::parse;
+    use e2c_testbed::grid5000;
+
+    fn conf() -> ExperimentConf {
+        let src = r#"
+name: lifecycle-test
+layers:
+  - name: cloud
+    services:
+      - name: engine
+        cluster: chifflot
+        quantity: 1
+  - name: edge
+    services:
+      - name: clients
+        cluster: chiclet
+        quantity: 2
+network:
+  - src: edge
+    dst: cloud
+    delay_ms: 2.0
+    rate_mbps: 10000
+"#;
+        ExperimentConf::from_value(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut exp = Experiment::new(conf(), grid5000::paper_testbed());
+        exp.deploy().unwrap();
+        assert_eq!(exp.deployment().unwrap().nodes_of("cloud.engine").len(), 1);
+        exp.run_repeated(3, |rep, dep, topo| {
+            assert_eq!(dep.nodes_of("edge.clients").len(), 2);
+            assert_eq!(topo.link("edge", "cloud").latency_ms, 2.0);
+            let mut r = Registry::new();
+            r.record("user_resp_time", 10.0, 2.0 + rep as f64 * 0.1);
+            r
+        })
+        .unwrap();
+        assert_eq!(exp.repetitions(), 3);
+        let series = exp.backup().get("user_resp_time").unwrap();
+        assert_eq!(series.len(), 3);
+        // Times concatenated across repetitions.
+        assert_eq!(series.times(), &[10.0, 1390.0, 2770.0]);
+        exp.teardown();
+        assert!(exp.deployment().is_none());
+        assert_eq!(exp.testbed().free_in("chifflot"), 2);
+    }
+
+    #[test]
+    fn run_before_deploy_errors() {
+        let mut exp = Experiment::new(conf(), grid5000::paper_testbed());
+        let err = exp
+            .run_repeated(1, |_, _, _| Registry::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("run before deploy"));
+    }
+
+    #[test]
+    fn double_deploy_errors() {
+        let mut exp = Experiment::new(conf(), grid5000::paper_testbed());
+        exp.deploy().unwrap();
+        assert!(exp.deploy().is_err());
+    }
+
+    #[test]
+    fn describe_mentions_nodes_and_links() {
+        let mut exp = Experiment::new(conf(), grid5000::paper_testbed());
+        exp.deploy().unwrap();
+        let d = exp.describe();
+        assert!(d.contains("lifecycle-test"));
+        assert!(d.contains("chifflot-1.lille"));
+        assert!(d.contains("net edge <-> cloud"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # e2c-core — the E2Clab framework core
+//!
+//! The paper's contribution is a methodology and its implementation as an
+//! extension of E2Clab. This crate is that framework layer:
+//!
+//! * [`service`] — the *Services* abstraction (§V-C): anything deployable
+//!   on the testbed implements [`service::Service`]; the Pl@ntNet engine
+//!   and its clients are provided as user-defined services;
+//! * [`managers`] — the E2Clab managers of Fig. 7: infrastructure
+//!   provisioning, network emulation, monitoring;
+//! * [`experiment`] — the experiment lifecycle (deploy → emulate → run →
+//!   backup) with the `--repeat` protocol;
+//! * [`optimization`] — **the Optimization Manager** (Fig. 5): Phase I
+//!   (problem definition from `optimizer_conf`), Phase II (the
+//!   optimization cycle: parallel deployment, asynchronous model
+//!   optimization, reconfiguration), Phase III (reproducibility summary);
+//! * [`archive`] — the Phase III artifact: a directory capturing the
+//!   problem, the sampler, the algorithm and hyperparameters, every
+//!   evaluated point, and the best configuration found;
+//! * [`user_api`] — the class-based `Optimization` API of Listing 1
+//!   (implement `setup` + `run_objective`, inherit the lifecycle).
+
+pub mod archive;
+pub mod experiment;
+pub mod managers;
+pub mod optimization;
+pub mod service;
+pub mod user_api;
+
+pub use experiment::Experiment;
+pub use optimization::{EvalContext, OptimizationManager, OptimizationSummary};
+pub use service::Service;
+pub use user_api::UserOptimization;

@@ -1,0 +1,171 @@
+//! The E2Clab managers (Fig. 7).
+//!
+//! * [`InfrastructureManager`] — resolves the configuration's layers &
+//!   services into testbed reservations and a [`Deployment`];
+//! * [`NetworkManager`] — turns the configuration's network rules into an
+//!   emulated [`Topology`] (the `tc netem` step);
+//! * [`MonitoringManager`] — owns the metric registry of a run and merges
+//!   repeated runs into one backup.
+
+use e2c_conf::schema::{ExperimentConf, NetworkConf};
+use e2c_metrics::Registry;
+use e2c_net::{LinkSpec, Topology};
+use e2c_testbed::{Deployment, Reservation, ReserveError, Testbed};
+
+/// Provisions testbed nodes for every service of every layer.
+pub struct InfrastructureManager;
+
+impl InfrastructureManager {
+    /// Reserve nodes for each `(layer, service)` and assemble the
+    /// role → nodes deployment. Roles are named `layer.service`.
+    pub fn provision(
+        conf: &ExperimentConf,
+        testbed: &mut Testbed,
+    ) -> Result<(Deployment, Vec<Reservation>), ReserveError> {
+        let mut deployment = Deployment::new();
+        let mut reservations = Vec::new();
+        for layer in &conf.layers {
+            for svc in &layer.services {
+                let res = testbed.reserve(&svc.cluster, svc.quantity)?;
+                deployment.assign(&format!("{}.{}", layer.name, svc.name), &res.nodes);
+                reservations.push(res);
+            }
+        }
+        Ok((deployment, reservations))
+    }
+
+    /// Release every reservation taken by [`InfrastructureManager::provision`].
+    pub fn teardown(testbed: &mut Testbed, reservations: &[Reservation]) {
+        for res in reservations {
+            testbed.release(res);
+        }
+    }
+}
+
+/// Applies the configuration's network constraints.
+pub struct NetworkManager;
+
+impl NetworkManager {
+    /// Build the emulated topology from the network rules.
+    pub fn emulate(rules: &[NetworkConf]) -> Topology {
+        let mut topo = Topology::new();
+        for rule in rules {
+            topo.constrain(
+                &rule.src,
+                &rule.dst,
+                LinkSpec::new(rule.delay_ms, rule.rate_mbps).with_loss(rule.loss),
+            );
+        }
+        topo
+    }
+}
+
+/// Collects and merges run metrics.
+#[derive(Default)]
+pub struct MonitoringManager {
+    merged: Registry,
+    runs: usize,
+}
+
+impl MonitoringManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb one run's registry, concatenating it after previous runs
+    /// (times shifted by `run_index * duration`).
+    pub fn absorb(&mut self, registry: &Registry, duration_secs: f64) {
+        self.merged
+            .append_shifted(registry, self.runs as f64 * duration_secs);
+        self.runs += 1;
+    }
+
+    /// Number of runs absorbed.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// The merged registry (the experiment backup).
+    pub fn backup(&self) -> &Registry {
+        &self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2c_conf::parse;
+    use e2c_conf::schema::ExperimentConf;
+    use e2c_testbed::grid5000;
+
+    fn conf() -> ExperimentConf {
+        let src = r#"
+name: test
+layers:
+  - name: cloud
+    services:
+      - name: engine
+        cluster: chifflot
+        quantity: 1
+  - name: edge
+    services:
+      - name: clients
+        cluster: gros
+        quantity: 4
+network:
+  - src: edge
+    dst: cloud
+    delay_ms: 5.0
+    rate_mbps: 10000
+"#;
+        ExperimentConf::from_value(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn provision_reserves_by_layer_and_service() {
+        let mut tb = grid5000::paper_testbed();
+        let (dep, reservations) = InfrastructureManager::provision(&conf(), &mut tb).unwrap();
+        assert_eq!(dep.nodes_of("cloud.engine").len(), 1);
+        assert_eq!(dep.nodes_of("edge.clients").len(), 4);
+        assert_eq!(reservations.len(), 2);
+        assert_eq!(tb.free_in("chifflot"), 1);
+        assert_eq!(tb.free_in("gros"), 6);
+        InfrastructureManager::teardown(&mut tb, &reservations);
+        assert_eq!(tb.free_in("chifflot"), 2);
+        assert_eq!(tb.free_in("gros"), 10);
+    }
+
+    #[test]
+    fn provision_fails_on_exhausted_cluster() {
+        let mut tb = grid5000::paper_testbed();
+        let mut c = conf();
+        c.layers[0].services[0].quantity = 5; // only 2 chifflot nodes exist
+        let err = InfrastructureManager::provision(&c, &mut tb).unwrap_err();
+        assert!(matches!(err, ReserveError::Insufficient(_, 5, 2)));
+    }
+
+    #[test]
+    fn network_rules_become_topology() {
+        let topo = NetworkManager::emulate(&conf().network);
+        let link = topo.link("edge", "cloud");
+        assert_eq!(link.latency_ms, 5.0);
+        assert_eq!(link.bandwidth_mbps, 10_000.0);
+        // Unconstrained pair falls back to the default.
+        assert!(topo.link("cloud", "cloud").bandwidth_mbps > 10_000.0);
+    }
+
+    #[test]
+    fn monitoring_concatenates_runs() {
+        let mut mm = MonitoringManager::new();
+        let mut r1 = Registry::new();
+        r1.record("m", 10.0, 1.0);
+        let mut r2 = Registry::new();
+        r2.record("m", 10.0, 2.0);
+        mm.absorb(&r1, 100.0);
+        mm.absorb(&r2, 100.0);
+        assert_eq!(mm.runs(), 2);
+        let series = mm.backup().get("m").unwrap();
+        assert_eq!(series.times(), &[10.0, 110.0]);
+    }
+}

@@ -1,0 +1,388 @@
+//! The Optimization Manager (Fig. 5, Listing 1).
+//!
+//! Phase I comes in as an [`OptimizationConf`] (parsed from
+//! `optimizer_conf`). Phase II is the *optimization cycle*: the manager
+//! builds the search algorithm, wraps it in a concurrency limiter, and
+//! drives parallel evaluations whose results retrain the model
+//! asynchronously. Phase III is the [`OptimizationSummary`]: problem
+//! definition, sampler, algorithm + hyperparameters, all evaluated points
+//! and the best configuration — written to a reproducibility archive.
+//!
+//! The `prepare()` / `launch()` / `finalize()` methods of the paper's
+//! `Optimization` class map to the per-evaluation steps the manager
+//! performs around the user objective: it creates a per-evaluation
+//! directory, runs the deployment callback, and records the evaluation.
+
+use crate::archive;
+use e2c_conf::schema::OptimizationConf;
+use e2c_optim::acquisition::Acquisition;
+use e2c_optim::bayes::BayesOpt;
+use e2c_optim::sampling::InitialDesign;
+use e2c_optim::space::{Point, Space};
+use e2c_optim::surrogate::SurrogateKind;
+use e2c_conf::schema::VarKind;
+use e2c_tune::searcher::{ConcurrencyLimiter, GridSearch, RandomSearch, SkOptSearch};
+use e2c_tune::tuner::{Mode, Tuner};
+use e2c_tune::{Analysis, Fifo, Scheduler, Searcher};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Per-evaluation context handed to the user objective — the analogue of
+/// the paper's `run_objective(self, _config)` body.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    /// Trial identifier.
+    pub trial_id: u64,
+    /// The configuration to evaluate (external units, Eq. 2 order).
+    pub point: Point,
+    /// Directory created by `prepare()` for this evaluation's artifacts
+    /// (absent when the manager runs without an archive root).
+    pub eval_dir: Option<PathBuf>,
+}
+
+/// Phase III output: everything needed to reproduce the optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizationSummary {
+    /// The Phase I problem definition (echoed back).
+    pub conf: OptimizationConf,
+    /// Seed that drove sampling, the surrogate and the search.
+    pub seed: u64,
+    /// Full trial-by-trial results.
+    pub analysis: Analysis,
+    /// Best configuration found.
+    pub best_point: Option<Point>,
+    /// Its metric value.
+    pub best_value: Option<f64>,
+}
+
+impl OptimizationSummary {
+    /// Render the summary of computations (the report Phase III prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("optimization: {}\n", self.conf.name));
+        out.push_str(&format!(
+            "objective: {} {}\n",
+            if self.conf.minimize { "minimize" } else { "maximize" },
+            self.conf.metric
+        ));
+        out.push_str("variables:\n");
+        for v in &self.conf.variables {
+            out.push_str(&format!("  {} in [{}, {}]\n", v.name, v.lo, v.hi));
+        }
+        out.push_str(&format!(
+            "search: algo={} n_initial_points={} initial_point_generator={} acq_func={}\n",
+            self.conf.algo,
+            self.conf.n_initial_points,
+            self.conf.initial_point_generator,
+            self.conf.acq_func
+        ));
+        out.push_str(&format!(
+            "budget: num_samples={} max_concurrent={} seed={}\n",
+            self.conf.num_samples, self.conf.max_concurrent, self.seed
+        ));
+        out.push_str(&format!(
+            "evaluations: {} ({} stopped early)\n",
+            self.analysis.trials().len(),
+            self.analysis.stopped_early_count()
+        ));
+        match (&self.best_point, self.best_value) {
+            (Some(p), Some(v)) => {
+                out.push_str("best configuration:\n");
+                for (name, val) in self.conf.variables.iter().zip(p) {
+                    out.push_str(&format!("  {} = {}\n", name.name, val));
+                }
+                out.push_str(&format!("best {} = {:.4}\n", self.conf.metric, v));
+            }
+            _ => out.push_str("no successful evaluation\n"),
+        }
+        out
+    }
+
+    /// Write the full reproducibility archive into `dir`.
+    pub fn write_archive(&self, dir: &Path) -> std::io::Result<()> {
+        archive::write_summary(self, dir)
+    }
+}
+
+/// Drives the optimization cycle for a Phase I problem definition.
+pub struct OptimizationManager {
+    conf: OptimizationConf,
+    seed: u64,
+    archive_root: Option<PathBuf>,
+    scheduler: Arc<dyn Scheduler>,
+}
+
+impl OptimizationManager {
+    /// Manager for a problem definition (seed 0, FIFO scheduling, no
+    /// archive directory).
+    pub fn new(conf: OptimizationConf) -> Self {
+        OptimizationManager {
+            conf,
+            seed: 0,
+            archive_root: None,
+            scheduler: Arc::new(Fifo),
+        }
+    }
+
+    /// Set the experiment seed (reproducibility: same seed ⇒ same cycle).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable per-evaluation directories and the Phase III archive under
+    /// `root`.
+    pub fn with_archive(mut self, root: PathBuf) -> Self {
+        self.archive_root = Some(root);
+        self
+    }
+
+    /// Install a trial scheduler (e.g. AsyncHyperBand). Default: FIFO.
+    pub fn with_scheduler(mut self, scheduler: Arc<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Build the search space from the configured variables.
+    pub fn space(&self) -> Space {
+        let mut space = Space::new();
+        for v in &self.conf.variables {
+            space = match v.kind {
+                VarKind::Int => space.int(&v.name, v.lo as i64, v.hi as i64),
+                VarKind::Real => space.real(&v.name, v.lo, v.hi),
+            };
+        }
+        space
+    }
+
+    fn build_searcher(&self, space: Space) -> Box<dyn Searcher> {
+        let limited = self.conf.max_concurrent;
+        match self.conf.algo.as_str() {
+            "random" => Box::new(ConcurrencyLimiter::new(
+                RandomSearch::new(space, self.seed),
+                limited,
+            )),
+            "grid" => Box::new(ConcurrencyLimiter::new(
+                GridSearch::factorial(space, self.conf.num_samples, self.seed),
+                limited,
+            )),
+            // §III-B2: evolutionary search for short-running applications.
+            // The population is sized so the budget covers a few
+            // generations.
+            "genetic_algorithm" | "ga" | "evolution" => {
+                let pop = (self.conf.num_samples / 4).clamp(4, 40);
+                Box::new(ConcurrencyLimiter::new(
+                    e2c_tune::EvolutionSearch::new(space, pop, self.seed),
+                    limited,
+                ))
+            }
+            name => {
+                let kind = SurrogateKind::from_name(name).unwrap_or(SurrogateKind::ExtraTrees);
+                let acq = Acquisition::from_name(&self.conf.acq_func)
+                    .unwrap_or(Acquisition::GpHedge);
+                let design = InitialDesign::from_name(&self.conf.initial_point_generator)
+                    .unwrap_or(InitialDesign::Lhs);
+                let opt = BayesOpt::new(space, self.seed)
+                    .base_estimator(kind)
+                    .acq_func(acq)
+                    .initial_point_generator(design)
+                    .n_initial_points(self.conf.n_initial_points);
+                Box::new(ConcurrencyLimiter::new(SkOptSearch::new(opt), limited))
+            }
+        }
+    }
+
+    /// Run the optimization cycle: the objective is evaluated in parallel
+    /// (up to `max_concurrent` at once); each completed evaluation
+    /// retrains the model asynchronously and reconfigures the next
+    /// deployment. Returns the Phase III summary (and writes the archive
+    /// if a root was configured).
+    pub fn run<F>(&self, objective: F) -> OptimizationSummary
+    where
+        F: Fn(&EvalContext) -> f64 + Send + Sync,
+    {
+        let space = self.space();
+        let searcher = self.build_searcher(space);
+        let mode = if self.conf.minimize { Mode::Min } else { Mode::Max };
+        let tuner = Tuner::new(self.conf.num_samples, self.conf.max_concurrent, mode)
+            .metric(&self.conf.metric)
+            .name(&self.conf.name);
+        let archive_root = self.archive_root.clone();
+        let analysis = tuner.run(searcher, self.scheduler.clone(), move |point, tctx| {
+            // prepare(): a dedicated directory per model evaluation.
+            let eval_dir = archive_root.as_ref().map(|root| {
+                let dir = root.join("evals").join(format!("trial_{}", tctx.trial_id));
+                std::fs::create_dir_all(&dir).expect("create evaluation directory");
+                dir
+            });
+            let ctx = EvalContext {
+                trial_id: tctx.trial_id,
+                point: point.clone(),
+                eval_dir: eval_dir.clone(),
+            };
+            // launch(): deploy + execute the user workload.
+            let value = objective(&ctx);
+            // finalize(): record this evaluation's computations.
+            if let Some(dir) = eval_dir {
+                let _ = archive::write_evaluation(&dir, tctx.trial_id, point, value);
+            }
+            value
+        });
+        let best = analysis.best_trial().map(|t| (t.config.clone(), t.value()));
+        let summary = OptimizationSummary {
+            conf: self.conf.clone(),
+            seed: self.seed,
+            best_point: best.as_ref().map(|(p, _)| p.clone()),
+            best_value: best.and_then(|(_, v)| v),
+            analysis,
+        };
+        if let Some(root) = &self.archive_root {
+            summary
+                .write_archive(root)
+                .expect("write optimization archive");
+            // Trial log (JSONL + per-trial progress): the "checkpoints and
+            // logging" half of the Phase III story.
+            let logger = e2c_tune::TrialLogger::new(&root.join("trials"))
+                .expect("create trial log directory");
+            for trial in summary.analysis.trials() {
+                logger.log(trial).expect("append trial log");
+            }
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2c_conf::parse;
+    use e2c_conf::schema::ExperimentConf;
+
+    fn opt_conf(algo: &str, samples: usize) -> OptimizationConf {
+        let src = format!(
+            r#"
+name: test-opt
+optimization:
+  metric: loss
+  mode: min
+  name: test-opt
+  num_samples: {samples}
+  max_concurrent: 2
+  search:
+    algo: {algo}
+    n_initial_points: 6
+    initial_point_generator: lhs
+    acq_func: ei
+  config:
+    - name: x
+      type: randint
+      bounds: [0, 30]
+    - name: y
+      type: uniform
+      bounds: [0.0, 1.0]
+"#
+        );
+        ExperimentConf::from_value(&parse(&src).unwrap())
+            .unwrap()
+            .optimization
+            .unwrap()
+    }
+
+    fn objective(ctx: &EvalContext) -> f64 {
+        (ctx.point[0] - 12.0).powi(2) + (ctx.point[1] - 0.5).powi(2) * 100.0
+    }
+
+    #[test]
+    fn space_built_from_variables() {
+        let mgr = OptimizationManager::new(opt_conf("extra_trees", 5));
+        let space = mgr.space();
+        assert_eq!(space.len(), 2);
+        assert_eq!(space.names(), &["x".to_string(), "y".to_string()]);
+        assert!(space.contains(&[30.0, 1.0]));
+        assert!(!space.contains(&[31.0, 1.0]));
+    }
+
+    #[test]
+    fn bayesian_cycle_finds_good_configuration() {
+        let mgr = OptimizationManager::new(opt_conf("extra_trees", 30)).with_seed(3);
+        let summary = mgr.run(objective);
+        assert_eq!(summary.analysis.trials().len(), 30);
+        let best = summary.best_value.unwrap();
+        assert!(best < 8.0, "best {best}");
+        let report = summary.render();
+        assert!(report.contains("minimize loss"));
+        assert!(report.contains("algo=extra_trees"));
+        assert!(report.contains("best loss"));
+    }
+
+    #[test]
+    fn random_algo_also_works() {
+        let mgr = OptimizationManager::new(opt_conf("random", 20)).with_seed(1);
+        let summary = mgr.run(objective);
+        assert_eq!(summary.analysis.trials().len(), 20);
+        assert!(summary.best_value.is_some());
+    }
+
+    #[test]
+    fn genetic_algorithm_route_works() {
+        let mgr = OptimizationManager::new(opt_conf("genetic_algorithm", 40)).with_seed(8);
+        let summary = mgr.run(objective);
+        assert_eq!(summary.analysis.trials().len(), 40);
+        assert!(
+            summary.best_value.expect("successful trials") < 30.0,
+            "GA found {:?}",
+            summary.best_value
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_cycle() {
+        // Bit-exact replay holds for the sequential cycle
+        // (max_concurrent=1). With concurrent evaluation the *set* of
+        // suggestions depends on thread interleaving (asynchronous model
+        // optimization is order-sensitive by nature) — that path is
+        // covered by budget/validity invariants instead.
+        let run = |seed| {
+            let mut conf = opt_conf("extra_trees", 12);
+            conf.max_concurrent = 1;
+            OptimizationManager::new(conf).with_seed(seed).run(objective)
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.best_point, b.best_point);
+        assert_eq!(a.best_value, b.best_value);
+        let configs_a: Vec<_> = a.analysis.trials().iter().map(|t| t.config.clone()).collect();
+        let configs_b: Vec<_> = b.analysis.trials().iter().map(|t| t.config.clone()).collect();
+        assert_eq!(configs_a, configs_b);
+    }
+
+    #[test]
+    fn archive_written_when_enabled() {
+        let dir = std::env::temp_dir().join(format!(
+            "e2clab-test-archive-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mgr = OptimizationManager::new(opt_conf("extra_trees", 8))
+            .with_seed(2)
+            .with_archive(dir.clone());
+        let summary = mgr.run(objective);
+        assert!(dir.join("problem.yaml").is_file());
+        assert!(dir.join("evaluations.csv").is_file());
+        assert!(dir.join("summary.txt").is_file());
+        assert!(dir.join("best.yaml").is_file());
+        // One directory per evaluation (prepare()).
+        for t in summary.analysis.trials() {
+            assert!(dir.join("evals").join(format!("trial_{}", t.id)).is_dir());
+        }
+        let evals = crate::archive::load_evaluations(&dir).unwrap();
+        assert_eq!(evals.len(), 8);
+        // The trial log mirrors the analysis.
+        let log = e2c_tune::TrialLogger::new(&dir.join("trials")).unwrap();
+        let index = log.load_index().unwrap();
+        assert_eq!(index.len(), 8);
+        assert!(index.iter().all(|(_, status, _)| status == "terminated"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

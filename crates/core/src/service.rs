@@ -1,0 +1,189 @@
+//! The Services abstraction (§V-C).
+//!
+//! "Services represent any system or a group of systems that provide a
+//! specific functionality or action in the scenario workflow." Users
+//! implement [`Service::deploy`] with the logic mapping their system onto
+//! physical machines; the framework's managers then place each service on
+//! its reserved nodes. The Pl@ntNet engine and client services the paper
+//! needed (§V-C: "we had to implement the Pl@ntNet service") are provided
+//! here.
+
+use e2c_testbed::{NodeId, Testbed};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a deployment failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployError {
+    /// Service that failed.
+    pub service: String,
+    /// Explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deploy {}: {}", self.service, self.reason)
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// A deployable system in the scenario workflow.
+pub trait Service: Send + Sync {
+    /// Unique service name (matches the configuration file).
+    fn name(&self) -> &str;
+
+    /// Validate the assigned nodes and produce deployment facts (software
+    /// installed, endpoints, parameters) recorded in the archive. Returns
+    /// the per-node description.
+    fn deploy(&self, nodes: &[NodeId], testbed: &Testbed)
+        -> Result<Vec<String>, DeployError>;
+}
+
+/// The Pl@ntNet Identification Engine service: requires GPU nodes.
+pub struct PlantnetEngineService;
+
+impl Service for PlantnetEngineService {
+    fn name(&self) -> &str {
+        "plantnet-engine"
+    }
+
+    fn deploy(
+        &self,
+        nodes: &[NodeId],
+        testbed: &Testbed,
+    ) -> Result<Vec<String>, DeployError> {
+        if nodes.is_empty() {
+            return Err(DeployError {
+                service: self.name().to_string(),
+                reason: "needs at least one node".to_string(),
+            });
+        }
+        let mut out = Vec::new();
+        for &id in nodes {
+            let node = testbed.node(id);
+            if !node.spec.has_gpu() {
+                return Err(DeployError {
+                    service: self.name().to_string(),
+                    reason: format!("node {} has no GPU", node.hostname),
+                });
+            }
+            out.push(format!(
+                "{}: engine container ({} cores, {:.0} GB GPU)",
+                node.hostname,
+                node.spec.cpu.total_cores(),
+                node.spec.total_gpu_memory_gb()
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Request-generating clients: any CPU node will do.
+pub struct ClientsService {
+    /// Simultaneous requests this client group sustains.
+    pub simultaneous_requests: usize,
+}
+
+impl Service for ClientsService {
+    fn name(&self) -> &str {
+        "clients"
+    }
+
+    fn deploy(
+        &self,
+        nodes: &[NodeId],
+        testbed: &Testbed,
+    ) -> Result<Vec<String>, DeployError> {
+        if nodes.is_empty() {
+            return Err(DeployError {
+                service: self.name().to_string(),
+                reason: "needs at least one node".to_string(),
+            });
+        }
+        let per_node = self.simultaneous_requests.div_ceil(nodes.len());
+        Ok(nodes
+            .iter()
+            .map(|&id| {
+                format!(
+                    "{}: client generator ({} concurrent requests)",
+                    testbed.node(id).hostname,
+                    per_node
+                )
+            })
+            .collect())
+    }
+}
+
+/// Registry of user-defined services, looked up by the workflow manager.
+#[derive(Default)]
+pub struct ServiceRegistry {
+    services: BTreeMap<String, Box<dyn Service>>,
+}
+
+impl ServiceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a service (replaces an existing one of the same name).
+    pub fn register(&mut self, service: Box<dyn Service>) {
+        self.services.insert(service.name().to_string(), service);
+    }
+
+    /// Look up a service by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Service> {
+        self.services.get(name).map(|b| b.as_ref())
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.services.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2c_testbed::grid5000;
+
+    #[test]
+    fn engine_requires_gpu_nodes() {
+        let mut tb = grid5000::paper_testbed();
+        let gpu = tb.reserve("chifflot", 1).unwrap();
+        let cpu = tb.reserve("gros", 1).unwrap();
+        let svc = PlantnetEngineService;
+        let ok = svc.deploy(&gpu.nodes, &tb).unwrap();
+        assert!(ok[0].contains("GPU"));
+        let err = svc.deploy(&cpu.nodes, &tb).unwrap_err();
+        assert!(err.reason.contains("no GPU"));
+        assert!(svc.deploy(&[], &tb).is_err());
+    }
+
+    #[test]
+    fn clients_spread_requests() {
+        let mut tb = grid5000::paper_testbed();
+        let res = tb.reserve("gros", 4).unwrap();
+        let svc = ClientsService {
+            simultaneous_requests: 80,
+        };
+        let lines = svc.deploy(&res.nodes, &tb).unwrap();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("20 concurrent"));
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let mut reg = ServiceRegistry::new();
+        reg.register(Box::new(PlantnetEngineService));
+        reg.register(Box::new(ClientsService {
+            simultaneous_requests: 10,
+        }));
+        assert!(reg.get("plantnet-engine").is_some());
+        assert!(reg.get("clients").is_some());
+        assert!(reg.get("spark").is_none());
+        assert_eq!(reg.names(), vec!["clients", "plantnet-engine"]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The class-based user API of Listing 1.
+//!
+//! The paper lets researchers subclass `Optimization`, configure the
+//! search in `run()` and put their deployment logic in `run_objective()`,
+//! with `prepare()` / `launch()` / `finalize()` provided by the framework.
+//! [`UserOptimization`] is the Rust spelling: implement two methods,
+//! inherit the rest.
+//!
+//! ```no_run
+//! use e2c_core::user_api::{UserOptimization, ObjectiveHandle};
+//! use e2c_conf::schema::OptimizationConf;
+//!
+//! struct MyTuning {
+//!     conf: OptimizationConf,
+//! }
+//!
+//! impl UserOptimization for MyTuning {
+//!     fn setup(&self) -> OptimizationConf {
+//!         self.conf.clone() // Listing 1's run(): algo + space + budget
+//!     }
+//!     fn run_objective(&self, handle: &ObjectiveHandle) -> f64 {
+//!         // Listing 1's run_objective(): deploy, execute, return metric.
+//!         handle.point[0] // silly objective
+//!     }
+//! }
+//! ```
+
+use crate::optimization::{EvalContext, OptimizationManager, OptimizationSummary};
+use e2c_conf::schema::OptimizationConf;
+use e2c_optim::space::Point;
+use std::path::PathBuf;
+
+/// What `run_objective` receives — the evaluation's configuration plus
+/// the framework-managed artifact directory.
+#[derive(Debug, Clone)]
+pub struct ObjectiveHandle {
+    /// Trial id.
+    pub trial_id: u64,
+    /// Configuration under evaluation (external units).
+    pub point: Point,
+    /// `prepare()`d directory for this evaluation, when archiving is on.
+    pub eval_dir: Option<PathBuf>,
+}
+
+/// The paper's `Optimization` base class as a trait: implement
+/// [`UserOptimization::setup`] (the body of `run()`) and
+/// [`UserOptimization::run_objective`]; call
+/// [`UserOptimization::optimize`] to execute the whole cycle with
+/// `prepare()` / `launch()` / `finalize()` handled by the framework.
+pub trait UserOptimization: Send + Sync {
+    /// Phase I: the optimization problem + search configuration
+    /// (Listing 1 lines 5–26).
+    fn setup(&self) -> OptimizationConf;
+
+    /// One model evaluation (Listing 1 lines 28–36): deploy the
+    /// configuration, run the workload, return the metric value.
+    fn run_objective(&self, handle: &ObjectiveHandle) -> f64;
+
+    /// Experiment seed (override for multi-seed studies).
+    fn seed(&self) -> u64 {
+        0
+    }
+
+    /// Archive root (override to enable Phase III artifacts).
+    fn archive_root(&self) -> Option<PathBuf> {
+        None
+    }
+
+    /// Execute the full optimization cycle. Provided by the framework —
+    /// the analogue of instantiating the class and letting Tune drive it.
+    fn optimize(&self) -> OptimizationSummary {
+        let mut manager = OptimizationManager::new(self.setup()).with_seed(self.seed());
+        if let Some(root) = self.archive_root() {
+            manager = manager.with_archive(root);
+        }
+        manager.run(|ctx: &EvalContext| {
+            let handle = ObjectiveHandle {
+                trial_id: ctx.trial_id,
+                point: ctx.point.clone(),
+                eval_dir: ctx.eval_dir.clone(),
+            };
+            self.run_objective(&handle)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2c_conf::parse;
+    use e2c_conf::schema::ExperimentConf;
+
+    struct Quadratic;
+
+    impl UserOptimization for Quadratic {
+        fn setup(&self) -> OptimizationConf {
+            let src = r#"
+name: x
+optimization:
+  metric: loss
+  mode: min
+  name: quadratic
+  num_samples: 18
+  max_concurrent: 2
+  search:
+    algo: extra_trees
+    n_initial_points: 6
+  config:
+    - name: a
+      type: randint
+      bounds: [0, 30]
+"#;
+            ExperimentConf::from_value(&parse(src).unwrap())
+                .unwrap()
+                .optimization
+                .unwrap()
+        }
+
+        fn run_objective(&self, handle: &ObjectiveHandle) -> f64 {
+            (handle.point[0] - 21.0).powi(2)
+        }
+
+        fn seed(&self) -> u64 {
+            11
+        }
+    }
+
+    #[test]
+    fn class_style_optimization_runs_end_to_end() {
+        let summary = Quadratic.optimize();
+        assert_eq!(summary.analysis.trials().len(), 18);
+        let best = summary.best_value.unwrap();
+        assert!(best <= 9.0, "best {best}");
+        assert_eq!(summary.conf.name, "quadratic");
+    }
+}

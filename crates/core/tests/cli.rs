@@ -1,0 +1,111 @@
+//! Integration tests for the `e2clab` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const CONF: &str = r#"
+name: cli-test
+layers:
+  - name: cloud
+    services:
+      - name: engine
+        cluster: chifflot
+        quantity: 1
+  - name: edge
+    services:
+      - name: clients
+        cluster: gros
+        quantity: 2
+network:
+  - src: edge
+    dst: cloud
+    delay_ms: 5.0
+    rate_mbps: 10000
+optimization:
+  metric: user_resp_time
+  mode: min
+  name: cli-test
+  num_samples: 4
+  max_concurrent: 2
+  search:
+    algo: random
+  config:
+    - name: http
+      bounds: [20, 60]
+    - name: download
+      bounds: [20, 60]
+    - name: simsearch
+      bounds: [20, 60]
+    - name: extract
+      bounds: [3, 9]
+"#;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_e2clab"))
+}
+
+fn write_conf(name: &str, text: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("e2clab-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, text).expect("write temp conf");
+    path
+}
+
+#[test]
+fn validate_accepts_good_and_rejects_bad() {
+    let good = write_conf("good.yaml", CONF);
+    let out = bin().arg("validate").arg(&good).output().expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok: experiment `cli-test`"), "{stdout}");
+
+    let bad = write_conf("bad.yaml", "layers: []\n"); // missing name
+    let out = bin().arg("validate").arg(&bad).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid"), "{stderr}");
+    let _ = std::fs::remove_file(good);
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn deploy_prints_the_scenario() {
+    let conf = write_conf("deploy.yaml", CONF);
+    let out = bin().arg("deploy").arg(&conf).output().expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chifflot-1.lille"), "{stdout}");
+    assert!(stdout.contains("net edge <-> cloud"), "{stdout}");
+    let _ = std::fs::remove_file(conf);
+}
+
+#[test]
+fn optimize_runs_and_reports() {
+    let conf = write_conf("optimize.yaml", CONF);
+    let archive = std::env::temp_dir().join(format!("e2clab-cli-arch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&archive);
+    let out = bin()
+        .args(["optimize", "--repeat", "1", "--duration", "40", "--seed", "5", "--archive"])
+        .arg(&archive)
+        .arg(&conf)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("best user_resp_time"), "{stdout}");
+    assert!(archive.join("evaluations.csv").is_file());
+
+    // `report` re-prints the stored summary.
+    let out = bin().arg("report").arg(&archive).output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("best configuration"));
+
+    let _ = std::fs::remove_file(conf);
+    let _ = std::fs::remove_dir_all(archive);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

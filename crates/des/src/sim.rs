@@ -1,0 +1,292 @@
+//! The simulation event loop.
+//!
+//! A [`Simulation`] owns a user [`Model`], the event queue and a seeded RNG.
+//! The model reacts to its own event type and schedules follow-up events
+//! through the [`Context`] it receives. This inversion keeps the kernel free
+//! of `Rc<RefCell<...>>` webs: the model is plain owned state, mutated one
+//! event at a time.
+
+use crate::queue::{EventHandle, EventQueue};
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// User-provided simulation logic.
+pub trait Model {
+    /// The event vocabulary of this model (typically an enum).
+    type Event;
+
+    /// React to `event` firing at `ctx.now()`.
+    fn handle(&mut self, ctx: &mut Context<'_, Self::Event>, event: Self::Event);
+}
+
+/// Kernel services available to a model while handling an event.
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    rng: &'a mut StdRng,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at the absolute time `at`. Scheduling in the past
+    /// panics: it would silently reorder causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) -> EventHandle {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Cancel a previously scheduled event (no-op if it already fired).
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.queue.cancel(handle);
+    }
+
+    /// Seeded random number generator for this simulation run.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Request the event loop to stop after this event completes.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A discrete-event simulation run: model + clock + queue + RNG.
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    rng: StdRng,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Create a simulation at time zero with a deterministic RNG seed.
+    pub fn new(model: M, seed: u64) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Immutable access to the model (e.g. to read results after a run).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to install probes between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the simulation and return the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedule an event from outside the event loop (setup phase).
+    pub fn schedule(&mut self, at: SimTime, event: M::Event) -> EventHandle {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event)
+    }
+
+    /// Run until the queue drains or the model calls [`Context::stop`].
+    /// Returns the number of events processed by this call.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the queue drains, the model stops the loop, or the next
+    /// event would fire strictly after `horizon`. The clock is advanced to
+    /// `horizon` if the run was cut by the horizon (so utilization integrals
+    /// can be closed at the boundary by the caller).
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let before = self.processed;
+        let mut stop = false;
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                break;
+            };
+            if next > horizon {
+                self.now = horizon;
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(at >= self.now, "event queue went backwards");
+            self.now = at;
+            let mut ctx = Context {
+                now: self.now,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                stop: &mut stop,
+            };
+            self.model.handle(&mut ctx, event);
+            self.processed += 1;
+            if stop {
+                break;
+            }
+        }
+        self.processed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    enum Ev {
+        Tick,
+        Boom,
+    }
+
+    struct Counter {
+        ticks: u32,
+        booms: u32,
+        limit: u32,
+    }
+
+    impl Model for Counter {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+            match ev {
+                Ev::Tick => {
+                    self.ticks += 1;
+                    if self.ticks < self.limit {
+                        ctx.schedule_in(SimTime::from_secs(1), Ev::Tick);
+                    }
+                }
+                Ev::Boom => {
+                    self.booms += 1;
+                    ctx.stop();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut sim = Simulation::new(
+            Counter {
+                ticks: 0,
+                booms: 0,
+                limit: 5,
+            },
+            1,
+        );
+        sim.schedule(SimTime::ZERO, Ev::Tick);
+        let n = sim.run();
+        assert_eq!(n, 5);
+        assert_eq!(sim.model().ticks, 5);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn horizon_cuts_run_and_advances_clock() {
+        let mut sim = Simulation::new(
+            Counter {
+                ticks: 0,
+                booms: 0,
+                limit: 100,
+            },
+            1,
+        );
+        sim.schedule(SimTime::ZERO, Ev::Tick);
+        sim.run_until(SimTime::from_millis(2_500));
+        // ticks at 0s, 1s, 2s fire; the 3s tick is beyond the horizon.
+        assert_eq!(sim.model().ticks, 3);
+        assert_eq!(sim.now(), SimTime::from_millis(2_500));
+        // Continuing past the horizon resumes where we left off.
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.model().ticks, 4);
+    }
+
+    #[test]
+    fn stop_halts_loop_immediately() {
+        let mut sim = Simulation::new(
+            Counter {
+                ticks: 0,
+                booms: 0,
+                limit: 100,
+            },
+            1,
+        );
+        sim.schedule(SimTime::from_secs(1), Ev::Tick);
+        sim.schedule(SimTime::from_millis(500), Ev::Boom);
+        sim.run();
+        assert_eq!(sim.model().booms, 1);
+        assert_eq!(sim.model().ticks, 0);
+        assert_eq!(sim.now(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+                let past = ctx.now().saturating_sub(SimTime::from_secs(1));
+                ctx.schedule(past, ());
+            }
+        }
+        let mut sim = Simulation::new(Bad, 0);
+        sim.schedule(SimTime::from_secs(5), ());
+        sim.run();
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        use rand::Rng;
+        struct R {
+            draws: Vec<f64>,
+        }
+        impl Model for R {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Context<'_, u32>, n: u32) {
+                let x: f64 = ctx.rng().gen();
+                self.draws.push(x);
+                if n > 0 {
+                    ctx.schedule_in(SimTime::from_micros(1), n - 1);
+                }
+            }
+        }
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut sim = Simulation::new(R { draws: vec![] }, 7);
+            sim.schedule(SimTime::ZERO, 20);
+            sim.run();
+            runs.push(sim.into_model().draws);
+        }
+        assert_eq!(runs[0], runs[1]);
+    }
+}

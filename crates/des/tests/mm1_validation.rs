@@ -1,0 +1,148 @@
+//! Kernel validation against queueing theory: build M/M/1 and M/M/c
+//! queues from the DES primitives and compare the simulated steady-state
+//! metrics with the closed-form results. If the kernel mishandles event
+//! ordering, resource accounting or distribution sampling, these numbers
+//! drift immediately.
+
+use e2c_des::resources::Tokens;
+use e2c_des::{Context, Dist, Model, SimTime, Simulation};
+
+struct Mm1 {
+    arrival_mean: f64,
+    service_mean: f64,
+    servers: usize,
+    pool: Tokens,
+    next_id: u64,
+    // Response-time accounting.
+    arrivals: std::collections::HashMap<u64, SimTime>,
+    completed: u64,
+    response_sum: f64,
+    warmup: SimTime,
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    Arrive,
+    Done { job: u64 },
+}
+
+impl Model for Mm1 {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrive => {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.arrivals.insert(id, ctx.now());
+                if self.pool.try_acquire(ctx.now(), id) {
+                    let d = Dist::Exp {
+                        mean: self.service_mean,
+                    };
+                    let t = SimTime::from_secs_f64(d.sample(ctx.rng()));
+                    ctx.schedule_in(t, Ev::Done { job: id });
+                }
+                let gap = Dist::Exp {
+                    mean: self.arrival_mean,
+                };
+                let g = SimTime::from_secs_f64(gap.sample(ctx.rng()));
+                ctx.schedule_in(g, Ev::Arrive);
+            }
+            Ev::Done { job } => {
+                let arrived = self.arrivals.remove(&job).expect("known job");
+                if ctx.now() > self.warmup {
+                    self.completed += 1;
+                    self.response_sum += (ctx.now() - arrived).as_secs_f64();
+                }
+                if let Some(next) = self.pool.release(ctx.now()) {
+                    let d = Dist::Exp {
+                        mean: self.service_mean,
+                    };
+                    let t = SimTime::from_secs_f64(d.sample(ctx.rng()));
+                    ctx.schedule_in(t, Ev::Done { job: next });
+                }
+            }
+        }
+    }
+}
+
+fn run_queue(lambda: f64, mu: f64, servers: usize, horizon_secs: u64, seed: u64) -> (f64, f64) {
+    let model = Mm1 {
+        arrival_mean: 1.0 / lambda,
+        service_mean: 1.0 / mu,
+        servers,
+        pool: Tokens::new(servers),
+        next_id: 0,
+        arrivals: Default::default(),
+        completed: 0,
+        response_sum: 0.0,
+        warmup: SimTime::from_secs(horizon_secs / 10),
+    };
+    let mut sim = Simulation::new(model, seed);
+    sim.schedule(SimTime::ZERO, Ev::Arrive);
+    sim.run_until(SimTime::from_secs(horizon_secs));
+    let m = sim.model();
+    let mean_response = m.response_sum / m.completed as f64;
+    let throughput =
+        m.completed as f64 / (horizon_secs as f64 - horizon_secs as f64 / 10.0);
+    assert_eq!(m.servers, servers); // silence dead-code analysis honestly
+    (mean_response, throughput)
+}
+
+#[test]
+fn mm1_mean_response_matches_theory() {
+    // M/M/1: W = 1 / (mu - lambda).
+    let (lambda, mu) = (6.0, 10.0);
+    let (w_sim, x_sim) = run_queue(lambda, mu, 1, 40_000, 11);
+    let w_theory = 1.0 / (mu - lambda);
+    assert!(
+        (w_sim - w_theory).abs() / w_theory < 0.05,
+        "W: simulated {w_sim:.4} vs theory {w_theory:.4}"
+    );
+    // Stable queue: throughput equals the arrival rate.
+    assert!((x_sim - lambda).abs() / lambda < 0.05, "X {x_sim}");
+}
+
+#[test]
+fn mm1_utilization_law_holds() {
+    // rho = lambda / mu must match the pool's busy fraction.
+    let (lambda, mu) = (4.0, 10.0);
+    let model = Mm1 {
+        arrival_mean: 1.0 / lambda,
+        service_mean: 1.0 / mu,
+        servers: 1,
+        pool: Tokens::new(1),
+        next_id: 0,
+        arrivals: Default::default(),
+        completed: 0,
+        response_sum: 0.0,
+        warmup: SimTime::ZERO,
+    };
+    let mut sim = Simulation::new(model, 3);
+    sim.schedule(SimTime::ZERO, Ev::Arrive);
+    let horizon = SimTime::from_secs(20_000);
+    sim.run_until(horizon);
+    let util = sim.model_mut().pool.utilization(horizon);
+    assert!((util - 0.4).abs() < 0.02, "rho: {util}");
+}
+
+#[test]
+fn mmc_beats_mm1_at_equal_total_capacity() {
+    // Classic result: at equal total service capacity, pooled servers
+    // (M/M/2 with mu/2 each... here: 2 servers each rate mu) give lower
+    // wait than a single fast server only for the *queueing* part; but
+    // two slow servers beat one slow server outright. Check the simpler
+    // monotonicity: M/M/2 with the same per-server rate more than halves
+    // the M/M/1 response under heavy load.
+    let (lambda, mu) = (9.0, 10.0); // rho = 0.9 on one server
+    let (w1, _) = run_queue(lambda, mu, 1, 60_000, 5);
+    let (w2, _) = run_queue(lambda, mu, 2, 60_000, 5);
+    let w1_theory = 1.0 / (mu - lambda); // 1.0
+    assert!((w1 - w1_theory).abs() / w1_theory < 0.10, "W1 {w1}");
+    // M/M/2 at rho=0.45: Erlang-C gives W ≈ 0.128.
+    assert!(
+        (0.09..0.17).contains(&w2),
+        "W2 {w2} out of the Erlang-C band"
+    );
+    assert!(w2 < w1 / 4.0, "pooling must collapse the queueing delay");
+}

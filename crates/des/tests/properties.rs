@@ -1,0 +1,142 @@
+//! Property-based tests for the DES kernel invariants.
+
+use e2c_des::resources::{Discipline, ProcShare, Tokens};
+use e2c_des::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the
+    /// insertion order.
+    #[test]
+    fn queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn queue_cancellation_exact(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 100)
+    ) {
+        let mut q = EventQueue::new();
+        let mut handles = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            handles.push((q.schedule(SimTime::from_micros(t), i), i));
+        }
+        let mut kept = Vec::new();
+        for (h, i) in &handles {
+            if cancel_mask[*i % cancel_mask.len()] {
+                q.cancel(*h);
+            } else {
+                kept.push(*i);
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// Token pool conservation: grants never exceed capacity, and everybody
+    /// who queued is eventually served in FIFO order.
+    #[test]
+    fn tokens_conservation(cap in 1usize..16, n in 1usize..100) {
+        let mut pool = Tokens::new(cap);
+        let mut queued = Vec::new();
+        for id in 0..n as u64 {
+            if !pool.try_acquire(SimTime::from_micros(id), id) {
+                queued.push(id);
+            }
+        }
+        prop_assert_eq!(pool.busy(), n.min(cap));
+        prop_assert_eq!(pool.queue_len(), n.saturating_sub(cap));
+        // Drain: each release hands the token to the next FIFO waiter.
+        let mut served = Vec::new();
+        let mut now = SimTime::from_secs(1);
+        for _ in 0..n.min(cap) + queued.len() {
+            if pool.busy() == 0 { break; }
+            if let Some(next) = pool.release(now) {
+                served.push(next);
+            }
+            now += SimTime::from_micros(1);
+        }
+        prop_assert_eq!(served, queued);
+        prop_assert_eq!(pool.busy(), 0);
+    }
+
+    /// Processor-sharing work conservation: with a single core and all jobs
+    /// present from t=0, total completion time equals total demand.
+    #[test]
+    fn ps_work_conservation(demands in prop::collection::vec(0.01f64..5.0, 1..20)) {
+        let mut ps = ProcShare::cores(1.0);
+        for (id, &d) in demands.iter().enumerate() {
+            ps.start(SimTime::ZERO, id as u64, d, 1.0);
+        }
+        let total: f64 = demands.iter().sum();
+        let mut now = SimTime::ZERO;
+        let mut finished = 0;
+        while let Some((at, id)) = ps.next_completion(now) {
+            now = at;
+            ps.remove(now, id);
+            finished += 1;
+        }
+        prop_assert_eq!(finished, demands.len());
+        // Microsecond rounding accumulates at most 1us per completion.
+        let slack = 1e-6 * demands.len() as f64 + 1e-6;
+        prop_assert!((now.as_secs_f64() - total).abs() <= slack,
+            "finished at {} expected {}", now.as_secs_f64(), total);
+    }
+
+    /// Under processor sharing, a job's sojourn time is never shorter than
+    /// its demand (rate never exceeds 1).
+    #[test]
+    fn ps_no_speedup(demands in prop::collection::vec(0.01f64..2.0, 1..10),
+                     cores in 1u32..8) {
+        let mut ps = ProcShare::cores(cores as f64);
+        for (id, &d) in demands.iter().enumerate() {
+            ps.start(SimTime::ZERO, id as u64, d, 1.0);
+        }
+        let mut now = SimTime::ZERO;
+        while let Some((at, id)) = ps.next_completion(now) {
+            now = at;
+            let demand = demands[id as usize];
+            prop_assert!(now.as_secs_f64() + 2e-6 >= demand);
+            ps.remove(now, id);
+        }
+    }
+
+    /// Saturating (GPU) discipline: aggregate throughput is monotone
+    /// non-decreasing in concurrency for alpha <= 1 (the physical regime —
+    /// alpha > 1 would mean concurrency destroys throughput outright).
+    #[test]
+    fn gpu_throughput_monotone(alpha in 0.0f64..=1.0) {
+        let mut last = 0.0;
+        for n in 1..32 {
+            let disc = Discipline::Saturating { alpha, cap: f64::INFINITY, devices: 1 };
+            let mut gpu = ProcShare::new(disc);
+            for id in 0..n {
+                gpu.start(SimTime::ZERO, id, 1.0, 1.0);
+            }
+            let (at, _) = gpu.next_completion(SimTime::ZERO).unwrap();
+            // All jobs finish at the same time; throughput = n / time.
+            let throughput = n as f64 / at.as_secs_f64();
+            prop_assert!(throughput >= last - 1e-9,
+                "alpha={alpha} n={n}: {throughput} < {last}");
+            last = throughput;
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Fixed-bin histograms with approximate quantiles.
+//!
+//! Storing every observation works for one experiment; monitoring stacks
+//! keep histograms instead. This one uses uniform bins over a configured
+//! range with overflow/underflow buckets, supports merging (repetitions)
+//! and linear-interpolated quantiles — accuracy bounded by the bin width.
+
+/// Uniform-bin histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `bins` uniform buckets.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "empty range");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation");
+        self.count += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = (((x - self.lo) / self.width()) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (exact, kept outside the bins).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Observations outside the range, `(underflow, overflow)`.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0,1]`), linear within the bin.
+    /// Underflow clamps to `lo`, overflow to `hi`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut seen = self.underflow as f64;
+        if target <= seen {
+            return Some(self.lo);
+        }
+        for (i, &n) in self.bins.iter().enumerate() {
+            let next = seen + n as f64;
+            if target <= next && n > 0 {
+                let frac = (target - seen) / n as f64;
+                return Some(self.lo + (i as f64 + frac) * self.width());
+            }
+            seen = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Merge another histogram with identical binning.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram shapes differ"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.9, -1.0, 12.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.outliers(), (1, 1));
+        assert!((h.mean() - (0.5 + 1.5 + 1.7 + 9.9 - 1.0 + 12.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_approximate_uniform_data() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..10_000 {
+            h.record(i as f64 / 10_000.0);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let est = h.quantile(q).unwrap();
+            assert!((est - q).abs() < 0.02, "q{q}: {est}");
+        }
+    }
+
+    #[test]
+    fn quantiles_clamp_at_range_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(5.0);
+        assert_eq!(h.quantile(0.25).unwrap(), 0.0);
+        assert_eq!(h.quantile(1.0).unwrap(), 1.0);
+        assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new(0.0, 10.0, 20);
+        let mut b = Histogram::new(0.0, 10.0, 20);
+        let mut whole = Histogram::new(0.0, 10.0, 20);
+        for i in 0..50 {
+            let x = i as f64 / 5.0;
+            a.record(x);
+            whole.record(x);
+        }
+        for i in 0..30 {
+            let x = i as f64 / 3.0;
+            b.record(x);
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 10.0, 20);
+        let b = Histogram::new(0.0, 10.0, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        Histogram::new(0.0, 1.0, 2).record(f64::NAN);
+    }
+}

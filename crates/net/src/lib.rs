@@ -1,0 +1,20 @@
+//! # e2c-net — network emulation substrate
+//!
+//! E2Clab applies `tc netem`-style constraints (delay, rate, loss) between
+//! the Edge, Fog and Cloud layers of an experiment. This crate reproduces
+//! that capability for the simulated testbed:
+//!
+//! * [`LinkSpec`] — the constraint triple (latency, bandwidth, loss);
+//! * [`Topology`] — named groups with pairwise constraints and transfer-time
+//!   computation;
+//! * [`SharedLink`] — a link whose bandwidth is processor-shared among
+//!   concurrent flows (what a pool of simultaneous image downloads sees);
+//! * [`TokenBucket`] — a classic rate limiter used for shaped links.
+
+pub mod link;
+pub mod shaping;
+pub mod topology;
+
+pub use link::{LinkSpec, SharedLink};
+pub use shaping::TokenBucket;
+pub use topology::Topology;

@@ -1,0 +1,149 @@
+//! Named groups with pairwise link constraints.
+//!
+//! Mirrors E2Clab's `networks.yaml`: the user names logical groups (layers
+//! such as "edge", "fog", "cloud", or testbed clusters) and constrains the
+//! paths between them. Lookups fall back to a default (unconstrained) link
+//! when no explicit rule matches, exactly like unshaped testbed traffic.
+
+use crate::link::LinkSpec;
+use std::collections::HashMap;
+
+/// A symmetric topology of named groups with per-pair link constraints.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    default: LinkSpec,
+    // Keyed by (min, max) of the lexicographic pair so lookups are symmetric.
+    links: HashMap<(String, String), LinkSpec>,
+    groups: Vec<String>,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Topology {
+    /// A topology whose unmatched pairs use an unconstrained link.
+    pub fn new() -> Self {
+        Topology {
+            default: LinkSpec::unconstrained(),
+            links: HashMap::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Set the fallback link used for pairs without an explicit constraint.
+    pub fn with_default(mut self, spec: LinkSpec) -> Self {
+        self.default = spec;
+        self
+    }
+
+    /// Declare a group (idempotent).
+    pub fn add_group(&mut self, name: &str) {
+        if !self.groups.iter().any(|g| g == name) {
+            self.groups.push(name.to_string());
+        }
+    }
+
+    fn key(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        }
+    }
+
+    /// Constrain the path between `a` and `b` (symmetric). Also declares
+    /// both groups.
+    pub fn constrain(&mut self, a: &str, b: &str, spec: LinkSpec) {
+        self.add_group(a);
+        self.add_group(b);
+        self.links.insert(Self::key(a, b), spec);
+    }
+
+    /// The link between two groups (explicit constraint, a group's
+    /// self-link, or the default).
+    pub fn link(&self, a: &str, b: &str) -> LinkSpec {
+        self.links
+            .get(&Self::key(a, b))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Transfer time in seconds of `bytes` between two groups.
+    pub fn transfer_secs(&self, a: &str, b: &str, bytes: u64) -> f64 {
+        self.link(a, b).transfer_secs(bytes)
+    }
+
+    /// Round-trip latency between two groups, in seconds.
+    pub fn rtt_secs(&self, a: &str, b: &str) -> f64 {
+        2.0 * self.link(a, b).latency_ms / 1e3
+    }
+
+    /// All declared groups in insertion order.
+    pub fn groups(&self) -> &[String] {
+        &self.groups
+    }
+
+    /// Number of explicit constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_cloud() -> Topology {
+        let mut t = Topology::new();
+        t.constrain("edge", "cloud", LinkSpec::new(50.0, 100.0));
+        t.constrain("edge", "fog", LinkSpec::new(10.0, 500.0));
+        t
+    }
+
+    #[test]
+    fn constraints_are_symmetric() {
+        let t = edge_cloud();
+        assert_eq!(t.link("edge", "cloud"), t.link("cloud", "edge"));
+        assert_eq!(t.link("edge", "cloud").latency_ms, 50.0);
+    }
+
+    #[test]
+    fn unmatched_pairs_use_default() {
+        let t = edge_cloud();
+        assert_eq!(t.link("fog", "cloud"), LinkSpec::unconstrained());
+        let custom = Topology::new().with_default(LinkSpec::new(1.0, 10.0));
+        assert_eq!(custom.link("x", "y").bandwidth_mbps, 10.0);
+    }
+
+    #[test]
+    fn groups_declared_by_constrain() {
+        let t = edge_cloud();
+        assert_eq!(t.groups(), &["edge", "cloud", "fog"]);
+        assert_eq!(t.constraint_count(), 2);
+    }
+
+    #[test]
+    fn rtt_is_twice_latency() {
+        let t = edge_cloud();
+        assert!((t.rtt_secs("edge", "cloud") - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_uses_pair_link() {
+        let t = edge_cloud();
+        // 100 Mbps link: 12.5 MB takes 1 s + 50 ms latency.
+        let secs = t.transfer_secs("edge", "cloud", 12_500_000);
+        assert!((secs - 1.05).abs() < 1e-9, "{secs}");
+    }
+
+    #[test]
+    fn add_group_idempotent() {
+        let mut t = Topology::new();
+        t.add_group("a");
+        t.add_group("a");
+        assert_eq!(t.groups().len(), 1);
+    }
+}

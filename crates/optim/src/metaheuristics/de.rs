@@ -1,0 +1,137 @@
+//! Differential evolution (DE/rand/1/bin).
+
+use super::{Metaheuristic, RunResult};
+use crate::space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Classic DE/rand/1/bin with reflection at the unit-cube boundary.
+pub struct DifferentialEvolution {
+    rng: StdRng,
+    /// Population size.
+    pub pop_size: usize,
+    /// Differential weight F.
+    pub weight: f64,
+    /// Crossover probability CR.
+    pub crossover: f64,
+}
+
+impl DifferentialEvolution {
+    /// Default configuration (population 30, F=0.7, CR=0.9).
+    pub fn new(seed: u64) -> Self {
+        DifferentialEvolution {
+            rng: StdRng::seed_from_u64(seed),
+            pop_size: 30,
+            weight: 0.7,
+            crossover: 0.9,
+        }
+    }
+}
+
+/// Reflect a coordinate into `[0, 1]`.
+fn reflect(x: f64) -> f64 {
+    let mut x = x;
+    while !(0.0..=1.0).contains(&x) {
+        if x < 0.0 {
+            x = -x;
+        } else {
+            x = 2.0 - x;
+        }
+    }
+    x
+}
+
+impl Metaheuristic for DifferentialEvolution {
+    fn minimize(
+        &mut self,
+        space: &Space,
+        f: &mut dyn FnMut(&[f64]) -> f64,
+        max_evals: usize,
+    ) -> RunResult {
+        let dims = space.len();
+        let pop_size = self.pop_size.max(4).min(max_evals.max(4));
+        let mut pop: Vec<Vec<f64>> = (0..pop_size)
+            .map(|_| (0..dims).map(|_| self.rng.gen::<f64>()).collect())
+            .collect();
+        let mut evals = 0usize;
+        let mut fitness: Vec<f64> = Vec::with_capacity(pop_size);
+        let mut best_x: Option<Point> = None;
+        let mut best_f = f64::INFINITY;
+        for ind in &pop {
+            let x = space.from_unit(ind);
+            let y = f(&x);
+            evals += 1;
+            if y < best_f {
+                best_f = y;
+                best_x = Some(x);
+            }
+            fitness.push(y);
+        }
+        let mut history = vec![best_f];
+
+        'outer: loop {
+            for i in 0..pop_size {
+                if evals >= max_evals {
+                    break 'outer;
+                }
+                // Pick three distinct partners != i.
+                let mut pick = || loop {
+                    let j = self.rng.gen_range(0..pop_size);
+                    if j != i {
+                        return j;
+                    }
+                };
+                let (a, b, c) = (pick(), pick(), pick());
+                let j_rand = self.rng.gen_range(0..dims);
+                let mut trial = pop[i].clone();
+                for j in 0..dims {
+                    if j == j_rand || self.rng.gen::<f64>() < self.crossover {
+                        trial[j] =
+                            reflect(pop[a][j] + self.weight * (pop[b][j] - pop[c][j]));
+                    }
+                }
+                let x = space.from_unit(&trial);
+                let y = f(&x);
+                evals += 1;
+                if y <= fitness[i] {
+                    pop[i] = trial;
+                    fitness[i] = y;
+                    if y < best_f {
+                        best_f = y;
+                        best_x = Some(x);
+                    }
+                }
+            }
+            history.push(best_f);
+        }
+        history.push(best_f);
+
+        RunResult {
+            best_x: best_x.expect("at least one evaluation"),
+            best_f,
+            evals,
+            history,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "differential_evolution"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflect_stays_in_unit() {
+        for x in [-0.3, 1.4, 2.7, -1.9, 0.5] {
+            let r = reflect(x);
+            assert!((0.0..=1.0).contains(&r), "{x} -> {r}");
+        }
+        assert_eq!(reflect(0.0), 0.0);
+        assert_eq!(reflect(1.0), 1.0);
+        assert!((reflect(-0.25) - 0.25).abs() < 1e-12);
+        assert!((reflect(1.25) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Real-coded genetic algorithm.
+
+use super::{Metaheuristic, RunResult};
+use crate::space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generational GA: tournament selection, blend crossover, Gaussian
+/// mutation, elitism of one.
+pub struct GeneticAlgorithm {
+    rng: StdRng,
+    /// Population size.
+    pub pop_size: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Mutation step as a fraction of each dimension's unit range.
+    pub mutation_sigma: f64,
+    /// Probability of crossover (vs. cloning a parent).
+    pub crossover_rate: f64,
+    /// Tournament size.
+    pub tournament: usize,
+}
+
+impl GeneticAlgorithm {
+    /// Default configuration (population 40).
+    pub fn new(seed: u64) -> Self {
+        GeneticAlgorithm {
+            rng: StdRng::seed_from_u64(seed),
+            pop_size: 40,
+            mutation_rate: 0.15,
+            mutation_sigma: 0.1,
+            crossover_rate: 0.9,
+            tournament: 3,
+        }
+    }
+
+    fn tournament_pick(&mut self, fitness: &[f64]) -> usize {
+        let n = fitness.len();
+        let mut best = self.rng.gen_range(0..n);
+        for _ in 1..self.tournament {
+            let c = self.rng.gen_range(0..n);
+            if fitness[c] < fitness[best] {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+impl Metaheuristic for GeneticAlgorithm {
+    fn minimize(
+        &mut self,
+        space: &Space,
+        f: &mut dyn FnMut(&[f64]) -> f64,
+        max_evals: usize,
+    ) -> RunResult {
+        let dims = space.len();
+        let pop_size = self.pop_size.min(max_evals.max(2));
+        // Work in unit coordinates; evaluate in external units.
+        let mut pop: Vec<Vec<f64>> = (0..pop_size)
+            .map(|_| (0..dims).map(|_| self.rng.gen::<f64>()).collect())
+            .collect();
+        let eval = |unit: &[f64], f: &mut dyn FnMut(&[f64]) -> f64| -> (Point, f64) {
+            let x = space.from_unit(unit);
+            let y = f(&x);
+            (x, y)
+        };
+        let mut evals = 0usize;
+        let mut fitness = Vec::with_capacity(pop_size);
+        let mut best_x: Option<Point> = None;
+        let mut best_f = f64::INFINITY;
+        for ind in &pop {
+            let (x, y) = eval(ind, f);
+            evals += 1;
+            if y < best_f {
+                best_f = y;
+                best_x = Some(x);
+            }
+            fitness.push(y);
+        }
+        let mut history = vec![best_f];
+
+        while evals + pop_size <= max_evals {
+            let elite = fitness
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN fitness"))
+                .map(|(i, _)| i)
+                .expect("non-empty population");
+            let mut next = vec![pop[elite].clone()];
+            while next.len() < pop_size {
+                let p1 = self.tournament_pick(&fitness);
+                let p2 = self.tournament_pick(&fitness);
+                let mut child: Vec<f64> = if self.rng.gen::<f64>() < self.crossover_rate {
+                    // BLX-style blend per gene.
+                    pop[p1]
+                        .iter()
+                        .zip(&pop[p2])
+                        .map(|(&a, &b)| {
+                            let w = self.rng.gen::<f64>();
+                            a * w + b * (1.0 - w)
+                        })
+                        .collect()
+                } else {
+                    pop[p1].clone()
+                };
+                for g in child.iter_mut() {
+                    if self.rng.gen::<f64>() < self.mutation_rate {
+                        let step = self.mutation_sigma
+                            * 2.0
+                            * (self.rng.gen::<f64>() - 0.5);
+                        *g = (*g + step).clamp(0.0, 1.0);
+                    }
+                }
+                next.push(child);
+            }
+            pop = next;
+            fitness.clear();
+            for ind in &pop {
+                let (x, y) = eval(ind, f);
+                evals += 1;
+                if y < best_f {
+                    best_f = y;
+                    best_x = Some(x);
+                }
+                fitness.push(y);
+            }
+            history.push(best_f);
+        }
+
+        RunResult {
+            best_x: best_x.expect("at least one evaluation"),
+            best_f,
+            evals,
+            history,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "genetic_algorithm"
+    }
+}

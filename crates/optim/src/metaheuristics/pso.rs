@@ -1,0 +1,115 @@
+//! Particle swarm optimization (global-best topology).
+
+use super::{Metaheuristic, RunResult};
+use crate::space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonical PSO with inertia weight and velocity clamping in the unit
+/// cube.
+pub struct ParticleSwarm {
+    rng: StdRng,
+    /// Swarm size.
+    pub swarm: usize,
+    /// Inertia weight ω.
+    pub inertia: f64,
+    /// Cognitive coefficient c₁.
+    pub cognitive: f64,
+    /// Social coefficient c₂.
+    pub social: f64,
+    /// Max |velocity| per dimension (unit-range fraction).
+    pub v_max: f64,
+}
+
+impl ParticleSwarm {
+    /// Default configuration (swarm of 30, ω=0.72, c₁=c₂=1.49).
+    pub fn new(seed: u64) -> Self {
+        ParticleSwarm {
+            rng: StdRng::seed_from_u64(seed),
+            swarm: 30,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+            v_max: 0.25,
+        }
+    }
+}
+
+impl Metaheuristic for ParticleSwarm {
+    fn minimize(
+        &mut self,
+        space: &Space,
+        f: &mut dyn FnMut(&[f64]) -> f64,
+        max_evals: usize,
+    ) -> RunResult {
+        let dims = space.len();
+        let swarm = self.swarm.max(2).min(max_evals.max(2));
+        let mut pos: Vec<Vec<f64>> = (0..swarm)
+            .map(|_| (0..dims).map(|_| self.rng.gen::<f64>()).collect())
+            .collect();
+        let mut vel: Vec<Vec<f64>> = (0..swarm)
+            .map(|_| {
+                (0..dims)
+                    .map(|_| (self.rng.gen::<f64>() - 0.5) * self.v_max)
+                    .collect()
+            })
+            .collect();
+        let mut evals = 0usize;
+        let mut pbest = pos.clone();
+        let mut pbest_f = Vec::with_capacity(swarm);
+        let mut gbest: Option<Vec<f64>> = None;
+        let mut gbest_f = f64::INFINITY;
+        let mut gbest_x: Option<Point> = None;
+        for p in &pos {
+            let x = space.from_unit(p);
+            let y = f(&x);
+            evals += 1;
+            pbest_f.push(y);
+            if y < gbest_f {
+                gbest_f = y;
+                gbest = Some(p.clone());
+                gbest_x = Some(x);
+            }
+        }
+        let mut history = vec![gbest_f];
+
+        while evals + swarm <= max_evals {
+            let g = gbest.clone().expect("swarm evaluated");
+            for i in 0..swarm {
+                for d in 0..dims {
+                    let r1: f64 = self.rng.gen();
+                    let r2: f64 = self.rng.gen();
+                    let v = self.inertia * vel[i][d]
+                        + self.cognitive * r1 * (pbest[i][d] - pos[i][d])
+                        + self.social * r2 * (g[d] - pos[i][d]);
+                    vel[i][d] = v.clamp(-self.v_max, self.v_max);
+                    pos[i][d] = (pos[i][d] + vel[i][d]).clamp(0.0, 1.0);
+                }
+                let x = space.from_unit(&pos[i]);
+                let y = f(&x);
+                evals += 1;
+                if y < pbest_f[i] {
+                    pbest_f[i] = y;
+                    pbest[i] = pos[i].clone();
+                }
+                if y < gbest_f {
+                    gbest_f = y;
+                    gbest = Some(pos[i].clone());
+                    gbest_x = Some(x);
+                }
+            }
+            history.push(gbest_f);
+        }
+
+        RunResult {
+            best_x: gbest_x.expect("at least one evaluation"),
+            best_f: gbest_f,
+            evals,
+            history,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "particle_swarm"
+    }
+}

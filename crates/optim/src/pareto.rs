@@ -1,0 +1,344 @@
+//! Multi-objective optimization: Pareto tooling and NSGA-II.
+//!
+//! Fig. 4 (right) frames continuum placement as "a single multi-objective
+//! optimization problem (minimizing communication costs and end-to-end
+//! latency)". Weighted scalarization (see [`crate::problem`]) finds one
+//! trade-off at a time; NSGA-II recovers the whole front in one run.
+
+use crate::space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `a` Pareto-dominates `b` when it is no worse in every objective and
+/// strictly better in at least one (minimization).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the non-dominated members of `objectives`.
+pub fn pareto_front(objectives: &[Vec<f64>]) -> Vec<usize> {
+    (0..objectives.len())
+        .filter(|&i| {
+            !objectives
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &objectives[i]))
+        })
+        .collect()
+}
+
+/// Fast non-dominated sort (NSGA-II): partition indices into fronts,
+/// best (rank 0) first.
+pub fn non_dominated_sort(objectives: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = objectives.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&objectives[i], &objectives[j]) {
+                dominated_by[i].push(j);
+            } else if dominates(&objectives[j], &objectives[i]) {
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// Crowding distance of each member of one front (NSGA-II's diversity
+/// measure; boundary points get `f64::INFINITY`).
+pub fn crowding_distance(front: &[usize], objectives: &[Vec<f64>]) -> Vec<f64> {
+    let m = objectives.first().map(|o| o.len()).unwrap_or(0);
+    let k = front.len();
+    let mut dist = vec![0.0; k];
+    if k <= 2 {
+        return vec![f64::INFINITY; k];
+    }
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| {
+            objectives[front[a]][obj]
+                .partial_cmp(&objectives[front[b]][obj])
+                .expect("NaN objective")
+        });
+        let lo = objectives[front[order[0]]][obj];
+        let hi = objectives[front[order[k - 1]]][obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[k - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..k - 1 {
+            let prev = objectives[front[order[w - 1]]][obj];
+            let next = objectives[front[order[w + 1]]][obj];
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+/// One evaluated solution on the final front.
+#[derive(Debug, Clone)]
+pub struct ParetoSolution {
+    /// The decision vector (external units).
+    pub x: Point,
+    /// Its objective values (minimization orientation).
+    pub objectives: Vec<f64>,
+}
+
+/// NSGA-II configuration.
+pub struct Nsga2 {
+    rng: StdRng,
+    /// Population size (even).
+    pub pop_size: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Mutation step (unit-range fraction).
+    pub mutation_sigma: f64,
+}
+
+impl Nsga2 {
+    /// Defaults: population 60.
+    pub fn new(seed: u64) -> Self {
+        Nsga2 {
+            rng: StdRng::seed_from_u64(seed),
+            pop_size: 60,
+            mutation_rate: 0.2,
+            mutation_sigma: 0.1,
+        }
+    }
+
+    /// Minimize all components of `f` simultaneously for `generations`
+    /// generations; returns the final non-dominated set (deduplicated).
+    pub fn minimize(
+        &mut self,
+        space: &Space,
+        f: &mut dyn FnMut(&[f64]) -> Vec<f64>,
+        generations: usize,
+    ) -> Vec<ParetoSolution> {
+        let dims = space.len();
+        let pop_size = self.pop_size.max(4) & !1; // even
+        // Unit-coordinate population.
+        let mut pop: Vec<Vec<f64>> = (0..pop_size)
+            .map(|_| (0..dims).map(|_| self.rng.gen::<f64>()).collect())
+            .collect();
+        let mut objs: Vec<Vec<f64>> = pop
+            .iter()
+            .map(|u| f(&space.from_unit(u)))
+            .collect();
+        let n_obj = objs.first().map(|o| o.len()).unwrap_or(0);
+        assert!(n_obj >= 1, "objective function returned no objectives");
+
+        for _ in 0..generations {
+            // Rank + crowding of the current population.
+            let fronts = non_dominated_sort(&objs);
+            let mut rank = vec![0usize; pop.len()];
+            let mut crowd = vec![0.0f64; pop.len()];
+            for (r, front) in fronts.iter().enumerate() {
+                let d = crowding_distance(front, &objs);
+                for (slot, &i) in front.iter().enumerate() {
+                    rank[i] = r;
+                    crowd[i] = d[slot];
+                }
+            }
+            // Binary crowded-tournament selection + blend crossover +
+            // Gaussian mutation to produce pop_size children.
+            let mut children = Vec::with_capacity(pop_size);
+            while children.len() < pop_size {
+                let pick = |rng: &mut StdRng| {
+                    let a = rng.gen_range(0..pop.len());
+                    let b = rng.gen_range(0..pop.len());
+                    if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
+                        a
+                    } else {
+                        b
+                    }
+                };
+                let p1 = pick(&mut self.rng);
+                let p2 = pick(&mut self.rng);
+                let mut child: Vec<f64> = pop[p1]
+                    .iter()
+                    .zip(&pop[p2])
+                    .map(|(&a, &b)| {
+                        let w = self.rng.gen::<f64>();
+                        a * w + b * (1.0 - w)
+                    })
+                    .collect();
+                for g in child.iter_mut() {
+                    if self.rng.gen::<f64>() < self.mutation_rate {
+                        let step = self.mutation_sigma * 2.0 * (self.rng.gen::<f64>() - 0.5);
+                        *g = (*g + step).clamp(0.0, 1.0);
+                    }
+                }
+                children.push(child);
+            }
+            let child_objs: Vec<Vec<f64>> = children
+                .iter()
+                .map(|u| f(&space.from_unit(u)))
+                .collect();
+
+            // Environmental selection over parents ∪ children.
+            pop.extend(children);
+            objs.extend(child_objs);
+            let fronts = non_dominated_sort(&objs);
+            let mut keep: Vec<usize> = Vec::with_capacity(pop_size);
+            for front in &fronts {
+                if keep.len() + front.len() <= pop_size {
+                    keep.extend_from_slice(front);
+                } else {
+                    // Fill the remainder by descending crowding distance.
+                    let d = crowding_distance(front, &objs);
+                    let mut order: Vec<usize> = (0..front.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        d[b].partial_cmp(&d[a]).expect("crowding is not NaN")
+                    });
+                    for &slot in order.iter().take(pop_size - keep.len()) {
+                        keep.push(front[slot]);
+                    }
+                    break;
+                }
+            }
+            pop = keep.iter().map(|&i| pop[i].clone()).collect();
+            objs = keep.iter().map(|&i| objs[i].clone()).collect();
+        }
+
+        // Final front, deduplicated on sanitized decision vectors.
+        let front = pareto_front(&objs);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for &i in &front {
+            let x = space.sanitize(&space.from_unit(&pop[i]));
+            let key: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            if seen.insert(key) {
+                out.push(ParetoSolution {
+                    objectives: f(&x),
+                    x,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal
+    }
+
+    #[test]
+    fn front_extraction() {
+        let objs = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![3.0, 3.0], // dominated by (2,2)
+        ];
+        let front = pareto_front(&objs);
+        assert_eq!(front, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sort_ranks_layers() {
+        let objs = vec![
+            vec![1.0, 1.0], // rank 0, dominates all
+            vec![2.0, 2.0], // rank 1
+            vec![3.0, 3.0], // rank 2
+            vec![2.0, 3.0], // rank 1.. wait (2,2) dominates (2,3)? yes -> rank 2
+        ];
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts[0], vec![0]);
+        assert!(fronts[1].contains(&1));
+        assert!(fronts.concat().len() == 4);
+    }
+
+    #[test]
+    fn crowding_rewards_spread() {
+        let objs = vec![
+            vec![0.0, 10.0],
+            vec![1.0, 5.0], // closer to its neighbours
+            vec![2.0, 4.9],
+            vec![10.0, 0.0],
+        ];
+        let front: Vec<usize> = vec![0, 1, 2, 3];
+        let d = crowding_distance(&front, &objs);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1] > 0.0 && d[2] > 0.0);
+    }
+
+    #[test]
+    fn nsga2_recovers_schaffer_front() {
+        // Schaffer N.1: f1 = x², f2 = (x-2)²; Pareto set is x ∈ [0, 2]
+        // with f1 + f2 >= 2 and the front satisfying √f1 + √f2 = 2.
+        let space = Space::new().real("x", -5.0, 5.0);
+        let mut nsga = Nsga2::new(7);
+        let mut f = |p: &[f64]| vec![p[0] * p[0], (p[0] - 2.0) * (p[0] - 2.0)];
+        let front = nsga.minimize(&space, &mut f, 40);
+        assert!(front.len() >= 10, "front too sparse: {}", front.len());
+        for sol in &front {
+            let x = sol.x[0];
+            assert!(
+                (-0.1..=2.1).contains(&x),
+                "solution off the Pareto set: x = {x}"
+            );
+            let check = sol.objectives[0].sqrt() + sol.objectives[1].sqrt();
+            assert!((check - 2.0).abs() < 0.15, "off the front: {check}");
+        }
+        // The front must span the trade-off, not collapse to one corner.
+        let f1_min = front.iter().map(|s| s.objectives[0]).fold(f64::INFINITY, f64::min);
+        let f1_max = front
+            .iter()
+            .map(|s| s.objectives[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(f1_min < 0.3, "missing the f1-optimal corner: {f1_min}");
+        assert!(f1_max > 2.0, "missing the f2-optimal corner: {f1_max}");
+    }
+
+    #[test]
+    fn nsga2_handles_integer_spaces() {
+        // Two-objective knapsack-ish toy on an integer grid.
+        let space = Space::new().int("a", 0, 10).int("b", 0, 10);
+        let mut nsga = Nsga2::new(3);
+        let mut f = |p: &[f64]| vec![p[0] + p[1], (10.0 - p[0]) + (10.0 - p[1])];
+        let front = nsga.minimize(&space, &mut f, 15);
+        for sol in &front {
+            assert!(space.contains(&sol.x), "{:?}", sol.x);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Gaussian-process regression (Kriging).
+//!
+//! Zero-mean GP on standardized targets with an RBF or Matérn 5/2 kernel.
+//! The length-scale is set by the median-heuristic at fit time (median
+//! pairwise distance of the training inputs), which works well on the unit
+//! hypercube the optimizer feeds us and avoids a hyperparameter search.
+
+use super::Surrogate;
+use crate::linalg::{cholesky, solve_lower, Matrix};
+
+/// Covariance kernel family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Squared exponential: `exp(-r² / (2ℓ²))`.
+    Rbf,
+    /// Matérn ν=5/2: `(1 + √5 r/ℓ + 5r²/(3ℓ²)) exp(-√5 r/ℓ)`.
+    Matern52,
+}
+
+impl Kernel {
+    fn eval(&self, r: f64, lengthscale: f64) -> f64 {
+        let s = r / lengthscale;
+        match self {
+            Kernel::Rbf => (-0.5 * s * s).exp(),
+            Kernel::Matern52 => {
+                let a = 5.0_f64.sqrt() * s;
+                (1.0 + a + a * a / 3.0) * (-a).exp()
+            }
+        }
+    }
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Gaussian-process surrogate.
+pub struct GaussianProcess {
+    kernel: Kernel,
+    noise: f64,
+    lengthscale: f64,
+    x_train: Vec<Vec<f64>>,
+    chol: Option<Matrix>,
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl GaussianProcess {
+    /// GP with the given kernel and observation-noise variance.
+    pub fn new(kernel: Kernel, noise: f64) -> Self {
+        assert!(noise >= 0.0, "noise must be non-negative");
+        GaussianProcess {
+            kernel,
+            noise,
+            lengthscale: 1.0,
+            x_train: Vec::new(),
+            chol: None,
+            alpha: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// The length-scale chosen at fit time.
+    pub fn lengthscale(&self) -> f64 {
+        self.lengthscale
+    }
+
+    fn median_heuristic(x: &[Vec<f64>]) -> f64 {
+        let mut dists = Vec::new();
+        for i in 0..x.len() {
+            for j in i + 1..x.len() {
+                let d = dist(&x[i], &x[j]);
+                if d > 0.0 {
+                    dists.push(d);
+                }
+            }
+        }
+        if dists.is_empty() {
+            return 1.0;
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+        dists[dists.len() / 2]
+    }
+}
+
+impl Surrogate for GaussianProcess {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        let n = x.len();
+        self.x_train = x.to_vec();
+        self.lengthscale = Self::median_heuristic(x);
+
+        // Standardize targets so kernel amplitude 1 is appropriate.
+        self.y_mean = y.iter().sum::<f64>() / n as f64;
+        let var = y.iter().map(|v| (v - self.y_mean).powi(2)).sum::<f64>() / n as f64;
+        self.y_std = if var > 1e-24 { var.sqrt() } else { 1.0 };
+        let y_norm: Vec<f64> = y.iter().map(|v| (v - self.y_mean) / self.y_std).collect();
+
+        // K + (noise + jitter) I, escalating jitter until SPD.
+        let mut jitter = 1e-10;
+        let l = loop {
+            let mut k = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = self.kernel.eval(dist(&x[i], &x[j]), self.lengthscale);
+                    k[(i, j)] = v;
+                    k[(j, i)] = v;
+                }
+                k[(i, i)] += self.noise + jitter;
+            }
+            match cholesky(&k) {
+                Ok(l) => break l,
+                Err(_) => {
+                    jitter *= 100.0;
+                    assert!(jitter < 1.0, "kernel matrix irreparably ill-conditioned");
+                }
+            }
+        };
+        // alpha = K⁻¹ y via the factor.
+        let z = solve_lower(&l, &y_norm);
+        self.alpha = crate::linalg::solve_upper_t(&l, &z);
+        self.chol = Some(l);
+    }
+
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let l = self.chol.as_ref().expect("predict before fit");
+        let k_star: Vec<f64> = self
+            .x_train
+            .iter()
+            .map(|xi| self.kernel.eval(dist(xi, x), self.lengthscale))
+            .collect();
+        let mean_norm: f64 = k_star.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        // var = k(x,x) - vᵀv with v = L⁻¹ k*.
+        let v = solve_lower(l, &k_star);
+        let var_norm = (1.0 - v.iter().map(|t| t * t).sum::<f64>()).max(0.0);
+        (
+            mean_norm * self.y_std + self.y_mean,
+            var_norm.sqrt() * self.y_std,
+        )
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.chol.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let x = grid_1d(8);
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 5.0).sin()).collect();
+        for kernel in [Kernel::Rbf, Kernel::Matern52] {
+            let mut gp = GaussianProcess::new(kernel, 1e-8);
+            gp.fit(&x, &y);
+            for (xi, &yi) in x.iter().zip(&y) {
+                let (m, s) = gp.predict(xi);
+                assert!((m - yi).abs() < 1e-3, "{kernel:?}: {m} vs {yi}");
+                assert!(s < 0.05, "{kernel:?}: training std {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_between_points() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 1.0];
+        let mut gp = GaussianProcess::new(Kernel::Rbf, 1e-8);
+        gp.fit(&x, &y);
+        let (_, s_at) = gp.predict(&[0.0]);
+        let (_, s_mid) = gp.predict(&[0.5]);
+        assert!(s_mid > s_at, "mid {s_mid} <= at {s_at}");
+    }
+
+    #[test]
+    fn mean_reverts_far_from_data() {
+        let x = grid_1d(5);
+        let y = vec![10.0, 10.2, 9.8, 10.1, 9.9];
+        let mut gp = GaussianProcess::new(Kernel::Rbf, 1e-6);
+        gp.fit(&x, &y);
+        // Far away, prediction reverts to the target mean (~10).
+        let (m, s) = gp.predict(&[100.0]);
+        assert!((m - 10.0).abs() < 0.2, "far mean {m}");
+        assert!(s > 0.1, "far std {s}");
+    }
+
+    #[test]
+    fn duplicate_points_need_jitter_and_survive() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.7]];
+        let y = vec![1.0, 1.0, 2.0];
+        let mut gp = GaussianProcess::new(Kernel::Rbf, 0.0);
+        gp.fit(&x, &y); // must not panic despite singular K
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 1.0).abs() < 0.3, "{m}");
+    }
+
+    #[test]
+    fn matern_is_rougher_than_rbf() {
+        // Matérn 5/2 at moderate distance has lower covariance than RBF
+        // with the same lengthscale.
+        let k_rbf = Kernel::Rbf.eval(1.0, 1.0);
+        let k_mat = Kernel::Matern52.eval(1.0, 1.0);
+        assert!(k_mat < k_rbf + 1e-9);
+        // Both tend to 1 at distance 0.
+        assert!((Kernel::Rbf.eval(0.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((Kernel::Matern52.eval(0.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lengthscale_uses_median_distance() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        let mut gp = GaussianProcess::new(Kernel::Rbf, 1e-6);
+        gp.fit(&x, &y);
+        // Pairwise distances: 1,1,1,2,2,3 -> median ~2.
+        assert!((gp.lengthscale() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Polynomial least-squares regression.
+//!
+//! Degree-2 with all pairwise interactions: features
+//! `[1, xᵢ, xᵢ·xⱼ (i ≤ j)]`, solved by Householder QR. A classic cheap
+//! surrogate for smooth response surfaces (and the one the paper lists as
+//! "Polynomial Regression").
+
+use super::Surrogate;
+use crate::linalg::{lstsq, Matrix};
+
+/// Quadratic response-surface model.
+pub struct Polynomial {
+    degree: u32,
+    coeffs: Vec<f64>,
+    dims: usize,
+    residual_std: f64,
+    fitted: bool,
+}
+
+impl Polynomial {
+    /// Degree-1 (linear) model.
+    pub fn linear() -> Self {
+        Polynomial {
+            degree: 1,
+            coeffs: Vec::new(),
+            dims: 0,
+            residual_std: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Degree-2 model with interactions (the default surrogate).
+    pub fn quadratic() -> Self {
+        Polynomial {
+            degree: 2,
+            ..Polynomial::linear()
+        }
+    }
+
+    /// Expand a point into the feature vector.
+    fn features(&self, x: &[f64]) -> Vec<f64> {
+        let mut f = Vec::with_capacity(1 + x.len() * (x.len() + 3) / 2);
+        f.push(1.0);
+        f.extend_from_slice(x);
+        if self.degree >= 2 {
+            for i in 0..x.len() {
+                for j in i..x.len() {
+                    f.push(x[i] * x[j]);
+                }
+            }
+        }
+        f
+    }
+
+    /// Number of model coefficients for `dims` inputs.
+    pub fn n_coeffs(&self, dims: usize) -> usize {
+        let base = 1 + dims;
+        if self.degree >= 2 {
+            base + dims * (dims + 1) / 2
+        } else {
+            base
+        }
+    }
+}
+
+impl Surrogate for Polynomial {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        self.dims = x[0].len();
+        let p = self.n_coeffs(self.dims);
+        if x.len() < p {
+            // Under-determined: fall back to the constant model rather
+            // than fabricating wiggles from too few points.
+            let mean = y.iter().sum::<f64>() / y.len() as f64;
+            self.coeffs = vec![0.0; p];
+            self.coeffs[0] = mean;
+            let mse =
+                y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64;
+            self.residual_std = mse.sqrt();
+            self.fitted = true;
+            return;
+        }
+        let mut data = Vec::with_capacity(x.len() * p);
+        for xi in x {
+            data.extend(self.features(xi));
+        }
+        let a = Matrix::from_vec(x.len(), p, data);
+        self.coeffs = lstsq(&a, y);
+        self.fitted = true;
+        let sse: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(xi, &yi)| (self.predict(xi).0 - yi).powi(2))
+            .sum();
+        self.residual_std = (sse / x.len() as f64).sqrt();
+    }
+
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        assert!(self.fitted, "predict before fit");
+        let f = self.features(x);
+        let mean: f64 = f.iter().zip(&self.coeffs).map(|(a, b)| a * b).sum();
+        (mean, self.residual_std)
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_exact_quadratic() {
+        // y = 2 + 3x₀ - x₁ + 0.5x₀² + x₀x₁
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<Vec<f64>> = (0..50).map(|_| vec![rng.gen(), rng.gen()]).collect();
+        let f = |p: &[f64]| 2.0 + 3.0 * p[0] - p[1] + 0.5 * p[0] * p[0] + p[0] * p[1];
+        let y: Vec<f64> = x.iter().map(|p| f(p)).collect();
+        let mut m = Polynomial::quadratic();
+        m.fit(&x, &y);
+        let (pred, std) = m.predict(&[0.3, 0.8]);
+        assert!((pred - f(&[0.3, 0.8])).abs() < 1e-8, "{pred}");
+        assert!(std < 1e-6);
+    }
+
+    #[test]
+    fn linear_model_ignores_curvature_gracefully() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| p[0] * p[0]).collect();
+        let mut m = Polynomial::linear();
+        m.fit(&x, &y);
+        // Best linear fit of x² on [0,1] has visible residual.
+        assert!(m.predict(&[0.5]).1 > 0.01);
+    }
+
+    #[test]
+    fn underdetermined_falls_back_to_mean() {
+        // 3 points, quadratic in 2-D needs 6 coefficients.
+        let x = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        let mut m = Polynomial::quadratic();
+        m.fit(&x, &y);
+        let (pred, _) = m.predict(&[0.5, 0.5]);
+        assert!((pred - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coeff_counts() {
+        assert_eq!(Polynomial::linear().n_coeffs(4), 5);
+        assert_eq!(Polynomial::quadratic().n_coeffs(4), 15);
+        assert_eq!(Polynomial::quadratic().n_coeffs(1), 3);
+    }
+}

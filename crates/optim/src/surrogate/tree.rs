@@ -1,0 +1,316 @@
+//! CART-style regression trees, with the randomized-split variant used by
+//! Extra Trees.
+
+use super::Surrogate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tree construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Do not split nodes smaller than this.
+    pub min_samples_split: usize,
+    /// Leaves keep at least this many samples.
+    pub min_samples_leaf: usize,
+    /// Fraction of features considered at each split (1.0 = all).
+    pub max_features: f64,
+    /// Extra-Trees mode: draw one uniform random threshold per candidate
+    /// feature instead of scanning for the best cut point.
+    pub random_threshold: bool,
+}
+
+impl TreeParams {
+    /// Classic CART: exhaustive best-split search over all features.
+    pub fn cart() -> Self {
+        TreeParams {
+            max_depth: 16,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: 1.0,
+            random_threshold: false,
+        }
+    }
+
+    /// An Extra-Trees member: random thresholds, all features considered.
+    pub fn extra() -> Self {
+        TreeParams {
+            random_threshold: true,
+            ..TreeParams::cart()
+        }
+    }
+}
+
+enum Node {
+    Leaf {
+        mean: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A single regression tree.
+pub struct RegressionTree {
+    params: TreeParams,
+    rng: StdRng,
+    nodes: Vec<Node>,
+    fitted: bool,
+    /// Training-residual std, reported as the (weak) uncertainty of a
+    /// single tree.
+    residual_std: f64,
+}
+
+impl RegressionTree {
+    /// New unfitted tree.
+    pub fn new(params: TreeParams, seed: u64) -> Self {
+        RegressionTree {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            nodes: Vec::new(),
+            fitted: false,
+            residual_std: 0.0,
+        }
+    }
+
+    fn build(&mut self, x: &[Vec<f64>], y: &[f64], idx: Vec<usize>, depth: usize) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        let sse: f64 = idx.iter().map(|&i| (y[i] - mean).powi(2)).sum();
+        let stop = depth >= self.params.max_depth
+            || idx.len() < self.params.min_samples_split
+            || sse <= 1e-12;
+        if stop {
+            self.nodes.push(Node::Leaf { mean });
+            return self.nodes.len() - 1;
+        }
+        match self.best_split(x, y, &idx) {
+            None => {
+                self.nodes.push(Node::Leaf { mean });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.into_iter().partition(|&i| x[i][feature] <= threshold);
+                // Guard: degenerate partitions fall back to a leaf.
+                if left_idx.len() < self.params.min_samples_leaf
+                    || right_idx.len() < self.params.min_samples_leaf
+                {
+                    self.nodes.push(Node::Leaf { mean });
+                    return self.nodes.len() - 1;
+                }
+                // Reserve our slot before recursing so children get stable
+                // indices.
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf { mean }); // placeholder
+                let left = self.build(x, y, left_idx, depth + 1);
+                let right = self.build(x, y, right_idx, depth + 1);
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+
+    /// Pick the split `(feature, threshold)` minimizing the children's
+    /// summed squared error, or `None` if nothing separates the samples.
+    fn best_split(&mut self, x: &[Vec<f64>], y: &[f64], idx: &[usize]) -> Option<(usize, f64)> {
+        let n_features = x[0].len();
+        let k = ((n_features as f64 * self.params.max_features).ceil() as usize)
+            .clamp(1, n_features);
+        // Sample k distinct features.
+        let mut features: Vec<usize> = (0..n_features).collect();
+        for i in 0..k {
+            let j = self.rng.gen_range(i..n_features);
+            features.swap(i, j);
+        }
+        let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
+        for &f in &features[..k] {
+            let lo = idx.iter().map(|&i| x[i][f]).fold(f64::INFINITY, f64::min);
+            let hi = idx
+                .iter()
+                .map(|&i| x[i][f])
+                .fold(f64::NEG_INFINITY, f64::max);
+            if hi <= lo {
+                continue;
+            }
+            let thresholds: Vec<f64> = if self.params.random_threshold {
+                vec![lo + self.rng.gen::<f64>() * (hi - lo)]
+            } else {
+                // Scan midpoints between consecutive distinct values.
+                let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+                vals.dedup();
+                vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+            };
+            for t in thresholds {
+                let (mut nl, mut sl, mut ssl) = (0usize, 0.0, 0.0);
+                let (mut nr, mut sr, mut ssr) = (0usize, 0.0, 0.0);
+                for &i in idx {
+                    let v = y[i];
+                    if x[i][f] <= t {
+                        nl += 1;
+                        sl += v;
+                        ssl += v * v;
+                    } else {
+                        nr += 1;
+                        sr += v;
+                        ssr += v * v;
+                    }
+                }
+                if nl < self.params.min_samples_leaf || nr < self.params.min_samples_leaf {
+                    continue;
+                }
+                // SSE = Σy² - (Σy)²/n for each side.
+                let score =
+                    (ssl - sl * sl / nl as f64) + (ssr - sr * sr / nr as f64);
+                if best.map_or(true, |(b, _, _)| score < b) {
+                    best = Some((score, f, t));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { mean } => return *mean,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for tests/diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Surrogate for RegressionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        self.nodes.clear();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        self.build(x, y, idx, 0);
+        self.fitted = true;
+        let sse: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(xi, &yi)| (self.predict_one(xi) - yi).powi(2))
+            .sum();
+        self.residual_std = (sse / x.len() as f64).sqrt();
+    }
+
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        assert!(self.fitted, "predict before fit");
+        (self.predict_one(x), self.residual_std)
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 1 if x0 > 0.5 else 0 — one split suffices.
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| if p[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn cart_learns_a_step() {
+        let (x, y) = step_data();
+        let mut tree = RegressionTree::new(TreeParams::cart(), 0);
+        tree.fit(&x, &y);
+        assert_eq!(tree.predict(&[0.2]).0, 0.0);
+        assert_eq!(tree.predict(&[0.9]).0, 1.0);
+        // Training fit of a pure step is exact.
+        assert!(tree.predict(&[0.2]).1 < 1e-9);
+    }
+
+    #[test]
+    fn extra_tree_learns_a_step_too() {
+        let (x, y) = step_data();
+        let mut tree = RegressionTree::new(TreeParams::extra(), 3);
+        tree.fit(&x, &y);
+        assert!(tree.predict(&[0.1]).0 < 0.3);
+        assert!(tree.predict(&[0.95]).0 > 0.7);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 10];
+        let mut tree = RegressionTree::new(TreeParams::cart(), 0);
+        tree.fit(&x, &y);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[3.0]).0, 5.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let params = TreeParams {
+            max_depth: 2,
+            ..TreeParams::cart()
+        };
+        let mut tree = RegressionTree::new(params, 0);
+        tree.fit(&x, &y);
+        // Depth-2 tree has at most 4 leaves + 3 splits = 7 nodes.
+        assert!(tree.node_count() <= 7, "{}", tree.node_count());
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // y depends on x1 only; splits must pick feature 1.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                x.push(vec![i as f64 / 20.0, j as f64 / 20.0]);
+                y.push(if j >= 10 { 2.0 } else { -2.0 });
+            }
+        }
+        let mut tree = RegressionTree::new(TreeParams::cart(), 0);
+        tree.fit(&x, &y);
+        assert_eq!(tree.predict(&[0.5, 0.9]).0, 2.0);
+        assert_eq!(tree.predict(&[0.5, 0.1]).0, -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_unfitted_panics() {
+        let tree = RegressionTree::new(TreeParams::cart(), 0);
+        tree.predict(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_empty_panics() {
+        let mut tree = RegressionTree::new(TreeParams::cart(), 0);
+        tree.fit(&[], &[]);
+    }
+}

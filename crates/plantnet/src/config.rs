@@ -1,0 +1,156 @@
+//! Thread-pool configurations (Table II / Table III / Table IV).
+
+use e2c_optim::space::{Point, Space};
+use std::fmt;
+
+/// Sizes of the four thread pools of the Identification Engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolConfig {
+    /// Simultaneous requests being processed (admission).
+    pub http: u32,
+    /// Simultaneous image downloads.
+    pub download: u32,
+    /// Simultaneous GPU inferences.
+    pub extract: u32,
+    /// Simultaneous similarity searches.
+    pub simsearch: u32,
+}
+
+impl PoolConfig {
+    /// The production configuration of Table II (the *baseline*):
+    /// HTTP 40 / Download 40 / Extract 7 / Simsearch 40.
+    pub fn baseline() -> Self {
+        PoolConfig {
+            http: 40,
+            download: 40,
+            extract: 7,
+            simsearch: 40,
+        }
+    }
+
+    /// The *preliminary optimum* of Table III, found by Bayesian
+    /// optimization: HTTP 54 / Download 54 / Extract 7 / Simsearch 53.
+    pub fn preliminary_optimum() -> Self {
+        PoolConfig {
+            http: 54,
+            download: 54,
+            extract: 7,
+            simsearch: 53,
+        }
+    }
+
+    /// The *refined optimum* of Table IV, found by OAT sensitivity
+    /// analysis: HTTP 54 / Download 54 / Extract 6 / Simsearch 53.
+    pub fn refined_optimum() -> Self {
+        PoolConfig {
+            extract: 6,
+            ..PoolConfig::preliminary_optimum()
+        }
+    }
+
+    /// Encode as a [`Point`] over [`Space::plantnet`] (order: http,
+    /// download, simsearch, extract — Eq. 2 / Listing 1 order).
+    pub fn to_point(self) -> Point {
+        vec![
+            self.http as f64,
+            self.download as f64,
+            self.simsearch as f64,
+            self.extract as f64,
+        ]
+    }
+
+    /// Decode from a [`Space::plantnet`] point (values are rounded).
+    pub fn from_point(p: &[f64]) -> Self {
+        assert_eq!(p.len(), 4, "plantnet point has 4 dimensions");
+        PoolConfig {
+            http: p[0].round() as u32,
+            download: p[1].round() as u32,
+            simsearch: p[2].round() as u32,
+            extract: p[3].round() as u32,
+        }
+    }
+
+    /// The Eq. 2 search space this configuration lives in.
+    pub fn space() -> Space {
+        Space::plantnet()
+    }
+
+    /// Sanity bounds: every pool must be non-empty.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("http", self.http),
+            ("download", self.download),
+            ("extract", self.extract),
+            ("simsearch", self.simsearch),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} pool must have at least one thread"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PoolConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "http={} download={} extract={} simsearch={}",
+            self.http, self.download, self.extract, self.simsearch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_baseline() {
+        let b = PoolConfig::baseline();
+        assert_eq!((b.http, b.download, b.extract, b.simsearch), (40, 40, 7, 40));
+    }
+
+    #[test]
+    fn table_iii_preliminary() {
+        let p = PoolConfig::preliminary_optimum();
+        assert_eq!((p.http, p.download, p.extract, p.simsearch), (54, 54, 7, 53));
+    }
+
+    #[test]
+    fn table_iv_refined_differs_only_in_extract() {
+        let p = PoolConfig::preliminary_optimum();
+        let r = PoolConfig::refined_optimum();
+        assert_eq!(r.extract, 6);
+        assert_eq!((r.http, r.download, r.simsearch), (p.http, p.download, p.simsearch));
+    }
+
+    #[test]
+    fn point_roundtrip() {
+        for cfg in [
+            PoolConfig::baseline(),
+            PoolConfig::preliminary_optimum(),
+            PoolConfig::refined_optimum(),
+        ] {
+            let p = cfg.to_point();
+            assert!(PoolConfig::space().contains(&p), "{cfg}");
+            assert_eq!(PoolConfig::from_point(&p), cfg);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_empty_pools() {
+        let mut c = PoolConfig::baseline();
+        assert!(c.validate().is_ok());
+        c.extract = 0;
+        assert!(c.validate().unwrap_err().contains("extract"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            PoolConfig::baseline().to_string(),
+            "http=40 download=40 extract=7 simsearch=40"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # plantnet — a calibrated model of the Pl@ntNet Identification Engine
+//!
+//! The paper's evaluation object is the Pl@ntNet **Identification Engine**:
+//! a service that identifies plant species from user photos through the
+//! nine-task pipeline of Table I, executed by four thread pools (Table II):
+//! HTTP (admission — "simultaneous requests being processed"), Download,
+//! Extract (GPU inference) and Simsearch (CPU similarity search).
+//!
+//! We cannot run the production engine, so this crate provides the closest
+//! synthetic equivalent (see DESIGN.md): a **discrete-event queueing
+//! model** whose mechanisms are exactly the ones the paper's analysis
+//! turns on —
+//!
+//! * admission control by the HTTP pool (requests beyond it queue);
+//! * a GPU with concurrency-dependent efficiency (more Extract threads ⇒
+//!   higher throughput but no faster individual inference, and more GPU
+//!   memory);
+//! * a 40-core CPU under processor sharing: Simsearch tasks, download
+//!   decoding, HTTP bookkeeping *and the CPU-side feeding of the GPU* all
+//!   compete — oversubscription slows Simsearch, which is the Fig. 9
+//!   story;
+//! * closed-loop clients (N simultaneous requests).
+//!
+//! Two execution backends share the same [`config::PoolConfig`]:
+//! [`sim::Experiment`] (the DES used by all paper experiments) and
+//! [`rt`] (a real-thread engine running the same pipeline on actual OS
+//! threads, for integration testing the framework against something that
+//! really blocks).
+
+pub mod config;
+pub mod model;
+pub mod monitor;
+pub mod pipeline;
+pub mod rt;
+pub mod sim;
+
+pub use config::PoolConfig;
+pub use model::EngineModel;
+pub use monitor::EngineMetrics;
+pub use sim::Experiment;

@@ -1,0 +1,274 @@
+//! Calibrated engine constants.
+//!
+//! These constants define the synthetic engine. They were calibrated (see
+//! EXPERIMENTS.md) against the paper's anchor points:
+//!
+//! * baseline (40/40/7/40) at 80 simultaneous requests ⇒ user response
+//!   time around 2.6–2.7 s (Table III);
+//! * baseline at 120 simultaneous requests ⇒ around 3.9 s (Fig. 3);
+//! * CPU usage at the preliminary optimum: 85–100% with 5–7 extract
+//!   threads, pinned at 100% with 8–9 (Fig. 9c);
+//! * extract-pool busy ≈ 100% for sizes 5–7 (Fig. 9f), simsearch-pool
+//!   busy ≈ 50–60% for sizes 5–7 at 53 threads (Fig. 9g).
+//!
+//! The load-bearing mechanism is the CPU budget: Simsearch work plus the
+//! CPU-side GPU feeding (JPEG decode, tensor staging — `extract_cpu_weight`
+//! per active inference) must brush against the 40-core capacity exactly
+//! when the extract pool grows past ~7, so that extra GPU concurrency
+//! *steals* CPU from Simsearch (the paper's central observation).
+
+use e2c_des::Dist;
+
+/// All tunable constants of the synthetic Identification Engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineModel {
+    /// CPU cores of the engine node (the paper's sizing assumes 40).
+    pub cores: f64,
+    /// GPUs serving the extract pool (the chifflot nodes carry two V100s;
+    /// the production engine uses one — §IV notes hardware changes
+    /// require re-running the optimization, which `ext_second_gpu`
+    /// demonstrates).
+    pub gpus: u32,
+    /// Query-parameter decoding time (`pre-process`).
+    pub t_preprocess: Dist,
+    /// CPU weight of an HTTP bookkeeping task.
+    pub http_cpu_weight: f64,
+    /// Mean uploaded-image size in bytes (drives the network transfer).
+    pub image_bytes_mean: f64,
+    /// Coefficient of variation of image sizes.
+    pub image_bytes_cv: f64,
+    /// End-to-end time to fetch one query image (user uplink / origin
+    /// fetch — hundreds of milliseconds; this is why the HTTP pool must
+    /// cover far more than the compute stages).
+    pub t_download_net: Dist,
+    /// CPU time to decode/stage a downloaded image.
+    pub t_download_cpu: Dist,
+    /// CPU weight of a download task.
+    pub download_cpu_weight: f64,
+    /// GPU inference time for a single inference with no concurrency.
+    pub t_extract_gpu: Dist,
+    /// GPU efficiency loss per extra concurrent inference (the Saturating
+    /// discipline's alpha): per-inference time is
+    /// `t · (1 + alpha·(c−1))` until the parallelism ceiling binds.
+    pub gpu_alpha: f64,
+    /// Hard ceiling on the GPU's effective parallelism, in job units: the
+    /// device never sustains more than `cap / t_extract` inferences per
+    /// second however many threads feed it.
+    pub gpu_parallel_cap: f64,
+    /// CPU cores consumed feeding one active GPU inference (decode,
+    /// staging, inference-runtime threads). Feeding is latency-critical, so
+    /// these cores are *reserved*: when the node saturates, feeding wins
+    /// and Simsearch loses — the Fig. 9 mechanism.
+    pub extract_cpu_weight: f64,
+    /// GPU memory resident model footprint (GB).
+    pub gpu_mem_base_gb: f64,
+    /// GPU memory per extract thread (GB) — activations + staging buffers.
+    pub gpu_mem_per_thread_gb: f64,
+    /// Classification/similarity post-processing time (`process`).
+    pub t_process: Dist,
+    /// Similarity-search time on an uncontended core.
+    pub t_simsearch: Dist,
+    /// CPU weight of a similarity-search task.
+    pub simsearch_cpu_weight: f64,
+    /// Response formatting time (`post-process`).
+    pub t_postprocess: Dist,
+    /// Container base memory (GB).
+    pub sys_mem_base_gb: f64,
+    /// System memory per extract thread (GB).
+    pub sys_mem_per_extract_gb: f64,
+    /// System memory per HTTP thread (GB) — buffers per in-flight request.
+    pub sys_mem_per_http_gb: f64,
+}
+
+impl Default for EngineModel {
+    fn default() -> Self {
+        EngineModel {
+            cores: 40.0,
+            gpus: 1,
+            t_preprocess: Dist::LogNormal {
+                mean: 0.010,
+                cv: 0.3,
+            },
+            http_cpu_weight: 0.5,
+            image_bytes_mean: 120_000.0,
+            image_bytes_cv: 0.4,
+            t_download_net: Dist::LogNormal {
+                mean: 0.22,
+                cv: 0.6,
+            },
+            t_download_cpu: Dist::LogNormal {
+                mean: 0.030,
+                cv: 0.3,
+            },
+            download_cpu_weight: 0.5,
+            t_extract_gpu: Dist::LogNormal {
+                mean: 0.0685,
+                cv: 0.15,
+            },
+            gpu_alpha: 0.35,
+            gpu_parallel_cap: 2.28,
+            extract_cpu_weight: 2.0,
+            gpu_mem_base_gb: 2.5,
+            gpu_mem_per_thread_gb: 0.65,
+            t_process: Dist::LogNormal {
+                mean: 0.012,
+                cv: 0.3,
+            },
+            t_simsearch: Dist::LogNormal {
+                mean: 0.80,
+                cv: 0.45,
+            },
+            simsearch_cpu_weight: 1.0,
+            t_postprocess: Dist::LogNormal {
+                mean: 0.008,
+                cv: 0.3,
+            },
+            sys_mem_base_gb: 6.0,
+            sys_mem_per_extract_gb: 0.5,
+            sys_mem_per_http_gb: 0.05,
+        }
+    }
+}
+
+impl EngineModel {
+    /// GPU memory footprint (GB) for a given extract pool size. Constant
+    /// over a run (buffers are allocated at pool creation) — matching
+    /// Fig. 9d's flat-over-time curves that step with the pool size.
+    pub fn gpu_memory_gb(&self, extract_threads: u32) -> f64 {
+        // Each active device holds a copy of the model weights; the
+        // per-thread buffers split across devices.
+        self.gpu_mem_base_gb * self.gpus.max(1) as f64
+            + self.gpu_mem_per_thread_gb * extract_threads as f64
+    }
+
+    /// Container system memory (GB) for a configuration.
+    pub fn sys_memory_gb(&self, extract_threads: u32, http_threads: u32) -> f64 {
+        self.sys_mem_base_gb
+            + self.sys_mem_per_extract_gb * extract_threads as f64
+            + self.sys_mem_per_http_gb * http_threads as f64
+    }
+
+    /// Ideal GPU throughput (inferences/s) at concurrency `c` — the
+    /// saturating curve `c / (t·(1+alpha(c−1)))`, clipped at the
+    /// parallelism ceiling `cap / t`.
+    pub fn gpu_throughput(&self, c: u32) -> f64 {
+        if c == 0 {
+            return 0.0;
+        }
+        let d = self.gpus.max(1) as f64;
+        let per_device = (c as f64 / d).ceil();
+        let t = self.t_extract_gpu.mean();
+        let curve = c as f64 / (t * (1.0 + self.gpu_alpha * (per_device - 1.0)));
+        curve.min(d * self.gpu_parallel_cap / t)
+    }
+
+    /// Maximum request rate the CPU sustains with `c` reserved feeding
+    /// slots: `(cores − c·w_feed − overhead) / t_simsearch` — the
+    /// capacity-split bound that caps throughput once feeding crowds the
+    /// node (back-of-envelope; the simulation realizes it dynamically).
+    pub fn cpu_capped_throughput(&self, c: u32) -> f64 {
+        let misc = 1.0; // downloads + HTTP bookkeeping cores
+        let left = self.cores - self.extract_cpu_weight * c as f64 - misc;
+        (left / (self.t_simsearch.mean() * self.simsearch_cpu_weight)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_memory_scales_with_pool() {
+        let m = EngineModel::default();
+        let at6 = m.gpu_memory_gb(6);
+        let at7 = m.gpu_memory_gb(7);
+        let at9 = m.gpu_memory_gb(9);
+        assert!(at6 < at7 && at7 < at9);
+        // Around 7 GB at 7 threads (the paper's refined figure).
+        assert!((5.5..8.5).contains(&at7), "{at7}");
+    }
+
+    #[test]
+    fn sys_memory_scales_with_extract() {
+        let m = EngineModel::default();
+        assert!(m.sys_memory_gb(9, 54) > m.sys_memory_gb(5, 54));
+        assert!(m.sys_memory_gb(7, 54) > m.sys_memory_gb(7, 40));
+    }
+
+    #[test]
+    fn gpu_throughput_saturates() {
+        let m = EngineModel::default();
+        let mut last = 0.0;
+        let mut gains = Vec::new();
+        for c in 1..=9 {
+            let x = m.gpu_throughput(c);
+            assert!(x >= last, "throughput must not fall with concurrency");
+            gains.push(x - last);
+            last = x;
+        }
+        // Diminishing returns: each extra thread buys less, and the
+        // parallelism ceiling flattens the curve entirely at the high end.
+        for w in gains.windows(2) {
+            assert!(w[1] < w[0] + 1e-9, "{gains:?}");
+        }
+        assert!(
+            m.gpu_throughput(9) <= m.gpu_throughput(8) + 1e-9,
+            "ceiling must bind by 9 threads"
+        );
+    }
+
+    #[test]
+    fn second_gpu_raises_throughput_but_cpu_still_caps() {
+        let mut two = EngineModel::default();
+        two.gpus = 2;
+        let one = EngineModel::default();
+        // At matched concurrency the second device buys real throughput.
+        assert!(two.gpu_throughput(8) > one.gpu_throughput(8) * 1.3);
+        // But the CPU feeding budget is unchanged: past ~9 threads the
+        // node runs out of cores before the GPUs run out of parallelism.
+        for c in 10..=14 {
+            assert!(
+                two.cpu_capped_throughput(c) < two.gpu_throughput(c),
+                "extract={c}: CPU must be the wall with two GPUs"
+            );
+        }
+        // Second device also means a second copy of the weights.
+        assert!(two.gpu_memory_gb(8) > one.gpu_memory_gb(8));
+    }
+
+    #[test]
+    fn bottleneck_crosses_between_extract_7_and_8() {
+        // The central calibration property (Fig. 9): with 5–7 extract
+        // threads the GPU is the bottleneck (CPU bound above GPU curve);
+        // with 8–9 the reserved feeding cores squeeze Simsearch below the
+        // GPU's capability — the bottleneck flips to the CPU.
+        let m = EngineModel::default();
+        for c in 5..=6 {
+            assert!(
+                m.cpu_capped_throughput(c) >= m.gpu_throughput(c),
+                "extract={c}: CPU cap {} should not sit below GPU {}",
+                m.cpu_capped_throughput(c),
+                m.gpu_throughput(c)
+            );
+        }
+        // 7 is the knife edge: the two bounds within ~7% of each other.
+        let gap = (m.cpu_capped_throughput(7) - m.gpu_throughput(7)).abs()
+            / m.gpu_throughput(7);
+        assert!(gap < 0.07, "extract=7 should be the crossover, gap {gap}");
+        for c in 8..=9 {
+            assert!(
+                m.cpu_capped_throughput(c) < m.gpu_throughput(c) * 0.95,
+                "extract={c}: CPU cap {} must bind below GPU {}",
+                m.cpu_capped_throughput(c),
+                m.gpu_throughput(c)
+            );
+        }
+        // The system peak sits at 6 threads (the refined optimum), with 7
+        // a close second; pushing to 9 loses real capacity.
+        let sys = |c: u32| m.gpu_throughput(c).min(m.cpu_capped_throughput(c));
+        assert!(sys(6) >= sys(7), "refined optimum must not lose to 7");
+        assert!((sys(6) - sys(7)) / sys(7) < 0.06, "6 and 7 near-tie");
+        assert!(sys(7) > sys(5), "7 must beat 5");
+        assert!(sys(7) > sys(9), "7 must beat 9");
+    }
+}

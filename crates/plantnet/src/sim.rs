@@ -1,0 +1,735 @@
+//! Discrete-event simulation of the Identification Engine.
+//!
+//! One [`Experiment`] simulates a Pl@ntNet engine node serving a
+//! closed-loop population of clients:
+//!
+//! * the four thread pools are counting semaphores
+//!   ([`e2c_des::resources::Tokens`]) — the `wait-*` steps of Table I are
+//!   their queues;
+//! * all CPU-side work (pre-process, download decode, process, simsearch,
+//!   post-process, *and the per-inference GPU feeding load*) shares the
+//!   node's cores under processor sharing;
+//! * GPU inference runs on a saturating-efficiency server: concurrency
+//!   raises throughput sub-linearly and never shortens one inference;
+//! * image transfer times come from a fair-shared network link.
+//!
+//! Every run is fully determined by `(spec, seed)`.
+
+use crate::config::PoolConfig;
+use crate::model::EngineModel;
+use crate::monitor::{names, EngineMetrics, RepeatedMetrics};
+use crate::pipeline::Task;
+use e2c_des::resources::{Discipline, ProcShare, Tokens};
+use e2c_des::{Context, Dist, EventHandle, Model, SimTime, Simulation};
+use e2c_metrics::{Histogram, OnlineStats, Registry, Summary};
+use e2c_net::{LinkSpec, SharedLink};
+use e2c_workload::ImageMix;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Full description of one engine experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Thread-pool sizes under test.
+    pub config: PoolConfig,
+    /// Engine constants (hardware + service times).
+    pub model: EngineModel,
+    /// Closed-loop simultaneous requests (the paper's workload knob).
+    pub clients: usize,
+    /// Client think time between response and next request.
+    pub think: Dist,
+    /// Experiment duration (the paper: 1380 s).
+    pub duration: SimTime,
+    /// Monitoring window (the paper: 10 s).
+    pub sample_interval: SimTime,
+    /// Samples at or before this time are excluded from summaries (the
+    /// pipeline starts empty; the first seconds are not steady-state).
+    pub warmup: SimTime,
+    /// Client → engine network link.
+    pub link: LinkSpec,
+}
+
+impl ExperimentSpec {
+    /// The paper's experimental setup for a configuration and workload:
+    /// 1380 s runs, 10 s sampling, saturating closed loop, 10 Gbps
+    /// client links.
+    pub fn paper(config: PoolConfig, clients: usize) -> Self {
+        ExperimentSpec {
+            config,
+            model: EngineModel::default(),
+            clients,
+            think: Dist::Constant(0.0),
+            duration: SimTime::from_secs(1380),
+            sample_interval: SimTime::from_secs(10),
+            warmup: SimTime::from_secs(60),
+            link: LinkSpec::new(0.5, 10_000.0),
+        }
+    }
+
+    /// A shortened variant for tests: same mechanics, 1/10 the duration.
+    pub fn quick(config: PoolConfig, clients: usize) -> Self {
+        ExperimentSpec {
+            duration: SimTime::from_secs(138),
+            warmup: SimTime::from_secs(20),
+            ..ExperimentSpec::paper(config, clients)
+        }
+    }
+}
+
+/// Simulation events (public because `Experiment` implements `Model`;
+/// construct experiments through [`Experiment::run`] instead).
+#[derive(Debug, Clone, Copy)]
+pub enum Ev {
+    /// A client submits a request.
+    Arrive { client: u32 },
+    /// A CPU job finished.
+    CpuDone { job: u64 },
+    /// A GPU inference finished.
+    GpuDone { req: u64 },
+    /// A network transfer finished.
+    NetDone { req: u64 },
+    /// Monitoring window boundary.
+    Sample,
+}
+
+/// CPU job-id codes (job id = `req_id * 8 + code`).
+mod code {
+    pub const PRE: u64 = 0;
+    pub const DOWNLOAD: u64 = 1;
+    pub const PROCESS: u64 = 2;
+    pub const SIMSEARCH: u64 = 3;
+    pub const POST: u64 = 4;
+    /// Persistent CPU load while this request's inference occupies the GPU.
+    pub const GPU_FEED: u64 = 7;
+}
+
+fn jid(req: u64, c: u64) -> u64 {
+    req * 8 + c
+}
+
+struct Req {
+    client: u32,
+    arrived: SimTime,
+    phase_start: SimTime,
+}
+
+/// The engine model driven by the DES kernel.
+pub struct Experiment {
+    spec: ExperimentSpec,
+    // Resources.
+    http: Tokens,
+    download: Tokens,
+    extract: Tokens,
+    simsearch: Tokens,
+    cpu: ProcShare,
+    gpu: ProcShare,
+    link: SharedLink,
+    images: ImageMix,
+    cpu_handle: Option<EventHandle>,
+    gpu_handle: Option<EventHandle>,
+    // Requests in flight.
+    reqs: HashMap<u64, Req>,
+    next_req: u64,
+    // Statistics.
+    task_stats: BTreeMap<&'static str, OnlineStats>,
+    registry: Registry,
+    window_resp: OnlineStats,
+    /// Per-request response distribution after warm-up (for tail
+    /// percentiles); 50 ms bins over [0, 60) s cover every sane run.
+    responses: Histogram,
+    completed: u64,
+    completed_after_warmup: u64,
+    // Previous-window integrals for windowed utilizations.
+    prev_cpu_demand: f64,
+    prev_busy: [f64; 4],
+}
+
+impl Experiment {
+    /// Build the model for a spec.
+    pub fn new(spec: ExperimentSpec) -> Self {
+        spec.config.validate().expect("invalid pool configuration");
+        assert!(spec.clients > 0, "need at least one client");
+        Experiment {
+            http: Tokens::new(spec.config.http as usize),
+            download: Tokens::new(spec.config.download as usize),
+            extract: Tokens::new(spec.config.extract as usize),
+            simsearch: Tokens::new(spec.config.simsearch as usize),
+            cpu: ProcShare::cores(spec.model.cores),
+            gpu: ProcShare::new(Discipline::Saturating {
+                alpha: spec.model.gpu_alpha,
+                cap: spec.model.gpu_parallel_cap,
+                devices: spec.model.gpus,
+            }),
+            link: SharedLink::new(spec.link),
+            images: ImageMix::new(spec.model.image_bytes_mean, spec.model.image_bytes_cv),
+            cpu_handle: None,
+            gpu_handle: None,
+            reqs: HashMap::new(),
+            next_req: 0,
+            task_stats: BTreeMap::new(),
+            registry: Registry::new(),
+            window_resp: OnlineStats::new(),
+            responses: Histogram::new(0.0, 60.0, 1200),
+            completed: 0,
+            completed_after_warmup: 0,
+            prev_cpu_demand: 0.0,
+            prev_busy: [0.0; 4],
+            spec,
+        }
+    }
+
+    /// Run the experiment once with a seed; returns the collected metrics.
+    pub fn run(spec: ExperimentSpec, seed: u64) -> EngineMetrics {
+        let mut sim = Simulation::new(Experiment::new(spec), seed);
+        // Clients ramp in over the first two seconds.
+        let ramp = SimTime::from_secs(2);
+        let n = spec.clients as u64;
+        for client in 0..spec.clients as u32 {
+            let at = SimTime(ramp.0 * client as u64 / n);
+            sim.schedule(at, Ev::Arrive { client });
+        }
+        sim.schedule(spec.sample_interval, Ev::Sample);
+        sim.run_until(spec.duration);
+        sim.into_model().finish()
+    }
+
+    /// Run `reps` repetitions with derived seeds and pool the windows —
+    /// the paper's "repeat each configuration 7 times" protocol.
+    pub fn run_repeated(spec: ExperimentSpec, reps: usize, base_seed: u64) -> RepeatedMetrics {
+        assert!(reps > 0, "need at least one repetition");
+        let runs: Vec<EngineMetrics> = (0..reps)
+            .map(|r| {
+                Experiment::run(spec, base_seed.wrapping_mul(0x9E37_79B9).wrapping_add(r as u64))
+            })
+            .collect();
+        RepeatedMetrics::from_runs(runs)
+    }
+
+    // ---- statistics helpers ----
+
+    fn record_task(&mut self, task: Task, start: SimTime, now: SimTime) {
+        self.task_stats
+            .entry(task.label())
+            .or_default()
+            .push((now - start).as_secs_f64());
+    }
+
+    fn sample_dist(&self, d: Dist, rng: &mut impl rand::Rng) -> f64 {
+        d.sample(rng).max(1e-6)
+    }
+
+    // ---- resource completion rescheduling ----
+
+    fn resched_cpu(&mut self, ctx: &mut Context<'_, Ev>) {
+        if let Some(h) = self.cpu_handle.take() {
+            ctx.cancel(h);
+        }
+        if let Some((at, job)) = self.cpu.next_completion(ctx.now()) {
+            self.cpu_handle = Some(ctx.schedule(at, Ev::CpuDone { job }));
+        }
+    }
+
+    fn resched_gpu(&mut self, ctx: &mut Context<'_, Ev>) {
+        if let Some(h) = self.gpu_handle.take() {
+            ctx.cancel(h);
+        }
+        if let Some((at, req)) = self.gpu.next_completion(ctx.now()) {
+            self.gpu_handle = Some(ctx.schedule(at, Ev::GpuDone { req }));
+        }
+    }
+
+    // ---- pipeline transitions ----
+
+    fn start_preprocess(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let t = {
+            let d = self.spec.model.t_preprocess;
+            self.sample_dist(d, ctx.rng())
+        };
+        self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
+        self.cpu
+            .start(ctx.now(), jid(req, code::PRE), t, self.spec.model.http_cpu_weight);
+        self.resched_cpu(ctx);
+    }
+
+    fn request_download(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let now = ctx.now();
+        self.reqs.get_mut(&req).expect("live request").phase_start = now;
+        if self.download.try_acquire(now, req) {
+            self.record_task(Task::WaitDownload, now, now);
+            self.start_net_transfer(ctx, req);
+        }
+        // Otherwise the request sits in the download queue; the release
+        // path resumes it (its wait-download time runs from phase_start).
+    }
+
+    fn start_net_transfer(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let bytes = self.images.sample_bytes(ctx.rng());
+        // The fetch is dominated by the user-side uplink; the testbed link
+        // only matters if it is more congested than the uplink.
+        let uplink = {
+            let d = self.spec.model.t_download_net;
+            self.sample_dist(d, ctx.rng())
+        };
+        let secs = self.link.begin_flow(bytes).max(uplink);
+        self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
+        ctx.schedule_in(SimTime::from_secs_f64(secs), Ev::NetDone { req });
+    }
+
+    fn start_download_cpu(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let t = {
+            let d = self.spec.model.t_download_cpu;
+            self.sample_dist(d, ctx.rng())
+        };
+        self.cpu.start(
+            ctx.now(),
+            jid(req, code::DOWNLOAD),
+            t,
+            self.spec.model.download_cpu_weight,
+        );
+        self.resched_cpu(ctx);
+    }
+
+    fn request_extract(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let now = ctx.now();
+        self.reqs.get_mut(&req).expect("live request").phase_start = now;
+        if self.extract.try_acquire(now, req) {
+            self.record_task(Task::WaitExtract, now, now);
+            self.start_extract(ctx, req);
+        }
+    }
+
+    fn start_extract(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let t = {
+            let d = self.spec.model.t_extract_gpu;
+            self.sample_dist(d, ctx.rng())
+        };
+        let now = ctx.now();
+        self.reqs.get_mut(&req).expect("live request").phase_start = now;
+        self.gpu.start(now, req, t, 1.0);
+        // CPU-side feeding load for the duration of the inference: a
+        // *reserved* job (feeding always wins the scheduler) that never
+        // completes on its own (removed at GpuDone).
+        self.cpu.start_reserved(
+            now,
+            jid(req, code::GPU_FEED),
+            1e9,
+            self.spec.model.extract_cpu_weight,
+        );
+        self.resched_gpu(ctx);
+        self.resched_cpu(ctx);
+    }
+
+    fn start_process(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let t = {
+            let d = self.spec.model.t_process;
+            self.sample_dist(d, ctx.rng())
+        };
+        self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
+        self.cpu.start(
+            ctx.now(),
+            jid(req, code::PROCESS),
+            t,
+            self.spec.model.http_cpu_weight,
+        );
+        self.resched_cpu(ctx);
+    }
+
+    fn request_simsearch(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let now = ctx.now();
+        self.reqs.get_mut(&req).expect("live request").phase_start = now;
+        if self.simsearch.try_acquire(now, req) {
+            self.record_task(Task::WaitSimsearch, now, now);
+            self.start_simsearch(ctx, req);
+        }
+    }
+
+    fn start_simsearch(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let t = {
+            let d = self.spec.model.t_simsearch;
+            self.sample_dist(d, ctx.rng())
+        };
+        self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
+        self.cpu.start(
+            ctx.now(),
+            jid(req, code::SIMSEARCH),
+            t,
+            self.spec.model.simsearch_cpu_weight,
+        );
+        self.resched_cpu(ctx);
+    }
+
+    fn start_postprocess(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let t = {
+            let d = self.spec.model.t_postprocess;
+            self.sample_dist(d, ctx.rng())
+        };
+        self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
+        self.cpu.start(
+            ctx.now(),
+            jid(req, code::POST),
+            t,
+            self.spec.model.http_cpu_weight,
+        );
+        self.resched_cpu(ctx);
+    }
+
+    fn complete_request(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
+        let now = ctx.now();
+        let r = self.reqs.remove(&req).expect("live request");
+        let response = (now - r.arrived).as_secs_f64();
+        self.window_resp.push(response);
+        self.completed += 1;
+        if now > self.spec.warmup {
+            self.completed_after_warmup += 1;
+            self.responses.record(response);
+        }
+        // Release the HTTP slot; an admission-queued request starts now.
+        if let Some(waiter) = self.http.release(now) {
+            self.start_preprocess(ctx, waiter);
+        }
+        // Closed loop: the client thinks, then submits again.
+        let think = {
+            let d = self.spec.think;
+            SimTime::from_secs_f64(d.sample(ctx.rng()))
+        };
+        ctx.schedule_in(think, Ev::Arrive { client: r.client });
+    }
+
+    // ---- monitoring ----
+
+    fn sample_window(&mut self, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let t = now.as_secs_f64();
+        let dt = self.spec.sample_interval.as_secs_f64();
+
+        if now > self.spec.warmup && self.window_resp.count() > 0 {
+            self.registry
+                .record(names::RESPONSE, t, self.window_resp.mean());
+            self.registry.record(
+                names::THROUGHPUT,
+                t,
+                self.window_resp.count() as f64 / dt,
+            );
+        }
+        self.window_resp = OnlineStats::new();
+
+        // Windowed CPU utilization from the demand integral.
+        let cpu_int = self.cpu.demand_integral(now);
+        let cpu_util =
+            ((cpu_int - self.prev_cpu_demand) / dt / self.spec.model.cores).min(1.0);
+        self.prev_cpu_demand = cpu_int;
+        self.registry.record(names::CPU, t, cpu_util);
+
+        // Windowed pool busy fractions.
+        let caps = [
+            self.spec.config.http as f64,
+            self.spec.config.download as f64,
+            self.spec.config.extract as f64,
+            self.spec.config.simsearch as f64,
+        ];
+        let metric_names = [
+            names::HTTP_BUSY,
+            names::DOWNLOAD_BUSY,
+            names::EXTRACT_BUSY,
+            names::SIMSEARCH_BUSY,
+        ];
+        let ints = [
+            self.http.busy_integral(now),
+            self.download.busy_integral(now),
+            self.extract.busy_integral(now),
+            self.simsearch.busy_integral(now),
+        ];
+        for i in 0..4 {
+            let frac = (ints[i] - self.prev_busy[i]) / (dt * caps[i]);
+            self.prev_busy[i] = ints[i];
+            self.registry.record(metric_names[i], t, frac.min(1.0));
+        }
+
+        // Constant-per-config footprints, recorded each window so the
+        // series render flat (Fig. 9d/9e style).
+        self.registry.record(
+            names::GPU_MEM,
+            t,
+            self.spec.model.gpu_memory_gb(self.spec.config.extract),
+        );
+        self.registry.record(
+            names::SYS_MEM,
+            t,
+            self.spec
+                .model
+                .sys_memory_gb(self.spec.config.extract, self.spec.config.http),
+        );
+
+        let next = now + self.spec.sample_interval;
+        if next <= self.spec.duration {
+            ctx.schedule(next, Ev::Sample);
+        }
+    }
+
+    /// Final packaging of a finished run.
+    fn finish(self) -> EngineMetrics {
+        let response = self.registry.summary(names::RESPONSE);
+        let task_times: BTreeMap<String, Summary> = self
+            .task_stats
+            .iter()
+            .map(|(label, stats)| (label.to_string(), Summary::from(stats)))
+            .collect();
+        let measured = self.spec.duration.saturating_sub(self.spec.warmup);
+        let throughput = if measured.as_secs_f64() > 0.0 {
+            self.completed_after_warmup as f64 / measured.as_secs_f64()
+        } else {
+            0.0
+        };
+        let pct = |q| self.responses.quantile(q).unwrap_or(0.0);
+        let response_percentiles = (pct(0.50), pct(0.95), pct(0.99));
+        EngineMetrics {
+            config: self.spec.config,
+            clients: self.spec.clients,
+            response,
+            response_percentiles,
+            task_times,
+            completed: self.completed,
+            throughput,
+            gpu_mem_gb: self.spec.model.gpu_memory_gb(self.spec.config.extract),
+            sys_mem_gb: self
+                .spec
+                .model
+                .sys_memory_gb(self.spec.config.extract, self.spec.config.http),
+            registry: self.registry,
+        }
+    }
+}
+
+impl Model for Experiment {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrive { client } => {
+                let req = self.next_req;
+                self.next_req += 1;
+                let now = ctx.now();
+                self.reqs.insert(
+                    req,
+                    Req {
+                        client,
+                        arrived: now,
+                        phase_start: now,
+                    },
+                );
+                if self.http.try_acquire(now, req) {
+                    self.start_preprocess(ctx, req);
+                }
+                // Otherwise the request waits in the HTTP admission queue;
+                // complete_request's release will start it.
+            }
+
+            Ev::CpuDone { job } => {
+                let now = ctx.now();
+                let req = job / 8;
+                let c = job % 8;
+                let removed = self.cpu.remove(now, job);
+                debug_assert!(removed, "completion for unknown CPU job");
+                let phase_start = self.reqs.get(&req).expect("live request").phase_start;
+                match c {
+                    code::PRE => {
+                        self.record_task(Task::PreProcess, phase_start, now);
+                        self.request_download(ctx, req);
+                    }
+                    code::DOWNLOAD => {
+                        self.record_task(Task::Download, phase_start, now);
+                        // Free the download thread; resume the next waiter
+                        // (its wait-download span ends now).
+                        if let Some(waiter) = self.download.release(now) {
+                            let ws = self.reqs.get(&waiter).expect("live waiter").phase_start;
+                            self.record_task(Task::WaitDownload, ws, now);
+                            self.start_net_transfer(ctx, waiter);
+                        }
+                        self.request_extract(ctx, req);
+                    }
+                    code::PROCESS => {
+                        self.record_task(Task::Process, phase_start, now);
+                        self.request_simsearch(ctx, req);
+                    }
+                    code::SIMSEARCH => {
+                        self.record_task(Task::Simsearch, phase_start, now);
+                        if let Some(waiter) = self.simsearch.release(now) {
+                            let ws = self.reqs.get(&waiter).expect("live waiter").phase_start;
+                            self.record_task(Task::WaitSimsearch, ws, now);
+                            self.start_simsearch(ctx, waiter);
+                        }
+                        self.start_postprocess(ctx, req);
+                    }
+                    code::POST => {
+                        self.record_task(Task::PostProcess, phase_start, now);
+                        self.complete_request(ctx, req);
+                    }
+                    other => unreachable!("unexpected CPU job code {other}"),
+                }
+                self.resched_cpu(ctx);
+            }
+
+            Ev::GpuDone { req } => {
+                let now = ctx.now();
+                let removed = self.gpu.remove(now, req);
+                debug_assert!(removed, "completion for unknown GPU job");
+                self.cpu.remove(now, jid(req, code::GPU_FEED));
+                let phase_start = self.reqs.get(&req).expect("live request").phase_start;
+                self.record_task(Task::Extract, phase_start, now);
+                if let Some(waiter) = self.extract.release(now) {
+                    let ws = self.reqs.get(&waiter).expect("live waiter").phase_start;
+                    self.record_task(Task::WaitExtract, ws, now);
+                    self.start_extract(ctx, waiter);
+                }
+                self.start_process(ctx, req);
+                self.resched_gpu(ctx);
+                self.resched_cpu(ctx);
+            }
+
+            Ev::NetDone { req } => {
+                self.link.end_flow();
+                self.start_download_cpu(ctx, req);
+            }
+
+            Ev::Sample => self.sample_window(ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(config: PoolConfig, clients: usize) -> ExperimentSpec {
+        ExperimentSpec {
+            duration: SimTime::from_secs(60),
+            warmup: SimTime::from_secs(10),
+            ..ExperimentSpec::paper(config, clients)
+        }
+    }
+
+    #[test]
+    fn single_client_flows_through_pipeline() {
+        let spec = tiny_spec(PoolConfig::baseline(), 1);
+        let m = Experiment::run(spec, 1);
+        assert!(m.completed > 10, "completed {}", m.completed);
+        // One uncontended request: roughly the sum of service means.
+        let resp = m.response.mean;
+        assert!(
+            (0.9..1.6).contains(&resp),
+            "uncontended response {resp} out of expected band"
+        );
+        // Every pipeline task appears in the stats.
+        for t in Task::ORDER {
+            assert!(
+                m.task_times.contains_key(t.label()),
+                "missing task {}",
+                t.label()
+            );
+        }
+        // No waiting with a single client.
+        assert!(m.task_mean("wait-extract") < 1e-6);
+        assert!(m.task_mean("wait-simsearch") < 1e-6);
+    }
+
+    #[test]
+    fn response_time_grows_with_load() {
+        let cfg = PoolConfig::baseline();
+        let r40 = Experiment::run(tiny_spec(cfg, 40), 2).response.mean;
+        let r80 = Experiment::run(tiny_spec(cfg, 80), 2).response.mean;
+        let r120 = Experiment::run(tiny_spec(cfg, 120), 2).response.mean;
+        assert!(r40 < r80 && r80 < r120, "{r40} {r80} {r120}");
+    }
+
+    #[test]
+    fn conservation_little_law_roughly_holds() {
+        let spec = tiny_spec(PoolConfig::baseline(), 80);
+        let m = Experiment::run(spec, 3);
+        // N = X * R within ~15% (finite run, warm-up effects).
+        let n = m.throughput * m.response.mean;
+        assert!(
+            (n - 80.0).abs() / 80.0 < 0.15,
+            "Little's law: X*R = {n}, N = 80"
+        );
+    }
+
+    #[test]
+    fn baseline_is_admission_limited_with_hot_extract_pool() {
+        // With the baseline's HTTP pool of 40, the engine is admission-
+        // limited: the extract pool runs hot (but not pinned - the admitted
+        // population can't quite keep it saturated) and simsearch retains
+        // headroom. Raising HTTP to the optimum's 54 saturates extract.
+        let m = Experiment::run(tiny_spec(PoolConfig::baseline(), 80), 4);
+        let extract_busy = m.mean_busy(names::EXTRACT_BUSY);
+        assert!(
+            (0.70..0.999).contains(&extract_busy),
+            "extract busy {extract_busy}"
+        );
+        let ss_busy = m.mean_busy(names::SIMSEARCH_BUSY);
+        assert!(ss_busy < 0.95, "simsearch busy {ss_busy}");
+        let opt = Experiment::run(tiny_spec(PoolConfig::preliminary_optimum(), 80), 4);
+        assert!(
+            opt.mean_busy(names::EXTRACT_BUSY) > extract_busy,
+            "wider admission must push the extract pool harder"
+        );
+    }
+
+    #[test]
+    fn gpu_memory_reflects_extract_pool() {
+        let mut cfg = PoolConfig::baseline();
+        cfg.extract = 9;
+        let m9 = Experiment::run(tiny_spec(cfg, 10), 5);
+        cfg.extract = 5;
+        let m5 = Experiment::run(tiny_spec(cfg, 10), 5);
+        assert!(m9.gpu_mem_gb > m5.gpu_mem_gb);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = tiny_spec(PoolConfig::baseline(), 40);
+        let a = Experiment::run(spec, 42);
+        let b = Experiment::run(spec, 42);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.response.mean, b.response.mean);
+        let c = Experiment::run(spec, 43);
+        assert_ne!(a.completed, c.completed);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bracket_the_mean() {
+        let m = Experiment::run(tiny_spec(PoolConfig::baseline(), 80), 21);
+        let (p50, p95, p99) = m.response_percentiles;
+        assert!(p50 > 0.0);
+        assert!(p50 <= p95 && p95 <= p99, "({p50}, {p95}, {p99})");
+        // The mean of a right-skewed queueing distribution sits between
+        // the median and the upper tail.
+        assert!(p99 >= m.response.mean, "p99 {p99} < mean {}", m.response.mean);
+    }
+
+    #[test]
+    fn repeated_runs_pool_windows() {
+        let spec = tiny_spec(PoolConfig::baseline(), 40);
+        let rep = Experiment::run_repeated(spec, 3, 7);
+        assert_eq!(rep.runs.len(), 3);
+        let per_run: u64 = rep.runs.iter().map(|r| r.response.n).sum();
+        assert_eq!(rep.response.n, per_run);
+        assert!(rep.response.std >= 0.0);
+    }
+
+    #[test]
+    fn http_admission_queues_excess_clients() {
+        // 80 clients on an HTTP pool of 40: mean in-service concurrency
+        // equals the pool, so HTTP busy ≈ 100%.
+        let spec = tiny_spec(PoolConfig::baseline(), 80);
+        let m = Experiment::run(spec, 8);
+        assert!(m.mean_busy(names::HTTP_BUSY) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pool configuration")]
+    fn zero_pool_rejected() {
+        let mut cfg = PoolConfig::baseline();
+        cfg.download = 0;
+        Experiment::new(ExperimentSpec::paper(cfg, 10));
+    }
+}

@@ -1,0 +1,20 @@
+//! # e2c-testbed — a Grid'5000-style testbed simulator
+//!
+//! The paper's experiments run on 42 nodes spread over five Grid'5000
+//! clusters. We cannot reserve physical machines here, so this crate
+//! provides the closest synthetic equivalent: a catalog of the real
+//! clusters' published hardware (cores, memory, GPUs, NICs), a reservation
+//! API handing out nodes, and a deployment map from experiment roles to
+//! reserved nodes. The application models read node *capacities* (CPU
+//! cores, GPU memory) from here, so "deploy the engine on a chifflot node"
+//! means simulating against a 2×12-core Xeon with a 32 GB V100 — the same
+//! capacities that shaped the paper's results.
+
+pub mod deployment;
+pub mod grid5000;
+pub mod hardware;
+pub mod reservation;
+
+pub use deployment::Deployment;
+pub use hardware::{CpuSpec, GpuSpec, NodeSpec};
+pub use reservation::{Node, NodeId, Reservation, ReserveError, Testbed};

@@ -1,0 +1,144 @@
+//! Experiment results.
+
+use crate::trial::Trial;
+use crate::tuner::Mode;
+
+/// The outcome of a [`Tuner::run`](crate::tuner::Tuner::run): every trial,
+/// plus helpers to find the best one and render a report.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    name: String,
+    metric: String,
+    mode: Mode,
+    trials: Vec<Trial>,
+}
+
+impl Analysis {
+    /// Package finished trials.
+    pub fn new(name: String, metric: String, mode: Mode, trials: Vec<Trial>) -> Self {
+        Analysis {
+            name,
+            metric,
+            mode,
+            trials,
+        }
+    }
+
+    /// Experiment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Metric name.
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// Metric direction.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// All trials in id order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// The trial with the best final value (respecting the mode); `None`
+    /// when every trial failed.
+    pub fn best_trial(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .filter_map(|t| t.value().map(|v| (t, v)))
+            .min_by(|a, b| {
+                let (ka, kb) = match self.mode {
+                    Mode::Min => (a.1, b.1),
+                    Mode::Max => (-a.1, -b.1),
+                };
+                ka.partial_cmp(&kb).expect("NaN metric in analysis")
+            })
+            .map(|(t, _)| t)
+    }
+
+    /// Best configuration (external units), if any trial succeeded.
+    pub fn best_config(&self) -> Option<&[f64]> {
+        self.best_trial().map(|t| t.config.as_slice())
+    }
+
+    /// Number of trials the scheduler stopped early.
+    pub fn stopped_early_count(&self) -> usize {
+        self.trials.iter().filter(|t| t.stopped_early()).count()
+    }
+
+    /// Cumulative best value after each finished trial (in id order) —
+    /// the convergence curve of the optimization.
+    pub fn convergence(&self) -> Vec<f64> {
+        let mut best = match self.mode {
+            Mode::Min => f64::INFINITY,
+            Mode::Max => f64::NEG_INFINITY,
+        };
+        let mut curve = Vec::new();
+        for t in &self.trials {
+            if let Some(v) = t.value() {
+                best = match self.mode {
+                    Mode::Min => best.min(v),
+                    Mode::Max => best.max(v),
+                };
+            }
+            if best.is_finite() {
+                curve.push(best);
+            }
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::TrialStatus;
+
+    fn trial(id: u64, value: Option<f64>) -> Trial {
+        let mut t = Trial::new(id, vec![id as f64]);
+        t.status = match value {
+            Some(v) => TrialStatus::Terminated(v),
+            None => TrialStatus::Failed("x".into()),
+        };
+        t
+    }
+
+    #[test]
+    fn best_trial_min_and_max() {
+        let trials = vec![trial(0, Some(5.0)), trial(1, Some(2.0)), trial(2, Some(8.0))];
+        let a = Analysis::new("e".into(), "m".into(), Mode::Min, trials.clone());
+        assert_eq!(a.best_trial().unwrap().id, 1);
+        let a = Analysis::new("e".into(), "m".into(), Mode::Max, trials);
+        assert_eq!(a.best_trial().unwrap().id, 2);
+    }
+
+    #[test]
+    fn failed_trials_excluded_from_best() {
+        let trials = vec![trial(0, None), trial(1, Some(3.0))];
+        let a = Analysis::new("e".into(), "m".into(), Mode::Min, trials);
+        assert_eq!(a.best_trial().unwrap().id, 1);
+        assert_eq!(a.best_config(), Some(&[1.0][..]));
+    }
+
+    #[test]
+    fn all_failed_yields_none() {
+        let a = Analysis::new("e".into(), "m".into(), Mode::Min, vec![trial(0, None)]);
+        assert!(a.best_trial().is_none());
+    }
+
+    #[test]
+    fn convergence_is_monotone() {
+        let trials = vec![
+            trial(0, Some(5.0)),
+            trial(1, Some(7.0)),
+            trial(2, Some(2.0)),
+            trial(3, Some(4.0)),
+        ];
+        let a = Analysis::new("e".into(), "m".into(), Mode::Min, trials);
+        assert_eq!(a.convergence(), vec![5.0, 5.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # e2c-tune — asynchronous parallel trial execution
+//!
+//! The paper's Optimization Manager "takes advantage of Ray [37] to run
+//! parallel application workflows" with Ray Tune providing search
+//! algorithms, concurrency limiting and scheduling (Listing 1 uses
+//! `SkOptSearch`, `ConcurrencyLimiter(max_concurrent=2)` and
+//! `AsyncHyperBandScheduler`). This crate reimplements that trio on OS
+//! threads:
+//!
+//! * [`searcher`] — the ask/tell [`searcher::Searcher`] abstraction, the
+//!   Bayesian [`searcher::SkOptSearch`], [`searcher::RandomSearch`], a
+//!   list-driven [`searcher::GridSearch`], and
+//!   [`searcher::ConcurrencyLimiter`];
+//! * [`scheduler`] — trial schedulers: [`scheduler::Fifo`], the ASHA
+//!   [`scheduler::AsyncHyperBand`], and [`scheduler::MedianStopping`];
+//! * [`evolution`] — a generational GA behind the ask/tell interface,
+//!   for the paper's "short-time running applications" (§III-B2);
+//! * [`logger`] — append-only JSONL/CSV trial logs ("manages model
+//!   checkpoints and logging");
+//! * [`trial`] — trial state and records;
+//! * [`tuner`] — [`tuner::Tuner`], which fans trials out over worker
+//!   threads, feeding observations back to the searcher *asynchronously*
+//!   (workers do not wait for a generation barrier — the paper's
+//!   "asynchronous model optimization");
+//! * [`analysis`] — the result set: best trial, per-trial records.
+
+pub mod analysis;
+pub mod evolution;
+pub mod logger;
+pub mod scheduler;
+pub mod searcher;
+pub mod trial;
+pub mod tuner;
+
+pub use analysis::Analysis;
+pub use evolution::EvolutionSearch;
+pub use logger::TrialLogger;
+pub use scheduler::{AsyncHyperBand, Decision, Fifo, MedianStopping, Scheduler};
+pub use searcher::{ConcurrencyLimiter, GridSearch, RandomSearch, Searcher, SkOptSearch};
+pub use trial::{Trial, TrialStatus};
+pub use tuner::{Tuner, TrialContext};

@@ -1,0 +1,102 @@
+//! Trial records.
+
+use e2c_optim::space::Point;
+
+/// Lifecycle state of a trial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialStatus {
+    /// Asked but not started.
+    Pending,
+    /// Objective running.
+    Running,
+    /// Finished normally with a final metric value.
+    Terminated(f64),
+    /// Stopped early by the scheduler; the last reported value is kept.
+    StoppedEarly(f64),
+    /// The objective panicked or returned a non-finite value.
+    Failed(String),
+}
+
+impl TrialStatus {
+    /// Final metric value, if the trial produced one.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            TrialStatus::Terminated(v) | TrialStatus::StoppedEarly(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the trial ended (in any way).
+    pub fn is_finished(&self) -> bool {
+        !matches!(self, TrialStatus::Pending | TrialStatus::Running)
+    }
+}
+
+/// One trial: a configuration and everything that happened to it.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Trial identifier (dense, starting at 0).
+    pub id: u64,
+    /// The evaluated configuration (external units).
+    pub config: Point,
+    /// Lifecycle state.
+    pub status: TrialStatus,
+    /// Intermediate `(iteration, value)` reports, in order.
+    pub reports: Vec<(u64, f64)>,
+}
+
+impl Trial {
+    /// A fresh pending trial.
+    pub fn new(id: u64, config: Point) -> Self {
+        Trial {
+            id,
+            config,
+            status: TrialStatus::Pending,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Final value if finished successfully.
+    pub fn value(&self) -> Option<f64> {
+        self.status.value()
+    }
+
+    /// Number of intermediate reports.
+    pub fn iterations(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the scheduler cut this trial short.
+    pub fn stopped_early(&self) -> bool {
+        matches!(self.status, TrialStatus::StoppedEarly(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_values() {
+        assert_eq!(TrialStatus::Terminated(2.5).value(), Some(2.5));
+        assert_eq!(TrialStatus::StoppedEarly(3.0).value(), Some(3.0));
+        assert_eq!(TrialStatus::Pending.value(), None);
+        assert_eq!(TrialStatus::Failed("x".into()).value(), None);
+        assert!(TrialStatus::Terminated(0.0).is_finished());
+        assert!(TrialStatus::Failed("x".into()).is_finished());
+        assert!(!TrialStatus::Running.is_finished());
+    }
+
+    #[test]
+    fn trial_lifecycle_fields() {
+        let mut t = Trial::new(3, vec![1.0, 2.0]);
+        assert_eq!(t.id, 3);
+        assert_eq!(t.value(), None);
+        t.reports.push((1, 5.0));
+        t.reports.push((2, 4.0));
+        t.status = TrialStatus::StoppedEarly(4.0);
+        assert_eq!(t.iterations(), 2);
+        assert!(t.stopped_early());
+        assert_eq!(t.value(), Some(4.0));
+    }
+}

@@ -1,0 +1,414 @@
+//! The parallel trial runner.
+//!
+//! [`Tuner::run`] is the analogue of the paper's `tune.run(...)` call
+//! (Listing 1): it pulls configurations from a [`Searcher`], executes the
+//! user objective on a pool of worker threads, feeds results back
+//! asynchronously, and lets a [`Scheduler`] stop hopeless trials early.
+
+use crate::analysis::Analysis;
+use crate::scheduler::{Decision, Scheduler};
+use crate::searcher::Searcher;
+use crate::trial::{Trial, TrialStatus};
+use e2c_optim::space::Point;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Optimization direction of the user metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Smaller metric is better (`mode="min"`).
+    Min,
+    /// Larger metric is better (`mode="max"`).
+    Max,
+}
+
+/// Handle given to the objective for intermediate reporting.
+///
+/// Call [`TrialContext::report`] once per training iteration / evaluation
+/// window; a [`Decision::Stop`] means the scheduler cut the trial — return
+/// your current metric value promptly.
+pub struct TrialContext<'a> {
+    /// This trial's id.
+    pub trial_id: u64,
+    mode: Mode,
+    scheduler: &'a dyn Scheduler,
+    reports: Vec<(u64, f64)>,
+    stopped: bool,
+}
+
+impl<'a> TrialContext<'a> {
+    /// Report an intermediate metric value (user orientation); returns the
+    /// scheduler's verdict.
+    pub fn report(&mut self, value: f64) -> Decision {
+        let iteration = self.reports.len() as u64 + 1;
+        self.reports.push((iteration, value));
+        let normalized = match self.mode {
+            Mode::Min => value,
+            Mode::Max => -value,
+        };
+        let d = self.scheduler.on_report(self.trial_id, iteration, normalized);
+        if d == Decision::Stop {
+            self.stopped = true;
+        }
+        d
+    }
+
+    /// Whether the scheduler already stopped this trial.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+}
+
+/// Runs trials in parallel until the sample budget is spent.
+pub struct Tuner {
+    /// Total number of trials (`num_samples`).
+    pub num_samples: usize,
+    /// Worker threads executing objectives concurrently. Note the
+    /// *searcher-side* concurrency cap is the [`ConcurrencyLimiter`]'s
+    /// job (`crate::searcher::ConcurrencyLimiter`); workers beyond the cap
+    /// simply wait.
+    pub workers: usize,
+    /// Metric direction.
+    pub mode: Mode,
+    /// Metric name (for the analysis/report).
+    pub metric: String,
+    /// Experiment name (for the analysis/report).
+    pub name: String,
+}
+
+impl Tuner {
+    /// A tuner with the given budget, worker count and direction.
+    pub fn new(num_samples: usize, workers: usize, mode: Mode) -> Self {
+        assert!(num_samples > 0, "num_samples must be positive");
+        assert!(workers > 0, "workers must be positive");
+        Tuner {
+            num_samples,
+            workers,
+            mode,
+            metric: "objective".to_string(),
+            name: "experiment".to_string(),
+        }
+    }
+
+    /// Set the metric name.
+    pub fn metric(mut self, metric: &str) -> Self {
+        self.metric = metric.to_string();
+        self
+    }
+
+    /// Set the experiment name.
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Execute the experiment. The objective receives the configuration
+    /// and a [`TrialContext`]; it returns the final metric value (user
+    /// orientation). Panicking or non-finite objectives mark the trial
+    /// failed, and the searcher is fed a large penalty so Bayesian search
+    /// avoids the region while its in-flight bookkeeping stays consistent.
+    pub fn run<F>(
+        &self,
+        searcher: Box<dyn Searcher>,
+        scheduler: Arc<dyn Scheduler>,
+        objective: F,
+    ) -> Analysis
+    where
+        F: Fn(&Point, &mut TrialContext<'_>) -> f64 + Send + Sync,
+    {
+        let searcher = Mutex::new(searcher);
+        let trials: Mutex<Vec<Trial>> = Mutex::new(Vec::with_capacity(self.num_samples));
+        let next_id = AtomicU64::new(0);
+        let worst_seen = Mutex::new(f64::NEG_INFINITY);
+        let exhausted = std::sync::atomic::AtomicBool::new(false);
+        let objective = &objective;
+        let scheduler = &*scheduler;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|_| loop {
+                    let id = next_id.fetch_add(1, Ordering::SeqCst);
+                    if id >= self.num_samples as u64 {
+                        return;
+                    }
+                    // Obtain a suggestion, waiting out concurrency limits.
+                    let config = loop {
+                        if exhausted.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let suggestion = searcher.lock().suggest(id);
+                        match suggestion {
+                            Some(p) => break p,
+                            None => {
+                                // Either concurrency-limited (someone will
+                                // observe soon) or the searcher is done. A
+                                // grid that ran dry while nothing is
+                                // running can never produce again.
+                                let nothing_running = {
+                                    let t = trials.lock();
+                                    t.iter().all(|tr| tr.status.is_finished())
+                                };
+                                if nothing_running {
+                                    exhausted.store(true, Ordering::SeqCst);
+                                    return;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    };
+                    {
+                        let mut t = trials.lock();
+                        let mut trial = Trial::new(id, config.clone());
+                        trial.status = TrialStatus::Running;
+                        t.push(trial);
+                    }
+                    let mut ctx = TrialContext {
+                        trial_id: id,
+                        mode: self.mode,
+                        scheduler,
+                        reports: Vec::new(),
+                        stopped: false,
+                    };
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| objective(&config, &mut ctx)));
+                    let (status, feedback) = match outcome {
+                        Ok(value) if value.is_finite() => {
+                            let normalized = match self.mode {
+                                Mode::Min => value,
+                                Mode::Max => -value,
+                            };
+                            let mut worst = worst_seen.lock();
+                            *worst = worst.max(normalized);
+                            let status = if ctx.stopped {
+                                TrialStatus::StoppedEarly(value)
+                            } else {
+                                TrialStatus::Terminated(value)
+                            };
+                            (status, normalized)
+                        }
+                        Ok(bad) => {
+                            let penalty = self.failure_penalty(&worst_seen);
+                            (
+                                TrialStatus::Failed(format!("non-finite metric {bad}")),
+                                penalty,
+                            )
+                        }
+                        Err(panic) => {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "objective panicked".to_string());
+                            let penalty = self.failure_penalty(&worst_seen);
+                            (TrialStatus::Failed(msg), penalty)
+                        }
+                    };
+                    searcher.lock().observe(id, feedback);
+                    let mut t = trials.lock();
+                    let trial = t
+                        .iter_mut()
+                        .find(|tr| tr.id == id)
+                        .expect("trial recorded at start");
+                    trial.reports = ctx.reports;
+                    trial.status = status;
+                });
+            }
+        })
+        .expect("worker thread panicked outside catch_unwind");
+
+        let mut trials = trials.into_inner();
+        trials.sort_by_key(|t| t.id);
+        Analysis::new(self.name.clone(), self.metric.clone(), self.mode, trials)
+    }
+
+    /// Penalty fed to the searcher for failed trials: decisively worse
+    /// than anything observed, but finite.
+    fn failure_penalty(&self, worst_seen: &Mutex<f64>) -> f64 {
+        let worst = *worst_seen.lock();
+        if worst.is_finite() {
+            worst + worst.abs().max(1.0)
+        } else {
+            1e6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{AsyncHyperBand, Fifo};
+    use crate::searcher::{ConcurrencyLimiter, GridSearch, RandomSearch, SkOptSearch};
+    use e2c_optim::bayes::BayesOpt;
+    use e2c_optim::space::Space;
+
+    fn space() -> Space {
+        Space::new().int("x", 0, 20)
+    }
+
+    #[test]
+    fn runs_exact_sample_budget() {
+        let tuner = Tuner::new(12, 4, Mode::Min);
+        let analysis = tuner.run(
+            Box::new(RandomSearch::new(space(), 3)),
+            Arc::new(Fifo),
+            |cfg, _ctx| (cfg[0] - 7.0).powi(2),
+        );
+        assert_eq!(analysis.trials().len(), 12);
+        assert!(analysis
+            .trials()
+            .iter()
+            .all(|t| t.status.is_finished()));
+    }
+
+    #[test]
+    fn finds_minimum_with_bayes_search() {
+        let searcher = SkOptSearch::new(BayesOpt::new(space(), 11).n_initial_points(6));
+        let tuner = Tuner::new(25, 3, Mode::Min).metric("sq");
+        let analysis = tuner.run(
+            Box::new(ConcurrencyLimiter::new(searcher, 3)),
+            Arc::new(Fifo),
+            |cfg, _| (cfg[0] - 13.0).powi(2),
+        );
+        let best = analysis.best_trial().unwrap();
+        assert!(
+            best.value().unwrap() <= 1.0,
+            "best {:?} = {:?}",
+            best.config,
+            best.value()
+        );
+    }
+
+    #[test]
+    fn max_mode_maximizes() {
+        let tuner = Tuner::new(20, 2, Mode::Max);
+        let analysis = tuner.run(
+            Box::new(RandomSearch::new(space(), 5)),
+            Arc::new(Fifo),
+            |cfg, _| -((cfg[0] - 4.0).powi(2)) as f64,
+        );
+        let best = analysis.best_trial().unwrap();
+        // Maximum of -(x-4)^2 is 0 at x=4.
+        assert!(best.value().unwrap() >= -4.0, "{best:?}");
+    }
+
+    #[test]
+    fn grid_exhaustion_terminates_cleanly() {
+        let points = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let tuner = Tuner::new(10, 4, Mode::Min); // budget exceeds the grid
+        let analysis = tuner.run(
+            Box::new(GridSearch::from_points(space(), points)),
+            Arc::new(Fifo),
+            |cfg, _| cfg[0],
+        );
+        assert_eq!(analysis.trials().len(), 3);
+        assert_eq!(analysis.best_trial().unwrap().value(), Some(1.0));
+    }
+
+    #[test]
+    fn concurrency_limit_is_respected() {
+        use std::sync::atomic::AtomicUsize;
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let searcher =
+            ConcurrencyLimiter::new(RandomSearch::new(space(), 9), 2);
+        let tuner = Tuner::new(10, 6, Mode::Min); // more workers than cap
+        let (running2, peak2) = (running.clone(), peak.clone());
+        tuner.run(Box::new(searcher), Arc::new(Fifo), move |cfg, _| {
+            let now = running2.fetch_add(1, Ordering::SeqCst) + 1;
+            peak2.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            running2.fetch_sub(1, Ordering::SeqCst);
+            cfg[0]
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak concurrency {} exceeded the limiter",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn scheduler_stops_bad_trials() {
+        // Trials report their (constant) value 8 times; ASHA with rf=2 must
+        // stop a decent share of the bad half early.
+        let tuner = Tuner::new(24, 4, Mode::Min);
+        let scheduler = Arc::new(AsyncHyperBand::new(1, 2, 8));
+        let analysis = tuner.run(
+            Box::new(RandomSearch::new(space(), 17)),
+            scheduler,
+            |cfg, ctx| {
+                let value = cfg[0];
+                for _ in 0..8 {
+                    if ctx.report(value) == Decision::Stop {
+                        break;
+                    }
+                }
+                value
+            },
+        );
+        let stopped = analysis
+            .trials()
+            .iter()
+            .filter(|t| t.stopped_early())
+            .count();
+        assert!(stopped > 0, "ASHA never stopped anything");
+        // Early-stopped trials must have fewer reports than survivors' max.
+        let max_full = analysis
+            .trials()
+            .iter()
+            .filter(|t| !t.stopped_early())
+            .map(|t| t.iterations())
+            .max()
+            .unwrap();
+        for t in analysis.trials().iter().filter(|t| t.stopped_early()) {
+            assert!(t.iterations() < max_full);
+        }
+    }
+
+    #[test]
+    fn panicking_objective_marks_failed_and_continues() {
+        let tuner = Tuner::new(10, 2, Mode::Min);
+        let analysis = tuner.run(
+            Box::new(RandomSearch::new(space(), 21)),
+            Arc::new(Fifo),
+            |cfg, _| {
+                if cfg[0] < 5.0 {
+                    panic!("boom at {}", cfg[0]);
+                }
+                cfg[0]
+            },
+        );
+        assert_eq!(analysis.trials().len(), 10);
+        let failed = analysis
+            .trials()
+            .iter()
+            .filter(|t| matches!(t.status, TrialStatus::Failed(_)))
+            .count();
+        assert!(failed > 0, "expected some failures with seed 21");
+        // Best trial is a successful one.
+        assert!(analysis.best_trial().unwrap().value().is_some());
+    }
+
+    #[test]
+    fn non_finite_metric_marks_failed() {
+        let tuner = Tuner::new(4, 1, Mode::Min);
+        let analysis = tuner.run(
+            Box::new(GridSearch::from_points(
+                space(),
+                vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+            )),
+            Arc::new(Fifo),
+            |cfg, _| if cfg[0] == 2.0 { f64::NAN } else { cfg[0] },
+        );
+        let failed: Vec<u64> = analysis
+            .trials()
+            .iter()
+            .filter(|t| matches!(t.status, TrialStatus::Failed(_)))
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(analysis.best_trial().unwrap().value(), Some(1.0));
+    }
+}

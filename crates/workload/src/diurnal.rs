@@ -1,0 +1,80 @@
+//! Diurnal (time-of-day) load modulation.
+//!
+//! Pl@ntNet's traffic follows its users' daylight: people photograph
+//! plants during the day. Composing the Fig. 2 seasonal envelope with a
+//! day/night cycle yields the request-rate trace an operator actually
+//! provisions against; the capacity extensions use it to place the
+//! "spring peak day" the paper's introduction worries about.
+
+/// A smooth day/night modulation of a base rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Diurnal {
+    /// Rate multiplier at the daily peak.
+    pub peak: f64,
+    /// Rate multiplier in the middle of the night.
+    pub trough: f64,
+    /// Hour of the daily maximum (0–24).
+    pub peak_hour: f64,
+}
+
+impl Default for Diurnal {
+    /// Peak at 14:00 at 1.6×, nights at 0.15× — a photo-app shape.
+    fn default() -> Self {
+        Diurnal {
+            peak: 1.6,
+            trough: 0.15,
+            peak_hour: 14.0,
+        }
+    }
+}
+
+impl Diurnal {
+    /// Multiplier at an hour of day (fractional hours accepted; wraps).
+    pub fn factor(&self, hour: f64) -> f64 {
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let wave = 0.5 * (1.0 + phase.cos()); // 1 at peak hour, 0 opposite
+        self.trough + (self.peak - self.trough) * wave
+    }
+
+    /// Request rate over a day given a daily mean rate, sampled hourly.
+    pub fn hourly_rates(&self, daily_mean: f64) -> Vec<f64> {
+        // Normalize so the mean of the 24 samples equals `daily_mean`.
+        let raw: Vec<f64> = (0..24).map(|h| self.factor(h as f64)).collect();
+        let mean: f64 = raw.iter().sum::<f64>() / 24.0;
+        raw.into_iter().map(|f| daily_mean * f / mean).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_and_trough_land_where_configured() {
+        let d = Diurnal::default();
+        assert!((d.factor(14.0) - 1.6).abs() < 1e-9);
+        assert!((d.factor(2.0) - 0.15).abs() < 1e-9); // 12h opposite
+        // Monotone rise through the morning.
+        assert!(d.factor(8.0) < d.factor(11.0));
+        assert!(d.factor(11.0) < d.factor(14.0));
+    }
+
+    #[test]
+    fn wraps_around_midnight() {
+        let d = Diurnal::default();
+        assert!((d.factor(25.0) - d.factor(1.0)).abs() < 1e-9);
+        assert!((d.factor(-1.0) - d.factor(23.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hourly_rates_preserve_the_daily_mean() {
+        let d = Diurnal::default();
+        let rates = d.hourly_rates(100.0);
+        assert_eq!(rates.len(), 24);
+        let mean: f64 = rates.iter().sum::<f64>() / 24.0;
+        assert!((mean - 100.0).abs() < 1e-9);
+        // Daytime above the mean, night below.
+        assert!(rates[14] > 120.0);
+        assert!(rates[2] < 40.0);
+    }
+}

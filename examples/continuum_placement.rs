@@ -1,0 +1,119 @@
+//! Fig. 4 (right): "where should the workflow components be executed to
+//! minimize communication costs and end-to-end latency?" — a
+//! multi-objective placement problem over the continuum, solved with the
+//! Eq. 1 formalization plus a metaheuristic, using the network topology
+//! substrate for the cost model.
+//!
+//! Three pipeline stages (preprocess → extract → search) must each be
+//! placed on edge, fog or cloud. Placing compute close to the user cuts
+//! latency but edge/fog resources are slower and moving intermediate data
+//! across layers costs bandwidth.
+//!
+//! ```sh
+//! cargo run --release --example continuum_placement
+//! ```
+
+use e2clab::metrics::Table;
+use e2clab::net::{LinkSpec, Topology};
+use e2clab::optim::{DifferentialEvolution, Metaheuristic, OptimizationProblem, Sense, Space};
+
+const LAYERS: [&str; 3] = ["edge", "fog", "cloud"];
+/// Relative compute speed per layer (cloud GPUs are fast, edge is slow).
+const SPEED: [f64; 3] = [0.25, 0.6, 1.0];
+/// $/GB-equivalent transfer price of moving data *up* to each layer.
+const EGRESS_COST: [f64; 3] = [0.0, 0.02, 0.08];
+/// Work per stage (seconds at cloud speed) and data volume flowing into
+/// it (MB): preprocess / extract / search.
+const STAGE_WORK: [f64; 3] = [0.05, 0.25, 0.4];
+const STAGE_INPUT_MB: [f64; 3] = [2.0, 0.5, 0.1];
+
+fn topology() -> Topology {
+    let mut t = Topology::new();
+    t.constrain("edge", "fog", LinkSpec::new(10.0, 400.0));
+    t.constrain("fog", "cloud", LinkSpec::new(40.0, 1_000.0));
+    t.constrain("edge", "cloud", LinkSpec::new(50.0, 300.0));
+    t
+}
+
+/// End-to-end latency of a placement (stages run where `p` says; data
+/// moves between consecutive stages' layers, starting from the user at
+/// the edge).
+fn latency(p: &[f64], topo: &Topology) -> f64 {
+    let mut total = 0.0;
+    let mut here = "edge";
+    for (stage, &placement) in p.iter().enumerate() {
+        let layer = LAYERS[placement as usize];
+        let bytes = (STAGE_INPUT_MB[stage] * 1e6) as u64;
+        if here != layer {
+            total += topo.transfer_secs(here, layer, bytes);
+        }
+        total += STAGE_WORK[stage] / SPEED[placement as usize];
+        here = layer;
+    }
+    // The response returns to the user at the edge.
+    if here != "edge" {
+        total += topo.rtt_secs(here, "edge") / 2.0;
+    }
+    total
+}
+
+/// Communication cost of a placement (egress pricing on moved data).
+fn comm_cost(p: &[f64]) -> f64 {
+    let mut cost = 0.0;
+    let mut here = 0usize; // edge
+    for (stage, &placement) in p.iter().enumerate() {
+        let to = placement as usize;
+        if to != here {
+            cost += STAGE_INPUT_MB[stage] / 1e3 * EGRESS_COST[to.max(here)];
+        }
+        here = to;
+    }
+    cost * 1e3 // milli-dollars per request, for readable numbers
+}
+
+fn main() {
+    let topo = std::sync::Arc::new(topology());
+    let space = Space::new()
+        .int("preprocess", 0, 2)
+        .int("extract", 0, 2)
+        .int("search", 0, 2);
+
+    println!("Fig. 4 (right) — multi-objective placement: min communication cost AND latency\n");
+    let mut table = Table::new([
+        "latency_weight",
+        "placement(pre,extract,search)",
+        "latency(s)",
+        "comm_cost(m$)",
+    ]);
+    // Sweep the scalarization weight to trace the trade-off curve.
+    for (w_latency, w_cost) in [(1.0, 0.0), (1.0, 1.0), (1.0, 5.0), (1.0, 25.0), (0.0, 1.0)] {
+        let topo_obj = topo.clone();
+        let topo_con = topo.clone();
+        let problem = OptimizationProblem::single(
+            space.clone(),
+            "latency",
+            Sense::Minimize,
+            move |p| latency(p, &topo_obj),
+        )
+        .and_objective("comm_cost", Sense::Minimize, comm_cost)
+        // The paper's example constraint: response time below a bound.
+        .subject_to(move |p| latency(p, &topo_con) - 3.0);
+
+        let mut de = DifferentialEvolution::new(11);
+        let mut objective = |p: &[f64]| problem.penalized(p, Some(&[w_latency, w_cost]));
+        let result = de.minimize(&space, &mut objective, 2000);
+        let p = space.sanitize(&result.best_x);
+        table.row([
+            format!("{w_latency}:{w_cost}"),
+            format!(
+                "({},{},{})",
+                LAYERS[p[0] as usize], LAYERS[p[1] as usize], LAYERS[p[2] as usize]
+            ),
+            format!("{:.3}", latency(&p, &topo)),
+            format!("{:.2}", comm_cost(&p)),
+        ]);
+    }
+    print!("{table}");
+    println!("\nlatency-dominated weights push compute to the cloud (fast cores);");
+    println!("cost-dominated weights keep everything at the edge (no egress).");
+}

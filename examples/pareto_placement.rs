@@ -1,0 +1,94 @@
+//! The Fig. 4 (right) placement problem solved *properly* multi-objective:
+//! instead of sweeping scalarization weights (see `continuum_placement`),
+//! NSGA-II recovers the whole cost/latency Pareto front in one run.
+//!
+//! ```sh
+//! cargo run --release --example pareto_placement
+//! ```
+
+use e2clab::metrics::Table;
+use e2clab::net::{LinkSpec, Topology};
+use e2clab::optim::{Nsga2, Space};
+
+const LAYERS: [&str; 3] = ["edge", "fog", "cloud"];
+const SPEED: [f64; 3] = [0.25, 0.6, 1.0];
+const EGRESS_COST: [f64; 3] = [0.0, 0.02, 0.08];
+const STAGE_WORK: [f64; 3] = [0.05, 0.25, 0.4];
+const STAGE_INPUT_MB: [f64; 3] = [2.0, 0.5, 0.1];
+
+fn topology() -> Topology {
+    let mut t = Topology::new();
+    t.constrain("edge", "fog", LinkSpec::new(10.0, 400.0));
+    t.constrain("fog", "cloud", LinkSpec::new(40.0, 1_000.0));
+    t.constrain("edge", "cloud", LinkSpec::new(50.0, 300.0));
+    t
+}
+
+fn latency(p: &[f64], topo: &Topology) -> f64 {
+    let mut total = 0.0;
+    let mut here = "edge";
+    for (stage, &placement) in p.iter().enumerate() {
+        let layer = LAYERS[placement as usize];
+        let bytes = (STAGE_INPUT_MB[stage] * 1e6) as u64;
+        if here != layer {
+            total += topo.transfer_secs(here, layer, bytes);
+        }
+        total += STAGE_WORK[stage] / SPEED[placement as usize];
+        here = layer;
+    }
+    if here != "edge" {
+        total += topo.rtt_secs(here, "edge") / 2.0;
+    }
+    total
+}
+
+fn comm_cost(p: &[f64]) -> f64 {
+    let mut cost = 0.0;
+    let mut here = 0usize;
+    for (stage, &placement) in p.iter().enumerate() {
+        let to = placement as usize;
+        if to != here {
+            cost += STAGE_INPUT_MB[stage] / 1e3 * EGRESS_COST[to.max(here)];
+        }
+        here = to;
+    }
+    cost * 1e3
+}
+
+fn main() {
+    let topo = topology();
+    let space = Space::new()
+        .int("preprocess", 0, 2)
+        .int("extract", 0, 2)
+        .int("search", 0, 2);
+
+    println!("Fig. 4 (right) as a true multi-objective problem — NSGA-II Pareto front\n");
+    let mut nsga = Nsga2::new(17);
+    let mut f = |p: &[f64]| vec![latency(p, &topo), comm_cost(p)];
+    let mut front = nsga.minimize(&space, &mut f, 60);
+    front.sort_by(|a, b| {
+        a.objectives[0]
+            .partial_cmp(&b.objectives[0])
+            .expect("finite objectives")
+    });
+
+    let mut table = Table::new(["placement(pre,extract,search)", "latency(s)", "comm_cost(m$)"]);
+    for sol in &front {
+        table.row([
+            format!(
+                "({},{},{})",
+                LAYERS[sol.x[0] as usize],
+                LAYERS[sol.x[1] as usize],
+                LAYERS[sol.x[2] as usize]
+            ),
+            format!("{:.3}", sol.objectives[0]),
+            format!("{:.2}", sol.objectives[1]),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\n{} non-dominated placements: the front runs from all-edge (zero egress, slow cores)",
+        front.len()
+    );
+    println!("to cloud-heavy (fast cores, paid egress) — the decision the methodology hands back to the operator.");
+}

@@ -1,0 +1,90 @@
+//! Quickstart: define an experiment from a configuration document, deploy
+//! it on the simulated Grid'5000 testbed, run a small optimization cycle
+//! and print the Phase III summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use e2clab::conf::schema::ExperimentConf;
+use e2clab::core::{Experiment as FrameworkExperiment, OptimizationManager};
+use e2clab::plantnet::sim::{Experiment, ExperimentSpec};
+use e2clab::plantnet::PoolConfig;
+use e2clab::testbed::grid5000;
+
+const CONF: &str = r#"
+name: quickstart
+layers:
+  - name: cloud
+    services:
+      - name: engine
+        cluster: chifflot
+        quantity: 1
+  - name: edge
+    services:
+      - name: clients
+        cluster: gros
+        quantity: 4
+network:
+  - src: edge
+    dst: cloud
+    delay_ms: 5.0
+    rate_mbps: 10000
+optimization:
+  metric: user_resp_time
+  mode: min
+  name: quickstart-tuning
+  num_samples: 12
+  max_concurrent: 4
+  search:
+    algo: extra_trees
+    n_initial_points: 6
+    initial_point_generator: lhs
+    acq_func: gp_hedge
+  config:
+    - name: http
+      type: randint
+      bounds: [20, 60]
+    - name: download
+      type: randint
+      bounds: [20, 60]
+    - name: simsearch
+      type: randint
+      bounds: [20, 60]
+    - name: extract
+      type: randint
+      bounds: [3, 9]
+"#;
+
+fn main() {
+    // Phase I: parse and validate the experiment definition.
+    let doc = e2clab::conf::parse(CONF).expect("configuration parses");
+    let conf = ExperimentConf::from_value(&doc).expect("configuration validates");
+
+    // Deploy on the simulated testbed (reservation + network emulation).
+    let mut exp = FrameworkExperiment::new(conf.clone(), grid5000::paper_testbed());
+    exp.deploy().expect("deployment succeeds");
+    println!("--- deployed scenario ---\n{}", exp.describe());
+
+    // Phase II: the optimization cycle over the Pl@ntNet engine model.
+    // Short runs keep the example under a minute; the bench harness runs
+    // the full 1380 s protocol.
+    let manager = OptimizationManager::new(conf.optimization.expect("present")).with_seed(7);
+    let summary = manager.run(|ctx| {
+        let cfg = PoolConfig::from_point(&ctx.point);
+        let mut spec = ExperimentSpec::quick(cfg, 80);
+        spec.duration = e2clab::des::SimTime::from_secs(90);
+        spec.warmup = e2clab::des::SimTime::from_secs(15);
+        Experiment::run(spec, 10_000 + ctx.trial_id).response.mean
+    });
+
+    // Phase III: the reproducibility summary.
+    println!("--- optimization summary ---\n{}", summary.render());
+
+    let baseline = Experiment::run(ExperimentSpec::quick(PoolConfig::baseline(), 80), 1);
+    println!(
+        "baseline response: {:.3} s — found configuration improves it by {:.1}%",
+        baseline.response.mean,
+        (1.0 - summary.best_value.expect("successful run") / baseline.response.mean) * 100.0
+    );
+}

@@ -1,0 +1,57 @@
+//! Cross-backend validation: the discrete-event simulator and the
+//! real-thread engine implement the same pipeline; they must agree on the
+//! *direction* of configuration effects (absolute numbers differ — the
+//! real backend pays OS scheduling overheads).
+
+use e2clab::des::SimTime;
+use e2clab::plantnet::rt::RtEngine;
+use e2clab::plantnet::sim::{Experiment, ExperimentSpec};
+use e2clab::plantnet::PoolConfig;
+
+fn des_response(cfg: PoolConfig, clients: usize) -> f64 {
+    let mut spec = ExperimentSpec::quick(cfg, clients);
+    spec.duration = SimTime::from_secs(60);
+    spec.warmup = SimTime::from_secs(10);
+    Experiment::run(spec, 3).response.mean
+}
+
+fn rt_response(cfg: PoolConfig, clients: usize) -> f64 {
+    // 500x time compression: a 0.8 s simsearch becomes 1.6 ms of sleep.
+    RtEngine::new(cfg, 0.002).run(clients, 3, 3).response.mean
+}
+
+#[test]
+fn both_backends_punish_tiny_admission_pools() {
+    let small = PoolConfig {
+        http: 4,
+        ..PoolConfig::baseline()
+    };
+    let base = PoolConfig::baseline();
+    let clients = 16;
+    let des_ratio = des_response(small, clients) / des_response(base, clients);
+    let rt_ratio = rt_response(small, clients) / rt_response(base, clients);
+    assert!(des_ratio > 1.5, "DES must punish http=4: ratio {des_ratio}");
+    assert!(rt_ratio > 1.5, "RT must punish http=4: ratio {rt_ratio}");
+}
+
+#[test]
+fn both_backends_punish_starved_extract_pools() {
+    let starved = PoolConfig {
+        extract: 1,
+        ..PoolConfig::baseline()
+    };
+    let base = PoolConfig::baseline();
+    let clients = 16;
+    assert!(des_response(starved, clients) > des_response(base, clients));
+    assert!(rt_response(starved, clients) > rt_response(base, clients));
+}
+
+#[test]
+fn rt_engine_response_has_sane_absolute_scale() {
+    // A single uncontended client should take roughly the sum of service
+    // means (~1.3 model seconds) in both backends.
+    let des = des_response(PoolConfig::baseline(), 1);
+    let rt = rt_response(PoolConfig::baseline(), 1);
+    assert!((0.8..2.5).contains(&des), "DES single-client response {des}");
+    assert!((0.8..3.5).contains(&rt), "RT single-client response {rt}");
+}

@@ -1,0 +1,96 @@
+//! Integration across the framework layers: configuration → provisioning
+//! on the Grid'5000 model → service deployment checks → network emulation
+//! → repeated application runs feeding the monitoring backup.
+
+use e2clab::conf::schema::ExperimentConf;
+use e2clab::core::service::{ClientsService, PlantnetEngineService, Service, ServiceRegistry};
+use e2clab::core::Experiment as FrameworkExperiment;
+use e2clab::des::SimTime;
+use e2clab::plantnet::sim::{Experiment, ExperimentSpec};
+use e2clab::plantnet::PoolConfig;
+use e2clab::testbed::grid5000;
+
+const CONF: &str = r#"
+name: lifecycle
+layers:
+  - name: cloud
+    services:
+      - name: plantnet-engine
+        cluster: chifflot
+        quantity: 1
+  - name: edge
+    services:
+      - name: clients
+        cluster: chiclet
+        quantity: 4
+network:
+  - src: edge
+    dst: cloud
+    delay_ms: 5.0
+    rate_mbps: 10000
+"#;
+
+#[test]
+fn deploy_run_backup_teardown() {
+    let conf = ExperimentConf::from_value(&e2clab::conf::parse(CONF).unwrap()).unwrap();
+    let mut exp =
+        FrameworkExperiment::new(conf, grid5000::paper_testbed()).with_duration_secs(120.0);
+    exp.deploy().expect("deployment");
+
+    // The engine service validates it landed on GPU nodes.
+    let mut registry = ServiceRegistry::new();
+    registry.register(Box::new(PlantnetEngineService));
+    registry.register(Box::new(ClientsService {
+        simultaneous_requests: 80,
+    }));
+    let engine_nodes = exp
+        .deployment()
+        .unwrap()
+        .nodes_of("cloud.plantnet-engine")
+        .to_vec();
+    registry
+        .get("plantnet-engine")
+        .unwrap()
+        .deploy(&engine_nodes, exp.testbed())
+        .expect("engine deploys on GPU nodes");
+
+    // Run the actual application (the DES engine) 3 times; each run's
+    // registry lands in the monitoring backup.
+    exp.run_repeated(3, |rep, _deployment, topology| {
+        // The emulated edge->cloud constraint is visible to the app.
+        assert_eq!(topology.link("edge", "cloud").latency_ms, 5.0);
+        let mut spec = ExperimentSpec::quick(PoolConfig::baseline(), 40);
+        spec.duration = SimTime::from_secs(120);
+        spec.warmup = SimTime::from_secs(20);
+        Experiment::run(spec, 400 + rep as u64).registry
+    })
+    .expect("runs complete");
+
+    assert_eq!(exp.repetitions(), 3);
+    let resp = exp.backup().get("user_resp_time").expect("metric recorded");
+    // 3 repetitions × 10 windows (120 s − 20 s warm-up at 10 s intervals).
+    assert_eq!(resp.len(), 30);
+    // Concatenated timelines: repetition 2's samples sit past 240 s.
+    assert!(resp.times().last().unwrap() > &240.0);
+
+    exp.teardown();
+    assert_eq!(exp.testbed().free_in("chifflot"), 2);
+    assert_eq!(exp.testbed().free_in("chiclet"), 10);
+}
+
+#[test]
+fn engine_service_refuses_cpu_only_clusters() {
+    let conf_bad = CONF.replace("cluster: chifflot", "cluster: gros");
+    let conf = ExperimentConf::from_value(&e2clab::conf::parse(&conf_bad).unwrap()).unwrap();
+    let mut exp = FrameworkExperiment::new(conf, grid5000::paper_testbed());
+    exp.deploy().expect("reservation itself succeeds");
+    let nodes = exp
+        .deployment()
+        .unwrap()
+        .nodes_of("cloud.plantnet-engine")
+        .to_vec();
+    let err = PlantnetEngineService
+        .deploy(&nodes, exp.testbed())
+        .unwrap_err();
+    assert!(err.reason.contains("no GPU"), "{err}");
+}

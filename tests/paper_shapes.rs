@@ -1,0 +1,123 @@
+//! Reduced-scale checks of the paper's headline shapes (the full-protocol
+//! numbers live in the bench harness; these guard the mechanisms in CI).
+
+use e2clab::des::SimTime;
+use e2clab::plantnet::monitor::names;
+use e2clab::plantnet::sim::{Experiment, ExperimentSpec};
+use e2clab::plantnet::PoolConfig;
+
+fn spec(cfg: PoolConfig, clients: usize) -> ExperimentSpec {
+    let mut s = ExperimentSpec::paper(cfg, clients);
+    s.duration = SimTime::from_secs(240);
+    s.warmup = SimTime::from_secs(30);
+    s
+}
+
+#[test]
+fn fig3_response_grows_with_simultaneous_requests() {
+    let cfg = PoolConfig::baseline();
+    let resp: Vec<f64> = [60, 100, 140]
+        .iter()
+        .map(|&n| Experiment::run(spec(cfg, n), 5).response.mean)
+        .collect();
+    assert!(resp[0] < resp[1] && resp[1] < resp[2], "{resp:?}");
+    // The 4-second knee falls beyond ~120 requests (Fig. 3).
+    assert!(resp[1] < 4.0, "100 clients should be under 4 s: {}", resp[1]);
+    assert!(resp[2] > 4.0, "140 clients should be over 4 s: {}", resp[2]);
+}
+
+#[test]
+fn table3_preliminary_optimum_beats_baseline() {
+    for clients in [80usize, 120] {
+        let base = Experiment::run(spec(PoolConfig::baseline(), clients), 9);
+        let opt = Experiment::run(spec(PoolConfig::preliminary_optimum(), clients), 9);
+        assert!(
+            opt.response.mean < base.response.mean,
+            "clients={clients}: optimum {} !< baseline {}",
+            opt.response.mean,
+            base.response.mean
+        );
+    }
+}
+
+#[test]
+fn fig9_extract_sweep_has_interior_optimum_and_cpu_saturation() {
+    let mut resp = Vec::new();
+    let mut cpu = Vec::new();
+    for extract in [5u32, 7, 9] {
+        let cfg = PoolConfig {
+            extract,
+            ..PoolConfig::preliminary_optimum()
+        };
+        let m = Experiment::run(spec(cfg, 80), 11);
+        resp.push(m.response.mean);
+        cpu.push(m.mean_cpu());
+    }
+    // Interior optimum: 7 beats both 5 and 9 (Fig. 9a's shape).
+    assert!(resp[1] < resp[0], "7 must beat 5: {resp:?}");
+    assert!(resp[1] < resp[2], "7 must beat 9: {resp:?}");
+    // CPU usage increases with the extract pool and pins at 9 (Fig. 9c).
+    assert!(cpu[0] < cpu[2], "{cpu:?}");
+    assert!(cpu[2] > 0.97, "CPU must pin at extract=9: {cpu:?}");
+}
+
+#[test]
+fn fig9_extract_pool_busy_falls_once_cpu_binds() {
+    let busy = |extract: u32| {
+        let cfg = PoolConfig {
+            extract,
+            ..PoolConfig::preliminary_optimum()
+        };
+        Experiment::run(spec(cfg, 80), 13).mean_busy(names::EXTRACT_BUSY)
+    };
+    let at6 = busy(6);
+    let at9 = busy(9);
+    assert!(at6 > 0.97, "extract=6 pool must be pinned: {at6}");
+    assert!(at9 < at6 - 0.1, "extract=9 pool must starve: {at9} vs {at6}");
+}
+
+#[test]
+fn fig9_memory_grows_with_extract_pool() {
+    let mem = |extract: u32| {
+        let cfg = PoolConfig {
+            extract,
+            ..PoolConfig::preliminary_optimum()
+        };
+        let m = Experiment::run(spec(cfg, 20), 15);
+        (m.gpu_mem_gb, m.sys_mem_gb)
+    };
+    let (gpu5, sys5) = mem(5);
+    let (gpu9, sys9) = mem(9);
+    assert!(gpu9 > gpu5);
+    assert!(sys9 > sys5);
+}
+
+#[test]
+fn table4_refined_optimum_uses_less_gpu_memory() {
+    let prelim = Experiment::run(spec(PoolConfig::preliminary_optimum(), 80), 17);
+    let refined = Experiment::run(spec(PoolConfig::refined_optimum(), 80), 17);
+    assert!(refined.gpu_mem_gb < prelim.gpu_mem_gb);
+    // And the response stays within a small band of the preliminary
+    // optimum (Table IV: 2.476 vs 2.484).
+    let gap = (refined.response.mean - prelim.response.mean) / prelim.response.mean;
+    assert!(gap.abs() < 0.05, "refined vs preliminary gap {gap}");
+}
+
+#[test]
+fn fig9b_wait_extract_falls_and_simsearch_rises_with_extract_threads() {
+    let task = |extract: u32, label: &str| {
+        let cfg = PoolConfig {
+            extract,
+            ..PoolConfig::preliminary_optimum()
+        };
+        Experiment::run(spec(cfg, 80), 19).task_mean(label)
+    };
+    assert!(
+        task(5, "wait-extract") > task(9, "wait-extract"),
+        "wait-extract must fall with more extract threads"
+    );
+    assert!(
+        task(9, "simsearch") > task(5, "simsearch"),
+        "simsearch time must rise as feeding steals CPU"
+    );
+}
