@@ -89,6 +89,205 @@ pub struct VariableConf {
     pub hi: f64,
 }
 
+/// Surrogate model family for Bayesian search. Parsed at the schema
+/// boundary so an unknown name is a configuration error, not a silent
+/// fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurrogateName {
+    /// Extremely randomized trees (the paper's `ET`).
+    ExtraTrees,
+    /// Random forest (`RF`).
+    RandomForest,
+    /// Single CART tree.
+    Cart,
+    /// Gradient-boosted trees (`GBRT`).
+    Gbrt,
+    /// Gaussian process, RBF kernel (`GP`).
+    Gp,
+    /// Gaussian process, Matérn kernel.
+    GpMatern,
+    /// Kernel ridge regression / SVR-style surrogate.
+    KernelRidge,
+    /// Polynomial regression.
+    Poly,
+}
+
+impl SurrogateName {
+    /// Parse an skopt-style surrogate name (accepts the same aliases the
+    /// optimizer does: `ET`, `rf`, `tree`, `kriging`, ...).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "extra_trees" | "ET" | "et" => Some(SurrogateName::ExtraTrees),
+            "random_forest" | "RF" | "rf" => Some(SurrogateName::RandomForest),
+            "cart" | "tree" | "DT" => Some(SurrogateName::Cart),
+            "gbrt" | "GBRT" => Some(SurrogateName::Gbrt),
+            "gp" | "GP" | "kriging" => Some(SurrogateName::Gp),
+            "gp_matern" => Some(SurrogateName::GpMatern),
+            "kernel_ridge" | "svr" | "SVR" => Some(SurrogateName::KernelRidge),
+            "poly" | "polynomial" => Some(SurrogateName::Poly),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (the one the archive serializes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SurrogateName::ExtraTrees => "extra_trees",
+            SurrogateName::RandomForest => "random_forest",
+            SurrogateName::Cart => "cart",
+            SurrogateName::Gbrt => "gbrt",
+            SurrogateName::Gp => "gp",
+            SurrogateName::GpMatern => "gp_matern",
+            SurrogateName::KernelRidge => "kernel_ridge",
+            SurrogateName::Poly => "poly",
+        }
+    }
+}
+
+/// The search algorithm driving the optimization cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchAlgo {
+    /// Uniform random sampling.
+    Random,
+    /// Factorial grid over the space.
+    Grid,
+    /// Generational GA (§III-B2, short-running applications).
+    Evolution,
+    /// Bayesian optimization with the given surrogate.
+    Surrogate(SurrogateName),
+}
+
+impl SearchAlgo {
+    /// Parse a search algorithm name; surrogate names select Bayesian
+    /// search with that model.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "random" => Some(SearchAlgo::Random),
+            "grid" => Some(SearchAlgo::Grid),
+            "genetic_algorithm" | "ga" | "evolution" => Some(SearchAlgo::Evolution),
+            other => SurrogateName::from_name(other).map(SearchAlgo::Surrogate),
+        }
+    }
+
+    /// Canonical name (the one the archive serializes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchAlgo::Random => "random",
+            SearchAlgo::Grid => "grid",
+            SearchAlgo::Evolution => "genetic_algorithm",
+            SearchAlgo::Surrogate(s) => s.name(),
+        }
+    }
+}
+
+/// Acquisition function for Bayesian search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcqFunc {
+    /// Expected improvement.
+    Ei,
+    /// Probability of improvement.
+    Pi,
+    /// Lower confidence bound.
+    Lcb,
+    /// Probabilistic portfolio over EI/PI/LCB (skopt's default).
+    GpHedge,
+}
+
+impl AcqFunc {
+    /// Parse an acquisition function name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "ei" | "EI" => Some(AcqFunc::Ei),
+            "pi" | "PI" => Some(AcqFunc::Pi),
+            "lcb" | "LCB" => Some(AcqFunc::Lcb),
+            "gp_hedge" => Some(AcqFunc::GpHedge),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (the one the archive serializes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AcqFunc::Ei => "ei",
+            AcqFunc::Pi => "pi",
+            AcqFunc::Lcb => "lcb",
+            AcqFunc::GpHedge => "gp_hedge",
+        }
+    }
+}
+
+/// Generator of the initial (model-free) design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialPointGenerator {
+    /// Uniform random points.
+    Random,
+    /// Latin hypercube sampling (the paper's choice).
+    Lhs,
+    /// Halton low-discrepancy sequence.
+    Halton,
+    /// Sobol low-discrepancy sequence.
+    Sobol,
+    /// Regular grid.
+    Grid,
+}
+
+impl InitialPointGenerator {
+    /// Parse an initial-point-generator name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "random" => Some(InitialPointGenerator::Random),
+            "lhs" => Some(InitialPointGenerator::Lhs),
+            "halton" => Some(InitialPointGenerator::Halton),
+            "sobol" => Some(InitialPointGenerator::Sobol),
+            "grid" => Some(InitialPointGenerator::Grid),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (the one the archive serializes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            InitialPointGenerator::Random => "random",
+            InitialPointGenerator::Lhs => "lhs",
+            InitialPointGenerator::Halton => "halton",
+            InitialPointGenerator::Sobol => "sobol",
+            InitialPointGenerator::Grid => "grid",
+        }
+    }
+}
+
+/// The `fault_tolerance:` block: how the trial runner treats failed and
+/// overrunning evaluations (edge testbeds fail routinely).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultToleranceConf {
+    /// Re-attempts after a failed evaluation (0 = fail immediately).
+    pub max_retries: u32,
+    /// Base backoff before the first re-attempt, in milliseconds.
+    pub backoff_ms: u64,
+    /// Multiplicative backoff growth per attempt (>= 1).
+    pub backoff_factor: f64,
+    /// Backoff ceiling, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Jitter fraction in `[0, 1]` applied to each backoff (seeded by the
+    /// experiment seed, so replays are bit-exact).
+    pub jitter: f64,
+    /// Per-trial wall-clock budget in milliseconds (`None` = unlimited).
+    pub time_budget_ms: Option<u64>,
+}
+
+impl Default for FaultToleranceConf {
+    fn default() -> Self {
+        FaultToleranceConf {
+            max_retries: 0,
+            backoff_ms: 100,
+            backoff_factor: 2.0,
+            max_backoff_ms: 10_000,
+            jitter: 0.1,
+            time_budget_ms: None,
+        }
+    }
+}
+
 /// The optimization section (the paper's Listing 1 / `optimizer_conf`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimizationConf {
@@ -102,16 +301,18 @@ pub struct OptimizationConf {
     pub num_samples: usize,
     /// Parallel evaluation cap (the paper's `ConcurrencyLimiter`).
     pub max_concurrent: usize,
-    /// Surrogate / search algorithm name (e.g. `extra_trees`).
-    pub algo: String,
+    /// Search algorithm (surrogate names select Bayesian search).
+    pub algo: SearchAlgo,
     /// Initial random/LHS design size.
     pub n_initial_points: usize,
-    /// Initial point generator (`lhs`, `halton`, `sobol`, `random`).
-    pub initial_point_generator: String,
-    /// Acquisition function (`ei`, `pi`, `lcb`, `gp_hedge`).
-    pub acq_func: String,
+    /// Initial point generator.
+    pub initial_point_generator: InitialPointGenerator,
+    /// Acquisition function.
+    pub acq_func: AcqFunc,
     /// The search space.
     pub variables: Vec<VariableConf>,
+    /// Retry/deadline behaviour of the trial runner (optional block).
+    pub fault_tolerance: Option<FaultToleranceConf>,
 }
 
 /// A full experiment description.
@@ -211,9 +412,9 @@ fn parse_layer(v: &Value, i: usize) -> Result<LayerConf, SchemaError> {
             let quantity = svc
                 .get("quantity")
                 .map(|q| {
-                    q.as_int()
-                        .filter(|&n| n > 0)
-                        .ok_or_else(|| err(&format!("{spath}.quantity"), "must be a positive integer"))
+                    q.as_int().filter(|&n| n > 0).ok_or_else(|| {
+                        err(&format!("{spath}.quantity"), "must be a positive integer")
+                    })
                 })
                 .transpose()?
                 .unwrap_or(1) as usize;
@@ -293,33 +494,66 @@ fn parse_optimization(v: &Value) -> Result<OptimizationConf, SchemaError> {
         .unwrap_or(1) as usize;
 
     let search = v.get("search").unwrap_or(&Value::Null);
-    let algo = search
+    let algo_name = search
         .get("algo")
         .and_then(Value::as_str)
-        .unwrap_or("extra_trees")
-        .to_string();
+        .unwrap_or("extra_trees");
+    let algo = SearchAlgo::from_name(algo_name).ok_or_else(|| {
+        err(
+            &format!("{path}.search.algo"),
+            format!(
+                "unknown search algorithm `{algo_name}` (expected `random`, `grid`, \
+                 `genetic_algorithm`, or a surrogate: `extra_trees`, `random_forest`, \
+                 `cart`, `gbrt`, `gp`, `gp_matern`, `kernel_ridge`, `poly`)"
+            ),
+        )
+    })?;
     let n_initial_points = search
         .get("n_initial_points")
         .and_then(Value::as_int)
         .filter(|&n| n > 0)
         .unwrap_or(10) as usize;
-    let initial_point_generator = search
+    let ipg_name = search
         .get("initial_point_generator")
         .and_then(Value::as_str)
-        .unwrap_or("lhs")
-        .to_string();
-    let acq_func = search
+        .unwrap_or("lhs");
+    let initial_point_generator = InitialPointGenerator::from_name(ipg_name).ok_or_else(|| {
+        err(
+            &format!("{path}.search.initial_point_generator"),
+            format!(
+                "unknown initial point generator `{ipg_name}` (expected `random`, \
+                 `lhs`, `halton`, `sobol` or `grid`)"
+            ),
+        )
+    })?;
+    let acq_name = search
         .get("acq_func")
         .and_then(Value::as_str)
-        .unwrap_or("gp_hedge")
-        .to_string();
+        .unwrap_or("gp_hedge");
+    let acq_func = AcqFunc::from_name(acq_name).ok_or_else(|| {
+        err(
+            &format!("{path}.search.acq_func"),
+            format!(
+                "unknown acquisition function `{acq_name}` (expected `ei`, `pi`, \
+                 `lcb` or `gp_hedge`)"
+            ),
+        )
+    })?;
+
+    let fault_tolerance = match v.get("fault_tolerance") {
+        Some(ft) if !ft.is_null() => Some(parse_fault_tolerance(ft)?),
+        _ => None,
+    };
 
     let config = v
         .get("config")
         .and_then(Value::as_seq)
         .ok_or_else(|| err(&format!("{path}.config"), "missing variable sequence"))?;
     if config.is_empty() {
-        return Err(err(&format!("{path}.config"), "needs at least one variable"));
+        return Err(err(
+            &format!("{path}.config"),
+            "needs at least one variable",
+        ));
     }
     let mut variables = Vec::new();
     for (i, var) in config.iter().enumerate() {
@@ -375,6 +609,66 @@ fn parse_optimization(v: &Value) -> Result<OptimizationConf, SchemaError> {
         initial_point_generator,
         acq_func,
         variables,
+        fault_tolerance,
+    })
+}
+
+fn parse_fault_tolerance(v: &Value) -> Result<FaultToleranceConf, SchemaError> {
+    let path = "optimization.fault_tolerance";
+    let defaults = FaultToleranceConf::default();
+    let get_u64 = |key: &str, default: u64| {
+        v.get(key)
+            .map(|x| {
+                x.as_int()
+                    .filter(|&n| n >= 0)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| err(&format!("{path}.{key}"), "must be a non-negative integer"))
+            })
+            .transpose()
+            .map(|o| o.unwrap_or(default))
+    };
+    let max_retries = get_u64("max_retries", defaults.max_retries as u64)? as u32;
+    let backoff_ms = get_u64("backoff_ms", defaults.backoff_ms)?;
+    let max_backoff_ms = get_u64("max_backoff_ms", defaults.max_backoff_ms)?;
+    let backoff_factor = v
+        .get("backoff_factor")
+        .map(|x| {
+            x.as_float()
+                .filter(|&f| f >= 1.0)
+                .ok_or_else(|| err(&format!("{path}.backoff_factor"), "must be a number >= 1"))
+        })
+        .transpose()?
+        .unwrap_or(defaults.backoff_factor);
+    let jitter = v
+        .get("jitter")
+        .map(|x| {
+            x.as_float()
+                .filter(|&f| (0.0..=1.0).contains(&f))
+                .ok_or_else(|| err(&format!("{path}.jitter"), "must be a number in [0, 1]"))
+        })
+        .transpose()?
+        .unwrap_or(defaults.jitter);
+    let time_budget_ms = v
+        .get("time_budget_ms")
+        .map(|x| {
+            x.as_int()
+                .filter(|&n| n > 0)
+                .map(|n| n as u64)
+                .ok_or_else(|| {
+                    err(
+                        &format!("{path}.time_budget_ms"),
+                        "must be a positive integer (milliseconds)",
+                    )
+                })
+        })
+        .transpose()?;
+    Ok(FaultToleranceConf {
+        max_retries,
+        backoff_ms,
+        backoff_factor,
+        max_backoff_ms,
+        jitter,
+        time_budget_ms,
     })
 }
 
@@ -432,8 +726,9 @@ optimization:
         assert_eq!(conf.network[0].delay_ms, 5.0);
         let opt = conf.optimization.unwrap();
         assert!(opt.minimize);
-        assert_eq!(opt.algo, "extra_trees");
+        assert_eq!(opt.algo, SearchAlgo::Surrogate(SurrogateName::ExtraTrees));
         assert_eq!(opt.n_initial_points, 45);
+        assert!(opt.fault_tolerance.is_none());
         assert_eq!(opt.variables.len(), 2);
         assert_eq!(opt.variables[1].kind, VarKind::Int);
         assert_eq!(opt.variables[1].lo, 3.0);
@@ -488,10 +783,71 @@ network:
         let opt = conf.optimization.unwrap();
         assert!(opt.minimize);
         assert_eq!(opt.max_concurrent, 1);
-        assert_eq!(opt.acq_func, "gp_hedge");
-        assert_eq!(opt.initial_point_generator, "lhs");
+        assert_eq!(opt.algo, SearchAlgo::Surrogate(SurrogateName::ExtraTrees));
+        assert_eq!(opt.acq_func, AcqFunc::GpHedge);
+        assert_eq!(opt.initial_point_generator, InitialPointGenerator::Lhs);
         // default type is randint
         assert_eq!(opt.variables[0].kind, VarKind::Int);
+    }
+
+    #[test]
+    fn unknown_search_algo_is_a_hard_error() {
+        let src = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  search:\n    algo: simulated_annealing\n  config:\n    - name: a\n      bounds: [0, 1]\n";
+        let e = ExperimentConf::from_value(&parse(src).unwrap()).unwrap_err();
+        assert_eq!(e.path, "optimization.search.algo");
+        assert!(e.message.contains("simulated_annealing"));
+    }
+
+    #[test]
+    fn unknown_acq_func_and_generator_are_hard_errors() {
+        let src = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  search:\n    acq_func: ucb\n  config:\n    - name: a\n      bounds: [0, 1]\n";
+        let e = ExperimentConf::from_value(&parse(src).unwrap()).unwrap_err();
+        assert_eq!(e.path, "optimization.search.acq_func");
+        let src = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  search:\n    initial_point_generator: fibonacci\n  config:\n    - name: a\n      bounds: [0, 1]\n";
+        let e = ExperimentConf::from_value(&parse(src).unwrap()).unwrap_err();
+        assert_eq!(e.path, "optimization.search.initial_point_generator");
+    }
+
+    #[test]
+    fn algo_aliases_resolve_to_canonical_names() {
+        for (alias, canonical) in [
+            ("ET", "extra_trees"),
+            ("rf", "random_forest"),
+            ("kriging", "gp"),
+            ("ga", "genetic_algorithm"),
+            ("random", "random"),
+        ] {
+            let algo = SearchAlgo::from_name(alias).unwrap();
+            assert_eq!(algo.name(), canonical, "alias {alias}");
+        }
+        assert!(SearchAlgo::from_name("").is_none());
+    }
+
+    #[test]
+    fn fault_tolerance_block_parses_with_defaults() {
+        let src = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  fault_tolerance:\n    max_retries: 3\n    time_budget_ms: 2000\n  config:\n    - name: a\n      bounds: [0, 1]\n";
+        let conf = ExperimentConf::from_value(&parse(src).unwrap()).unwrap();
+        let ft = conf.optimization.unwrap().fault_tolerance.unwrap();
+        assert_eq!(ft.max_retries, 3);
+        assert_eq!(ft.time_budget_ms, Some(2000));
+        // Unspecified knobs take the documented defaults.
+        assert_eq!(ft.backoff_ms, 100);
+        assert_eq!(ft.backoff_factor, 2.0);
+        assert_eq!(ft.max_backoff_ms, 10_000);
+        assert_eq!(ft.jitter, 0.1);
+    }
+
+    #[test]
+    fn fault_tolerance_rejects_bad_knobs() {
+        let bad_factor = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  fault_tolerance:\n    backoff_factor: 0.5\n  config:\n    - name: a\n      bounds: [0, 1]\n";
+        let e = ExperimentConf::from_value(&parse(bad_factor).unwrap()).unwrap_err();
+        assert_eq!(e.path, "optimization.fault_tolerance.backoff_factor");
+        let bad_jitter = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  fault_tolerance:\n    jitter: 1.5\n  config:\n    - name: a\n      bounds: [0, 1]\n";
+        let e = ExperimentConf::from_value(&parse(bad_jitter).unwrap()).unwrap_err();
+        assert_eq!(e.path, "optimization.fault_tolerance.jitter");
+        let bad_budget = "name: x\noptimization:\n  metric: m\n  num_samples: 5\n  fault_tolerance:\n    time_budget_ms: 0\n  config:\n    - name: a\n      bounds: [0, 1]\n";
+        let e = ExperimentConf::from_value(&parse(bad_budget).unwrap()).unwrap_err();
+        assert_eq!(e.path, "optimization.fault_tolerance.time_budget_ms");
     }
 
     #[test]

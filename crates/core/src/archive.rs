@@ -47,7 +47,7 @@ pub fn problem_to_value(conf: &OptimizationConf) -> Value {
             ])
         })
         .collect();
-    Value::Map(vec![
+    let mut doc = Value::Map(vec![
         ("name".into(), Value::Str(conf.name.clone())),
         ("metric".into(), Value::Str(conf.metric.clone())),
         (
@@ -62,20 +62,39 @@ pub fn problem_to_value(conf: &OptimizationConf) -> Value {
         (
             "search".into(),
             Value::Map(vec![
-                ("algo".into(), Value::Str(conf.algo.clone())),
+                ("algo".into(), Value::Str(conf.algo.name().into())),
                 (
                     "n_initial_points".into(),
                     Value::Int(conf.n_initial_points as i64),
                 ),
                 (
                     "initial_point_generator".into(),
-                    Value::Str(conf.initial_point_generator.clone()),
+                    Value::Str(conf.initial_point_generator.name().into()),
                 ),
-                ("acq_func".into(), Value::Str(conf.acq_func.clone())),
+                ("acq_func".into(), Value::Str(conf.acq_func.name().into())),
             ]),
         ),
         ("config".into(), Value::Seq(variables)),
-    ])
+    ]);
+    if let Some(ft) = &conf.fault_tolerance {
+        let mut block = vec![
+            ("max_retries".into(), Value::Int(ft.max_retries as i64)),
+            ("backoff_ms".into(), Value::Int(ft.backoff_ms as i64)),
+            ("backoff_factor".into(), Value::Float(ft.backoff_factor)),
+            (
+                "max_backoff_ms".into(),
+                Value::Int(ft.max_backoff_ms as i64),
+            ),
+            ("jitter".into(), Value::Float(ft.jitter)),
+        ];
+        if let Some(ms) = ft.time_budget_ms {
+            block.push(("time_budget_ms".into(), Value::Int(ms as i64)));
+        }
+        if let Value::Map(pairs) = &mut doc {
+            pairs.push(("fault_tolerance".into(), Value::Map(block)));
+        }
+    }
+    doc
 }
 
 /// Write the full Phase III archive.
@@ -87,13 +106,14 @@ pub fn write_summary(summary: &OptimizationSummary, dir: &Path) -> io::Result<()
     )?;
     fs::write(dir.join("summary.txt"), summary.render())?;
 
-    // evaluations.csv — trial id, status, variables..., value.
+    // evaluations.csv — trial id, status, attempt count, variables...,
+    // value, last failure reason (empty for successes).
     let mut csv = fs::File::create(dir.join("evaluations.csv"))?;
-    write!(csv, "trial,status")?;
+    write!(csv, "trial,status,attempts")?;
     for v in &summary.conf.variables {
         write!(csv, ",{}", v.name)?;
     }
-    writeln!(csv, ",{}", summary.conf.metric)?;
+    writeln!(csv, ",{},failure", summary.conf.metric)?;
     for t in summary.analysis.trials() {
         let status = match &t.status {
             e2c_tune::TrialStatus::Terminated(_) => "terminated",
@@ -101,14 +121,16 @@ pub fn write_summary(summary: &OptimizationSummary, dir: &Path) -> io::Result<()
             e2c_tune::TrialStatus::Failed(_) => "failed",
             _ => "incomplete",
         };
-        write!(csv, "{},{}", t.id, status)?;
+        write!(csv, "{},{},{}", t.id, status, t.attempt_count())?;
         for x in &t.config {
             write!(csv, ",{x}")?;
         }
         match t.value() {
-            Some(v) => writeln!(csv, ",{v}")?,
-            None => writeln!(csv, ",")?,
+            Some(v) => write!(csv, ",{v}")?,
+            None => write!(csv, ",")?,
         }
+        let failure = t.status.failure().map(sanitize_csv).unwrap_or_default();
+        writeln!(csv, ",{failure}")?;
     }
 
     // best.yaml
@@ -144,32 +166,78 @@ pub fn write_evaluation(dir: &Path, trial: u64, point: &Point, value: f64) -> io
     Ok(())
 }
 
+/// Strip CSV-hostile characters from a free-text field (failure reasons
+/// may carry panic payloads); the row must stay one comma-split line.
+fn sanitize_csv(text: &str) -> String {
+    text.chars()
+        .map(|c| match c {
+            ',' => ';',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect()
+}
+
 /// Read back `evaluations.csv` as `(trial, point, value)` rows (failed
 /// trials come back with `None`). Used by tests and by `--repeat` replays.
+///
+/// Layout: `trial,status,attempts,<variables...>,<metric>,failure`.
 pub fn load_evaluations(dir: &Path) -> io::Result<Vec<(u64, Point, Option<f64>)>> {
+    Ok(load_evaluation_records(dir)?
+        .into_iter()
+        .map(|r| (r.trial, r.point, r.value))
+        .collect())
+}
+
+/// One parsed `evaluations.csv` row, including the retry bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationRecord {
+    /// Trial id.
+    pub trial: u64,
+    /// Final status token (`terminated`, `stopped_early`, `failed`, ...).
+    pub status: String,
+    /// How many times the trial was executed.
+    pub attempts: u32,
+    /// The evaluated configuration.
+    pub point: Point,
+    /// Metric value (`None` for failed trials).
+    pub value: Option<f64>,
+    /// Last failure reason (empty for successes).
+    pub failure: String,
+}
+
+/// Read back `evaluations.csv` with full per-row detail.
+pub fn load_evaluation_records(dir: &Path) -> io::Result<Vec<EvaluationRecord>> {
     let text = fs::read_to_string(dir.join("evaluations.csv"))?;
     let mut lines = text.lines();
     let header = lines.next().unwrap_or("");
     let n_cols = header.split(',').count();
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    if n_cols < 6 {
+        return Err(bad(format!("unexpected header: {header}")));
+    }
     let mut out = Vec::new();
     for line in lines {
         let cols: Vec<&str> = line.split(',').collect();
         if cols.len() != n_cols {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("ragged row: {line}"),
-            ));
+            return Err(bad(format!("ragged row: {line}")));
         }
-        let trial: u64 = cols[0]
-            .parse()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
-        let point: Point = cols[2..n_cols - 1]
+        let trial: u64 = cols[0].parse().map_err(|e| bad(format!("{e}")))?;
+        let attempts: u32 = cols[2].parse().map_err(|e| bad(format!("{e}")))?;
+        let point: Point = cols[3..n_cols - 2]
             .iter()
             .map(|c| c.parse::<f64>())
             .collect::<Result<_, _>>()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
-        let value = cols[n_cols - 1].parse::<f64>().ok();
-        out.push((trial, point, value));
+            .map_err(|e| bad(format!("{e}")))?;
+        let value = cols[n_cols - 2].parse::<f64>().ok();
+        out.push(EvaluationRecord {
+            trial,
+            status: cols[1].to_string(),
+            attempts,
+            point,
+            value,
+            failure: cols[n_cols - 1].to_string(),
+        });
     }
     Ok(out)
 }
@@ -230,6 +298,107 @@ optimization:
             config[1].get("bounds").unwrap().as_seq().unwrap()[1].as_float(),
             Some(9.0)
         );
+    }
+
+    #[test]
+    fn evaluations_csv_records_attempts_and_failures() {
+        use e2c_tune::trial::{Attempt, Trial, TrialStatus};
+        use e2c_tune::tuner::Mode;
+        use e2c_tune::Analysis;
+
+        let dir = std::env::temp_dir().join(format!(
+            "e2clab-archive-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut flaky = Trial::new(0, vec![40.0, 7.0]);
+        flaky.status = TrialStatus::Terminated(2.5);
+        flaky.attempts = vec![
+            Attempt {
+                index: 0,
+                error: Some("panic: broken, pipe".into()),
+                secs: 0.1,
+            },
+            Attempt {
+                index: 1,
+                error: None,
+                secs: 0.1,
+            },
+        ];
+        let mut doomed = Trial::new(1, vec![20.0, 3.0]);
+        doomed.status = TrialStatus::Failed("deadline exceeded".into());
+        doomed.attempts = vec![Attempt {
+            index: 0,
+            error: Some("deadline exceeded".into()),
+            secs: 0.2,
+        }];
+        let analysis = Analysis::new(
+            "plantnet_engine".into(),
+            "user_resp_time".into(),
+            Mode::Min,
+            vec![flaky, doomed],
+        );
+        let summary = OptimizationSummary {
+            conf: conf(),
+            seed: 1,
+            best_point: Some(vec![40.0, 7.0]),
+            best_value: Some(2.5),
+            analysis,
+        };
+        write_summary(&summary, &dir).unwrap();
+
+        let text = fs::read_to_string(dir.join("evaluations.csv")).unwrap();
+        assert!(text.starts_with("trial,status,attempts,http,extract,user_resp_time,failure\n"));
+
+        let recs = load_evaluation_records(&dir).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].attempts, 2);
+        assert_eq!(recs[0].status, "terminated");
+        assert_eq!(recs[0].value, Some(2.5));
+        assert_eq!(recs[0].failure, "");
+        assert_eq!(recs[1].attempts, 1);
+        assert_eq!(recs[1].status, "failed");
+        assert_eq!(recs[1].value, None);
+        assert_eq!(recs[1].failure, "deadline exceeded");
+        assert_eq!(recs[1].point, vec![20.0, 3.0]);
+
+        // The legacy accessor still yields (trial, point, value).
+        let evals = load_evaluations(&dir).unwrap();
+        assert_eq!(evals[0], (0, vec![40.0, 7.0], Some(2.5)));
+        assert_eq!(evals[1], (1, vec![20.0, 3.0], None));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sanitize_keeps_rows_single_line() {
+        assert_eq!(sanitize_csv("a,b\nc"), "a;b c");
+        assert_eq!(sanitize_csv("plain"), "plain");
+    }
+
+    #[test]
+    fn fault_tolerance_block_serialized_when_present() {
+        let mut c = conf();
+        c.fault_tolerance = Some(e2c_conf::schema::FaultToleranceConf {
+            max_retries: 2,
+            time_budget_ms: Some(5000),
+            ..Default::default()
+        });
+        let text = problem_to_value(&c).to_yaml();
+        let reparsed = parse(&text).unwrap();
+        let ft = reparsed.get("fault_tolerance").unwrap();
+        assert_eq!(ft.get("max_retries").unwrap().as_int(), Some(2));
+        assert_eq!(ft.get("time_budget_ms").unwrap().as_int(), Some(5000));
+        // And it validates back through the schema.
+        let full = Value::Map(vec![
+            ("name".into(), Value::Str("x".into())),
+            ("optimization".into(), reparsed),
+        ]);
+        let conf2 = ExperimentConf::from_value(&full).unwrap();
+        let ft2 = conf2.optimization.unwrap().fault_tolerance.unwrap();
+        assert_eq!(ft2.max_retries, 2);
+        assert_eq!(ft2.backoff_factor, 2.0);
     }
 
     #[test]

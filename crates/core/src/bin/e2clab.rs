@@ -11,10 +11,13 @@
 //!     Dry-run deployment: reserve nodes on the simulated Grid'5000
 //!     testbed, apply network emulation, print the scenario.
 //! e2clab optimize [--repeat N] [--duration SECS] [--seed S]
-//!                 [--archive DIR] <conf.yaml>
+//!                 [--archive DIR] [--faults SPEC] <conf.yaml>
 //!     Run the optimization cycle of the configuration's `optimization`
 //!     section against the Pl@ntNet engine model and print the Phase III
-//!     summary.
+//!     summary. `--faults` injects deterministic trial failures for
+//!     testing the retry layer, e.g.
+//!     `--faults "fail:2@0;delay:4:500;nan:5"` (fail trial 2's first
+//!     attempt, delay trial 4 by 500 ms, make trial 5 return NaN).
 //! e2clab report <archive-dir>
 //!     Re-print the summary of a previously written archive.
 //! ```
@@ -24,6 +27,7 @@ use e2c_core::experiment::Experiment;
 use e2c_core::optimization::OptimizationManager;
 use e2c_des::SimTime;
 use e2c_testbed::grid5000;
+use e2c_tune::FaultPlan;
 use plantnet::sim::{Experiment as EngineRun, ExperimentSpec};
 use plantnet::PoolConfig;
 use std::path::PathBuf;
@@ -32,7 +36,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  e2clab validate <conf.yaml>\n  e2clab deploy <conf.yaml>\n  \
-         e2clab optimize [--repeat N] [--duration SECS] [--seed S] [--archive DIR] <conf.yaml>\n  \
+         e2clab optimize [--repeat N] [--duration SECS] [--seed S] [--archive DIR] \
+         [--faults SPEC] <conf.yaml>\n  \
          e2clab report <archive-dir>"
     );
     ExitCode::from(2)
@@ -51,7 +56,9 @@ fn main() -> ExitCode {
     };
     match command {
         "validate" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             match load_conf(path) {
                 Ok(conf) => {
                     println!("ok: experiment `{}`", conf.name);
@@ -59,7 +66,11 @@ fn main() -> ExitCode {
                         "  layers: {}  network rules: {}  optimization: {}",
                         conf.layers.len(),
                         conf.network.len(),
-                        if conf.optimization.is_some() { "yes" } else { "no" }
+                        if conf.optimization.is_some() {
+                            "yes"
+                        } else {
+                            "no"
+                        }
                     );
                     ExitCode::SUCCESS
                 }
@@ -70,7 +81,9 @@ fn main() -> ExitCode {
             }
         }
         "deploy" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let conf = match load_conf(path) {
                 Ok(c) => c,
                 Err(e) => {
@@ -92,11 +105,13 @@ fn main() -> ExitCode {
             }
         }
         "optimize" => {
-            // Flag parsing: --repeat N --duration SECS --seed S --archive DIR.
+            // Flag parsing: --repeat N --duration SECS --seed S
+            // --archive DIR --faults SPEC.
             let mut repeat = 1usize;
             let mut duration = 1380u64;
             let mut seed = 0u64;
             let mut archive: Option<PathBuf> = None;
+            let mut faults = FaultPlan::new();
             let mut conf_path: Option<String> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
@@ -124,6 +139,16 @@ fn main() -> ExitCode {
                         Some(v) => archive = Some(PathBuf::from(v)),
                         None => return usage(),
                     },
+                    "--faults" => match grab("--faults") {
+                        Some(v) => match FaultPlan::parse(&v) {
+                            Ok(plan) => faults = plan,
+                            Err(e) => {
+                                eprintln!("--faults: {e}");
+                                return usage();
+                            }
+                        },
+                        None => return usage(),
+                    },
                     other if !other.starts_with("--") => conf_path = Some(other.to_string()),
                     other => {
                         eprintln!("unknown flag {other}");
@@ -131,7 +156,9 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let Some(path) = conf_path else { return usage() };
+            let Some(path) = conf_path else {
+                return usage();
+            };
             let conf = match load_conf(&path) {
                 Ok(c) => c,
                 Err(e) => {
@@ -153,7 +180,9 @@ fn main() -> ExitCode {
                 .map(|s| s.quantity * 20)
                 .sum::<usize>()
                 .max(80);
-            let mut manager = OptimizationManager::new(opt_conf).with_seed(seed);
+            let mut manager = OptimizationManager::new(opt_conf)
+                .with_seed(seed)
+                .with_faults(faults);
             if let Some(dir) = archive.clone() {
                 manager = manager.with_archive(dir);
             }
@@ -173,7 +202,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "report" => {
-            let Some(dir) = args.get(1) else { return usage() };
+            let Some(dir) = args.get(1) else {
+                return usage();
+            };
             let path = PathBuf::from(dir).join("summary.txt");
             match std::fs::read_to_string(&path) {
                 Ok(text) => {

@@ -14,25 +14,33 @@
 //! directory, runs the deployment callback, and records the evaluation.
 
 use crate::archive;
-use e2c_conf::schema::OptimizationConf;
+use e2c_conf::schema::VarKind;
+use e2c_conf::schema::{
+    AcqFunc, InitialPointGenerator, OptimizationConf, SearchAlgo, SurrogateName,
+};
 use e2c_optim::acquisition::Acquisition;
 use e2c_optim::bayes::BayesOpt;
 use e2c_optim::sampling::InitialDesign;
 use e2c_optim::space::{Point, Space};
 use e2c_optim::surrogate::SurrogateKind;
-use e2c_conf::schema::VarKind;
+use e2c_tune::fault::{FaultPlan, RetryPolicy};
 use e2c_tune::searcher::{ConcurrencyLimiter, GridSearch, RandomSearch, SkOptSearch};
 use e2c_tune::tuner::{Mode, Tuner};
 use e2c_tune::{Analysis, Fifo, Scheduler, Searcher};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Per-evaluation context handed to the user objective — the analogue of
-/// the paper's `run_objective(self, _config)` body.
+/// the paper's `run_objective(self, _config)` body. This is the single
+/// user-facing evaluation handle (re-exported by `crate::user_api`).
 #[derive(Debug, Clone)]
 pub struct EvalContext {
     /// Trial identifier.
     pub trial_id: u64,
+    /// 0-based execution attempt (> 0 when the fault-tolerance layer
+    /// re-runs a failed evaluation).
+    pub attempt: u32,
     /// The configuration to evaluate (external units, Eq. 2 order).
     pub point: Point,
     /// Directory created by `prepare()` for this evaluation's artifacts
@@ -62,7 +70,11 @@ impl OptimizationSummary {
         out.push_str(&format!("optimization: {}\n", self.conf.name));
         out.push_str(&format!(
             "objective: {} {}\n",
-            if self.conf.minimize { "minimize" } else { "maximize" },
+            if self.conf.minimize {
+                "minimize"
+            } else {
+                "maximize"
+            },
             self.conf.metric
         ));
         out.push_str("variables:\n");
@@ -71,19 +83,40 @@ impl OptimizationSummary {
         }
         out.push_str(&format!(
             "search: algo={} n_initial_points={} initial_point_generator={} acq_func={}\n",
-            self.conf.algo,
+            self.conf.algo.name(),
             self.conf.n_initial_points,
-            self.conf.initial_point_generator,
-            self.conf.acq_func
+            self.conf.initial_point_generator.name(),
+            self.conf.acq_func.name()
         ));
         out.push_str(&format!(
             "budget: num_samples={} max_concurrent={} seed={}\n",
             self.conf.num_samples, self.conf.max_concurrent, self.seed
         ));
+        if let Some(ft) = &self.conf.fault_tolerance {
+            out.push_str(&format!(
+                "fault_tolerance: max_retries={} backoff_ms={} backoff_factor={} jitter={} time_budget_ms={}\n",
+                ft.max_retries,
+                ft.backoff_ms,
+                ft.backoff_factor,
+                ft.jitter,
+                ft.time_budget_ms
+                    .map(|ms| ms.to_string())
+                    .unwrap_or_else(|| "unlimited".to_string())
+            ));
+        }
+        let failed = self
+            .analysis
+            .trials()
+            .iter()
+            .filter(|t| t.status.failure().is_some())
+            .count();
+        let retries: u32 = self.analysis.trials().iter().map(|t| t.retries()).sum();
         out.push_str(&format!(
-            "evaluations: {} ({} stopped early)\n",
+            "evaluations: {} ({} stopped early, {} failed, {} retries)\n",
             self.analysis.trials().len(),
-            self.analysis.stopped_early_count()
+            self.analysis.stopped_early_count(),
+            failed,
+            retries
         ));
         match (&self.best_point, self.best_value) {
             (Some(p), Some(v)) => {
@@ -110,17 +143,19 @@ pub struct OptimizationManager {
     seed: u64,
     archive_root: Option<PathBuf>,
     scheduler: Arc<dyn Scheduler>,
+    faults: FaultPlan,
 }
 
 impl OptimizationManager {
     /// Manager for a problem definition (seed 0, FIFO scheduling, no
-    /// archive directory).
+    /// archive directory, no injected faults).
     pub fn new(conf: OptimizationConf) -> Self {
         OptimizationManager {
             conf,
             seed: 0,
             archive_root: None,
             scheduler: Arc::new(Fifo),
+            faults: FaultPlan::new(),
         }
     }
 
@@ -143,6 +178,14 @@ impl OptimizationManager {
         self
     }
 
+    /// Inject deterministic trial faults (tests and the `--faults` CLI
+    /// knob); the retry layer then exercises exactly the configured
+    /// failure sequence.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Build the search space from the configured variables.
     pub fn space(&self) -> Space {
         let mut space = Space::new();
@@ -157,35 +200,30 @@ impl OptimizationManager {
 
     fn build_searcher(&self, space: Space) -> Box<dyn Searcher> {
         let limited = self.conf.max_concurrent;
-        match self.conf.algo.as_str() {
-            "random" => Box::new(ConcurrencyLimiter::new(
+        match self.conf.algo {
+            SearchAlgo::Random => Box::new(ConcurrencyLimiter::new(
                 RandomSearch::new(space, self.seed),
                 limited,
             )),
-            "grid" => Box::new(ConcurrencyLimiter::new(
+            SearchAlgo::Grid => Box::new(ConcurrencyLimiter::new(
                 GridSearch::factorial(space, self.conf.num_samples, self.seed),
                 limited,
             )),
             // §III-B2: evolutionary search for short-running applications.
             // The population is sized so the budget covers a few
             // generations.
-            "genetic_algorithm" | "ga" | "evolution" => {
+            SearchAlgo::Evolution => {
                 let pop = (self.conf.num_samples / 4).clamp(4, 40);
                 Box::new(ConcurrencyLimiter::new(
                     e2c_tune::EvolutionSearch::new(space, pop, self.seed),
                     limited,
                 ))
             }
-            name => {
-                let kind = SurrogateKind::from_name(name).unwrap_or(SurrogateKind::ExtraTrees);
-                let acq = Acquisition::from_name(&self.conf.acq_func)
-                    .unwrap_or(Acquisition::GpHedge);
-                let design = InitialDesign::from_name(&self.conf.initial_point_generator)
-                    .unwrap_or(InitialDesign::Lhs);
+            SearchAlgo::Surrogate(name) => {
                 let opt = BayesOpt::new(space, self.seed)
-                    .base_estimator(kind)
-                    .acq_func(acq)
-                    .initial_point_generator(design)
+                    .base_estimator(surrogate_kind(name))
+                    .acq_func(acquisition(self.conf.acq_func))
+                    .initial_point_generator(initial_design(self.conf.initial_point_generator))
                     .n_initial_points(self.conf.n_initial_points);
                 Box::new(ConcurrencyLimiter::new(SkOptSearch::new(opt), limited))
             }
@@ -203,10 +241,28 @@ impl OptimizationManager {
     {
         let space = self.space();
         let searcher = self.build_searcher(space);
-        let mode = if self.conf.minimize { Mode::Min } else { Mode::Max };
-        let tuner = Tuner::new(self.conf.num_samples, self.conf.max_concurrent, mode)
+        let mode = if self.conf.minimize {
+            Mode::Min
+        } else {
+            Mode::Max
+        };
+        let mut tuner = Tuner::new(self.conf.num_samples, self.conf.max_concurrent, mode)
             .metric(&self.conf.metric)
-            .name(&self.conf.name);
+            .name(&self.conf.name)
+            .seed(self.seed)
+            .faults(self.faults.clone());
+        if let Some(ft) = &self.conf.fault_tolerance {
+            tuner = tuner.retry_policy(
+                RetryPolicy::retries(ft.max_retries)
+                    .base_delay(Duration::from_millis(ft.backoff_ms))
+                    .factor(ft.backoff_factor)
+                    .max_delay(Duration::from_millis(ft.max_backoff_ms))
+                    .jitter(ft.jitter),
+            );
+            if let Some(ms) = ft.time_budget_ms {
+                tuner = tuner.time_budget(Duration::from_millis(ms));
+            }
+        }
         let archive_root = self.archive_root.clone();
         let analysis = tuner.run(searcher, self.scheduler.clone(), move |point, tctx| {
             // prepare(): a dedicated directory per model evaluation.
@@ -217,6 +273,7 @@ impl OptimizationManager {
             });
             let ctx = EvalContext {
                 trial_id: tctx.trial_id,
+                attempt: tctx.attempt,
                 point: point.clone(),
                 eval_dir: eval_dir.clone(),
             };
@@ -252,11 +309,49 @@ impl OptimizationManager {
     }
 }
 
+/// Map the schema's surrogate name onto the optimizer's model kind. The
+/// match is exhaustive on both sides: adding a surrogate to either crate
+/// without teaching the other is a compile error, not a silent fallback.
+fn surrogate_kind(name: SurrogateName) -> SurrogateKind {
+    match name {
+        SurrogateName::ExtraTrees => SurrogateKind::ExtraTrees,
+        SurrogateName::RandomForest => SurrogateKind::RandomForest,
+        SurrogateName::Cart => SurrogateKind::Cart,
+        SurrogateName::Gbrt => SurrogateKind::Gbrt,
+        SurrogateName::Gp => SurrogateKind::GpRbf,
+        SurrogateName::GpMatern => SurrogateKind::GpMatern,
+        SurrogateName::KernelRidge => SurrogateKind::KernelRidge,
+        SurrogateName::Poly => SurrogateKind::Polynomial,
+    }
+}
+
+/// Map the schema's acquisition function onto the optimizer's (skopt's
+/// default LCB exploration weight).
+fn acquisition(acq: AcqFunc) -> Acquisition {
+    match acq {
+        AcqFunc::Ei => Acquisition::Ei,
+        AcqFunc::Pi => Acquisition::Pi,
+        AcqFunc::Lcb => Acquisition::Lcb { kappa: 1.96 },
+        AcqFunc::GpHedge => Acquisition::GpHedge,
+    }
+}
+
+/// Map the schema's initial point generator onto the optimizer's design.
+fn initial_design(ipg: InitialPointGenerator) -> InitialDesign {
+    match ipg {
+        InitialPointGenerator::Random => InitialDesign::Random,
+        InitialPointGenerator::Lhs => InitialDesign::Lhs,
+        InitialPointGenerator::Halton => InitialDesign::Halton,
+        InitialPointGenerator::Sobol => InitialDesign::Sobol,
+        InitialPointGenerator::Grid => InitialDesign::Grid,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use e2c_conf::parse;
-    use e2c_conf::schema::ExperimentConf;
+    use e2c_conf::schema::{ExperimentConf, FaultToleranceConf};
 
     fn opt_conf(algo: &str, samples: usize) -> OptimizationConf {
         let src = format!(
@@ -345,15 +440,157 @@ optimization:
         let run = |seed| {
             let mut conf = opt_conf("extra_trees", 12);
             conf.max_concurrent = 1;
-            OptimizationManager::new(conf).with_seed(seed).run(objective)
+            OptimizationManager::new(conf)
+                .with_seed(seed)
+                .run(objective)
         };
         let a = run(9);
         let b = run(9);
         assert_eq!(a.best_point, b.best_point);
         assert_eq!(a.best_value, b.best_value);
-        let configs_a: Vec<_> = a.analysis.trials().iter().map(|t| t.config.clone()).collect();
-        let configs_b: Vec<_> = b.analysis.trials().iter().map(|t| t.config.clone()).collect();
+        let configs_a: Vec<_> = a
+            .analysis
+            .trials()
+            .iter()
+            .map(|t| t.config.clone())
+            .collect();
+        let configs_b: Vec<_> = b
+            .analysis
+            .trials()
+            .iter()
+            .map(|t| t.config.clone())
+            .collect();
         assert_eq!(configs_a, configs_b);
+    }
+
+    /// opt_conf + a fast fault-tolerance block (1 ms backoff).
+    fn ft_conf(algo: &str, samples: usize, retries: u32) -> OptimizationConf {
+        let mut conf = opt_conf(algo, samples);
+        conf.fault_tolerance = Some(FaultToleranceConf {
+            max_retries: retries,
+            backoff_ms: 1,
+            max_backoff_ms: 2,
+            ..Default::default()
+        });
+        conf
+    }
+
+    #[test]
+    fn flaky_trial_recovers_and_archive_records_both_attempts() {
+        let dir = std::env::temp_dir().join(format!(
+            "e2clab-test-faults-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mgr = OptimizationManager::new(ft_conf("random", 6, 1))
+            .with_seed(4)
+            .with_archive(dir.clone())
+            .with_faults(e2c_tune::FaultPlan::new().fail(2, 0));
+        let summary = mgr.run(objective);
+
+        // The injected failure was retried: trial 2 ends terminated with
+        // its true metric, not a penalty.
+        let flaky = &summary.analysis.trials()[2];
+        assert!(
+            matches!(flaky.status, e2c_tune::TrialStatus::Terminated(_)),
+            "{:?}",
+            flaky.status
+        );
+        assert_eq!(flaky.attempt_count(), 2);
+        assert_eq!(flaky.value(), Some(objective_value(&flaky.config)));
+
+        // Both attempts land in evaluations.csv ...
+        let recs = crate::archive::load_evaluation_records(&dir).unwrap();
+        assert_eq!(recs[2].attempts, 2);
+        assert_eq!(recs[2].status, "terminated");
+        assert_eq!(recs[2].failure, "");
+        assert!(recs
+            .iter()
+            .filter(|r| r.trial != 2)
+            .all(|r| r.attempts == 1));
+
+        // ... and in the JSONL trial log.
+        let jsonl = std::fs::read_to_string(dir.join("trials").join("trials.jsonl")).unwrap();
+        let line = jsonl.lines().find(|l| l.contains("\"id\":2")).unwrap();
+        assert!(line.contains("\"attempts\":2"), "{line}");
+        assert!(line.contains("injected fault"), "{line}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn objective_value(point: &Point) -> f64 {
+        (point[0] - 12.0).powi(2) + (point[1] - 0.5).powi(2) * 100.0
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_failed_with_reason() {
+        let dir = std::env::temp_dir().join(format!(
+            "e2clab-test-faults-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mgr = OptimizationManager::new(ft_conf("random", 4, 1))
+            .with_seed(5)
+            .with_archive(dir.clone())
+            .with_faults(e2c_tune::FaultPlan::new().fail_always(0));
+        let summary = mgr.run(objective);
+        let doomed = &summary.analysis.trials()[0];
+        assert!(doomed.status.failure().unwrap().contains("injected fault"));
+        assert_eq!(doomed.attempt_count(), 2, "1 attempt + 1 retry");
+        let recs = crate::archive::load_evaluation_records(&dir).unwrap();
+        assert_eq!(recs[0].status, "failed");
+        assert_eq!(recs[0].attempts, 2);
+        assert!(recs[0].failure.contains("injected fault"));
+        assert!(recs[0].value.is_none());
+        // The report counts the failure and the retry.
+        let report = summary.render();
+        assert!(report.contains("1 failed, 1 retries"), "{report}");
+        assert!(
+            report.contains("fault_tolerance: max_retries=1"),
+            "{report}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn time_budget_fails_overrunning_evaluations() {
+        let mut conf = ft_conf("random", 3, 0);
+        conf.fault_tolerance.as_mut().unwrap().time_budget_ms = Some(20);
+        conf.max_concurrent = 1;
+        let mgr = OptimizationManager::new(conf).with_seed(6);
+        let summary = mgr.run(|ctx: &EvalContext| {
+            if ctx.trial_id == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+            }
+            objective_value(&ctx.point)
+        });
+        assert_eq!(
+            summary.analysis.trials()[1].status.failure(),
+            Some("deadline exceeded")
+        );
+        // The other trials were unaffected.
+        assert!(summary.analysis.trials()[0].value().is_some());
+        assert!(summary.analysis.trials()[2].value().is_some());
+    }
+
+    #[test]
+    fn attempt_number_is_visible_to_the_objective() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let seen_retry = AtomicU32::new(0);
+        let mut conf = ft_conf("random", 3, 2);
+        conf.max_concurrent = 1;
+        let mgr = OptimizationManager::new(conf)
+            .with_seed(7)
+            .with_faults(e2c_tune::FaultPlan::new().fail(1, 0));
+        let summary = mgr.run(|ctx: &EvalContext| {
+            if ctx.trial_id == 1 && ctx.attempt > 0 {
+                seen_retry.fetch_add(1, Ordering::SeqCst);
+            }
+            objective_value(&ctx.point)
+        });
+        assert_eq!(seen_retry.load(Ordering::SeqCst), 1);
+        assert!(summary.analysis.trials()[1].value().is_some());
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! search in `run()` and put their deployment logic in `run_objective()`,
 //! with `prepare()` / `launch()` / `finalize()` provided by the framework.
 //! [`UserOptimization`] is the Rust spelling: implement two methods,
-//! inherit the rest.
+//! inherit the rest. `run_objective` receives the same [`EvalContext`]
+//! the manager-level API uses — one evaluation handle everywhere.
 //!
 //! ```no_run
-//! use e2c_core::user_api::{UserOptimization, ObjectiveHandle};
+//! use e2c_core::user_api::{EvalContext, UserOptimization};
 //! use e2c_conf::schema::OptimizationConf;
 //!
 //! struct MyTuning {
@@ -18,29 +19,18 @@
 //!     fn setup(&self) -> OptimizationConf {
 //!         self.conf.clone() // Listing 1's run(): algo + space + budget
 //!     }
-//!     fn run_objective(&self, handle: &ObjectiveHandle) -> f64 {
+//!     fn run_objective(&self, ctx: &EvalContext) -> f64 {
 //!         // Listing 1's run_objective(): deploy, execute, return metric.
-//!         handle.point[0] // silly objective
+//!         ctx.point[0] // silly objective
 //!     }
 //! }
 //! ```
 
-use crate::optimization::{EvalContext, OptimizationManager, OptimizationSummary};
+use crate::optimization::{OptimizationManager, OptimizationSummary};
 use e2c_conf::schema::OptimizationConf;
-use e2c_optim::space::Point;
 use std::path::PathBuf;
 
-/// What `run_objective` receives — the evaluation's configuration plus
-/// the framework-managed artifact directory.
-#[derive(Debug, Clone)]
-pub struct ObjectiveHandle {
-    /// Trial id.
-    pub trial_id: u64,
-    /// Configuration under evaluation (external units).
-    pub point: Point,
-    /// `prepare()`d directory for this evaluation, when archiving is on.
-    pub eval_dir: Option<PathBuf>,
-}
+pub use crate::optimization::EvalContext;
 
 /// The paper's `Optimization` base class as a trait: implement
 /// [`UserOptimization::setup`] (the body of `run()`) and
@@ -53,8 +43,10 @@ pub trait UserOptimization: Send + Sync {
     fn setup(&self) -> OptimizationConf;
 
     /// One model evaluation (Listing 1 lines 28–36): deploy the
-    /// configuration, run the workload, return the metric value.
-    fn run_objective(&self, handle: &ObjectiveHandle) -> f64;
+    /// configuration, run the workload, return the metric value. The
+    /// context carries the trial id, the attempt number (> 0 on a
+    /// retry), the point and the `prepare()`d artifact directory.
+    fn run_objective(&self, ctx: &EvalContext) -> f64;
 
     /// Experiment seed (override for multi-seed studies).
     fn seed(&self) -> u64 {
@@ -73,14 +65,7 @@ pub trait UserOptimization: Send + Sync {
         if let Some(root) = self.archive_root() {
             manager = manager.with_archive(root);
         }
-        manager.run(|ctx: &EvalContext| {
-            let handle = ObjectiveHandle {
-                trial_id: ctx.trial_id,
-                point: ctx.point.clone(),
-                eval_dir: ctx.eval_dir.clone(),
-            };
-            self.run_objective(&handle)
-        })
+        manager.run(|ctx: &EvalContext| self.run_objective(ctx))
     }
 }
 
@@ -116,8 +101,9 @@ optimization:
                 .unwrap()
         }
 
-        fn run_objective(&self, handle: &ObjectiveHandle) -> f64 {
-            (handle.point[0] - 21.0).powi(2)
+        fn run_objective(&self, ctx: &EvalContext) -> f64 {
+            assert_eq!(ctx.attempt, 0, "no faults configured, no retries");
+            (ctx.point[0] - 21.0).powi(2)
         }
 
         fn seed(&self) -> u64 {

@@ -84,7 +84,16 @@ fn optimize_runs_and_reports() {
     let archive = std::env::temp_dir().join(format!("e2clab-cli-arch-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&archive);
     let out = bin()
-        .args(["optimize", "--repeat", "1", "--duration", "40", "--seed", "5", "--archive"])
+        .args([
+            "optimize",
+            "--repeat",
+            "1",
+            "--duration",
+            "40",
+            "--seed",
+            "5",
+            "--archive",
+        ])
         .arg(&archive)
         .arg(&conf)
         .output()
@@ -108,4 +117,72 @@ fn unknown_command_fails_with_usage() {
     let out = bin().arg("frobnicate").output().expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_search_algo_is_rejected_at_validation() {
+    let bad = write_conf(
+        "bad-algo.yaml",
+        &CONF.replace("algo: random", "algo: sorcery"),
+    );
+    let out = bin().arg("validate").arg(&bad).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("optimization.search.algo"), "{stderr}");
+    assert!(stderr.contains("sorcery"), "{stderr}");
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn malformed_faults_spec_fails_with_usage() {
+    let conf = write_conf("faults-bad.yaml", CONF);
+    let out = bin()
+        .args(["optimize", "--faults", "explode:everything"])
+        .arg(&conf)
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--faults"), "{stderr}");
+    let _ = std::fs::remove_file(conf);
+}
+
+#[test]
+fn injected_fault_is_retried_and_recorded_in_the_archive() {
+    // Give the config a retry budget, fail trial 1's first attempt from
+    // the CLI knob, and check the archive shows the recovery.
+    let text = CONF.replace(
+        "  search:",
+        "  fault_tolerance:\n    max_retries: 1\n    backoff_ms: 1\n  search:",
+    );
+    let conf = write_conf("faults.yaml", &text);
+    let archive = std::env::temp_dir().join(format!("e2clab-cli-faults-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&archive);
+    let out = bin()
+        .args([
+            "optimize",
+            "--duration",
+            "40",
+            "--seed",
+            "5",
+            "--faults",
+            "fail:1@0",
+            "--archive",
+        ])
+        .arg(&archive)
+        .arg(&conf)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let csv = std::fs::read_to_string(archive.join("evaluations.csv")).unwrap();
+    assert!(
+        csv.starts_with("trial,status,attempts,"),
+        "unexpected header: {csv}"
+    );
+    assert!(
+        csv.contains("\n1,terminated,2,"),
+        "trial 1 should succeed on its second attempt: {csv}"
+    );
+    let _ = std::fs::remove_file(conf);
+    let _ = std::fs::remove_dir_all(archive);
 }

@@ -108,13 +108,19 @@ mod tests {
     #[test]
     fn table_ii_baseline() {
         let b = PoolConfig::baseline();
-        assert_eq!((b.http, b.download, b.extract, b.simsearch), (40, 40, 7, 40));
+        assert_eq!(
+            (b.http, b.download, b.extract, b.simsearch),
+            (40, 40, 7, 40)
+        );
     }
 
     #[test]
     fn table_iii_preliminary() {
         let p = PoolConfig::preliminary_optimum();
-        assert_eq!((p.http, p.download, p.extract, p.simsearch), (54, 54, 7, 53));
+        assert_eq!(
+            (p.http, p.download, p.extract, p.simsearch),
+            (54, 54, 7, 53)
+        );
     }
 
     #[test]
@@ -122,7 +128,10 @@ mod tests {
         let p = PoolConfig::preliminary_optimum();
         let r = PoolConfig::refined_optimum();
         assert_eq!(r.extract, 6);
-        assert_eq!((r.http, r.download, r.simsearch), (p.http, p.download, p.simsearch));
+        assert_eq!(
+            (r.http, r.download, r.simsearch),
+            (p.http, p.download, p.simsearch)
+        );
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub mod sim;
 pub use config::PoolConfig;
 pub use model::EngineModel;
 pub use monitor::EngineMetrics;
-pub use sim::Experiment;
+pub use sim::{Experiment, ServiceFault, ServiceFaultKind};

@@ -252,8 +252,7 @@ mod tests {
             );
         }
         // 7 is the knife edge: the two bounds within ~7% of each other.
-        let gap = (m.cpu_capped_throughput(7) - m.gpu_throughput(7)).abs()
-            / m.gpu_throughput(7);
+        let gap = (m.cpu_capped_throughput(7) - m.gpu_throughput(7)).abs() / m.gpu_throughput(7);
         assert!(gap < 0.07, "extract=7 should be the crossover, gap {gap}");
         for c in 8..=9 {
             assert!(

@@ -105,10 +105,17 @@ impl RepeatedMetrics {
                 }
             }
         }
+        // A crashed repetition (NaN response mean) poisons the pooled
+        // summary: its pre-crash windows are not a valid measurement of
+        // the configuration, so the whole evaluation must read as failed.
+        let mut response = Summary::from(&pooled);
+        if runs.iter().any(|r| !r.response.mean.is_finite()) {
+            response.mean = f64::NAN;
+        }
         RepeatedMetrics {
             config,
             clients,
-            response: Summary::from(&pooled),
+            response,
             runs,
         }
     }

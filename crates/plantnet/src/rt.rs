@@ -118,8 +118,7 @@ impl RtEngine {
                 scope.spawn(move |_| {
                     use e2c_des::Dist;
                     let mut rng = StdRng::seed_from_u64(seed ^ (c as u64) << 20);
-                    let sample =
-                        |d: Dist, rng: &mut StdRng| -> f64 { d.sample(rng).max(1e-6) };
+                    let sample = |d: Dist, rng: &mut StdRng| -> f64 { d.sample(rng).max(1e-6) };
                     for _ in 0..requests_per_client {
                         let t0 = Instant::now();
                         http.acquire();

@@ -13,7 +13,12 @@
 //!   raises throughput sub-linearly and never shortens one inference;
 //! * image transfer times come from a fair-shared network link.
 //!
-//! Every run is fully determined by `(spec, seed)`.
+//! Every run is fully determined by `(spec, seed)`. An optional
+//! [`ServiceFault`] perturbs a run at a fixed simulated time — a
+//! [`ServiceFaultKind::Crash`] stops the engine (the run reports a NaN
+//! response mean, which the tuning layer classifies as a failed,
+//! retryable evaluation), a [`ServiceFaultKind::SlowDown`] multiplies
+//! every service time from the trigger onwards.
 
 use crate::config::PoolConfig;
 use crate::model::EngineModel;
@@ -26,6 +31,31 @@ use e2c_net::{LinkSpec, SharedLink};
 use e2c_workload::ImageMix;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+
+/// What a [`ServiceFault`] does to the engine once it triggers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceFaultKind {
+    /// The engine process dies: no event after the trigger is handled
+    /// and the run reports a NaN response mean.
+    Crash,
+    /// Every service time sampled after the trigger is multiplied by
+    /// `factor` (a degraded node, a noisy neighbour).
+    SlowDown {
+        /// Service-time multiplier; must be finite and positive.
+        factor: f64,
+    },
+}
+
+/// A deterministic engine-level fault: at simulated time `at`, `kind`
+/// happens. Exactly one per run; `None` (the default in
+/// [`ExperimentSpec::paper`]) reproduces the paper's fault-free setup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceFault {
+    /// Simulated trigger time.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: ServiceFaultKind,
+}
 
 /// Full description of one engine experiment.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +77,8 @@ pub struct ExperimentSpec {
     pub warmup: SimTime,
     /// Client → engine network link.
     pub link: LinkSpec,
+    /// Optional engine-level fault injected at a fixed simulated time.
+    pub fault: Option<ServiceFault>,
 }
 
 impl ExperimentSpec {
@@ -63,6 +95,7 @@ impl ExperimentSpec {
             sample_interval: SimTime::from_secs(10),
             warmup: SimTime::from_secs(60),
             link: LinkSpec::new(0.5, 10_000.0),
+            fault: None,
         }
     }
 
@@ -139,6 +172,9 @@ pub struct Experiment {
     responses: Histogram,
     completed: u64,
     completed_after_warmup: u64,
+    /// Set once a [`ServiceFaultKind::Crash`] triggers; every later
+    /// event is dropped and `finish` reports a NaN response mean.
+    crashed: bool,
     // Previous-window integrals for windowed utilizations.
     prev_cpu_demand: f64,
     prev_busy: [f64; 4],
@@ -149,6 +185,16 @@ impl Experiment {
     pub fn new(spec: ExperimentSpec) -> Self {
         spec.config.validate().expect("invalid pool configuration");
         assert!(spec.clients > 0, "need at least one client");
+        if let Some(ServiceFault {
+            kind: ServiceFaultKind::SlowDown { factor },
+            ..
+        }) = spec.fault
+        {
+            assert!(
+                factor.is_finite() && factor > 0.0,
+                "slow-down factor must be finite and positive, got {factor}"
+            );
+        }
         Experiment {
             http: Tokens::new(spec.config.http as usize),
             download: Tokens::new(spec.config.download as usize),
@@ -172,6 +218,7 @@ impl Experiment {
             responses: Histogram::new(0.0, 60.0, 1200),
             completed: 0,
             completed_after_warmup: 0,
+            crashed: false,
             prev_cpu_demand: 0.0,
             prev_busy: [0.0; 4],
             spec,
@@ -199,7 +246,10 @@ impl Experiment {
         assert!(reps > 0, "need at least one repetition");
         let runs: Vec<EngineMetrics> = (0..reps)
             .map(|r| {
-                Experiment::run(spec, base_seed.wrapping_mul(0x9E37_79B9).wrapping_add(r as u64))
+                Experiment::run(
+                    spec,
+                    base_seed.wrapping_mul(0x9E37_79B9).wrapping_add(r as u64),
+                )
             })
             .collect();
         RepeatedMetrics::from_runs(runs)
@@ -214,8 +264,20 @@ impl Experiment {
             .push((now - start).as_secs_f64());
     }
 
-    fn sample_dist(&self, d: Dist, rng: &mut impl rand::Rng) -> f64 {
-        d.sample(rng).max(1e-6)
+    /// Service-time multiplier at `now` (1.0 unless a slow-down fault
+    /// has triggered).
+    fn service_scale(&self, now: SimTime) -> f64 {
+        match self.spec.fault {
+            Some(ServiceFault {
+                at,
+                kind: ServiceFaultKind::SlowDown { factor },
+            }) if now >= at => factor,
+            _ => 1.0,
+        }
+    }
+
+    fn sample_dist(&self, d: Dist, now: SimTime, rng: &mut impl rand::Rng) -> f64 {
+        (d.sample(rng) * self.service_scale(now)).max(1e-6)
     }
 
     // ---- resource completion rescheduling ----
@@ -243,11 +305,15 @@ impl Experiment {
     fn start_preprocess(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
         let t = {
             let d = self.spec.model.t_preprocess;
-            self.sample_dist(d, ctx.rng())
+            self.sample_dist(d, ctx.now(), ctx.rng())
         };
         self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
-        self.cpu
-            .start(ctx.now(), jid(req, code::PRE), t, self.spec.model.http_cpu_weight);
+        self.cpu.start(
+            ctx.now(),
+            jid(req, code::PRE),
+            t,
+            self.spec.model.http_cpu_weight,
+        );
         self.resched_cpu(ctx);
     }
 
@@ -268,7 +334,7 @@ impl Experiment {
         // only matters if it is more congested than the uplink.
         let uplink = {
             let d = self.spec.model.t_download_net;
-            self.sample_dist(d, ctx.rng())
+            self.sample_dist(d, ctx.now(), ctx.rng())
         };
         let secs = self.link.begin_flow(bytes).max(uplink);
         self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
@@ -278,7 +344,7 @@ impl Experiment {
     fn start_download_cpu(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
         let t = {
             let d = self.spec.model.t_download_cpu;
-            self.sample_dist(d, ctx.rng())
+            self.sample_dist(d, ctx.now(), ctx.rng())
         };
         self.cpu.start(
             ctx.now(),
@@ -301,7 +367,7 @@ impl Experiment {
     fn start_extract(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
         let t = {
             let d = self.spec.model.t_extract_gpu;
-            self.sample_dist(d, ctx.rng())
+            self.sample_dist(d, ctx.now(), ctx.rng())
         };
         let now = ctx.now();
         self.reqs.get_mut(&req).expect("live request").phase_start = now;
@@ -322,7 +388,7 @@ impl Experiment {
     fn start_process(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
         let t = {
             let d = self.spec.model.t_process;
-            self.sample_dist(d, ctx.rng())
+            self.sample_dist(d, ctx.now(), ctx.rng())
         };
         self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
         self.cpu.start(
@@ -346,7 +412,7 @@ impl Experiment {
     fn start_simsearch(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
         let t = {
             let d = self.spec.model.t_simsearch;
-            self.sample_dist(d, ctx.rng())
+            self.sample_dist(d, ctx.now(), ctx.rng())
         };
         self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
         self.cpu.start(
@@ -361,7 +427,7 @@ impl Experiment {
     fn start_postprocess(&mut self, ctx: &mut Context<'_, Ev>, req: u64) {
         let t = {
             let d = self.spec.model.t_postprocess;
-            self.sample_dist(d, ctx.rng())
+            self.sample_dist(d, ctx.now(), ctx.rng())
         };
         self.reqs.get_mut(&req).expect("live request").phase_start = ctx.now();
         self.cpu.start(
@@ -405,18 +471,14 @@ impl Experiment {
         if now > self.spec.warmup && self.window_resp.count() > 0 {
             self.registry
                 .record(names::RESPONSE, t, self.window_resp.mean());
-            self.registry.record(
-                names::THROUGHPUT,
-                t,
-                self.window_resp.count() as f64 / dt,
-            );
+            self.registry
+                .record(names::THROUGHPUT, t, self.window_resp.count() as f64 / dt);
         }
         self.window_resp = OnlineStats::new();
 
         // Windowed CPU utilization from the demand integral.
         let cpu_int = self.cpu.demand_integral(now);
-        let cpu_util =
-            ((cpu_int - self.prev_cpu_demand) / dt / self.spec.model.cores).min(1.0);
+        let cpu_util = ((cpu_int - self.prev_cpu_demand) / dt / self.spec.model.cores).min(1.0);
         self.prev_cpu_demand = cpu_int;
         self.registry.record(names::CPU, t, cpu_util);
 
@@ -468,7 +530,12 @@ impl Experiment {
 
     /// Final packaging of a finished run.
     fn finish(self) -> EngineMetrics {
-        let response = self.registry.summary(names::RESPONSE);
+        let mut response = self.registry.summary(names::RESPONSE);
+        if self.crashed {
+            // A crashed engine produced no valid measurement; a NaN mean
+            // is the sentinel the tuning layer maps to a failed trial.
+            response.mean = f64::NAN;
+        }
         let task_times: BTreeMap<String, Summary> = self
             .task_stats
             .iter()
@@ -504,6 +571,18 @@ impl Model for Experiment {
     type Event = Ev;
 
     fn handle(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+        // Crash fault: once the trigger time is reached the engine is
+        // gone — drop every event, schedule nothing, let the queue drain.
+        if let Some(ServiceFault {
+            at,
+            kind: ServiceFaultKind::Crash,
+        }) = self.spec.fault
+        {
+            if ctx.now() >= at {
+                self.crashed = true;
+                return;
+            }
+        }
         match ev {
             Ev::Arrive { client } => {
                 let req = self.next_req;
@@ -703,7 +782,11 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99, "({p50}, {p95}, {p99})");
         // The mean of a right-skewed queueing distribution sits between
         // the median and the upper tail.
-        assert!(p99 >= m.response.mean, "p99 {p99} < mean {}", m.response.mean);
+        assert!(
+            p99 >= m.response.mean,
+            "p99 {p99} < mean {}",
+            m.response.mean
+        );
     }
 
     #[test]
@@ -731,5 +814,77 @@ mod tests {
         let mut cfg = PoolConfig::baseline();
         cfg.download = 0;
         Experiment::new(ExperimentSpec::paper(cfg, 10));
+    }
+
+    #[test]
+    fn crash_fault_yields_nan_response() {
+        let mut spec = tiny_spec(PoolConfig::baseline(), 20);
+        spec.fault = Some(ServiceFault {
+            at: SimTime::from_secs(30),
+            kind: ServiceFaultKind::Crash,
+        });
+        let m = Experiment::run(spec, 9);
+        assert!(m.response.mean.is_nan(), "crash must report NaN");
+        // Work stopped at the trigger: far fewer completions than the
+        // fault-free run with the same seed.
+        let healthy = Experiment::run(tiny_spec(PoolConfig::baseline(), 20), 9);
+        assert!(
+            m.completed < healthy.completed / 2 + 1,
+            "crashed {} vs healthy {}",
+            m.completed,
+            healthy.completed
+        );
+    }
+
+    #[test]
+    fn crash_poisons_repeated_runs() {
+        let mut spec = tiny_spec(PoolConfig::baseline(), 10);
+        spec.fault = Some(ServiceFault {
+            at: SimTime::from_secs(30),
+            kind: ServiceFaultKind::Crash,
+        });
+        let rep = Experiment::run_repeated(spec, 3, 7);
+        assert!(rep.response.mean.is_nan());
+    }
+
+    #[test]
+    fn slowdown_fault_inflates_response_times() {
+        let base = tiny_spec(PoolConfig::baseline(), 20);
+        let healthy = Experiment::run(base, 11).response.mean;
+        let mut slowed = base;
+        slowed.fault = Some(ServiceFault {
+            at: SimTime::ZERO,
+            kind: ServiceFaultKind::SlowDown { factor: 3.0 },
+        });
+        let degraded = Experiment::run(slowed, 11).response.mean;
+        assert!(
+            degraded > healthy * 1.5,
+            "slow-down: degraded {degraded} vs healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn fault_after_the_run_changes_nothing() {
+        let base = tiny_spec(PoolConfig::baseline(), 20);
+        let mut inert = base;
+        inert.fault = Some(ServiceFault {
+            at: base.duration + SimTime::from_secs(1),
+            kind: ServiceFaultKind::SlowDown { factor: 10.0 },
+        });
+        let a = Experiment::run(base, 13);
+        let b = Experiment::run(inert, 13);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.response.mean, b.response.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow-down factor")]
+    fn nonpositive_slowdown_factor_rejected() {
+        let mut spec = tiny_spec(PoolConfig::baseline(), 5);
+        spec.fault = Some(ServiceFault {
+            at: SimTime::ZERO,
+            kind: ServiceFaultKind::SlowDown { factor: 0.0 },
+        });
+        Experiment::new(spec);
     }
 }

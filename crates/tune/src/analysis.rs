@@ -109,7 +109,11 @@ mod tests {
 
     #[test]
     fn best_trial_min_and_max() {
-        let trials = vec![trial(0, Some(5.0)), trial(1, Some(2.0)), trial(2, Some(8.0))];
+        let trials = vec![
+            trial(0, Some(5.0)),
+            trial(1, Some(2.0)),
+            trial(2, Some(8.0)),
+        ];
         let a = Analysis::new("e".into(), "m".into(), Mode::Min, trials.clone());
         assert_eq!(a.best_trial().unwrap().id, 1);
         let a = Analysis::new("e".into(), "m".into(), Mode::Max, trials);

@@ -17,7 +17,13 @@
 //!   for the paper's "short-time running applications" (§III-B2);
 //! * [`logger`] — append-only JSONL/CSV trial logs ("manages model
 //!   checkpoints and logging");
-//! * [`trial`] — trial state and records;
+//! * [`fault`] — fault tolerance: [`fault::RetryPolicy`] (exponential
+//!   backoff with seed-deterministic jitter) and the deterministic
+//!   failure-injection [`fault::FaultPlan`] — edge testbeds fail
+//!   routinely, so failed trials are retried before the searcher is fed
+//!   a penalty;
+//! * [`trial`] — trial state and records, including per-attempt
+//!   bookkeeping ([`trial::Attempt`]);
 //! * [`tuner`] — [`tuner::Tuner`], which fans trials out over worker
 //!   threads, feeding observations back to the searcher *asynchronously*
 //!   (workers do not wait for a generation barrier — the paper's
@@ -26,6 +32,7 @@
 
 pub mod analysis;
 pub mod evolution;
+pub mod fault;
 pub mod logger;
 pub mod scheduler;
 pub mod searcher;
@@ -34,8 +41,9 @@ pub mod tuner;
 
 pub use analysis::Analysis;
 pub use evolution::EvolutionSearch;
+pub use fault::{FaultAction, FaultPlan, FaultSpec, RetryPolicy};
 pub use logger::TrialLogger;
 pub use scheduler::{AsyncHyperBand, Decision, Fifo, MedianStopping, Scheduler};
 pub use searcher::{ConcurrencyLimiter, GridSearch, RandomSearch, Searcher, SkOptSearch};
-pub use trial::{Trial, TrialStatus};
-pub use tuner::{Tuner, TrialContext};
+pub use trial::{Attempt, Trial, TrialStatus};
+pub use tuner::{TrialContext, Tuner};

@@ -50,7 +50,9 @@ impl TrialLogger {
     }
 
     /// Serialize a trial as one JSON object (hand-rolled: flat structure,
-    /// no external JSON dependency).
+    /// no external JSON dependency). The retry layer's bookkeeping rides
+    /// along: `attempts` is the execution count and `failures` holds the
+    /// error of every unsuccessful attempt, in order.
     fn to_json(trial: &Trial) -> String {
         let (status, value) = match &trial.status {
             TrialStatus::Terminated(v) => ("terminated", Some(*v)),
@@ -68,13 +70,22 @@ impl TrialLogger {
         let value_json = value
             .map(|v| v.to_string())
             .unwrap_or_else(|| "null".to_string());
+        let failures = trial
+            .attempts
+            .iter()
+            .filter_map(|a| a.error.as_deref())
+            .map(json_escape)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"id\":{},\"status\":\"{}\",\"config\":[{}],\"value\":{},\"iterations\":{}}}",
+            "{{\"id\":{},\"status\":\"{}\",\"config\":[{}],\"value\":{},\"iterations\":{},\"attempts\":{},\"failures\":[{}]}}",
             trial.id,
             status,
             config,
             value_json,
-            trial.iterations()
+            trial.iterations(),
+            trial.attempt_count(),
+            failures
         )
     }
 
@@ -89,9 +100,7 @@ impl TrialLogger {
                 let tag = format!("\"{key}\":");
                 let start = line.find(&tag)? + tag.len();
                 let rest = &line[start..];
-                let end = rest
-                    .find([',', '}'])
-                    .unwrap_or(rest.len());
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
                 Some(rest[..end].trim_matches('"').to_string())
             };
             let id: u64 = grab("id")
@@ -105,9 +114,30 @@ impl TrialLogger {
     }
 }
 
+/// Quote and escape an arbitrary string as a JSON string literal
+/// (failure reasons may carry panic payloads with quotes or newlines).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trial::Attempt;
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("e2c-tune-log-{}-{name}", std::process::id()))
@@ -131,23 +161,55 @@ mod tests {
         assert_eq!(index[0], (0, "terminated".to_string(), Some(2.5)));
         assert_eq!(index[1], (1, "failed".to_string(), None));
 
-        let progress =
-            std::fs::read_to_string(dir.join("trial_0").join("progress.csv")).unwrap();
+        let progress = std::fs::read_to_string(dir.join("trial_0").join("progress.csv")).unwrap();
         assert_eq!(progress, "iteration,value\n1,3\n2,2.5\n");
-        assert!(!dir.join("trial_1").exists(), "no reports, no progress file");
+        assert!(
+            !dir.join("trial_1").exists(),
+            "no reports, no progress file"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn json_escaping_is_unneeded_by_construction() {
-        // Config values and statuses are numeric/fixed tokens — the format
-        // string cannot produce invalid JSON. Spot-check a line.
+    fn json_line_layout_is_stable() {
+        // Config values and statuses are numeric/fixed tokens; failure
+        // reasons are escaped. Spot-check a full line.
         let mut t = Trial::new(7, vec![1.5, -2.0]);
         t.status = TrialStatus::StoppedEarly(0.25);
         let line = TrialLogger::to_json(&t);
         assert_eq!(
             line,
-            "{\"id\":7,\"status\":\"stopped_early\",\"config\":[1.5,-2],\"value\":0.25,\"iterations\":0}"
+            "{\"id\":7,\"status\":\"stopped_early\",\"config\":[1.5,-2],\"value\":0.25,\"iterations\":0,\"attempts\":1,\"failures\":[]}"
         );
+    }
+
+    #[test]
+    fn retried_trial_records_attempts_and_escaped_failures() {
+        let mut t = Trial::new(2, vec![3.0]);
+        t.status = TrialStatus::Terminated(1.0);
+        t.attempts = vec![
+            Attempt {
+                index: 0,
+                error: Some("boom \"quoted\"\nline".into()),
+                secs: 0.1,
+            },
+            Attempt {
+                index: 1,
+                error: None,
+                secs: 0.2,
+            },
+        ];
+        let line = TrialLogger::to_json(&t);
+        assert_eq!(
+            line,
+            "{\"id\":2,\"status\":\"terminated\",\"config\":[3],\"value\":1,\"iterations\":0,\"attempts\":2,\"failures\":[\"boom \\\"quoted\\\"\\nline\"]}"
+        );
+    }
+
+    #[test]
+    fn escape_handles_control_and_quote_chars() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_escape("x\u{1}y"), "\"x\\u0001y\"");
     }
 }

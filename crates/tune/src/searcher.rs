@@ -238,7 +238,10 @@ mod tests {
         assert!(s.suggest(0).is_some());
         assert!(s.suggest(1).is_some());
         assert_eq!(s.inflight(), 2);
-        assert!(s.suggest(2).is_none(), "third concurrent suggest must block");
+        assert!(
+            s.suggest(2).is_none(),
+            "third concurrent suggest must block"
+        );
         s.observe(0, 1.0);
         assert!(s.suggest(3).is_some(), "capacity freed by observe");
     }
@@ -246,9 +249,7 @@ mod tests {
     #[test]
     fn skopt_search_learns() {
         // The searcher must eventually concentrate near the optimum x=3.
-        let mut s = SkOptSearch::new(
-            BayesOpt::new(space(), 5).n_initial_points(5),
-        );
+        let mut s = SkOptSearch::new(BayesOpt::new(space(), 5).n_initial_points(5));
         for id in 0..30u64 {
             let p = s.suggest(id).unwrap();
             let y = (p[0] - 3.0).powi(2);

@@ -13,7 +13,8 @@ pub enum TrialStatus {
     Terminated(f64),
     /// Stopped early by the scheduler; the last reported value is kept.
     StoppedEarly(f64),
-    /// The objective panicked or returned a non-finite value.
+    /// Every attempt panicked, returned a non-finite value, or overran
+    /// its deadline; the string is the last failure reason.
     Failed(String),
 }
 
@@ -30,6 +31,33 @@ impl TrialStatus {
     pub fn is_finished(&self) -> bool {
         !matches!(self, TrialStatus::Pending | TrialStatus::Running)
     }
+
+    /// The failure reason, if the trial failed.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            TrialStatus::Failed(reason) => Some(reason),
+            _ => None,
+        }
+    }
+}
+
+/// Record of one execution attempt of a trial (the retry layer's
+/// bookkeeping — every attempt lands in the trial log and the archive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attempt {
+    /// 0-based attempt index.
+    pub index: u32,
+    /// `None` on success; the failure reason otherwise.
+    pub error: Option<String>,
+    /// Wall-clock duration of the attempt, in seconds.
+    pub secs: f64,
+}
+
+impl Attempt {
+    /// Whether this attempt produced a usable metric.
+    pub fn succeeded(&self) -> bool {
+        self.error.is_none()
+    }
 }
 
 /// One trial: a configuration and everything that happened to it.
@@ -41,8 +69,12 @@ pub struct Trial {
     pub config: Point,
     /// Lifecycle state.
     pub status: TrialStatus,
-    /// Intermediate `(iteration, value)` reports, in order.
+    /// Intermediate `(iteration, value)` reports of the last attempt, in
+    /// order.
     pub reports: Vec<(u64, f64)>,
+    /// Every execution attempt, in order (empty only before the trial
+    /// first runs).
+    pub attempts: Vec<Attempt>,
 }
 
 impl Trial {
@@ -53,6 +85,7 @@ impl Trial {
             config,
             status: TrialStatus::Pending,
             reports: Vec::new(),
+            attempts: Vec::new(),
         }
     }
 
@@ -69,6 +102,16 @@ impl Trial {
     /// Whether the scheduler cut this trial short.
     pub fn stopped_early(&self) -> bool {
         matches!(self.status, TrialStatus::StoppedEarly(_))
+    }
+
+    /// How many times the trial was executed (at least 1 once finished).
+    pub fn attempt_count(&self) -> u32 {
+        (self.attempts.len() as u32).max(1)
+    }
+
+    /// How many re-attempts the retry layer spent on this trial.
+    pub fn retries(&self) -> u32 {
+        (self.attempts.len() as u32).saturating_sub(1)
     }
 }
 
@@ -98,5 +141,29 @@ mod tests {
         assert_eq!(t.iterations(), 2);
         assert!(t.stopped_early());
         assert_eq!(t.value(), Some(4.0));
+    }
+
+    #[test]
+    fn attempt_bookkeeping() {
+        let mut t = Trial::new(0, vec![1.0]);
+        assert_eq!(t.attempt_count(), 1, "unstarted trials count one attempt");
+        assert_eq!(t.retries(), 0);
+        t.attempts.push(Attempt {
+            index: 0,
+            error: Some("boom".into()),
+            secs: 0.1,
+        });
+        t.attempts.push(Attempt {
+            index: 1,
+            error: None,
+            secs: 0.2,
+        });
+        t.status = TrialStatus::Terminated(3.0);
+        assert_eq!(t.attempt_count(), 2);
+        assert_eq!(t.retries(), 1);
+        assert!(!t.attempts[0].succeeded());
+        assert!(t.attempts[1].succeeded());
+        assert_eq!(TrialStatus::Failed("x".into()).failure(), Some("x"));
+        assert_eq!(t.status.failure(), None);
     }
 }

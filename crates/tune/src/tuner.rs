@@ -4,16 +4,33 @@
 //! (Listing 1): it pulls configurations from a [`Searcher`], executes the
 //! user objective on a pool of worker threads, feeds results back
 //! asynchronously, and lets a [`Scheduler`] stop hopeless trials early.
+//!
+//! On real edge-to-cloud testbeds trial failures are routine, so the
+//! runner is fault tolerant: failed attempts are retried under a
+//! [`RetryPolicy`] (with seed-deterministic backoff jitter), every trial
+//! can carry a wall-clock `time_budget` enforced cooperatively through
+//! [`TrialContext`] plus a watchdog thread, and a [`FaultPlan`] injects
+//! deterministic failures so the robustness layer is itself testable.
 
 use crate::analysis::Analysis;
+use crate::fault::{FaultAction, FaultPlan, RetryPolicy};
 use crate::scheduler::{Decision, Scheduler};
 use crate::searcher::Searcher;
-use crate::trial::{Trial, TrialStatus};
+use crate::trial::{Attempt, Trial, TrialStatus};
 use e2c_optim::space::Point;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often the watchdog sweeps running attempts for blown deadlines.
+const WATCHDOG_TICK: Duration = Duration::from_millis(2);
+
+/// Safety-net timeout for suggestion-starved workers: they are woken by
+/// `observe()`, but re-check this often so exhaustion can never stall.
+const SUGGEST_WAIT: Duration = Duration::from_millis(50);
 
 /// Optimization direction of the user metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,28 +44,39 @@ pub enum Mode {
 /// Handle given to the objective for intermediate reporting.
 ///
 /// Call [`TrialContext::report`] once per training iteration / evaluation
-/// window; a [`Decision::Stop`] means the scheduler cut the trial — return
-/// your current metric value promptly.
+/// window; a [`Decision::Stop`] means the scheduler cut the trial (or its
+/// deadline passed) — return your current metric value promptly.
 pub struct TrialContext<'a> {
     /// This trial's id.
     pub trial_id: u64,
+    /// 0-based execution attempt (> 0 when the retry layer re-runs a
+    /// failed trial).
+    pub attempt: u32,
     mode: Mode,
     scheduler: &'a dyn Scheduler,
     reports: Vec<(u64, f64)>,
     stopped: bool,
+    deadline: Option<Instant>,
+    expired: Arc<AtomicBool>,
 }
 
 impl<'a> TrialContext<'a> {
     /// Report an intermediate metric value (user orientation); returns the
-    /// scheduler's verdict.
+    /// scheduler's verdict. Once the trial's deadline has passed this
+    /// returns [`Decision::Stop`] without consulting the scheduler.
     pub fn report(&mut self, value: f64) -> Decision {
+        if self.deadline_exceeded() {
+            return Decision::Stop;
+        }
         let iteration = self.reports.len() as u64 + 1;
         self.reports.push((iteration, value));
         let normalized = match self.mode {
             Mode::Min => value,
             Mode::Max => -value,
         };
-        let d = self.scheduler.on_report(self.trial_id, iteration, normalized);
+        let d = self
+            .scheduler
+            .on_report(self.trial_id, iteration, normalized);
         if d == Decision::Stop {
             self.stopped = true;
         }
@@ -58,6 +86,64 @@ impl<'a> TrialContext<'a> {
     /// Whether the scheduler already stopped this trial.
     pub fn is_stopped(&self) -> bool {
         self.stopped
+    }
+
+    /// Whether this attempt's wall-clock budget is spent (flagged by the
+    /// watchdog, or observed directly). Cooperative objectives should
+    /// check this in long loops and return promptly when it turns true;
+    /// the attempt is then marked `Failed("deadline exceeded")`.
+    pub fn deadline_exceeded(&self) -> bool {
+        if self.expired.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.expired.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A running attempt the watchdog is timing.
+struct WatchEntry {
+    deadline: Instant,
+    expired: Arc<AtomicBool>,
+}
+
+/// Parking spot for suggestion-starved workers: instead of spinning on
+/// `suggest()`, they wait here until an `observe()` bumps the generation.
+struct Wake {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Wake {
+    fn new() -> Self {
+        Wake {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        *self.generation.lock()
+    }
+
+    fn notify(&self) {
+        *self.generation.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Park until the generation moves past `seen`, or `timeout` elapses
+    /// (the timeout is a safety net for exhaustion paths, not a poll).
+    fn wait_past(&self, seen: u64, timeout: Duration) {
+        let mut generation = self.generation.lock();
+        if *generation != seen {
+            return;
+        }
+        self.cv.wait_for(&mut generation, timeout);
     }
 }
 
@@ -76,6 +162,15 @@ pub struct Tuner {
     pub metric: String,
     /// Experiment name (for the analysis/report).
     pub name: String,
+    /// Retry policy for failed attempts (default: none — a failed attempt
+    /// fails the trial).
+    pub retry: RetryPolicy,
+    /// Per-trial wall-clock budget (default: unlimited).
+    pub time_budget: Option<Duration>,
+    /// Deterministic failure injection (default: empty).
+    pub faults: FaultPlan,
+    /// Experiment seed; drives the retry backoff jitter.
+    pub seed: u64,
 }
 
 impl Tuner {
@@ -89,6 +184,10 @@ impl Tuner {
             mode,
             metric: "objective".to_string(),
             name: "experiment".to_string(),
+            retry: RetryPolicy::none(),
+            time_budget: None,
+            faults: FaultPlan::new(),
+            seed: 0,
         }
     }
 
@@ -104,11 +203,37 @@ impl Tuner {
         self
     }
 
+    /// Set the retry policy for failed attempts.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Set the per-trial wall-clock budget.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Install a failure-injection plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the experiment seed (backoff jitter determinism).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Execute the experiment. The objective receives the configuration
     /// and a [`TrialContext`]; it returns the final metric value (user
-    /// orientation). Panicking or non-finite objectives mark the trial
-    /// failed, and the searcher is fed a large penalty so Bayesian search
-    /// avoids the region while its in-flight bookkeeping stays consistent.
+    /// orientation). Panicking, non-finite or deadline-overrunning
+    /// attempts are retried under the [`RetryPolicy`]; only when every
+    /// attempt fails is the trial marked failed and the searcher fed a
+    /// large penalty so Bayesian search avoids the region while its
+    /// in-flight bookkeeping stays consistent.
     pub fn run<F>(
         &self,
         searcher: Box<dyn Searcher>,
@@ -122,97 +247,174 @@ impl Tuner {
         let trials: Mutex<Vec<Trial>> = Mutex::new(Vec::with_capacity(self.num_samples));
         let next_id = AtomicU64::new(0);
         let worst_seen = Mutex::new(f64::NEG_INFINITY);
-        let exhausted = std::sync::atomic::AtomicBool::new(false);
+        let exhausted = AtomicBool::new(false);
+        let live_workers = AtomicUsize::new(self.workers);
+        let wake = Wake::new();
+        let watch: Mutex<HashMap<u64, WatchEntry>> = Mutex::new(HashMap::new());
         let objective = &objective;
         let scheduler = &*scheduler;
+        let (searcher, trials, worst_seen) = (&searcher, &trials, &worst_seen);
+        let (next_id, exhausted, live_workers) = (&next_id, &exhausted, &live_workers);
+        let (wake, watch) = (&wake, &watch);
 
         crossbeam::thread::scope(|scope| {
-            for _ in 0..self.workers {
-                scope.spawn(|_| loop {
-                    let id = next_id.fetch_add(1, Ordering::SeqCst);
-                    if id >= self.num_samples as u64 {
-                        return;
-                    }
-                    // Obtain a suggestion, waiting out concurrency limits.
-                    let config = loop {
-                        if exhausted.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        let suggestion = searcher.lock().suggest(id);
-                        match suggestion {
-                            Some(p) => break p,
-                            None => {
-                                // Either concurrency-limited (someone will
-                                // observe soon) or the searcher is done. A
-                                // grid that ran dry while nothing is
-                                // running can never produce again.
-                                let nothing_running = {
-                                    let t = trials.lock();
-                                    t.iter().all(|tr| tr.status.is_finished())
-                                };
-                                if nothing_running {
-                                    exhausted.store(true, Ordering::SeqCst);
-                                    return;
-                                }
-                                std::thread::yield_now();
+            // Deadline watchdog: sweeps running attempts and flags the
+            // overdue ones so cooperative objectives bail out promptly.
+            if self.time_budget.is_some() {
+                scope.spawn(move |_| {
+                    while live_workers.load(Ordering::SeqCst) > 0 {
+                        let now = Instant::now();
+                        for entry in watch.lock().values() {
+                            if now >= entry.deadline {
+                                entry.expired.store(true, Ordering::SeqCst);
                             }
                         }
-                    };
-                    {
-                        let mut t = trials.lock();
-                        let mut trial = Trial::new(id, config.clone());
-                        trial.status = TrialStatus::Running;
-                        t.push(trial);
+                        std::thread::sleep(WATCHDOG_TICK);
                     }
-                    let mut ctx = TrialContext {
-                        trial_id: id,
-                        mode: self.mode,
-                        scheduler,
-                        reports: Vec::new(),
-                        stopped: false,
-                    };
-                    let outcome =
-                        catch_unwind(AssertUnwindSafe(|| objective(&config, &mut ctx)));
-                    let (status, feedback) = match outcome {
-                        Ok(value) if value.is_finite() => {
-                            let normalized = match self.mode {
-                                Mode::Min => value,
-                                Mode::Max => -value,
+                });
+            }
+            for _ in 0..self.workers {
+                scope.spawn(move |_| {
+                    let work = || loop {
+                        let id = next_id.fetch_add(1, Ordering::SeqCst);
+                        if id >= self.num_samples as u64 {
+                            return;
+                        }
+                        // Obtain a suggestion, waiting out concurrency
+                        // limits parked on the condvar (woken by observe).
+                        let config = loop {
+                            if exhausted.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            let seen = wake.generation();
+                            let suggestion = searcher.lock().suggest(id);
+                            match suggestion {
+                                Some(p) => break p,
+                                None => {
+                                    // Either concurrency-limited (an
+                                    // observe will wake us) or the
+                                    // searcher is done. A grid that ran
+                                    // dry while nothing is running can
+                                    // never produce again.
+                                    let nothing_running = {
+                                        let t = trials.lock();
+                                        t.iter().all(|tr| tr.status.is_finished())
+                                    };
+                                    if nothing_running {
+                                        exhausted.store(true, Ordering::SeqCst);
+                                        wake.notify();
+                                        return;
+                                    }
+                                    wake.wait_past(seen, SUGGEST_WAIT);
+                                }
+                            }
+                        };
+                        {
+                            let mut t = trials.lock();
+                            let mut trial = Trial::new(id, config.clone());
+                            trial.status = TrialStatus::Running;
+                            t.push(trial);
+                        }
+                        // Attempt loop: run, classify, retry while the
+                        // policy allows, then settle the trial.
+                        let mut attempts: Vec<Attempt> = Vec::new();
+                        let mut reports: Vec<(u64, f64)> = Vec::new();
+                        let (status, feedback) = loop {
+                            let attempt = attempts.len() as u32;
+                            let expired = Arc::new(AtomicBool::new(false));
+                            let deadline = self.time_budget.map(|b| Instant::now() + b);
+                            if let Some(d) = deadline {
+                                watch.lock().insert(
+                                    id,
+                                    WatchEntry {
+                                        deadline: d,
+                                        expired: expired.clone(),
+                                    },
+                                );
+                            }
+                            let mut ctx = TrialContext {
+                                trial_id: id,
+                                attempt,
+                                mode: self.mode,
+                                scheduler,
+                                reports: Vec::new(),
+                                stopped: false,
+                                deadline,
+                                expired: expired.clone(),
                             };
-                            let mut worst = worst_seen.lock();
-                            *worst = worst.max(normalized);
-                            let status = if ctx.stopped {
-                                TrialStatus::StoppedEarly(value)
+                            let started = Instant::now();
+                            let outcome = match self.faults.lookup(id, attempt) {
+                                Some(FaultAction::Fail) => {
+                                    Err(format!("injected fault: fail (attempt {attempt})"))
+                                }
+                                Some(FaultAction::Nan) => Ok(f64::NAN),
+                                Some(FaultAction::Delay(d)) => {
+                                    std::thread::sleep(d);
+                                    run_objective(objective, &config, &mut ctx)
+                                }
+                                None => run_objective(objective, &config, &mut ctx),
+                            };
+                            if deadline.is_some() {
+                                watch.lock().remove(&id);
+                            }
+                            let secs = started.elapsed().as_secs_f64();
+                            let overran = expired.load(Ordering::SeqCst)
+                                || deadline.is_some_and(|d| Instant::now() >= d);
+                            let stopped = ctx.stopped;
+                            reports = ctx.reports;
+                            let (error, value) = if overran {
+                                (Some("deadline exceeded".to_string()), None)
                             } else {
-                                TrialStatus::Terminated(value)
+                                match outcome {
+                                    Ok(v) if v.is_finite() => (None, Some(v)),
+                                    Ok(v) => (Some(format!("non-finite metric {v}")), None),
+                                    Err(msg) => (Some(msg), None),
+                                }
                             };
-                            (status, normalized)
-                        }
-                        Ok(bad) => {
-                            let penalty = self.failure_penalty(&worst_seen);
-                            (
-                                TrialStatus::Failed(format!("non-finite metric {bad}")),
-                                penalty,
-                            )
-                        }
-                        Err(panic) => {
-                            let msg = panic
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| panic.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "objective panicked".to_string());
-                            let penalty = self.failure_penalty(&worst_seen);
-                            (TrialStatus::Failed(msg), penalty)
-                        }
+                            attempts.push(Attempt {
+                                index: attempt,
+                                error: error.clone(),
+                                secs,
+                            });
+                            if let Some(value) = value {
+                                let normalized = match self.mode {
+                                    Mode::Min => value,
+                                    Mode::Max => -value,
+                                };
+                                {
+                                    let mut worst = worst_seen.lock();
+                                    *worst = worst.max(normalized);
+                                }
+                                let status = if stopped {
+                                    TrialStatus::StoppedEarly(value)
+                                } else {
+                                    TrialStatus::Terminated(value)
+                                };
+                                break (status, normalized);
+                            }
+                            let reason = error.unwrap_or_default();
+                            if attempts.len() as u32 >= self.retry.max_attempts() {
+                                let penalty = self.failure_penalty(worst_seen);
+                                break (TrialStatus::Failed(reason), penalty);
+                            }
+                            let delay = self.retry.backoff(self.seed, id, attempt);
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                        };
+                        searcher.lock().observe(id, feedback);
+                        wake.notify();
+                        let mut t = trials.lock();
+                        let trial = t
+                            .iter_mut()
+                            .find(|tr| tr.id == id)
+                            .expect("trial recorded at start");
+                        trial.reports = reports;
+                        trial.attempts = attempts;
+                        trial.status = status;
                     };
-                    searcher.lock().observe(id, feedback);
-                    let mut t = trials.lock();
-                    let trial = t
-                        .iter_mut()
-                        .find(|tr| tr.id == id)
-                        .expect("trial recorded at start");
-                    trial.reports = ctx.reports;
-                    trial.status = status;
+                    work();
+                    live_workers.fetch_sub(1, Ordering::SeqCst);
                 });
             }
         })
@@ -235,6 +437,24 @@ impl Tuner {
     }
 }
 
+/// Run the user objective, converting panics into error strings.
+fn run_objective<F>(
+    objective: &F,
+    config: &Point,
+    ctx: &mut TrialContext<'_>,
+) -> Result<f64, String>
+where
+    F: Fn(&Point, &mut TrialContext<'_>) -> f64 + Send + Sync,
+{
+    catch_unwind(AssertUnwindSafe(|| objective(config, ctx))).map_err(|panic| {
+        panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "objective panicked".to_string())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +467,13 @@ mod tests {
         Space::new().int("x", 0, 20)
     }
 
+    /// A fast retry policy for tests (no real-time backoff).
+    fn fast_retries(n: u32) -> RetryPolicy {
+        RetryPolicy::retries(n)
+            .base_delay(Duration::from_millis(1))
+            .max_delay(Duration::from_millis(2))
+    }
+
     #[test]
     fn runs_exact_sample_budget() {
         let tuner = Tuner::new(12, 4, Mode::Min);
@@ -256,10 +483,12 @@ mod tests {
             |cfg, _ctx| (cfg[0] - 7.0).powi(2),
         );
         assert_eq!(analysis.trials().len(), 12);
+        assert!(analysis.trials().iter().all(|t| t.status.is_finished()));
+        // Exactly one successful attempt per trial.
         assert!(analysis
             .trials()
             .iter()
-            .all(|t| t.status.is_finished()));
+            .all(|t| t.attempt_count() == 1 && t.retries() == 0));
     }
 
     #[test]
@@ -308,11 +537,9 @@ mod tests {
 
     #[test]
     fn concurrency_limit_is_respected() {
-        use std::sync::atomic::AtomicUsize;
         let running = Arc::new(AtomicUsize::new(0));
         let peak = Arc::new(AtomicUsize::new(0));
-        let searcher =
-            ConcurrencyLimiter::new(RandomSearch::new(space(), 9), 2);
+        let searcher = ConcurrencyLimiter::new(RandomSearch::new(space(), 9), 2);
         let tuner = Tuner::new(10, 6, Mode::Min); // more workers than cap
         let (running2, peak2) = (running.clone(), peak.clone());
         tuner.run(Box::new(searcher), Arc::new(Fifo), move |cfg, _| {
@@ -410,5 +637,123 @@ mod tests {
             .collect();
         assert_eq!(failed.len(), 1);
         assert_eq!(analysis.best_trial().unwrap().value(), Some(1.0));
+    }
+
+    #[test]
+    fn injected_failure_recovers_on_retry_with_true_metric() {
+        // Trial 1 panics on its first attempt only; with one retry it must
+        // end Terminated with its *real* metric, not a penalty, and both
+        // attempts must be on the record.
+        let tuner = Tuner::new(3, 1, Mode::Min)
+            .retry_policy(fast_retries(1))
+            .faults(FaultPlan::new().fail(1, 0));
+        let analysis = tuner.run(
+            Box::new(GridSearch::from_points(
+                space(),
+                vec![vec![4.0], vec![2.0], vec![6.0]],
+            )),
+            Arc::new(Fifo),
+            |cfg, _| cfg[0],
+        );
+        let flaky = &analysis.trials()[1];
+        assert_eq!(flaky.status, TrialStatus::Terminated(2.0));
+        assert_eq!(flaky.attempt_count(), 2);
+        assert_eq!(flaky.retries(), 1);
+        assert!(!flaky.attempts[0].succeeded());
+        assert!(flaky.attempts[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("injected fault"));
+        assert!(flaky.attempts[1].succeeded());
+        // The flaky trial's true value wins the experiment.
+        assert_eq!(analysis.best_trial().unwrap().id, 1);
+    }
+
+    #[test]
+    fn retries_exhausted_marks_failed_with_last_reason() {
+        let tuner = Tuner::new(2, 1, Mode::Min)
+            .retry_policy(fast_retries(2))
+            .faults(FaultPlan::new().fail_always(0));
+        let analysis = tuner.run(
+            Box::new(GridSearch::from_points(space(), vec![vec![1.0], vec![2.0]])),
+            Arc::new(Fifo),
+            |cfg, _| cfg[0],
+        );
+        let doomed = &analysis.trials()[0];
+        assert!(matches!(doomed.status, TrialStatus::Failed(_)));
+        assert_eq!(doomed.attempt_count(), 3, "1 attempt + 2 retries");
+        assert!(doomed.attempts.iter().all(|a| !a.succeeded()));
+        assert_eq!(analysis.trials()[1].status, TrialStatus::Terminated(2.0));
+    }
+
+    #[test]
+    fn nan_injection_recovers_on_retry() {
+        let tuner = Tuner::new(1, 1, Mode::Min)
+            .retry_policy(fast_retries(1))
+            .faults(FaultPlan::new().nan(0, 0));
+        let analysis = tuner.run(
+            Box::new(GridSearch::from_points(space(), vec![vec![7.0]])),
+            Arc::new(Fifo),
+            |cfg, _| cfg[0],
+        );
+        let t = &analysis.trials()[0];
+        assert_eq!(t.status, TrialStatus::Terminated(7.0));
+        assert!(t.attempts[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("non-finite"));
+    }
+
+    #[test]
+    fn deadline_marks_overrunning_trial_failed_without_stalling() {
+        // Trial 0 cooperatively busy-waits far beyond the 25 ms budget;
+        // the watchdog flags it, the objective bails, the trial ends
+        // Failed("deadline exceeded") and the other trials still run.
+        let tuner = Tuner::new(3, 2, Mode::Min).time_budget(Duration::from_millis(25));
+        let analysis = tuner.run(
+            Box::new(GridSearch::from_points(
+                space(),
+                vec![vec![9.0], vec![1.0], vec![3.0]],
+            )),
+            Arc::new(Fifo),
+            |cfg, ctx| {
+                if ctx.trial_id == 0 {
+                    let hard_stop = Instant::now() + Duration::from_secs(5);
+                    while !ctx.deadline_exceeded() && Instant::now() < hard_stop {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                cfg[0]
+            },
+        );
+        assert_eq!(analysis.trials().len(), 3);
+        assert_eq!(
+            analysis.trials()[0].status,
+            TrialStatus::Failed("deadline exceeded".to_string())
+        );
+        assert_eq!(analysis.trials()[1].status, TrialStatus::Terminated(1.0));
+        assert_eq!(analysis.trials()[2].status, TrialStatus::Terminated(3.0));
+        assert_eq!(analysis.best_trial().unwrap().value(), Some(1.0));
+    }
+
+    #[test]
+    fn injected_delay_blows_the_deadline() {
+        // The straggler fault sleeps past the budget before the objective
+        // runs, so even a well-behaved objective is marked failed.
+        let tuner = Tuner::new(2, 1, Mode::Min)
+            .time_budget(Duration::from_millis(10))
+            .faults(FaultPlan::new().delay(0, 0, Duration::from_millis(40)));
+        let analysis = tuner.run(
+            Box::new(GridSearch::from_points(space(), vec![vec![5.0], vec![6.0]])),
+            Arc::new(Fifo),
+            |cfg, _| cfg[0],
+        );
+        assert_eq!(
+            analysis.trials()[0].status,
+            TrialStatus::Failed("deadline exceeded".to_string())
+        );
+        assert_eq!(analysis.trials()[1].status, TrialStatus::Terminated(6.0));
     }
 }

@@ -1,0 +1,182 @@
+//! End-to-end fault tolerance: engine-level faults surface as failed
+//! evaluations, the retry layer re-runs them, and the Phase III archive
+//! records every attempt.
+
+use e2clab::conf::schema::ExperimentConf;
+use e2clab::core::OptimizationManager;
+use e2clab::des::SimTime;
+use e2clab::plantnet::sim::{Experiment, ExperimentSpec, ServiceFault, ServiceFaultKind};
+use e2clab::plantnet::PoolConfig;
+use e2clab::tune::TrialStatus;
+use std::path::PathBuf;
+
+const CONF: &str = r#"
+name: ft-e2e
+optimization:
+  metric: user_resp_time
+  mode: min
+  name: ft-tuning
+  num_samples: 6
+  max_concurrent: 2
+  fault_tolerance:
+    max_retries: 2
+    backoff_ms: 1
+    max_backoff_ms: 2
+  search:
+    algo: random
+  config:
+    - name: http
+      type: randint
+      bounds: [20, 60]
+    - name: download
+      type: randint
+      bounds: [20, 60]
+    - name: simsearch
+      type: randint
+      bounds: [20, 60]
+    - name: extract
+      type: randint
+      bounds: [3, 9]
+"#;
+
+fn opt_conf(src: &str) -> e2clab::conf::schema::OptimizationConf {
+    ExperimentConf::from_value(&e2clab::conf::parse(src).unwrap())
+        .unwrap()
+        .optimization
+        .unwrap()
+}
+
+/// Short engine run; `fault` lets a test crash or degrade the engine.
+fn engine(point: &[f64], seed: u64, fault: Option<ServiceFault>) -> f64 {
+    let cfg = PoolConfig::from_point(point);
+    let mut spec = ExperimentSpec::quick(cfg, 40);
+    spec.duration = SimTime::from_secs(60);
+    spec.warmup = SimTime::from_secs(10);
+    spec.fault = fault;
+    Experiment::run(spec, seed).response.mean
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("e2e-ft-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn engine_crash_is_retried_and_recovers_with_the_true_metric() {
+    let dir = temp_dir("crash");
+    let summary = OptimizationManager::new(opt_conf(CONF))
+        .with_seed(7)
+        .with_archive(dir.clone())
+        .run(|ctx| {
+            // Trial 2's engine crashes mid-run on the first attempt only:
+            // the NaN metric must be classified as a failure and the
+            // retry must observe the healthy engine.
+            let fault = (ctx.trial_id == 2 && ctx.attempt == 0).then_some(ServiceFault {
+                at: SimTime::from_secs(5),
+                kind: ServiceFaultKind::Crash,
+            });
+            engine(&ctx.point, 100 + ctx.trial_id, fault)
+        });
+
+    let trials = summary.analysis.trials();
+    assert_eq!(trials.len(), 6);
+    let flaky = trials.iter().find(|t| t.id == 2).unwrap();
+    assert!(
+        matches!(flaky.status, TrialStatus::Terminated(_)),
+        "{:?}",
+        flaky.status
+    );
+    assert_eq!(flaky.attempt_count(), 2);
+    let v = flaky.value().expect("retried trial has the true metric");
+    assert!(v.is_finite() && v > 0.0, "metric {v}");
+    assert!(
+        flaky.attempts[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("non-finite")),
+        "first attempt should record the NaN failure: {:?}",
+        flaky.attempts
+    );
+
+    // The archive tells the same story: evaluations.csv counts both
+    // attempts, the trial log keeps the failure reason.
+    let csv = std::fs::read_to_string(dir.join("evaluations.csv")).unwrap();
+    assert!(csv.contains("\n2,terminated,2,"), "{csv}");
+    let jsonl = std::fs::read_to_string(dir.join("trials").join("trials.jsonl")).unwrap();
+    let line = jsonl.lines().find(|l| l.contains("\"id\":2")).unwrap();
+    assert!(line.contains("\"attempts\":2"), "{line}");
+    assert!(line.contains("non-finite"), "{line}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn slowdown_fault_degrades_the_metric_without_triggering_a_retry() {
+    let summary = OptimizationManager::new(opt_conf(CONF))
+        .with_seed(13)
+        .run(|ctx| {
+            let fault = (ctx.trial_id == 0).then_some(ServiceFault {
+                at: SimTime::ZERO,
+                kind: ServiceFaultKind::SlowDown { factor: 3.0 },
+            });
+            engine(&ctx.point, 100 + ctx.trial_id, fault)
+        });
+    // A slow engine is a valid (bad) measurement, not a failure.
+    for t in summary.analysis.trials() {
+        assert!(
+            matches!(t.status, TrialStatus::Terminated(_)),
+            "trial {}: {:?}",
+            t.id,
+            t.status
+        );
+        assert_eq!(t.attempt_count(), 1, "trial {}", t.id);
+    }
+}
+
+#[test]
+fn deadline_exceeding_trial_fails_without_stalling_the_run() {
+    let src = CONF.replace(
+        "    max_retries: 2\n",
+        "    max_retries: 0\n    time_budget_ms: 50\n",
+    );
+    let started = std::time::Instant::now();
+    let summary = OptimizationManager::new(opt_conf(&src))
+        .with_seed(5)
+        .run(|ctx| {
+            if ctx.trial_id == 1 {
+                // Cooperative objective that overruns its 50 ms budget.
+                std::thread::sleep(std::time::Duration::from_millis(120));
+            }
+            ctx.point.iter().sum()
+        });
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "run must not stall"
+    );
+    let trials = summary.analysis.trials();
+    let slow = trials.iter().find(|t| t.id == 1).unwrap();
+    assert_eq!(
+        slow.status,
+        TrialStatus::Failed("deadline exceeded".into()),
+        "{:?}",
+        slow.status
+    );
+    for t in trials.iter().filter(|t| t.id != 1) {
+        assert!(
+            matches!(t.status, TrialStatus::Terminated(_)),
+            "trial {}: {:?}",
+            t.id,
+            t.status
+        );
+    }
+}
+
+#[test]
+fn unknown_search_algo_is_a_hard_config_error() {
+    let src = CONF.replace("algo: random", "algo: quantum_annealing");
+    let err = ExperimentConf::from_value(&e2clab::conf::parse(&src).unwrap())
+        .expect_err("bogus algo must not validate");
+    let msg = err.to_string();
+    assert!(msg.contains("optimization.search.algo"), "{msg}");
+    assert!(msg.contains("quantum_annealing"), "{msg}");
+}
