@@ -62,6 +62,7 @@ fn main() {
     let mut sequential_secs = None;
     for workers in [1usize, 2, 4, 8] {
         let manager = OptimizationManager::new(conf(workers)).with_seed(5);
+        // detlint: allow(DET002) bench harness: measures real wall-clock speedup; timing is the output, not a decision input
         let started = Instant::now();
         let summary = manager.run(|ctx| {
             let cfg = PoolConfig::from_point(&ctx.point);

@@ -105,12 +105,11 @@ fn strip_comment(line: &str) -> String {
             }
             '"' if !in_single && !escaped => in_double = !in_double,
             '\'' if !in_double => in_single = !in_single,
-            '#' if !in_single && !in_double => {
+            '#' if !in_single && !in_double
                 // `#` begins a comment at line start or after whitespace.
-                if out.is_empty() || out.ends_with(' ') {
+                && (out.is_empty() || out.ends_with(' ')) => {
                     break;
                 }
-            }
             _ => {}
         }
         escaped = false;

@@ -14,7 +14,7 @@ fn scalar() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         any::<i64>().prop_map(Value::Int),
         // Finite, non-NaN floats only; NaN breaks equality by definition.
-        (-1e15f64..1e15).prop_map(|f| Value::Float(f)),
+        (-1e15f64..1e15).prop_map(Value::Float),
         "[ -~]{0,12}".prop_map(Value::Str),
     ]
 }

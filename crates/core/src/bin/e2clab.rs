@@ -11,15 +11,23 @@
 //!     Dry-run deployment: reserve nodes on the simulated Grid'5000
 //!     testbed, apply network emulation, print the scenario.
 //! e2clab optimize [--repeat N] [--duration SECS] [--seed S]
-//!                 [--archive DIR] [--faults SPEC] <conf.yaml>
+//!                 [--archive DIR] [--faults SPEC] [--replay-check]
+//!                 <conf.yaml>
 //!     Run the optimization cycle of the configuration's `optimization`
 //!     section against the Pl@ntNet engine model and print the Phase III
 //!     summary. `--faults` injects deterministic trial failures for
 //!     testing the retry layer, e.g.
 //!     `--faults "fail:2@0;delay:4:500;nan:5"` (fail trial 2's first
 //!     attempt, delay trial 4 by 500 ms, make trial 5 return NaN).
+//!     `--replay-check` runs the same seeded cycle twice (sequentially)
+//!     and byte-diffs `evaluations.csv` and `trials/trials.jsonl` between
+//!     the two runs — a self-check that the run is actually replayable.
 //! e2clab report <archive-dir>
 //!     Re-print the summary of a previously written archive.
+//! e2clab lint [--config FILE] [root]
+//!     Run the detlint determinism pass (DET001–DET005) over every `.rs`
+//!     file under `root` (default: this workspace). Exits non-zero when
+//!     unsuppressed error-severity findings remain.
 //! ```
 
 use e2c_conf::schema::ExperimentConf;
@@ -37,10 +45,98 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  e2clab validate <conf.yaml>\n  e2clab deploy <conf.yaml>\n  \
          e2clab optimize [--repeat N] [--duration SECS] [--seed S] [--archive DIR] \
-         [--faults SPEC] <conf.yaml>\n  \
-         e2clab report <archive-dir>"
+         [--faults SPEC] [--replay-check] <conf.yaml>\n  \
+         e2clab report <archive-dir>\n  \
+         e2clab lint [--config FILE] [root]"
     );
     ExitCode::from(2)
+}
+
+/// Workspace root for `lint` when no explicit path is given: the compiled
+/// source tree if it still exists (dev checkout), otherwise the current
+/// directory.
+fn workspace_root() -> PathBuf {
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if compiled.join("Cargo.toml").is_file() {
+        // Canonicalize so report labels are workspace-relative.
+        compiled.canonicalize().unwrap_or(compiled)
+    } else {
+        PathBuf::from(".")
+    }
+}
+
+/// Run the same seeded optimization twice (sequentially — bit-exact replay
+/// only holds without concurrent suggestion interleaving) and byte-diff
+/// the reproducibility artifacts of the two runs.
+fn run_replay_check<F>(
+    opt_conf: e2c_conf::schema::OptimizationConf,
+    seed: u64,
+    faults: FaultPlan,
+    archive: Option<PathBuf>,
+    objective: F,
+) -> ExitCode
+where
+    F: Fn(&e2c_core::optimization::EvalContext) -> f64 + Send + Sync,
+{
+    let dir_a = archive.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("e2clab-replay-a-{}", std::process::id()))
+    });
+    let dir_b = std::env::temp_dir().join(format!("e2clab-replay-b-{}", std::process::id()));
+    // The trial log is append-only, so both runs need fresh directories.
+    if dir_a.join("trials").join("trials.jsonl").is_file() {
+        eprintln!(
+            "--replay-check: {} already holds a trial log; pass a fresh --archive directory",
+            dir_a.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let mut conf = opt_conf;
+    conf.max_concurrent = 1;
+    for dir in [&dir_a, &dir_b] {
+        let summary = OptimizationManager::new(conf.clone())
+            .with_seed(seed)
+            .with_faults(faults.clone())
+            .with_archive(dir.clone())
+            .run(&objective);
+        if dir == &dir_a {
+            print!("{}", summary.render());
+        }
+    }
+    let mut ok = true;
+    for rel in ["evaluations.csv", "trials/trials.jsonl"] {
+        let a = std::fs::read(dir_a.join(rel));
+        let b = std::fs::read(dir_b.join(rel));
+        match (a, b) {
+            (Ok(a), Ok(b)) if a == b => {
+                println!("replay-check: {rel} identical ({} bytes)", a.len());
+            }
+            (Ok(a), Ok(b)) => {
+                eprintln!(
+                    "replay-check: {rel} DIFFERS ({} vs {} bytes) — run is not replayable",
+                    a.len(),
+                    b.len()
+                );
+                ok = false;
+            }
+            (a, b) => {
+                eprintln!("replay-check: {rel}: {:?} vs {:?}", a.err(), b.err());
+                ok = false;
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir_b);
+    if archive.is_none() {
+        let _ = std::fs::remove_dir_all(&dir_a);
+    } else {
+        println!("archive written to {}", dir_a.display());
+    }
+    if ok {
+        println!("replay-check: PASS — seeded run replays byte-identically");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn load_conf(path: &str) -> Result<ExperimentConf, String> {
@@ -112,6 +208,7 @@ fn main() -> ExitCode {
             let mut seed = 0u64;
             let mut archive: Option<PathBuf> = None;
             let mut faults = FaultPlan::new();
+            let mut replay_check = false;
             let mut conf_path: Option<String> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
@@ -149,6 +246,7 @@ fn main() -> ExitCode {
                         },
                         None => return usage(),
                     },
+                    "--replay-check" => replay_check = true,
                     other if !other.starts_with("--") => conf_path = Some(other.to_string()),
                     other => {
                         eprintln!("unknown flag {other}");
@@ -180,13 +278,7 @@ fn main() -> ExitCode {
                 .map(|s| s.quantity * 20)
                 .sum::<usize>()
                 .max(80);
-            let mut manager = OptimizationManager::new(opt_conf)
-                .with_seed(seed)
-                .with_faults(faults);
-            if let Some(dir) = archive.clone() {
-                manager = manager.with_archive(dir);
-            }
-            let summary = manager.run(move |ctx| {
+            let objective = move |ctx: &e2c_core::optimization::EvalContext| {
                 let cfg = PoolConfig::from_point(&ctx.point);
                 let mut spec = ExperimentSpec::paper(cfg, clients);
                 spec.duration = SimTime::from_secs(duration);
@@ -194,12 +286,68 @@ fn main() -> ExitCode {
                 EngineRun::run_repeated(spec, repeat, 1000 + ctx.trial_id)
                     .response
                     .mean
-            });
+            };
+            if replay_check {
+                return run_replay_check(opt_conf, seed, faults, archive, objective);
+            }
+            let mut manager = OptimizationManager::new(opt_conf)
+                .with_seed(seed)
+                .with_faults(faults);
+            if let Some(dir) = archive.clone() {
+                manager = manager.with_archive(dir);
+            }
+            let summary = manager.run(objective);
             print!("{}", summary.render());
             if let Some(dir) = archive {
                 println!("archive written to {}", dir.display());
             }
             ExitCode::SUCCESS
+        }
+        "lint" => {
+            let mut config = detlint::Config::default();
+            let mut root: Option<PathBuf> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--config" => {
+                        let Some(path) = it.next() else {
+                            eprintln!("--config needs a value");
+                            return usage();
+                        };
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("{path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        if let Err(e) = config.apply_file(&text) {
+                            eprintln!("{path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    other if !other.starts_with("--") => root = Some(PathBuf::from(other)),
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        return usage();
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(workspace_root);
+            match detlint::lint_workspace(&root, &config) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("lint failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         "report" => {
             let Some(dir) = args.get(1) else {

@@ -399,7 +399,13 @@ optimization:
 
     #[test]
     fn bayesian_cycle_finds_good_configuration() {
-        let mgr = OptimizationManager::new(opt_conf("extra_trees", 30)).with_seed(3);
+        // Sequential cycle: with max_concurrent=2 the model-fit order (and
+        // so the best value found) depends on thread interleaving, which
+        // makes a quality threshold flaky. Concurrency is exercised by
+        // `random_algo_also_works` and the tuner's own tests.
+        let mut conf = opt_conf("extra_trees", 30);
+        conf.max_concurrent = 1;
+        let mgr = OptimizationManager::new(conf).with_seed(3);
         let summary = mgr.run(objective);
         assert_eq!(summary.analysis.trials().len(), 30);
         let best = summary.best_value.unwrap();

@@ -1,0 +1,144 @@
+//! End-to-end gates for the determinism story:
+//!
+//! * `workspace_lint_is_clean` — the detlint pass over this repository
+//!   exits clean (every remaining hazard carries a justified allow);
+//! * `replay_check_*` — `e2clab optimize --replay-check` runs the same
+//!   seeded cycle twice and proves `evaluations.csv` and
+//!   `trials/trials.jsonl` come out byte-identical.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+const TINY_CONF: &str = r#"
+name: replay-gate
+optimization:
+  metric: response_time
+  mode: min
+  name: replay-gate
+  num_samples: 6
+  max_concurrent: 2
+  search:
+    algo: extra_trees
+    n_initial_points: 3
+    initial_point_generator: lhs
+    acq_func: ei
+  config:
+    - name: http
+      type: randint
+      bounds: [20, 60]
+    - name: download
+      type: randint
+      bounds: [20, 60]
+    - name: simsearch
+      type: randint
+      bounds: [20, 60]
+    - name: extract
+      type: randint
+      bounds: [2, 20]
+"#;
+
+#[test]
+fn workspace_lint_is_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_e2clab"))
+        .arg("lint")
+        .arg(workspace_root())
+        .output()
+        .expect("run e2clab lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "lint found unsuppressed hazards:\n{stdout}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_rejects_a_dirty_tree() {
+    let dir = std::env::temp_dir().join(format!("detlint-dirty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("bad.rs"),
+        "fn f() { let mut r = StdRng::from_entropy(); r.gen::<u8>(); }\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_e2clab"))
+        .arg("lint")
+        .arg(&dir)
+        .output()
+        .expect("run e2clab lint");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("DET003"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn replay_check_proves_byte_identical_artifacts() {
+    let base = std::env::temp_dir().join(format!("e2clab-replaygate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let conf = base.join("conf.yaml");
+    std::fs::write(&conf, TINY_CONF).unwrap();
+    let archive = base.join("archive");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_e2clab"))
+        .args([
+            "optimize",
+            "--seed",
+            "11",
+            "--duration",
+            "30",
+            "--replay-check",
+            "--archive",
+        ])
+        .arg(&archive)
+        .arg(&conf)
+        .output()
+        .expect("run e2clab optimize --replay-check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "replay check failed:\n{stdout}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("evaluations.csv identical"), "{stdout}");
+    assert!(stdout.contains("trials/trials.jsonl identical"), "{stdout}");
+    assert!(stdout.contains("replay-check: PASS"), "{stdout}");
+    // The requested archive survives the check.
+    assert!(archive.join("evaluations.csv").is_file());
+    assert!(archive.join("trials").join("trials.jsonl").is_file());
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn replay_check_without_archive_cleans_up() {
+    let base = std::env::temp_dir().join(format!("e2clab-replaygate2-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let conf = base.join("conf.yaml");
+    std::fs::write(&conf, TINY_CONF).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_e2clab"))
+        .args([
+            "optimize",
+            "--seed",
+            "3",
+            "--duration",
+            "30",
+            "--replay-check",
+        ])
+        .arg(&conf)
+        .output()
+        .expect("run e2clab optimize --replay-check");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("replay-check: PASS"));
+    std::fs::remove_dir_all(&base).unwrap();
+}

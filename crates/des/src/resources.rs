@@ -15,7 +15,7 @@
 //! utilization over windows without instrumenting every state change.
 
 use crate::time::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Opaque identifier chosen by the caller (e.g. a request id).
 pub type JobId = u64;
@@ -232,7 +232,10 @@ struct Job {
 #[derive(Debug, Clone)]
 pub struct ProcShare {
     discipline: Discipline,
-    jobs: HashMap<JobId, Job>,
+    /// Active jobs. Ordered map: `advance()` iterates the values and
+    /// `next_completion` scans for the minimum, so enumeration order must
+    /// not depend on hash state (detlint DET001/DET005).
+    jobs: BTreeMap<JobId, Job>,
     total_weight: f64,
     reserved_weight: f64,
     last_update: SimTime,
@@ -248,7 +251,7 @@ impl ProcShare {
     pub fn new(discipline: Discipline) -> Self {
         ProcShare {
             discipline,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             total_weight: 0.0,
             reserved_weight: 0.0,
             last_update: SimTime::ZERO,

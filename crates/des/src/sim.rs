@@ -133,10 +133,7 @@ impl<M: Model> Simulation<M> {
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let before = self.processed;
         let mut stop = false;
-        loop {
-            let Some(next) = self.queue.peek_time() else {
-                break;
-            };
+        while let Some(next) = self.queue.peek_time() {
             if next > horizon {
                 self.now = horizon;
                 break;

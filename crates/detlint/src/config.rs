@@ -1,0 +1,130 @@
+//! Lint configuration: per-rule severity, the approved clock module, the
+//! hot paths where sleeping is a hazard, and directories to skip.
+
+use crate::rules::Rule;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Finding fails the lint (non-zero exit).
+    Error,
+    /// Finding is reported but does not fail the lint.
+    Warn,
+    /// Rule disabled.
+    Off,
+}
+
+impl Severity {
+    fn parse(s: &str) -> Option<Severity> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "deny" => Some(Severity::Error),
+            "warn" | "warning" => Some(Severity::Warn),
+            "off" | "allow" => Some(Severity::Off),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Severity per rule, indexed by `Rule::index()`.
+    severities: [Severity; Rule::COUNT],
+    /// Path suffixes allowed to read the wall clock (DET002). Exactly one
+    /// sanctioned call site exists in this workspace: the tune clock
+    /// module.
+    pub approved_clock_files: Vec<String>,
+    /// Path prefixes treated as search/observe hot paths (DET004).
+    pub hot_paths: Vec<String>,
+    /// Directory names skipped by the workspace walker.
+    pub skip_dirs: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            severities: [Severity::Error; Rule::COUNT],
+            approved_clock_files: vec!["crates/tune/src/clock.rs".to_string()],
+            hot_paths: vec![
+                "crates/tune/src/".to_string(),
+                "crates/optim/src/".to_string(),
+                "crates/des/src/".to_string(),
+            ],
+            skip_dirs: vec![
+                "target".to_string(),
+                "vendor".to_string(),
+                ".git".to_string(),
+            ],
+        }
+    }
+}
+
+impl Config {
+    pub fn severity(&self, rule: Rule) -> Severity {
+        self.severities[rule.index()]
+    }
+
+    pub fn set_severity(&mut self, rule: Rule, severity: Severity) {
+        self.severities[rule.index()] = severity;
+    }
+
+    /// Parse a plain `key = value` config file. Recognized keys: rule
+    /// codes (`DET001 = warn`), `approve-clock` (adds a DET002-approved
+    /// path suffix), `hot-path` (adds a DET004 prefix), `skip-dir`.
+    /// Lines starting with `#` and blank lines are ignored.
+    pub fn apply_file(&mut self, text: &str) -> Result<(), String> {
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", idx + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            if let Some(rule) = Rule::from_code(key) {
+                let severity = Severity::parse(value)
+                    .ok_or_else(|| format!("line {}: unknown severity `{value}`", idx + 1))?;
+                self.set_severity(rule, severity);
+            } else {
+                match key.to_ascii_lowercase().as_str() {
+                    "approve-clock" => self.approved_clock_files.push(value.to_string()),
+                    "hot-path" => self.hot_paths.push(value.to_string()),
+                    "skip-dir" => self.skip_dirs.push(value.to_string()),
+                    other => return Err(format!("line {}: unknown key `{other}`", idx + 1)),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_all_error() {
+        let c = Config::default();
+        for rule in Rule::ALL {
+            assert_eq!(c.severity(rule), Severity::Error);
+        }
+    }
+
+    #[test]
+    fn config_file_overrides() {
+        let mut c = Config::default();
+        c.apply_file("# comment\nDET005 = warn\nDET004 = off\nhot-path = crates/x/\n")
+            .unwrap();
+        assert_eq!(c.severity(Rule::FloatAccumulation), Severity::Warn);
+        assert_eq!(c.severity(Rule::SleepInHotPath), Severity::Off);
+        assert_eq!(c.severity(Rule::UnorderedIteration), Severity::Error);
+        assert!(c.hot_paths.iter().any(|p| p == "crates/x/"));
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        let mut c = Config::default();
+        assert!(c.apply_file("DET001 = loud").is_err());
+        assert!(c.apply_file("nonsense").is_err());
+        assert!(c.apply_file("mystery = 3").is_err());
+    }
+}

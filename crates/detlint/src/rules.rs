@@ -1,0 +1,507 @@
+//! The five determinism rules and the per-file analysis pass.
+
+use crate::config::Config;
+use crate::scanner::{split_source, Line};
+use std::collections::BTreeSet;
+
+/// A determinism hazard class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// DET001: iteration over an unordered `HashMap`/`HashSet`.
+    UnorderedIteration,
+    /// DET002: wall-clock read outside the approved clock module.
+    WallClock,
+    /// DET003: unseeded / entropy-based RNG construction.
+    EntropyRng,
+    /// DET004: sleep or spin loop in a search/observe hot path.
+    SleepInHotPath,
+    /// DET005: floating-point accumulation over an unordered collection.
+    FloatAccumulation,
+}
+
+impl Rule {
+    pub const COUNT: usize = 5;
+    pub const ALL: [Rule; Rule::COUNT] = [
+        Rule::UnorderedIteration,
+        Rule::WallClock,
+        Rule::EntropyRng,
+        Rule::SleepInHotPath,
+        Rule::FloatAccumulation,
+    ];
+
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::UnorderedIteration => "DET001",
+            Rule::WallClock => "DET002",
+            Rule::EntropyRng => "DET003",
+            Rule::SleepInHotPath => "DET004",
+            Rule::FloatAccumulation => "DET005",
+        }
+    }
+
+    pub fn index(self) -> usize {
+        match self {
+            Rule::UnorderedIteration => 0,
+            Rule::WallClock => 1,
+            Rule::EntropyRng => 2,
+            Rule::SleepInHotPath => 3,
+            Rule::FloatAccumulation => 4,
+        }
+    }
+
+    pub fn from_code(code: &str) -> Option<Rule> {
+        let code = code.trim().to_ascii_uppercase();
+        Rule::ALL.into_iter().find(|r| r.code() == code)
+    }
+
+    /// One-line description for reports and docs.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::UnorderedIteration => {
+                "iteration over an unordered HashMap/HashSet — order varies between runs"
+            }
+            Rule::WallClock => "wall-clock read outside the approved clock module",
+            Rule::EntropyRng => "entropy-based RNG construction defeats seeded replay",
+            Rule::SleepInHotPath => "sleep/spin in a search or observe hot path",
+            Rule::FloatAccumulation => {
+                "floating-point accumulation over an unordered collection (fp addition is non-associative)"
+            }
+        }
+    }
+}
+
+/// A justified (or not) `detlint: allow(...)` attached to a finding.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Free-text reason following the `allow(...)`; empty means the
+    /// suppression is invalid and the finding still counts.
+    pub justification: String,
+}
+
+/// One rule hit at one source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    pub message: String,
+    /// The offending source line, verbatim.
+    pub snippet: String,
+    /// Present when a `detlint: allow(<code>)` covers this line.
+    pub suppression: Option<Suppression>,
+}
+
+impl Finding {
+    /// True when the finding carries an allow *with a written reason* —
+    /// an empty justification does not count.
+    pub fn suppressed_with_justification(&self) -> bool {
+        self.suppression
+            .as_ref()
+            .is_some_and(|s| !s.justification.is_empty())
+    }
+}
+
+const ITERATION_METHODS: [&str; 10] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".retain(",
+];
+
+const ACCUMULATION_TAILS: [&str; 3] = [".sum::<", ".sum()", ".fold("];
+
+const ENTROPY_PATTERNS: [&str; 6] = [
+    "from_entropy",
+    "thread_rng(",
+    "rand::random(",
+    "OsRng",
+    "from_os_rng",
+    "getrandom(",
+];
+
+const SLEEP_PATTERNS: [&str; 3] = ["thread::sleep(", "spin_loop(", "yield_now("];
+
+/// Lint one file's text. `path` is the workspace-relative label used in
+/// findings and for the DET002/DET004 path scoping.
+pub fn lint_source(path: &str, text: &str, config: &Config) -> Vec<Finding> {
+    let lines = split_source(text);
+    let unordered = collect_unordered_idents(&lines);
+    let clock_approved = config
+        .approved_clock_files
+        .iter()
+        .any(|suffix| path.ends_with(suffix.as_str()));
+    let in_hot_path = config
+        .hot_paths
+        .iter()
+        .any(|p| path.starts_with(p.as_str()));
+
+    let mut findings = Vec::new();
+    // Stack of `for`-loops over unordered collections: (depth inside the
+    // loop body, loop-variable line) — used by DET005's `+=` heuristic.
+    let mut depth: i64 = 0;
+    let mut unordered_loops: Vec<i64> = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let mut hit = |rule: Rule, message: String| {
+            findings.push(Finding {
+                rule,
+                file: path.to_string(),
+                line: idx + 1,
+                message,
+                snippet: line.raw.clone(),
+                suppression: None,
+            });
+        };
+
+        // DET002 — wall-clock reads.
+        if !clock_approved && (code.contains("Instant::now(") || code.contains("SystemTime::now("))
+        {
+            hit(
+                Rule::WallClock,
+                format!(
+                    "wall-clock read outside the approved clock module; route through `{}`",
+                    config
+                        .approved_clock_files
+                        .first()
+                        .map(String::as_str)
+                        .unwrap_or("<approved clock module>")
+                ),
+            );
+        }
+
+        // DET003 — entropy-based RNG construction.
+        if let Some(pat) = ENTROPY_PATTERNS.iter().find(|p| code.contains(**p)) {
+            hit(
+                Rule::EntropyRng,
+                format!(
+                    "`{}` draws entropy, so two runs with the same seed diverge; construct RNGs with `SeedableRng::seed_from_u64`",
+                    pat.trim_end_matches('(')
+                ),
+            );
+        }
+
+        // DET004 — sleeping inside search/observe paths.
+        if in_hot_path {
+            if let Some(pat) = SLEEP_PATTERNS.iter().find(|p| code.contains(**p)) {
+                hit(
+                    Rule::SleepInHotPath,
+                    format!(
+                        "`{}` in a search/observe path couples results to wall-clock timing; prefer condvar wakeups",
+                        pat.trim_end_matches('(')
+                    ),
+                );
+            }
+        }
+
+        // DET001 / DET005 — unordered iteration and float accumulation.
+        let mut det001_idents: BTreeSet<&str> = BTreeSet::new();
+        let mut det005_idents: BTreeSet<&str> = BTreeSet::new();
+        for ident in &unordered {
+            for pos in word_occurrences(code, ident) {
+                let rest = statement_tail(&code[pos + ident.len()..]);
+                let iterates = ITERATION_METHODS.iter().any(|m| rest.contains(m))
+                    || is_for_loop_target(code, pos);
+                if !iterates {
+                    continue;
+                }
+                if ACCUMULATION_TAILS.iter().any(|m| rest.contains(m)) {
+                    det005_idents.insert(ident.as_str());
+                } else {
+                    det001_idents.insert(ident.as_str());
+                }
+            }
+        }
+        for ident in &det005_idents {
+            hit(
+                Rule::FloatAccumulation,
+                format!(
+                    "accumulation over unordered `{ident}` is order-sensitive (fp addition is non-associative); iterate a BTreeMap or sort keys first"
+                ),
+            );
+        }
+        for ident in &det001_idents {
+            hit(
+                Rule::UnorderedIteration,
+                format!(
+                    "iteration over unordered `{ident}` (HashMap/HashSet) — order varies between runs; use a BTreeMap/BTreeSet or sort before iterating"
+                ),
+            );
+        }
+
+        // DET005's second form: `+=` accumulation inside the body of a
+        // `for` loop that walks an unordered collection.
+        if unordered_loops.last().is_some_and(|&d| depth >= d) {
+            if let Some(pos) = code.find("+=") {
+                let rhs = code[pos + 2..].trim();
+                let int_literal = !rhs.is_empty()
+                    && rhs
+                        .trim_end_matches(';')
+                        .trim_end()
+                        .chars()
+                        .all(|c| c.is_ascii_digit() || c == '_');
+                // Integer counters are order-independent; everything else
+                // (floats, computed values) is flagged.
+                if !int_literal {
+                    hit(
+                        Rule::FloatAccumulation,
+                        "accumulation inside a loop over an unordered collection is order-sensitive; sort keys first or accumulate over a BTreeMap".to_string(),
+                    );
+                }
+            }
+        }
+
+        // Track brace depth and open unordered `for` loops for the check
+        // above (entries close when depth drops back).
+        let opens = code.chars().filter(|&c| c == '{').count() as i64;
+        let closes = code.chars().filter(|&c| c == '}').count() as i64;
+        let was_unordered_for = code.contains("for ")
+            && code.contains(" in ")
+            && unordered.iter().any(|ident| {
+                word_occurrences(code, ident)
+                    .iter()
+                    .any(|&p| is_for_loop_target(code, p))
+            });
+        depth += opens - closes;
+        if was_unordered_for && opens > closes {
+            unordered_loops.push(depth);
+        }
+        while unordered_loops.last().is_some_and(|&d| depth < d) {
+            unordered_loops.pop();
+        }
+
+        // Attach suppressions: trailing comment on the line itself, or an
+        // allow standing alone on the previous line.
+        for finding in &mut findings {
+            if finding.line != idx + 1 || finding.suppression.is_some() {
+                continue;
+            }
+            let own = parse_allow(&line.comment, finding.rule);
+            let above = if idx > 0 && lines[idx - 1].code.trim().is_empty() {
+                parse_allow(&lines[idx - 1].comment, finding.rule)
+            } else {
+                None
+            };
+            if let Some(justification) = own.or(above) {
+                if justification.is_empty() {
+                    finding.message.push_str(
+                        " [allow found but missing a justification: write `// detlint: allow(",
+                    );
+                    finding.message.push_str(finding.rule.code());
+                    finding.message.push_str(") <reason>`]");
+                }
+                finding.suppression = Some(Suppression { justification });
+            }
+        }
+    }
+    findings
+}
+
+/// Identifiers declared as `HashMap`/`HashSet` in this file (let bindings,
+/// struct fields, wrapped in `Mutex<...>`/`Arc<...>`, or `= HashMap::new()`).
+fn collect_unordered_idents(lines: &[Line]) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    for line in lines {
+        let code = line.code.as_str();
+        if code.trim_start().starts_with("use ") {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            for pos in word_occurrences(code, ty) {
+                if let Some(name) = declared_name(&code[..pos]) {
+                    idents.insert(name);
+                }
+            }
+        }
+    }
+    idents
+}
+
+/// Given the text before a `HashMap`/`HashSet` token, recover the declared
+/// identifier: strip path segments (`std::collections::`) and generic
+/// wrappers (`Mutex<`, `Arc<`), then accept `name:` or `name =` forms.
+fn declared_name(prefix: &str) -> Option<String> {
+    let mut p = prefix.trim_end();
+    loop {
+        if let Some(stripped) = p.strip_suffix("::") {
+            p = strip_trailing_ident(stripped)?.trim_end();
+        } else if let Some(stripped) = p.strip_suffix('<') {
+            p = strip_trailing_ident(stripped.trim_end())?.trim_end();
+        } else {
+            break;
+        }
+    }
+    let p = if let Some(s) = p.strip_suffix(':') {
+        // Reject `::` (path, not a field/binding annotation).
+        if s.ends_with(':') {
+            return None;
+        }
+        s
+    } else if let Some(s) = p.strip_suffix('=') {
+        // Reject `=>`, `==`, `<=`, etc.
+        if s.ends_with(['=', '<', '>', '!', '+', '-', '*', '/']) {
+            return None;
+        }
+        s
+    } else {
+        return None;
+    };
+    let name = trailing_ident(p.trim_end())?;
+    // Skip type ascriptions of generics (`T: HashMap` can't happen) and
+    // obvious non-bindings.
+    if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(name)
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let tail: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if tail.is_empty() {
+        None
+    } else {
+        Some(tail)
+    }
+}
+
+fn strip_trailing_ident(s: &str) -> Option<&str> {
+    let trimmed = s.trim_end_matches(|c: char| c.is_alphanumeric() || c == '_');
+    if trimmed.len() == s.len() {
+        None // nothing stripped — malformed
+    } else {
+        Some(trimmed)
+    }
+}
+
+/// Byte offsets of word-boundary occurrences of `word` in `code`.
+fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(found) = code[start..].find(word) {
+        let pos = start + found;
+        let before_ok = pos == 0
+            || !code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[pos + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        start = pos + word.len();
+    }
+    out
+}
+
+/// The chain following an identifier, cut at the end of the statement.
+fn statement_tail(rest: &str) -> &str {
+    match rest.find(';') {
+        Some(end) => &rest[..end],
+        None => rest,
+    }
+}
+
+/// Is the identifier at `pos` the target of a `for ... in <expr>` where
+/// the expression is the (borrowed) collection itself?
+fn is_for_loop_target(code: &str, pos: usize) -> bool {
+    let before = &code[..pos];
+    let Some(in_pos) = before.rfind(" in ") else {
+        return false;
+    };
+    if !before[..in_pos].contains("for ") {
+        return false;
+    }
+    // Everything between `in` and the identifier must be borrow sigils.
+    before[in_pos + 4..]
+        .chars()
+        .all(|c| c == '&' || c == ' ' || c == '(' || c == 'm' || c == 'u' || c == 't')
+}
+
+/// Parse `detlint: allow(DETxxx[, DETyyy]) justification` from a comment;
+/// returns the justification (possibly empty) when `rule` is covered.
+fn parse_allow(comment: &str, rule: Rule) -> Option<String> {
+    let at = comment.find("detlint:")?;
+    let rest = comment[at + "detlint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let codes = &rest[..close];
+    let justification = rest[close + 1..].trim();
+    if codes
+        .split(',')
+        .any(|c| c.trim().eq_ignore_ascii_case(rule.code()))
+    {
+        Some(justification.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_name_recovers_bindings() {
+        assert_eq!(declared_name("    let mut watch: "), Some("watch".into()));
+        assert_eq!(declared_name("pub reqs: "), Some("reqs".into()));
+        assert_eq!(declared_name("    watch: Mutex<"), Some("watch".into()));
+        assert_eq!(
+            declared_name("    cache: std::collections::"),
+            Some("cache".into())
+        );
+        assert_eq!(declared_name("let m = "), Some("m".into()));
+        assert_eq!(declared_name("use std::collections::"), None);
+        assert_eq!(declared_name("-> "), None);
+        assert_eq!(declared_name("Some(x) => "), None);
+    }
+
+    #[test]
+    fn word_occurrences_respect_boundaries() {
+        assert_eq!(word_occurrences("reqs.iter()", "reqs"), vec![0]);
+        assert!(word_occurrences("requests.iter()", "reqs").is_empty());
+        assert!(word_occurrences("my_reqs.iter()", "reqs").is_empty());
+    }
+
+    #[test]
+    fn allow_parsing() {
+        assert_eq!(
+            parse_allow(
+                " detlint: allow(DET001) lookup only",
+                Rule::UnorderedIteration
+            ),
+            Some("lookup only".into())
+        );
+        assert_eq!(
+            parse_allow(
+                " detlint: allow(DET001,DET005) both",
+                Rule::FloatAccumulation
+            ),
+            Some("both".into())
+        );
+        assert_eq!(
+            parse_allow(" detlint: allow(DET002)", Rule::WallClock),
+            Some(String::new())
+        );
+        assert_eq!(
+            parse_allow(" detlint: allow(DET001) x", Rule::WallClock),
+            None
+        );
+        assert_eq!(parse_allow(" plain comment", Rule::WallClock), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! Source preprocessing: split a `.rs` file into per-line *code* text
+//! (string/char literal contents blanked, comments removed) and per-line
+//! *comment* text (for `detlint: allow(...)` suppressions).
+//!
+//! Blanking rather than deleting keeps byte columns stable, so snippets in
+//! findings still line up with the original source.
+
+/// One source line after preprocessing.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with literal contents blanked and comments removed.
+    pub code: String,
+    /// Concatenated comment text on this line (without `//` / `/* */`).
+    pub comment: String,
+    /// The original, untouched line (for report snippets).
+    pub raw: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    Str,
+    RawStr { hashes: usize },
+    Char,
+    LineComment,
+    BlockComment { depth: usize },
+}
+
+/// Split `text` into preprocessed lines.
+///
+/// Handles nested block comments, escapes in string/char literals, raw
+/// strings (`r"..."`, `r#"..."#`), byte strings, and distinguishes
+/// lifetimes (`'a`) from char literals by requiring a closing quote
+/// nearby.
+pub fn split_source(text: &str) -> Vec<Line> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        line.raw.push(c);
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        line.raw.push('/');
+                        state = State::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        line.raw.push('*');
+                        state = State::BlockComment { depth: 1 };
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = State::Str;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        // Consume the prefix (r, br, b) plus hashes up to
+                        // the opening quote.
+                        let mut j = i;
+                        while chars.get(j) == Some(&'b') || chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // chars[j] == '"'. Indexing (not an iterator) on
+                        // purpose: `i` is the loop cursor, `raw` must skip
+                        // the char already pushed at `i`.
+                        #[allow(clippy::needless_range_loop)]
+                        for k in i..=j {
+                            if k > i {
+                                line.raw.push(chars[k]);
+                            }
+                            line.code.push(chars[k]);
+                        }
+                        state = State::RawStr { hashes };
+                        i = j + 1;
+                        continue;
+                    }
+                    '\'' if is_char_literal_start(&chars, i) => {
+                        line.code.push('\'');
+                        state = State::Char;
+                    }
+                    _ => line.code.push(c),
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped character entirely (it may be a
+                    // quote or another backslash).
+                    if let Some(&esc) = chars.get(i + 1) {
+                        if esc != '\n' {
+                            line.raw.push(esc);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                } else {
+                    line.code.push(' ');
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    for k in 0..=hashes {
+                        if k > 0 {
+                            line.raw.push(chars[i + k]);
+                        }
+                        line.code.push(chars[i + k]);
+                    }
+                    i += hashes + 1;
+                    state = State::Code;
+                    continue;
+                }
+                line.code.push(' ');
+            }
+            State::Char => {
+                if c == '\\' {
+                    if let Some(&esc) = chars.get(i + 1) {
+                        line.raw.push(esc);
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                } else {
+                    line.code.push(' ');
+                }
+            }
+            State::LineComment => line.comment.push(c),
+            State::BlockComment { depth } => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    line.raw.push('*');
+                    state = State::BlockComment { depth: depth + 1 };
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    line.raw.push('/');
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    i += 2;
+                    continue;
+                }
+                line.comment.push(c);
+            }
+        }
+        i += 1;
+    }
+    if !line.raw.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// `r"`, `r#"`, `br"`, `b"`? — only raw forms reach here; a plain `b"` is
+/// handled as a normal string by the caller falling through to `"`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Must not be part of a longer identifier (`for`, `bar`, ...).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Distinguish `'x'` / `'\n'` char literals from lifetimes like `'a`.
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+fn raw_string_closes(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_source;
+
+    #[test]
+    fn strips_string_contents_but_keeps_code() {
+        let lines = split_source("let x = \"Instant::now()\"; foo();\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.contains("foo();"));
+        assert!(lines[0].raw.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn captures_line_comments() {
+        let lines = split_source("do_it(); // detlint: allow(DET001) lookup only\n");
+        assert!(lines[0]
+            .comment
+            .contains("detlint: allow(DET001) lookup only"));
+        assert!(!lines[0].code.contains("detlint"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = split_source("a(); /* x /* y */ z */ b();\n");
+        assert!(lines[0].code.contains("a();"));
+        assert!(lines[0].code.contains("b();"));
+        assert!(!lines[0].code.contains('z'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = split_source("let p = r#\"HashMap.iter()\"#; run();\n");
+        assert!(!lines[0].code.contains("HashMap"), "{:?}", lines[0].code);
+        assert!(lines[0].code.contains("run();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = split_source("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_content() {
+        let lines = split_source("let q = '\"'; let h = '#'; tail();\n");
+        assert!(lines[0].code.contains("tail();"));
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let lines = split_source("let s = \"line one\nInstant::now()\"; next();\n");
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[1].code.contains("Instant"));
+        assert!(lines[1].code.contains("next();"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Recursive `.rs` file discovery with deterministic (sorted) ordering.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collect every `.rs` file under `root`, skipping directories whose
+/// *name* matches an entry in `skip_dirs` (e.g. `target`, `vendor`,
+/// `.git`). The result is sorted so lint output never depends on
+/// filesystem enumeration order.
+pub fn collect_rust_files(root: &Path, skip_dirs: &[String]) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let file_type = entry.file_type()?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if file_type.is_dir() {
+                if !skip_dirs.iter().any(|s| s.as_str() == name) {
+                    stack.push(path);
+                }
+            } else if file_type.is_file() && name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::collect_rust_files;
+
+    #[test]
+    fn skips_configured_dirs_and_sorts() {
+        let tmp = std::env::temp_dir().join(format!("detlint-walk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(tmp.join("src")).unwrap();
+        std::fs::create_dir_all(tmp.join("target")).unwrap();
+        std::fs::write(tmp.join("src/b.rs"), "fn b() {}\n").unwrap();
+        std::fs::write(tmp.join("src/a.rs"), "fn a() {}\n").unwrap();
+        std::fs::write(tmp.join("target/x.rs"), "fn x() {}\n").unwrap();
+        std::fs::write(tmp.join("notes.txt"), "not rust\n").unwrap();
+
+        let files = collect_rust_files(&tmp, &["target".to_string()]).unwrap();
+        let names: Vec<_> = files
+            .iter()
+            .map(|p| {
+                p.strip_prefix(&tmp)
+                    .unwrap()
+                    .to_string_lossy()
+                    .replace('\\', "/")
+            })
+            .collect();
+        assert_eq!(names, vec!["src/a.rs", "src/b.rs"]);
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+}

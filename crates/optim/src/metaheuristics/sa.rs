@@ -96,7 +96,7 @@ impl Metaheuristic for SimulatedAnnealing {
                 }
             }
             temp *= cooling;
-            if evals % 50 == 0 {
+            if evals.is_multiple_of(50) {
                 history.push(best_f);
             }
         }

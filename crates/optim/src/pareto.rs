@@ -82,6 +82,9 @@ pub fn crowding_distance(front: &[usize], objectives: &[Vec<f64>]) -> Vec<f64> {
     if k <= 2 {
         return vec![f64::INFINITY; k];
     }
+    // `obj` indexes the inner objective vectors through `front`, not
+    // `objectives` itself, so an iterator rewrite would obscure the access.
+    #[allow(clippy::needless_range_loop)]
     for obj in 0..m {
         let mut order: Vec<usize> = (0..k).collect();
         order.sort_by(|&a, &b| {

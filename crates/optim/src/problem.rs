@@ -8,6 +8,10 @@
 
 use crate::space::Space;
 
+/// A scalar function over external-unit decision vectors, as used for
+/// objectives and constraints.
+pub type ScalarFn = Box<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
 /// Whether an objective is minimized or maximized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sense {
@@ -20,11 +24,11 @@ pub enum Sense {
 /// A constraint on the decision vector.
 pub enum Constraint {
     /// `g(x) ≤ 0`.
-    Inequality(Box<dyn Fn(&[f64]) -> f64 + Send + Sync>),
+    Inequality(ScalarFn),
     /// `h(x) = 0` within `tol`.
     Equality {
         /// The constraint function.
-        h: Box<dyn Fn(&[f64]) -> f64 + Send + Sync>,
+        h: ScalarFn,
         /// Feasibility tolerance.
         tol: f64,
     },
@@ -54,7 +58,7 @@ pub struct Objective {
     /// Optimization direction.
     pub sense: Sense,
     /// The objective function over external-unit points.
-    pub f: Box<dyn Fn(&[f64]) -> f64 + Send + Sync>,
+    pub f: ScalarFn,
 }
 
 /// The full Eq. 1 structure: objectives + constraints + bounded variables.

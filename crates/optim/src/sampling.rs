@@ -207,12 +207,12 @@ fn grid(dims: usize, n: usize) -> Vec<Vec<f64>> {
             break;
         }
         // Odometer increment.
-        for d in 0..dims {
-            idx[d] += 1;
-            if idx[d] < levels {
+        for digit in idx.iter_mut() {
+            *digit += 1;
+            if *digit < levels {
                 continue 'outer;
             }
-            idx[d] = 0;
+            *digit = 0;
         }
         break; // full grid exhausted before n (possible when levels^dims == n)
     }

@@ -171,7 +171,7 @@ impl RegressionTree {
                 // SSE = Σy² - (Σy)²/n for each side.
                 let score =
                     (ssl - sl * sl / nl as f64) + (ssr - sr * sr / nr as f64);
-                if best.map_or(true, |(b, _, _)| score < b) {
+                if best.is_none_or(|(b, _, _)| score < b) {
                     best = Some((score, f, t));
                 }
             }

@@ -219,8 +219,10 @@ mod tests {
 
     #[test]
     fn second_gpu_raises_throughput_but_cpu_still_caps() {
-        let mut two = EngineModel::default();
-        two.gpus = 2;
+        let two = EngineModel {
+            gpus: 2,
+            ..EngineModel::default()
+        };
         let one = EngineModel::default();
         // At matched concurrency the second device buys real throughput.
         assert!(two.gpu_throughput(8) > one.gpu_throughput(8) * 1.3);

@@ -105,6 +105,7 @@ impl RtEngine {
         let extract = Arc::new(Semaphore::new(self.config.extract as usize));
         let simsearch = Arc::new(Semaphore::new(self.config.simsearch as usize));
         let stats = Arc::new(Mutex::new(OnlineStats::new()));
+        // detlint: allow(DET002) real-time backend: this engine measures actual elapsed time by design (the DES backend is the reproducible path)
         let started = Instant::now();
 
         crossbeam::thread::scope(|scope| {
@@ -120,6 +121,7 @@ impl RtEngine {
                     let mut rng = StdRng::seed_from_u64(seed ^ (c as u64) << 20);
                     let sample = |d: Dist, rng: &mut StdRng| -> f64 { d.sample(rng).max(1e-6) };
                     for _ in 0..requests_per_client {
+                        // detlint: allow(DET002) real-time backend: per-request latency is genuinely wall-clock here
                         let t0 = Instant::now();
                         http.acquire();
                         engine.sleep_scaled(sample(engine.model.t_preprocess, &mut rng));

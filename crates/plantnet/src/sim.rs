@@ -160,7 +160,10 @@ pub struct Experiment {
     images: ImageMix,
     cpu_handle: Option<EventHandle>,
     gpu_handle: Option<EventHandle>,
-    // Requests in flight.
+    // Requests in flight. Deliberately a HashMap: every access is a keyed
+    // lookup (get/insert/remove) driven by event order, never an
+    // iteration, so hash order can't leak into results (detlint DET001
+    // only fires on iteration).
     reqs: HashMap<u64, Req>,
     next_req: u64,
     // Statistics.

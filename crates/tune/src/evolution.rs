@@ -16,7 +16,7 @@ use crate::searcher::Searcher;
 use e2c_optim::space::{Point, Space};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Generational GA behind the ask/tell interface.
 pub struct EvolutionSearch {
@@ -34,7 +34,7 @@ pub struct EvolutionSearch {
     /// Next individual to hand out.
     cursor: usize,
     /// trial id → generation slot.
-    inflight: HashMap<u64, usize>,
+    inflight: BTreeMap<u64, usize>,
     /// Best-ever individual (unit coords) and value, for elitism.
     best: Option<(Vec<f64>, f64)>,
 }
@@ -59,7 +59,7 @@ impl EvolutionSearch {
             fitness: vec![None; pop_size],
             generation,
             cursor: 0,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             best: None,
         }
     }

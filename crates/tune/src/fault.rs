@@ -221,7 +221,7 @@ impl FaultPlan {
         self.specs
             .iter()
             .rev()
-            .find(|s| s.trial == trial && s.attempt.map_or(true, |a| a == attempt))
+            .find(|s| s.trial == trial && s.attempt.is_none_or(|a| a == attempt))
             .map(|s| s.action)
     }
 

@@ -28,9 +28,12 @@
 //!   threads, feeding observations back to the searcher *asynchronously*
 //!   (workers do not wait for a generation barrier — the paper's
 //!   "asynchronous model optimization");
-//! * [`analysis`] — the result set: best trial, per-trial records.
+//! * [`analysis`] — the result set: best trial, per-trial records;
+//! * [`clock`] — the single sanctioned wall-clock read (detlint DET002):
+//!   watchdog, backoff and deadline timing all route through it.
 
 pub mod analysis;
+pub mod clock;
 pub mod evolution;
 pub mod fault;
 pub mod logger;

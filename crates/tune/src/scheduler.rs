@@ -1,7 +1,7 @@
 //! Trial schedulers: FIFO and AsyncHyperBand (ASHA).
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Verdict for an intermediate report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +41,10 @@ pub struct AsyncHyperBand {
     grace: u64,
     reduction_factor: u64,
     max_t: u64,
-    rungs: Mutex<HashMap<u64, Vec<f64>>>,
+    // Ordered maps throughout the scheduler state: rung/record contents
+    // feed stop decisions, and the workspace determinism baseline
+    // (detlint DET001) keeps every such collection enumeration-stable.
+    rungs: Mutex<BTreeMap<u64, Vec<f64>>>,
 }
 
 impl AsyncHyperBand {
@@ -55,7 +58,7 @@ impl AsyncHyperBand {
             grace,
             reduction_factor,
             max_t,
-            rungs: Mutex::new(HashMap::new()),
+            rungs: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -107,9 +110,9 @@ pub struct MedianStopping {
     grace: u64,
     min_samples: usize,
     /// Per-iteration record of running averages: iteration → values.
-    records: Mutex<HashMap<u64, Vec<f64>>>,
+    records: Mutex<BTreeMap<u64, Vec<f64>>>,
     /// trial → (sum, count) for its running average.
-    running: Mutex<HashMap<u64, (f64, u64)>>,
+    running: Mutex<BTreeMap<u64, (f64, u64)>>,
 }
 
 impl MedianStopping {
@@ -119,8 +122,8 @@ impl MedianStopping {
         MedianStopping {
             grace,
             min_samples: min_samples.max(1),
-            records: Mutex::new(HashMap::new()),
-            running: Mutex::new(HashMap::new()),
+            records: Mutex::new(BTreeMap::new()),
+            running: Mutex::new(BTreeMap::new()),
         }
     }
 }

@@ -5,7 +5,7 @@ use e2c_optim::sampling::InitialDesign;
 use e2c_optim::space::{Point, Space};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A source of trial configurations that learns from completed trials.
 ///
@@ -28,7 +28,7 @@ pub trait Searcher: Send {
 /// The paper's `SkOptSearch`: Bayesian optimization over the space.
 pub struct SkOptSearch {
     opt: BayesOpt,
-    inflight: HashMap<u64, Point>,
+    inflight: BTreeMap<u64, Point>,
 }
 
 impl SkOptSearch {
@@ -36,7 +36,7 @@ impl SkOptSearch {
     pub fn new(opt: BayesOpt) -> Self {
         SkOptSearch {
             opt,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_acquisitions-1ed3e9546aaf7b3d.d: crates/bench/src/bin/ablation_acquisitions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_acquisitions-1ed3e9546aaf7b3d.rmeta: crates/bench/src/bin/ablation_acquisitions.rs Cargo.toml
+
+crates/bench/src/bin/ablation_acquisitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_acquisitions-2e691f5181a6f45c.d: crates/bench/src/bin/ablation_acquisitions.rs
+
+/root/repo/target/debug/deps/ablation_acquisitions-2e691f5181a6f45c: crates/bench/src/bin/ablation_acquisitions.rs
+
+crates/bench/src/bin/ablation_acquisitions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_acquisitions-570ff14afec949a7.d: crates/bench/src/bin/ablation_acquisitions.rs
+
+/root/repo/target/debug/deps/ablation_acquisitions-570ff14afec949a7: crates/bench/src/bin/ablation_acquisitions.rs
+
+crates/bench/src/bin/ablation_acquisitions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_acquisitions-bb349b284fc3fa60.d: crates/bench/src/bin/ablation_acquisitions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_acquisitions-bb349b284fc3fa60.rmeta: crates/bench/src/bin/ablation_acquisitions.rs Cargo.toml
+
+crates/bench/src/bin/ablation_acquisitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_acquisitions-d7f4e300f591e8cd.d: crates/bench/src/bin/ablation_acquisitions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_acquisitions-d7f4e300f591e8cd.rmeta: crates/bench/src/bin/ablation_acquisitions.rs Cargo.toml
+
+crates/bench/src/bin/ablation_acquisitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

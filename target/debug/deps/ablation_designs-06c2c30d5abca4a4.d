@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_designs-06c2c30d5abca4a4.d: crates/bench/src/bin/ablation_designs.rs
+
+/root/repo/target/debug/deps/ablation_designs-06c2c30d5abca4a4: crates/bench/src/bin/ablation_designs.rs
+
+crates/bench/src/bin/ablation_designs.rs:

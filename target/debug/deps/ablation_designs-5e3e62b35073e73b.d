@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_designs-5e3e62b35073e73b.d: crates/bench/src/bin/ablation_designs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_designs-5e3e62b35073e73b.rmeta: crates/bench/src/bin/ablation_designs.rs Cargo.toml
+
+crates/bench/src/bin/ablation_designs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

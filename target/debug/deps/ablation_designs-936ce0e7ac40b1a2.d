@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_designs-936ce0e7ac40b1a2.d: crates/bench/src/bin/ablation_designs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_designs-936ce0e7ac40b1a2.rmeta: crates/bench/src/bin/ablation_designs.rs Cargo.toml
+
+crates/bench/src/bin/ablation_designs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

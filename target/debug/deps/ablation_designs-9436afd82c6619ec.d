@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_designs-9436afd82c6619ec.d: crates/bench/src/bin/ablation_designs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_designs-9436afd82c6619ec.rmeta: crates/bench/src/bin/ablation_designs.rs Cargo.toml
+
+crates/bench/src/bin/ablation_designs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

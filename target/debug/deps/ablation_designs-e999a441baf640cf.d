@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_designs-e999a441baf640cf.d: crates/bench/src/bin/ablation_designs.rs
+
+/root/repo/target/debug/deps/ablation_designs-e999a441baf640cf: crates/bench/src/bin/ablation_designs.rs
+
+crates/bench/src/bin/ablation_designs.rs:

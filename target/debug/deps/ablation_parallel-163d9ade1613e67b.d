@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_parallel-163d9ade1613e67b.d: crates/bench/src/bin/ablation_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_parallel-163d9ade1613e67b.rmeta: crates/bench/src/bin/ablation_parallel.rs Cargo.toml
+
+crates/bench/src/bin/ablation_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

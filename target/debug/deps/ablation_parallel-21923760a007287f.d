@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_parallel-21923760a007287f.d: crates/bench/src/bin/ablation_parallel.rs
+
+/root/repo/target/debug/deps/ablation_parallel-21923760a007287f: crates/bench/src/bin/ablation_parallel.rs
+
+crates/bench/src/bin/ablation_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_parallel-275946ea5a8a22c4.d: crates/bench/src/bin/ablation_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_parallel-275946ea5a8a22c4.rmeta: crates/bench/src/bin/ablation_parallel.rs Cargo.toml
+
+crates/bench/src/bin/ablation_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_parallel-5db6c76d7af43f9d.d: crates/bench/src/bin/ablation_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_parallel-5db6c76d7af43f9d.rmeta: crates/bench/src/bin/ablation_parallel.rs Cargo.toml
+
+crates/bench/src/bin/ablation_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

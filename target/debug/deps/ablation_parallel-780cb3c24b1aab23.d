@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_parallel-780cb3c24b1aab23.d: crates/bench/src/bin/ablation_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_parallel-780cb3c24b1aab23.rmeta: crates/bench/src/bin/ablation_parallel.rs Cargo.toml
+
+crates/bench/src/bin/ablation_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

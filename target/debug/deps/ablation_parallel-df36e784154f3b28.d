@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_parallel-df36e784154f3b28.d: crates/bench/src/bin/ablation_parallel.rs
+
+/root/repo/target/debug/deps/ablation_parallel-df36e784154f3b28: crates/bench/src/bin/ablation_parallel.rs
+
+crates/bench/src/bin/ablation_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_surrogates-4038c51bab28b680.d: crates/bench/src/bin/ablation_surrogates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_surrogates-4038c51bab28b680.rmeta: crates/bench/src/bin/ablation_surrogates.rs Cargo.toml
+
+crates/bench/src/bin/ablation_surrogates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_surrogates-685dabe22ede2351.d: crates/bench/src/bin/ablation_surrogates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_surrogates-685dabe22ede2351.rmeta: crates/bench/src/bin/ablation_surrogates.rs Cargo.toml
+
+crates/bench/src/bin/ablation_surrogates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_surrogates-6ac53769b2892566.d: crates/bench/src/bin/ablation_surrogates.rs
+
+/root/repo/target/debug/deps/ablation_surrogates-6ac53769b2892566: crates/bench/src/bin/ablation_surrogates.rs
+
+crates/bench/src/bin/ablation_surrogates.rs:

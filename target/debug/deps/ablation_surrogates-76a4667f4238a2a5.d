@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_surrogates-76a4667f4238a2a5.d: crates/bench/src/bin/ablation_surrogates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_surrogates-76a4667f4238a2a5.rmeta: crates/bench/src/bin/ablation_surrogates.rs Cargo.toml
+
+crates/bench/src/bin/ablation_surrogates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

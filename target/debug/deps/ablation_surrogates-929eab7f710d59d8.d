@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_surrogates-929eab7f710d59d8.d: crates/bench/src/bin/ablation_surrogates.rs
+
+/root/repo/target/debug/deps/ablation_surrogates-929eab7f710d59d8: crates/bench/src/bin/ablation_surrogates.rs
+
+crates/bench/src/bin/ablation_surrogates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_surrogates-9c636725c622da87.d: crates/bench/src/bin/ablation_surrogates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_surrogates-9c636725c622da87.rmeta: crates/bench/src/bin/ablation_surrogates.rs Cargo.toml
+
+crates/bench/src/bin/ablation_surrogates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-19cedcd4cc519b16.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-19cedcd4cc519b16: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-dedf0f1c36cc49b6.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-dedf0f1c36cc49b6: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

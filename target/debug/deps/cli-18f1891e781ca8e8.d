@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-18f1891e781ca8e8.d: crates/core/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-18f1891e781ca8e8.rmeta: crates/core/tests/cli.rs Cargo.toml
+
+crates/core/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_e2clab=placeholder:e2clab
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

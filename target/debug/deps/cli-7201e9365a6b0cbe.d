@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-7201e9365a6b0cbe.d: crates/core/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-7201e9365a6b0cbe: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_e2clab=/root/repo/target/debug/e2clab

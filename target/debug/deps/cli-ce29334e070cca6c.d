@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-ce29334e070cca6c.d: crates/core/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-ce29334e070cca6c.rmeta: crates/core/tests/cli.rs Cargo.toml
+
+crates/core/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_e2clab=placeholder:e2clab
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

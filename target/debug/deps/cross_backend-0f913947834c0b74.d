@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-0f913947834c0b74.d: tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-0f913947834c0b74: tests/cross_backend.rs
+
+tests/cross_backend.rs:

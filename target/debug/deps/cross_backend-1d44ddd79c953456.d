@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_backend-1d44ddd79c953456.d: tests/cross_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_backend-1d44ddd79c953456.rmeta: tests/cross_backend.rs Cargo.toml
+
+tests/cross_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

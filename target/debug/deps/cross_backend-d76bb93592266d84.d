@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_backend-d76bb93592266d84.d: tests/cross_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_backend-d76bb93592266d84.rmeta: tests/cross_backend.rs Cargo.toml
+
+tests/cross_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/determinism_gate-21fd16937b55c63f.d: crates/core/tests/determinism_gate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism_gate-21fd16937b55c63f.rmeta: crates/core/tests/determinism_gate.rs Cargo.toml
+
+crates/core/tests/determinism_gate.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_e2clab=placeholder:e2clab
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

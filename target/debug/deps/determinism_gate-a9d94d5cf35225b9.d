@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/determinism_gate-a9d94d5cf35225b9.d: crates/core/tests/determinism_gate.rs
+
+/root/repo/target/debug/deps/determinism_gate-a9d94d5cf35225b9: crates/core/tests/determinism_gate.rs
+
+crates/core/tests/determinism_gate.rs:
+
+# env-dep:CARGO_BIN_EXE_e2clab=/root/repo/target/debug/e2clab
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

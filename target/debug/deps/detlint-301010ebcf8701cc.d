@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/detlint-301010ebcf8701cc.d: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs
+
+/root/repo/target/debug/deps/libdetlint-301010ebcf8701cc.rlib: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs
+
+/root/repo/target/debug/deps/libdetlint-301010ebcf8701cc.rmeta: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs
+
+crates/detlint/src/lib.rs:
+crates/detlint/src/config.rs:
+crates/detlint/src/rules.rs:
+crates/detlint/src/scanner.rs:
+crates/detlint/src/walk.rs:

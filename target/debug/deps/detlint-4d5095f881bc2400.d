@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/detlint-4d5095f881bc2400.d: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetlint-4d5095f881bc2400.rmeta: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs Cargo.toml
+
+crates/detlint/src/lib.rs:
+crates/detlint/src/config.rs:
+crates/detlint/src/rules.rs:
+crates/detlint/src/scanner.rs:
+crates/detlint/src/walk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detlint-c2691a202c5346da.d: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs
+
+/root/repo/target/debug/deps/detlint-c2691a202c5346da: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs
+
+crates/detlint/src/lib.rs:
+crates/detlint/src/config.rs:
+crates/detlint/src/rules.rs:
+crates/detlint/src/scanner.rs:
+crates/detlint/src/walk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dump_timeseries-1bfe3b81400dd18c.d: crates/bench/src/bin/dump_timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdump_timeseries-1bfe3b81400dd18c.rmeta: crates/bench/src/bin/dump_timeseries.rs Cargo.toml
+
+crates/bench/src/bin/dump_timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

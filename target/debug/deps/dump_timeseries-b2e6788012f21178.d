@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_timeseries-b2e6788012f21178.d: crates/bench/src/bin/dump_timeseries.rs
+
+/root/repo/target/debug/deps/dump_timeseries-b2e6788012f21178: crates/bench/src/bin/dump_timeseries.rs
+
+crates/bench/src/bin/dump_timeseries.rs:

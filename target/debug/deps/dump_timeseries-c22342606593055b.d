@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_timeseries-c22342606593055b.d: crates/bench/src/bin/dump_timeseries.rs
+
+/root/repo/target/debug/deps/dump_timeseries-c22342606593055b: crates/bench/src/bin/dump_timeseries.rs
+
+crates/bench/src/bin/dump_timeseries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dump_timeseries-d930e1a55a203b89.d: crates/bench/src/bin/dump_timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdump_timeseries-d930e1a55a203b89.rmeta: crates/bench/src/bin/dump_timeseries.rs Cargo.toml
+
+crates/bench/src/bin/dump_timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dump_timeseries-e8ab8f2e42f1bf13.d: crates/bench/src/bin/dump_timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdump_timeseries-e8ab8f2e42f1bf13.rmeta: crates/bench/src/bin/dump_timeseries.rs Cargo.toml
+
+crates/bench/src/bin/dump_timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2c_bench-16f0544a2e84800c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/e2c_bench-16f0544a2e84800c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/e2c_bench-517615e555fb348f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libe2c_bench-517615e555fb348f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libe2c_bench-517615e555fb348f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2c_bench-9112f100d2360d5c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_bench-9112f100d2360d5c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2c_bench-ca786f52d52bb6de.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_bench-ca786f52d52bb6de.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

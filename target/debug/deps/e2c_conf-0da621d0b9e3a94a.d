@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e2c_conf-0da621d0b9e3a94a.d: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+/root/repo/target/debug/deps/libe2c_conf-0da621d0b9e3a94a.rlib: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+/root/repo/target/debug/deps/libe2c_conf-0da621d0b9e3a94a.rmeta: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+crates/conf/src/lib.rs:
+crates/conf/src/parser.rs:
+crates/conf/src/schema.rs:
+crates/conf/src/value.rs:

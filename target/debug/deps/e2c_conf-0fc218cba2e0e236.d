@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/e2c_conf-0fc218cba2e0e236.d: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+/root/repo/target/debug/deps/e2c_conf-0fc218cba2e0e236: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+crates/conf/src/lib.rs:
+crates/conf/src/parser.rs:
+crates/conf/src/schema.rs:
+crates/conf/src/value.rs:

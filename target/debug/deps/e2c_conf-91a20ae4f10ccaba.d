@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/e2c_conf-91a20ae4f10ccaba.d: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_conf-91a20ae4f10ccaba.rmeta: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs Cargo.toml
+
+crates/conf/src/lib.rs:
+crates/conf/src/parser.rs:
+crates/conf/src/schema.rs:
+crates/conf/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/e2c_core-0a6570d2ff84e583.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_core-0a6570d2ff84e583.rmeta: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/experiment.rs:
+crates/core/src/managers.rs:
+crates/core/src/optimization.rs:
+crates/core/src/service.rs:
+crates/core/src/user_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

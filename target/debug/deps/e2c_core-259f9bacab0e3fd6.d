@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/e2c_core-259f9bacab0e3fd6.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_core-259f9bacab0e3fd6.rmeta: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/experiment.rs:
+crates/core/src/managers.rs:
+crates/core/src/optimization.rs:
+crates/core/src/service.rs:
+crates/core/src/user_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

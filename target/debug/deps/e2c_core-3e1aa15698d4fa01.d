@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/e2c_core-3e1aa15698d4fa01.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs
+
+/root/repo/target/debug/deps/libe2c_core-3e1aa15698d4fa01.rlib: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs
+
+/root/repo/target/debug/deps/libe2c_core-3e1aa15698d4fa01.rmeta: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/experiment.rs:
+crates/core/src/managers.rs:
+crates/core/src/optimization.rs:
+crates/core/src/service.rs:
+crates/core/src/user_api.rs:

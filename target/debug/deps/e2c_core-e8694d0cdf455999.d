@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/e2c_core-e8694d0cdf455999.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs
+
+/root/repo/target/debug/deps/e2c_core-e8694d0cdf455999: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/experiment.rs:
+crates/core/src/managers.rs:
+crates/core/src/optimization.rs:
+crates/core/src/service.rs:
+crates/core/src/user_api.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/e2c_des-100506e07a138ebb.d: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libe2c_des-100506e07a138ebb.rlib: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libe2c_des-100506e07a138ebb.rmeta: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/dist.rs:
+crates/des/src/queue.rs:
+crates/des/src/resources.rs:
+crates/des/src/sim.rs:
+crates/des/src/time.rs:

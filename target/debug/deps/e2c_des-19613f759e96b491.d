@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/e2c_des-19613f759e96b491.d: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_des-19613f759e96b491.rmeta: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/dist.rs:
+crates/des/src/queue.rs:
+crates/des/src/resources.rs:
+crates/des/src/sim.rs:
+crates/des/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

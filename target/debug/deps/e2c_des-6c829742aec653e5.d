@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e2c_des-6c829742aec653e5.d: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/e2c_des-6c829742aec653e5: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/dist.rs:
+crates/des/src/queue.rs:
+crates/des/src/resources.rs:
+crates/des/src/sim.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/e2c_metrics-09f22202b99c84be.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/online.rs crates/metrics/src/registry.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_metrics-09f22202b99c84be.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/online.rs crates/metrics/src/registry.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/online.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e2c_net-0ec294e69f4dec49.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libe2c_net-0ec294e69f4dec49.rlib: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libe2c_net-0ec294e69f4dec49.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/shaping.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/e2c_net-4448ead67f4b4b66.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/e2c_net-4448ead67f4b4b66: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/shaping.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/e2c_net-e5f8dbd41ca35bdf.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_net-e5f8dbd41ca35bdf.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/shaping.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/e2c_optim-61bf99af025c8b82.d: crates/optim/src/lib.rs crates/optim/src/acquisition.rs crates/optim/src/bayes.rs crates/optim/src/linalg.rs crates/optim/src/metaheuristics/mod.rs crates/optim/src/metaheuristics/de.rs crates/optim/src/metaheuristics/ga.rs crates/optim/src/metaheuristics/pso.rs crates/optim/src/metaheuristics/sa.rs crates/optim/src/pareto.rs crates/optim/src/problem.rs crates/optim/src/sampling.rs crates/optim/src/sensitivity.rs crates/optim/src/space.rs crates/optim/src/surrogate/mod.rs crates/optim/src/surrogate/forest.rs crates/optim/src/surrogate/gbrt.rs crates/optim/src/surrogate/gp.rs crates/optim/src/surrogate/kernel_ridge.rs crates/optim/src/surrogate/poly.rs crates/optim/src/surrogate/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_optim-61bf99af025c8b82.rmeta: crates/optim/src/lib.rs crates/optim/src/acquisition.rs crates/optim/src/bayes.rs crates/optim/src/linalg.rs crates/optim/src/metaheuristics/mod.rs crates/optim/src/metaheuristics/de.rs crates/optim/src/metaheuristics/ga.rs crates/optim/src/metaheuristics/pso.rs crates/optim/src/metaheuristics/sa.rs crates/optim/src/pareto.rs crates/optim/src/problem.rs crates/optim/src/sampling.rs crates/optim/src/sensitivity.rs crates/optim/src/space.rs crates/optim/src/surrogate/mod.rs crates/optim/src/surrogate/forest.rs crates/optim/src/surrogate/gbrt.rs crates/optim/src/surrogate/gp.rs crates/optim/src/surrogate/kernel_ridge.rs crates/optim/src/surrogate/poly.rs crates/optim/src/surrogate/tree.rs Cargo.toml
+
+crates/optim/src/lib.rs:
+crates/optim/src/acquisition.rs:
+crates/optim/src/bayes.rs:
+crates/optim/src/linalg.rs:
+crates/optim/src/metaheuristics/mod.rs:
+crates/optim/src/metaheuristics/de.rs:
+crates/optim/src/metaheuristics/ga.rs:
+crates/optim/src/metaheuristics/pso.rs:
+crates/optim/src/metaheuristics/sa.rs:
+crates/optim/src/pareto.rs:
+crates/optim/src/problem.rs:
+crates/optim/src/sampling.rs:
+crates/optim/src/sensitivity.rs:
+crates/optim/src/space.rs:
+crates/optim/src/surrogate/mod.rs:
+crates/optim/src/surrogate/forest.rs:
+crates/optim/src/surrogate/gbrt.rs:
+crates/optim/src/surrogate/gp.rs:
+crates/optim/src/surrogate/kernel_ridge.rs:
+crates/optim/src/surrogate/poly.rs:
+crates/optim/src/surrogate/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2c_testbed-15c447e2c9b6a765.d: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+/root/repo/target/debug/deps/e2c_testbed-15c447e2c9b6a765: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/deployment.rs:
+crates/testbed/src/grid5000.rs:
+crates/testbed/src/hardware.rs:
+crates/testbed/src/reservation.rs:

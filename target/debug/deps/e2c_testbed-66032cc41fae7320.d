@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/e2c_testbed-66032cc41fae7320.d: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_testbed-66032cc41fae7320.rmeta: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs Cargo.toml
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/deployment.rs:
+crates/testbed/src/grid5000.rs:
+crates/testbed/src/hardware.rs:
+crates/testbed/src/reservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

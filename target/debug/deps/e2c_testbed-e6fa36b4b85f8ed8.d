@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/e2c_testbed-e6fa36b4b85f8ed8.d: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+/root/repo/target/debug/deps/libe2c_testbed-e6fa36b4b85f8ed8.rlib: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+/root/repo/target/debug/deps/libe2c_testbed-e6fa36b4b85f8ed8.rmeta: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/deployment.rs:
+crates/testbed/src/grid5000.rs:
+crates/testbed/src/hardware.rs:
+crates/testbed/src/reservation.rs:

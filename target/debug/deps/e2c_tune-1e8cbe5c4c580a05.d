@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/e2c_tune-1e8cbe5c4c580a05.d: crates/tune/src/lib.rs crates/tune/src/analysis.rs crates/tune/src/clock.rs crates/tune/src/evolution.rs crates/tune/src/fault.rs crates/tune/src/logger.rs crates/tune/src/scheduler.rs crates/tune/src/searcher.rs crates/tune/src/trial.rs crates/tune/src/tuner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_tune-1e8cbe5c4c580a05.rmeta: crates/tune/src/lib.rs crates/tune/src/analysis.rs crates/tune/src/clock.rs crates/tune/src/evolution.rs crates/tune/src/fault.rs crates/tune/src/logger.rs crates/tune/src/scheduler.rs crates/tune/src/searcher.rs crates/tune/src/trial.rs crates/tune/src/tuner.rs Cargo.toml
+
+crates/tune/src/lib.rs:
+crates/tune/src/analysis.rs:
+crates/tune/src/clock.rs:
+crates/tune/src/evolution.rs:
+crates/tune/src/fault.rs:
+crates/tune/src/logger.rs:
+crates/tune/src/scheduler.rs:
+crates/tune/src/searcher.rs:
+crates/tune/src/trial.rs:
+crates/tune/src/tuner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

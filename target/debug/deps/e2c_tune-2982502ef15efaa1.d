@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/e2c_tune-2982502ef15efaa1.d: crates/tune/src/lib.rs crates/tune/src/analysis.rs crates/tune/src/clock.rs crates/tune/src/evolution.rs crates/tune/src/fault.rs crates/tune/src/logger.rs crates/tune/src/scheduler.rs crates/tune/src/searcher.rs crates/tune/src/trial.rs crates/tune/src/tuner.rs
+
+/root/repo/target/debug/deps/libe2c_tune-2982502ef15efaa1.rlib: crates/tune/src/lib.rs crates/tune/src/analysis.rs crates/tune/src/clock.rs crates/tune/src/evolution.rs crates/tune/src/fault.rs crates/tune/src/logger.rs crates/tune/src/scheduler.rs crates/tune/src/searcher.rs crates/tune/src/trial.rs crates/tune/src/tuner.rs
+
+/root/repo/target/debug/deps/libe2c_tune-2982502ef15efaa1.rmeta: crates/tune/src/lib.rs crates/tune/src/analysis.rs crates/tune/src/clock.rs crates/tune/src/evolution.rs crates/tune/src/fault.rs crates/tune/src/logger.rs crates/tune/src/scheduler.rs crates/tune/src/searcher.rs crates/tune/src/trial.rs crates/tune/src/tuner.rs
+
+crates/tune/src/lib.rs:
+crates/tune/src/analysis.rs:
+crates/tune/src/clock.rs:
+crates/tune/src/evolution.rs:
+crates/tune/src/fault.rs:
+crates/tune/src/logger.rs:
+crates/tune/src/scheduler.rs:
+crates/tune/src/searcher.rs:
+crates/tune/src/trial.rs:
+crates/tune/src/tuner.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/e2c_tune-ead70449d4680e3a.d: crates/tune/src/lib.rs crates/tune/src/analysis.rs crates/tune/src/clock.rs crates/tune/src/evolution.rs crates/tune/src/fault.rs crates/tune/src/logger.rs crates/tune/src/scheduler.rs crates/tune/src/searcher.rs crates/tune/src/trial.rs crates/tune/src/tuner.rs
+
+/root/repo/target/debug/deps/e2c_tune-ead70449d4680e3a: crates/tune/src/lib.rs crates/tune/src/analysis.rs crates/tune/src/clock.rs crates/tune/src/evolution.rs crates/tune/src/fault.rs crates/tune/src/logger.rs crates/tune/src/scheduler.rs crates/tune/src/searcher.rs crates/tune/src/trial.rs crates/tune/src/tuner.rs
+
+crates/tune/src/lib.rs:
+crates/tune/src/analysis.rs:
+crates/tune/src/clock.rs:
+crates/tune/src/evolution.rs:
+crates/tune/src/fault.rs:
+crates/tune/src/logger.rs:
+crates/tune/src/scheduler.rs:
+crates/tune/src/searcher.rs:
+crates/tune/src/trial.rs:
+crates/tune/src/tuner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/e2c_workload-1108a154edb340a5.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2c_workload-1108a154edb340a5.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/diurnal.rs:
+crates/workload/src/images.rs:
+crates/workload/src/seasonal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/e2c_workload-3cb3c62932e213e9.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+/root/repo/target/debug/deps/libe2c_workload-3cb3c62932e213e9.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+/root/repo/target/debug/deps/libe2c_workload-3cb3c62932e213e9.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/diurnal.rs:
+crates/workload/src/images.rs:
+crates/workload/src/seasonal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2c_workload-ddb982b966927a41.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+/root/repo/target/debug/deps/e2c_workload-ddb982b966927a41: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/diurnal.rs:
+crates/workload/src/images.rs:
+crates/workload/src/seasonal.rs:

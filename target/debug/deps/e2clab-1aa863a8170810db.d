@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/e2clab-1aa863a8170810db.d: crates/core/src/bin/e2clab.rs
+
+/root/repo/target/debug/deps/e2clab-1aa863a8170810db: crates/core/src/bin/e2clab.rs
+
+crates/core/src/bin/e2clab.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2clab-279f9b38d382d223.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2clab-279f9b38d382d223.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

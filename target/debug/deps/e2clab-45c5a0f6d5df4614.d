@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/e2clab-45c5a0f6d5df4614.d: src/lib.rs
+
+/root/repo/target/debug/deps/libe2clab-45c5a0f6d5df4614.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libe2clab-45c5a0f6d5df4614.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/e2clab-4c0358050b2f46c1.d: crates/core/src/bin/e2clab.rs
+
+/root/repo/target/debug/deps/e2clab-4c0358050b2f46c1: crates/core/src/bin/e2clab.rs
+
+crates/core/src/bin/e2clab.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2clab-7951ff6a4d1f76de.d: crates/core/src/bin/e2clab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2clab-7951ff6a4d1f76de.rmeta: crates/core/src/bin/e2clab.rs Cargo.toml
+
+crates/core/src/bin/e2clab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2clab-966f38d61d770c1b.d: src/lib.rs
+
+/root/repo/target/debug/deps/e2clab-966f38d61d770c1b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2clab-d9549d8e36744a0c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2clab-d9549d8e36744a0c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2clab-e219671dc7f342ae.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2clab-e219671dc7f342ae.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2clab-e33699afaaa8afba.d: crates/core/src/bin/e2clab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2clab-e33699afaaa8afba.rmeta: crates/core/src/bin/e2clab.rs Cargo.toml
+
+crates/core/src/bin/e2clab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e2clab-e68e3c3165308aad.d: crates/core/src/bin/e2clab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2clab-e68e3c3165308aad.rmeta: crates/core/src/bin/e2clab.rs Cargo.toml
+
+crates/core/src/bin/e2clab.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

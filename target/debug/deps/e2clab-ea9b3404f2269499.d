@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e2clab-ea9b3404f2269499.d: crates/core/src/bin/e2clab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2clab-ea9b3404f2269499.rmeta: crates/core/src/bin/e2clab.rs Cargo.toml
+
+crates/core/src/bin/e2clab.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

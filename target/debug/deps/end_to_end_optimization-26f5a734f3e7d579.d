@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_optimization-26f5a734f3e7d579.d: tests/end_to_end_optimization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_optimization-26f5a734f3e7d579.rmeta: tests/end_to_end_optimization.rs Cargo.toml
+
+tests/end_to_end_optimization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

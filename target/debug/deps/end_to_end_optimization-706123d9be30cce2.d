@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_optimization-706123d9be30cce2.d: tests/end_to_end_optimization.rs
+
+/root/repo/target/debug/deps/end_to_end_optimization-706123d9be30cce2: tests/end_to_end_optimization.rs
+
+tests/end_to_end_optimization.rs:

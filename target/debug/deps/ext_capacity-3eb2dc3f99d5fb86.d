@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_capacity-3eb2dc3f99d5fb86.d: crates/bench/src/bin/ext_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_capacity-3eb2dc3f99d5fb86.rmeta: crates/bench/src/bin/ext_capacity.rs Cargo.toml
+
+crates/bench/src/bin/ext_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_capacity-5803cfd142bad169.d: crates/bench/src/bin/ext_capacity.rs
+
+/root/repo/target/debug/deps/ext_capacity-5803cfd142bad169: crates/bench/src/bin/ext_capacity.rs
+
+crates/bench/src/bin/ext_capacity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_capacity-7ddf7249a85ed997.d: crates/bench/src/bin/ext_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_capacity-7ddf7249a85ed997.rmeta: crates/bench/src/bin/ext_capacity.rs Cargo.toml
+
+crates/bench/src/bin/ext_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_capacity-c947e7ab6afc185b.d: crates/bench/src/bin/ext_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_capacity-c947e7ab6afc185b.rmeta: crates/bench/src/bin/ext_capacity.rs Cargo.toml
+
+crates/bench/src/bin/ext_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

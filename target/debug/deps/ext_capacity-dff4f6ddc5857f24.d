@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_capacity-dff4f6ddc5857f24.d: crates/bench/src/bin/ext_capacity.rs
+
+/root/repo/target/debug/deps/ext_capacity-dff4f6ddc5857f24: crates/bench/src/bin/ext_capacity.rs
+
+crates/bench/src/bin/ext_capacity.rs:

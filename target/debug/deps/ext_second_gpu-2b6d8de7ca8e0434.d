@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_second_gpu-2b6d8de7ca8e0434.d: crates/bench/src/bin/ext_second_gpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_second_gpu-2b6d8de7ca8e0434.rmeta: crates/bench/src/bin/ext_second_gpu.rs Cargo.toml
+
+crates/bench/src/bin/ext_second_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

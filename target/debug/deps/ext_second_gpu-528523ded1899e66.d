@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_second_gpu-528523ded1899e66.d: crates/bench/src/bin/ext_second_gpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_second_gpu-528523ded1899e66.rmeta: crates/bench/src/bin/ext_second_gpu.rs Cargo.toml
+
+crates/bench/src/bin/ext_second_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

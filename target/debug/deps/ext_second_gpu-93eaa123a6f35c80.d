@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_second_gpu-93eaa123a6f35c80.d: crates/bench/src/bin/ext_second_gpu.rs
+
+/root/repo/target/debug/deps/ext_second_gpu-93eaa123a6f35c80: crates/bench/src/bin/ext_second_gpu.rs
+
+crates/bench/src/bin/ext_second_gpu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_tail_latency-0bc88b4757b0f51b.d: crates/bench/src/bin/ext_tail_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_tail_latency-0bc88b4757b0f51b.rmeta: crates/bench/src/bin/ext_tail_latency.rs Cargo.toml
+
+crates/bench/src/bin/ext_tail_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

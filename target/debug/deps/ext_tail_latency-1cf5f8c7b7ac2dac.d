@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_tail_latency-1cf5f8c7b7ac2dac.d: crates/bench/src/bin/ext_tail_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_tail_latency-1cf5f8c7b7ac2dac.rmeta: crates/bench/src/bin/ext_tail_latency.rs Cargo.toml
+
+crates/bench/src/bin/ext_tail_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_tail_latency-557c1113478d827a.d: crates/bench/src/bin/ext_tail_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_tail_latency-557c1113478d827a.rmeta: crates/bench/src/bin/ext_tail_latency.rs Cargo.toml
+
+crates/bench/src/bin/ext_tail_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

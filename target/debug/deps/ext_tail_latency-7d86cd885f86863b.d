@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_tail_latency-7d86cd885f86863b.d: crates/bench/src/bin/ext_tail_latency.rs
+
+/root/repo/target/debug/deps/ext_tail_latency-7d86cd885f86863b: crates/bench/src/bin/ext_tail_latency.rs
+
+crates/bench/src/bin/ext_tail_latency.rs:

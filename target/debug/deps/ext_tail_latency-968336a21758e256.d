@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_tail_latency-968336a21758e256.d: crates/bench/src/bin/ext_tail_latency.rs
+
+/root/repo/target/debug/deps/ext_tail_latency-968336a21758e256: crates/bench/src/bin/ext_tail_latency.rs
+
+crates/bench/src/bin/ext_tail_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-3396e643c501bc1e.d: tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-3396e643c501bc1e.rmeta: tests/fault_tolerance.rs Cargo.toml
+
+tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

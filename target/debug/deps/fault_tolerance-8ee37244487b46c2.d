@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-8ee37244487b46c2.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-8ee37244487b46c2: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

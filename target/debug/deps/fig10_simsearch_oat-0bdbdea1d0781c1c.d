@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_simsearch_oat-0bdbdea1d0781c1c.d: crates/bench/src/bin/fig10_simsearch_oat.rs
+
+/root/repo/target/debug/deps/fig10_simsearch_oat-0bdbdea1d0781c1c: crates/bench/src/bin/fig10_simsearch_oat.rs
+
+crates/bench/src/bin/fig10_simsearch_oat.rs:

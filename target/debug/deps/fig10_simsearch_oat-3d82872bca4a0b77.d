@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_simsearch_oat-3d82872bca4a0b77.d: crates/bench/src/bin/fig10_simsearch_oat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_simsearch_oat-3d82872bca4a0b77.rmeta: crates/bench/src/bin/fig10_simsearch_oat.rs Cargo.toml
+
+crates/bench/src/bin/fig10_simsearch_oat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

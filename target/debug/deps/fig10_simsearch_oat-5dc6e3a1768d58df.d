@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_simsearch_oat-5dc6e3a1768d58df.d: crates/bench/src/bin/fig10_simsearch_oat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_simsearch_oat-5dc6e3a1768d58df.rmeta: crates/bench/src/bin/fig10_simsearch_oat.rs Cargo.toml
+
+crates/bench/src/bin/fig10_simsearch_oat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

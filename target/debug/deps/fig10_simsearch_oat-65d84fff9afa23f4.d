@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_simsearch_oat-65d84fff9afa23f4.d: crates/bench/src/bin/fig10_simsearch_oat.rs
+
+/root/repo/target/debug/deps/fig10_simsearch_oat-65d84fff9afa23f4: crates/bench/src/bin/fig10_simsearch_oat.rs
+
+crates/bench/src/bin/fig10_simsearch_oat.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_user_growth-3536c59f6a1e1e56.d: crates/bench/src/bin/fig2_user_growth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_user_growth-3536c59f6a1e1e56.rmeta: crates/bench/src/bin/fig2_user_growth.rs Cargo.toml
+
+crates/bench/src/bin/fig2_user_growth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_user_growth-3a2930a0d1bf0095.d: crates/bench/src/bin/fig2_user_growth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_user_growth-3a2930a0d1bf0095.rmeta: crates/bench/src/bin/fig2_user_growth.rs Cargo.toml
+
+crates/bench/src/bin/fig2_user_growth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_user_growth-b0181289209d9d1d.d: crates/bench/src/bin/fig2_user_growth.rs
+
+/root/repo/target/debug/deps/fig2_user_growth-b0181289209d9d1d: crates/bench/src/bin/fig2_user_growth.rs
+
+crates/bench/src/bin/fig2_user_growth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_user_growth-c4afddee6d5835b8.d: crates/bench/src/bin/fig2_user_growth.rs
+
+/root/repo/target/debug/deps/fig2_user_growth-c4afddee6d5835b8: crates/bench/src/bin/fig2_user_growth.rs
+
+crates/bench/src/bin/fig2_user_growth.rs:

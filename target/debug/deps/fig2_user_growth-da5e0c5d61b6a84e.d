@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_user_growth-da5e0c5d61b6a84e.d: crates/bench/src/bin/fig2_user_growth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_user_growth-da5e0c5d61b6a84e.rmeta: crates/bench/src/bin/fig2_user_growth.rs Cargo.toml
+
+crates/bench/src/bin/fig2_user_growth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_response_curve-313d3625b0efad7e.d: crates/bench/src/bin/fig3_response_curve.rs
+
+/root/repo/target/debug/deps/fig3_response_curve-313d3625b0efad7e: crates/bench/src/bin/fig3_response_curve.rs
+
+crates/bench/src/bin/fig3_response_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_response_curve-b7a0b1e8e4b75723.d: crates/bench/src/bin/fig3_response_curve.rs
+
+/root/repo/target/debug/deps/fig3_response_curve-b7a0b1e8e4b75723: crates/bench/src/bin/fig3_response_curve.rs
+
+crates/bench/src/bin/fig3_response_curve.rs:

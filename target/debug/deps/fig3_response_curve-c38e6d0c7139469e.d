@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_response_curve-c38e6d0c7139469e.d: crates/bench/src/bin/fig3_response_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_response_curve-c38e6d0c7139469e.rmeta: crates/bench/src/bin/fig3_response_curve.rs Cargo.toml
+
+crates/bench/src/bin/fig3_response_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

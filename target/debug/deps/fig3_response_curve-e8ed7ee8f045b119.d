@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_response_curve-e8ed7ee8f045b119.d: crates/bench/src/bin/fig3_response_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_response_curve-e8ed7ee8f045b119.rmeta: crates/bench/src/bin/fig3_response_curve.rs Cargo.toml
+
+crates/bench/src/bin/fig3_response_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_workload_scaling-78cedf6c3a612b81.d: crates/bench/src/bin/fig8_workload_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_workload_scaling-78cedf6c3a612b81.rmeta: crates/bench/src/bin/fig8_workload_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig8_workload_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_workload_scaling-9c52f39d04dd173d.d: crates/bench/src/bin/fig8_workload_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_workload_scaling-9c52f39d04dd173d.rmeta: crates/bench/src/bin/fig8_workload_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig8_workload_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_workload_scaling-aaa1ff12ebe4b634.d: crates/bench/src/bin/fig8_workload_scaling.rs
+
+/root/repo/target/debug/deps/fig8_workload_scaling-aaa1ff12ebe4b634: crates/bench/src/bin/fig8_workload_scaling.rs
+
+crates/bench/src/bin/fig8_workload_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_workload_scaling-bc44c22d24a24b0b.d: crates/bench/src/bin/fig8_workload_scaling.rs
+
+/root/repo/target/debug/deps/fig8_workload_scaling-bc44c22d24a24b0b: crates/bench/src/bin/fig8_workload_scaling.rs
+
+crates/bench/src/bin/fig8_workload_scaling.rs:

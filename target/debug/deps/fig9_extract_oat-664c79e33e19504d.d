@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_extract_oat-664c79e33e19504d.d: crates/bench/src/bin/fig9_extract_oat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_extract_oat-664c79e33e19504d.rmeta: crates/bench/src/bin/fig9_extract_oat.rs Cargo.toml
+
+crates/bench/src/bin/fig9_extract_oat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_extract_oat-6d187ac5c613694f.d: crates/bench/src/bin/fig9_extract_oat.rs
+
+/root/repo/target/debug/deps/fig9_extract_oat-6d187ac5c613694f: crates/bench/src/bin/fig9_extract_oat.rs
+
+crates/bench/src/bin/fig9_extract_oat.rs:

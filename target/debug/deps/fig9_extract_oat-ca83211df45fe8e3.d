@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_extract_oat-ca83211df45fe8e3.d: crates/bench/src/bin/fig9_extract_oat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_extract_oat-ca83211df45fe8e3.rmeta: crates/bench/src/bin/fig9_extract_oat.rs Cargo.toml
+
+crates/bench/src/bin/fig9_extract_oat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_extract_oat-cb5be51a890a7d54.d: crates/bench/src/bin/fig9_extract_oat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_extract_oat-cb5be51a890a7d54.rmeta: crates/bench/src/bin/fig9_extract_oat.rs Cargo.toml
+
+crates/bench/src/bin/fig9_extract_oat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_extract_oat-e65cc9508eda00c3.d: crates/bench/src/bin/fig9_extract_oat.rs
+
+/root/repo/target/debug/deps/fig9_extract_oat-e65cc9508eda00c3: crates/bench/src/bin/fig9_extract_oat.rs
+
+crates/bench/src/bin/fig9_extract_oat.rs:

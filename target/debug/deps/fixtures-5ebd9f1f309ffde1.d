@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixtures-5ebd9f1f309ffde1.d: crates/detlint/tests/fixtures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixtures-5ebd9f1f309ffde1.rmeta: crates/detlint/tests/fixtures.rs Cargo.toml
+
+crates/detlint/tests/fixtures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

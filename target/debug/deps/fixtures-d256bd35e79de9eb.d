@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fixtures-d256bd35e79de9eb.d: crates/detlint/tests/fixtures.rs
+
+/root/repo/target/debug/deps/fixtures-d256bd35e79de9eb: crates/detlint/tests/fixtures.rs
+
+crates/detlint/tests/fixtures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework_lifecycle-24e9605c827323fb.d: tests/framework_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework_lifecycle-24e9605c827323fb.rmeta: tests/framework_lifecycle.rs Cargo.toml
+
+tests/framework_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

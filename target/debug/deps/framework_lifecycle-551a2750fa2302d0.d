@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_lifecycle-551a2750fa2302d0.d: tests/framework_lifecycle.rs
+
+/root/repo/target/debug/deps/framework_lifecycle-551a2750fa2302d0: tests/framework_lifecycle.rs
+
+tests/framework_lifecycle.rs:

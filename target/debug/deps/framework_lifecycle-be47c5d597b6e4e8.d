@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework_lifecycle-be47c5d597b6e4e8.d: tests/framework_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework_lifecycle-be47c5d597b6e4e8.rmeta: tests/framework_lifecycle.rs Cargo.toml
+
+tests/framework_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

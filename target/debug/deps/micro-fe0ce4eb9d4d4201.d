@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-fe0ce4eb9d4d4201.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-fe0ce4eb9d4d4201.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mm1_validation-b628eaea5babcd79.d: crates/des/tests/mm1_validation.rs
+
+/root/repo/target/debug/deps/mm1_validation-b628eaea5babcd79: crates/des/tests/mm1_validation.rs
+
+crates/des/tests/mm1_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm1_validation-cc13cd13b1d31091.d: crates/des/tests/mm1_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm1_validation-cc13cd13b1d31091.rmeta: crates/des/tests/mm1_validation.rs Cargo.toml
+
+crates/des/tests/mm1_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

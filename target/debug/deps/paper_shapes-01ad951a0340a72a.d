@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-01ad951a0340a72a.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-01ad951a0340a72a: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-f076d1f98d54519e.d: tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-f076d1f98d54519e.rmeta: tests/paper_shapes.rs Cargo.toml
+
+tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

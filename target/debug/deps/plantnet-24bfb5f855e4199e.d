@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/plantnet-24bfb5f855e4199e.d: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplantnet-24bfb5f855e4199e.rmeta: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs Cargo.toml
+
+crates/plantnet/src/lib.rs:
+crates/plantnet/src/config.rs:
+crates/plantnet/src/model.rs:
+crates/plantnet/src/monitor.rs:
+crates/plantnet/src/pipeline.rs:
+crates/plantnet/src/rt.rs:
+crates/plantnet/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

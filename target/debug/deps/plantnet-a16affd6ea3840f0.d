@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plantnet-a16affd6ea3840f0.d: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs
+
+/root/repo/target/debug/deps/libplantnet-a16affd6ea3840f0.rlib: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs
+
+/root/repo/target/debug/deps/libplantnet-a16affd6ea3840f0.rmeta: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs
+
+crates/plantnet/src/lib.rs:
+crates/plantnet/src/config.rs:
+crates/plantnet/src/model.rs:
+crates/plantnet/src/monitor.rs:
+crates/plantnet/src/pipeline.rs:
+crates/plantnet/src/rt.rs:
+crates/plantnet/src/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0f9fc4c1f11c5920.d: crates/optim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0f9fc4c1f11c5920.rmeta: crates/optim/tests/properties.rs Cargo.toml
+
+crates/optim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

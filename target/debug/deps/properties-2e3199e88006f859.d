@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2e3199e88006f859.d: crates/des/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2e3199e88006f859: crates/des/tests/properties.rs
+
+crates/des/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5ed6573368587580.d: crates/des/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5ed6573368587580.rmeta: crates/des/tests/properties.rs Cargo.toml
+
+crates/des/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-aaa7ca935f474415.d: crates/optim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-aaa7ca935f474415: crates/optim/tests/properties.rs
+
+crates/optim/tests/properties.rs:

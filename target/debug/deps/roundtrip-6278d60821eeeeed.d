@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-6278d60821eeeeed.d: crates/conf/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-6278d60821eeeeed.rmeta: crates/conf/tests/roundtrip.rs Cargo.toml
+
+crates/conf/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-969310c534c10e87.d: crates/conf/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-969310c534c10e87: crates/conf/tests/roundtrip.rs
+
+crates/conf/tests/roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_bayesopt-01a8fa0ddefccd58.d: crates/bench/src/bin/table3_bayesopt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_bayesopt-01a8fa0ddefccd58.rmeta: crates/bench/src/bin/table3_bayesopt.rs Cargo.toml
+
+crates/bench/src/bin/table3_bayesopt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

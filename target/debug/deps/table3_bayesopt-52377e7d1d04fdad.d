@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_bayesopt-52377e7d1d04fdad.d: crates/bench/src/bin/table3_bayesopt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_bayesopt-52377e7d1d04fdad.rmeta: crates/bench/src/bin/table3_bayesopt.rs Cargo.toml
+
+crates/bench/src/bin/table3_bayesopt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

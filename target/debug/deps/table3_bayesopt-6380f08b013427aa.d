@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_bayesopt-6380f08b013427aa.d: crates/bench/src/bin/table3_bayesopt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_bayesopt-6380f08b013427aa.rmeta: crates/bench/src/bin/table3_bayesopt.rs Cargo.toml
+
+crates/bench/src/bin/table3_bayesopt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

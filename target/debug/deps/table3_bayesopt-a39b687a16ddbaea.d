@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_bayesopt-a39b687a16ddbaea.d: crates/bench/src/bin/table3_bayesopt.rs
+
+/root/repo/target/debug/deps/table3_bayesopt-a39b687a16ddbaea: crates/bench/src/bin/table3_bayesopt.rs
+
+crates/bench/src/bin/table3_bayesopt.rs:

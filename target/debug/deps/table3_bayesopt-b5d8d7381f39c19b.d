@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_bayesopt-b5d8d7381f39c19b.d: crates/bench/src/bin/table3_bayesopt.rs
+
+/root/repo/target/debug/deps/table3_bayesopt-b5d8d7381f39c19b: crates/bench/src/bin/table3_bayesopt.rs
+
+crates/bench/src/bin/table3_bayesopt.rs:

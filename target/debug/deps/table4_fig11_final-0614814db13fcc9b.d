@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_fig11_final-0614814db13fcc9b.d: crates/bench/src/bin/table4_fig11_final.rs
+
+/root/repo/target/debug/deps/table4_fig11_final-0614814db13fcc9b: crates/bench/src/bin/table4_fig11_final.rs
+
+crates/bench/src/bin/table4_fig11_final.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_fig11_final-21e55a661bdb4946.d: crates/bench/src/bin/table4_fig11_final.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_fig11_final-21e55a661bdb4946.rmeta: crates/bench/src/bin/table4_fig11_final.rs Cargo.toml
+
+crates/bench/src/bin/table4_fig11_final.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_fig11_final-6f099f51b04afc2c.d: crates/bench/src/bin/table4_fig11_final.rs
+
+/root/repo/target/debug/deps/table4_fig11_final-6f099f51b04afc2c: crates/bench/src/bin/table4_fig11_final.rs
+
+crates/bench/src/bin/table4_fig11_final.rs:

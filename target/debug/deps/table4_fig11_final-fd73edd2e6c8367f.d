@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_fig11_final-fd73edd2e6c8367f.d: crates/bench/src/bin/table4_fig11_final.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_fig11_final-fd73edd2e6c8367f.rmeta: crates/bench/src/bin/table4_fig11_final.rs Cargo.toml
+
+crates/bench/src/bin/table4_fig11_final.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

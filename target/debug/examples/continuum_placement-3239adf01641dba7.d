@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/continuum_placement-3239adf01641dba7.d: examples/continuum_placement.rs
+
+/root/repo/target/debug/examples/continuum_placement-3239adf01641dba7: examples/continuum_placement.rs
+
+examples/continuum_placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/continuum_placement-5daaf06b1f19b9dc.d: examples/continuum_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontinuum_placement-5daaf06b1f19b9dc.rmeta: examples/continuum_placement.rs Cargo.toml
+
+examples/continuum_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

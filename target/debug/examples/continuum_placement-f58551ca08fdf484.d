@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/continuum_placement-f58551ca08fdf484.d: examples/continuum_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontinuum_placement-f58551ca08fdf484.rmeta: examples/continuum_placement.rs Cargo.toml
+
+examples/continuum_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

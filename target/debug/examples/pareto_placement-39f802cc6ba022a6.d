@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pareto_placement-39f802cc6ba022a6.d: examples/pareto_placement.rs
+
+/root/repo/target/debug/examples/pareto_placement-39f802cc6ba022a6: examples/pareto_placement.rs
+
+examples/pareto_placement.rs:

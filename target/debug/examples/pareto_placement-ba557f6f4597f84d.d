@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pareto_placement-ba557f6f4597f84d.d: examples/pareto_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpareto_placement-ba557f6f4597f84d.rmeta: examples/pareto_placement.rs Cargo.toml
+
+examples/pareto_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

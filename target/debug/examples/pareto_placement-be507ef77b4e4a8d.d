@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pareto_placement-be507ef77b4e4a8d.d: examples/pareto_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpareto_placement-be507ef77b4e4a8d.rmeta: examples/pareto_placement.rs Cargo.toml
+
+examples/pareto_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

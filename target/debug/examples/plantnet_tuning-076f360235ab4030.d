@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/plantnet_tuning-076f360235ab4030.d: examples/plantnet_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplantnet_tuning-076f360235ab4030.rmeta: examples/plantnet_tuning.rs Cargo.toml
+
+examples/plantnet_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

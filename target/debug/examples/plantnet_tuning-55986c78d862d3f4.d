@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plantnet_tuning-55986c78d862d3f4.d: examples/plantnet_tuning.rs
+
+/root/repo/target/debug/examples/plantnet_tuning-55986c78d862d3f4: examples/plantnet_tuning.rs
+
+examples/plantnet_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/plantnet_tuning-87840c1b9b971715.d: examples/plantnet_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplantnet_tuning-87840c1b9b971715.rmeta: examples/plantnet_tuning.rs Cargo.toml
+
+examples/plantnet_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_tmp-e20027f59c6a07f1.d: crates/optim/examples/probe_tmp.rs
+
+/root/repo/target/debug/examples/probe_tmp-e20027f59c6a07f1: crates/optim/examples/probe_tmp.rs
+
+crates/optim/examples/probe_tmp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-5277e6e6541af3f5.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-5277e6e6541af3f5.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

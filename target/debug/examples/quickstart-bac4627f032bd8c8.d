@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bac4627f032bd8c8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bac4627f032bd8c8: examples/quickstart.rs
+
+examples/quickstart.rs:

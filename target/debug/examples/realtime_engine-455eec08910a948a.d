@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/realtime_engine-455eec08910a948a.d: examples/realtime_engine.rs
+
+/root/repo/target/debug/examples/realtime_engine-455eec08910a948a: examples/realtime_engine.rs
+
+examples/realtime_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/realtime_engine-73225794e213ff97.d: examples/realtime_engine.rs Cargo.toml
+
+/root/repo/target/debug/examples/librealtime_engine-73225794e213ff97.rmeta: examples/realtime_engine.rs Cargo.toml
+
+examples/realtime_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

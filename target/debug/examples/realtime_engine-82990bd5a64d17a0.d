@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/realtime_engine-82990bd5a64d17a0.d: examples/realtime_engine.rs Cargo.toml
+
+/root/repo/target/debug/examples/librealtime_engine-82990bd5a64d17a0.rmeta: examples/realtime_engine.rs Cargo.toml
+
+examples/realtime_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensitivity_oat-2c20948870d546f7.d: examples/sensitivity_oat.rs
+
+/root/repo/target/debug/examples/sensitivity_oat-2c20948870d546f7: examples/sensitivity_oat.rs
+
+examples/sensitivity_oat.rs:

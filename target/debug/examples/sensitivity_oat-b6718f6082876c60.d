@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensitivity_oat-b6718f6082876c60.d: examples/sensitivity_oat.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensitivity_oat-b6718f6082876c60.rmeta: examples/sensitivity_oat.rs Cargo.toml
+
+examples/sensitivity_oat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensitivity_oat-b7495defb665a4b0.d: examples/sensitivity_oat.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensitivity_oat-b7495defb665a4b0.rmeta: examples/sensitivity_oat.rs Cargo.toml
+
+examples/sensitivity_oat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libe2c_conf.rlib: /root/repo/crates/conf/src/lib.rs /root/repo/crates/conf/src/parser.rs /root/repo/crates/conf/src/schema.rs /root/repo/crates/conf/src/value.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libe2c_net.rlib: /root/repo/crates/net/src/lib.rs /root/repo/crates/net/src/link.rs /root/repo/crates/net/src/shaping.rs /root/repo/crates/net/src/topology.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_acquisitions-301ad1e150a14b57.d: crates/bench/src/bin/ablation_acquisitions.rs
+
+/root/repo/target/release/deps/ablation_acquisitions-301ad1e150a14b57: crates/bench/src/bin/ablation_acquisitions.rs
+
+crates/bench/src/bin/ablation_acquisitions.rs:

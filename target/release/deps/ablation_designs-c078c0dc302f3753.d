@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_designs-c078c0dc302f3753.d: crates/bench/src/bin/ablation_designs.rs
+
+/root/repo/target/release/deps/ablation_designs-c078c0dc302f3753: crates/bench/src/bin/ablation_designs.rs
+
+crates/bench/src/bin/ablation_designs.rs:

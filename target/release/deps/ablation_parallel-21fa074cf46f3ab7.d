@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_parallel-21fa074cf46f3ab7.d: crates/bench/src/bin/ablation_parallel.rs
+
+/root/repo/target/release/deps/ablation_parallel-21fa074cf46f3ab7: crates/bench/src/bin/ablation_parallel.rs
+
+crates/bench/src/bin/ablation_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_surrogates-c4e12045ffcefb97.d: crates/bench/src/bin/ablation_surrogates.rs
+
+/root/repo/target/release/deps/ablation_surrogates-c4e12045ffcefb97: crates/bench/src/bin/ablation_surrogates.rs
+
+crates/bench/src/bin/ablation_surrogates.rs:

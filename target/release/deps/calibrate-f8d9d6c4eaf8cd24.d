@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-f8d9d6c4eaf8cd24.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-f8d9d6c4eaf8cd24: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

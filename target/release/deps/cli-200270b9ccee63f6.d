@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-200270b9ccee63f6.d: crates/core/tests/cli.rs
+
+/root/repo/target/release/deps/cli-200270b9ccee63f6: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_e2clab=/root/repo/target/release/e2clab

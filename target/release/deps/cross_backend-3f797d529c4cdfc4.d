@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_backend-3f797d529c4cdfc4.d: tests/cross_backend.rs
+
+/root/repo/target/release/deps/cross_backend-3f797d529c4cdfc4: tests/cross_backend.rs
+
+tests/cross_backend.rs:

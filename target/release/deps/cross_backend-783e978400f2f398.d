@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_backend-783e978400f2f398.d: tests/cross_backend.rs
+
+/root/repo/target/release/deps/cross_backend-783e978400f2f398: tests/cross_backend.rs
+
+tests/cross_backend.rs:

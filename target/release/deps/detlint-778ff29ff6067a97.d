@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/detlint-778ff29ff6067a97.d: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs
+
+/root/repo/target/release/deps/libdetlint-778ff29ff6067a97.rlib: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs
+
+/root/repo/target/release/deps/libdetlint-778ff29ff6067a97.rmeta: crates/detlint/src/lib.rs crates/detlint/src/config.rs crates/detlint/src/rules.rs crates/detlint/src/scanner.rs crates/detlint/src/walk.rs
+
+crates/detlint/src/lib.rs:
+crates/detlint/src/config.rs:
+crates/detlint/src/rules.rs:
+crates/detlint/src/scanner.rs:
+crates/detlint/src/walk.rs:

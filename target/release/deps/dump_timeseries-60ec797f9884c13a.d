@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dump_timeseries-60ec797f9884c13a.d: crates/bench/src/bin/dump_timeseries.rs
+
+/root/repo/target/release/deps/dump_timeseries-60ec797f9884c13a: crates/bench/src/bin/dump_timeseries.rs
+
+crates/bench/src/bin/dump_timeseries.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/e2c_bench-4ea94a8660c037e6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libe2c_bench-4ea94a8660c037e6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libe2c_bench-4ea94a8660c037e6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

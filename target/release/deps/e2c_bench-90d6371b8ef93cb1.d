@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2c_bench-90d6371b8ef93cb1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/e2c_bench-90d6371b8ef93cb1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

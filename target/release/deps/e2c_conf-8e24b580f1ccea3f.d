@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/e2c_conf-8e24b580f1ccea3f.d: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+/root/repo/target/release/deps/e2c_conf-8e24b580f1ccea3f: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+crates/conf/src/lib.rs:
+crates/conf/src/parser.rs:
+crates/conf/src/schema.rs:
+crates/conf/src/value.rs:

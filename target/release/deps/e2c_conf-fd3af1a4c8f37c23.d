@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/e2c_conf-fd3af1a4c8f37c23.d: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+/root/repo/target/release/deps/libe2c_conf-fd3af1a4c8f37c23.rlib: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+/root/repo/target/release/deps/libe2c_conf-fd3af1a4c8f37c23.rmeta: crates/conf/src/lib.rs crates/conf/src/parser.rs crates/conf/src/schema.rs crates/conf/src/value.rs
+
+crates/conf/src/lib.rs:
+crates/conf/src/parser.rs:
+crates/conf/src/schema.rs:
+crates/conf/src/value.rs:

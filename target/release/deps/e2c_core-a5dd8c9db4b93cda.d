@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/e2c_core-a5dd8c9db4b93cda.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs
+
+/root/repo/target/release/deps/e2c_core-a5dd8c9db4b93cda: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/experiment.rs crates/core/src/managers.rs crates/core/src/optimization.rs crates/core/src/service.rs crates/core/src/user_api.rs
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/experiment.rs:
+crates/core/src/managers.rs:
+crates/core/src/optimization.rs:
+crates/core/src/service.rs:
+crates/core/src/user_api.rs:

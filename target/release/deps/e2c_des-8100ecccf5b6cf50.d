@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/e2c_des-8100ecccf5b6cf50.d: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libe2c_des-8100ecccf5b6cf50.rlib: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libe2c_des-8100ecccf5b6cf50.rmeta: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/dist.rs:
+crates/des/src/queue.rs:
+crates/des/src/resources.rs:
+crates/des/src/sim.rs:
+crates/des/src/time.rs:

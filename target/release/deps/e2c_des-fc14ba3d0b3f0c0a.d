@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/e2c_des-fc14ba3d0b3f0c0a.d: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/e2c_des-fc14ba3d0b3f0c0a: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/resources.rs crates/des/src/sim.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/dist.rs:
+crates/des/src/queue.rs:
+crates/des/src/resources.rs:
+crates/des/src/sim.rs:
+crates/des/src/time.rs:

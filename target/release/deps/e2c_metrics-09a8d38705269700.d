@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/e2c_metrics-09a8d38705269700.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/online.rs crates/metrics/src/registry.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/e2c_metrics-09a8d38705269700: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/online.rs crates/metrics/src/registry.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/online.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:

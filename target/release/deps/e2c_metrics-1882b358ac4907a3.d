@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/e2c_metrics-1882b358ac4907a3.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/online.rs crates/metrics/src/registry.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libe2c_metrics-1882b358ac4907a3.rlib: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/online.rs crates/metrics/src/registry.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libe2c_metrics-1882b358ac4907a3.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/online.rs crates/metrics/src/registry.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/online.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:

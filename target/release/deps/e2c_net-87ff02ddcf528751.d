@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/e2c_net-87ff02ddcf528751.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/e2c_net-87ff02ddcf528751: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/shaping.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/e2c_net-abc7a0ed038fa211.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libe2c_net-abc7a0ed038fa211.rlib: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libe2c_net-abc7a0ed038fa211.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/shaping.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/shaping.rs:
+crates/net/src/topology.rs:

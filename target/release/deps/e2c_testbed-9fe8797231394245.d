@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/e2c_testbed-9fe8797231394245.d: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+/root/repo/target/release/deps/libe2c_testbed-9fe8797231394245.rlib: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+/root/repo/target/release/deps/libe2c_testbed-9fe8797231394245.rmeta: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/deployment.rs:
+crates/testbed/src/grid5000.rs:
+crates/testbed/src/hardware.rs:
+crates/testbed/src/reservation.rs:

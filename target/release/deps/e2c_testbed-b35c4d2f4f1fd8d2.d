@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e2c_testbed-b35c4d2f4f1fd8d2.d: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+/root/repo/target/release/deps/e2c_testbed-b35c4d2f4f1fd8d2: crates/testbed/src/lib.rs crates/testbed/src/deployment.rs crates/testbed/src/grid5000.rs crates/testbed/src/hardware.rs crates/testbed/src/reservation.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/deployment.rs:
+crates/testbed/src/grid5000.rs:
+crates/testbed/src/hardware.rs:
+crates/testbed/src/reservation.rs:

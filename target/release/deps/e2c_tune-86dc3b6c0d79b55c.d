@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/e2c_tune-86dc3b6c0d79b55c.d: crates/tune/src/lib.rs crates/tune/src/analysis.rs crates/tune/src/evolution.rs crates/tune/src/fault.rs crates/tune/src/logger.rs crates/tune/src/scheduler.rs crates/tune/src/searcher.rs crates/tune/src/trial.rs crates/tune/src/tuner.rs
+
+/root/repo/target/release/deps/e2c_tune-86dc3b6c0d79b55c: crates/tune/src/lib.rs crates/tune/src/analysis.rs crates/tune/src/evolution.rs crates/tune/src/fault.rs crates/tune/src/logger.rs crates/tune/src/scheduler.rs crates/tune/src/searcher.rs crates/tune/src/trial.rs crates/tune/src/tuner.rs
+
+crates/tune/src/lib.rs:
+crates/tune/src/analysis.rs:
+crates/tune/src/evolution.rs:
+crates/tune/src/fault.rs:
+crates/tune/src/logger.rs:
+crates/tune/src/scheduler.rs:
+crates/tune/src/searcher.rs:
+crates/tune/src/trial.rs:
+crates/tune/src/tuner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e2c_workload-4180b9575c3aa1fc.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+/root/repo/target/release/deps/e2c_workload-4180b9575c3aa1fc: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/diurnal.rs:
+crates/workload/src/images.rs:
+crates/workload/src/seasonal.rs:

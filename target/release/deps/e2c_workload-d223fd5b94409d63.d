@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/e2c_workload-d223fd5b94409d63.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+/root/repo/target/release/deps/libe2c_workload-d223fd5b94409d63.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+/root/repo/target/release/deps/libe2c_workload-d223fd5b94409d63.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/diurnal.rs crates/workload/src/images.rs crates/workload/src/seasonal.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/diurnal.rs:
+crates/workload/src/images.rs:
+crates/workload/src/seasonal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/e2clab-2017fae7ed7f02ad.d: src/lib.rs
+
+/root/repo/target/release/deps/libe2clab-2017fae7ed7f02ad.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libe2clab-2017fae7ed7f02ad.rmeta: src/lib.rs
+
+src/lib.rs:

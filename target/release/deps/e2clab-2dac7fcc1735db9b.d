@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2clab-2dac7fcc1735db9b.d: crates/core/src/bin/e2clab.rs
+
+/root/repo/target/release/deps/e2clab-2dac7fcc1735db9b: crates/core/src/bin/e2clab.rs
+
+crates/core/src/bin/e2clab.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/e2clab-3aa40c766d064dd0.d: src/lib.rs
+
+/root/repo/target/release/deps/libe2clab-3aa40c766d064dd0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libe2clab-3aa40c766d064dd0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2clab-54558f8dd066243a.d: src/lib.rs
+
+/root/repo/target/release/deps/e2clab-54558f8dd066243a: src/lib.rs
+
+src/lib.rs:

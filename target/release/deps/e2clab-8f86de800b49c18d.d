@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2clab-8f86de800b49c18d.d: crates/core/src/bin/e2clab.rs
+
+/root/repo/target/release/deps/e2clab-8f86de800b49c18d: crates/core/src/bin/e2clab.rs
+
+crates/core/src/bin/e2clab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2clab-9896060ffd538801.d: src/lib.rs
+
+/root/repo/target/release/deps/e2clab-9896060ffd538801: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/e2clab-f40fc884804ef56f.d: crates/core/src/bin/e2clab.rs
+
+/root/repo/target/release/deps/e2clab-f40fc884804ef56f: crates/core/src/bin/e2clab.rs
+
+crates/core/src/bin/e2clab.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_optimization-563c583465abf4a6.d: tests/end_to_end_optimization.rs
+
+/root/repo/target/release/deps/end_to_end_optimization-563c583465abf4a6: tests/end_to_end_optimization.rs
+
+tests/end_to_end_optimization.rs:

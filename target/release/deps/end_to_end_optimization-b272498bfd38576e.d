@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_optimization-b272498bfd38576e.d: tests/end_to_end_optimization.rs
+
+/root/repo/target/release/deps/end_to_end_optimization-b272498bfd38576e: tests/end_to_end_optimization.rs
+
+tests/end_to_end_optimization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_capacity-239fe6eb90a8d5a2.d: crates/bench/src/bin/ext_capacity.rs
+
+/root/repo/target/release/deps/ext_capacity-239fe6eb90a8d5a2: crates/bench/src/bin/ext_capacity.rs
+
+crates/bench/src/bin/ext_capacity.rs:

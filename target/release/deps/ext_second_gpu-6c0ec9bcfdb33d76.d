@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_second_gpu-6c0ec9bcfdb33d76.d: crates/bench/src/bin/ext_second_gpu.rs
+
+/root/repo/target/release/deps/ext_second_gpu-6c0ec9bcfdb33d76: crates/bench/src/bin/ext_second_gpu.rs
+
+crates/bench/src/bin/ext_second_gpu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_tail_latency-65b7d43b159130d0.d: crates/bench/src/bin/ext_tail_latency.rs
+
+/root/repo/target/release/deps/ext_tail_latency-65b7d43b159130d0: crates/bench/src/bin/ext_tail_latency.rs
+
+crates/bench/src/bin/ext_tail_latency.rs:

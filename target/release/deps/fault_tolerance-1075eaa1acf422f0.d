@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-1075eaa1acf422f0.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-1075eaa1acf422f0: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-da758deada856a38.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-da758deada856a38: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

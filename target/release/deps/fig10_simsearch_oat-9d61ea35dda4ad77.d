@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_simsearch_oat-9d61ea35dda4ad77.d: crates/bench/src/bin/fig10_simsearch_oat.rs
+
+/root/repo/target/release/deps/fig10_simsearch_oat-9d61ea35dda4ad77: crates/bench/src/bin/fig10_simsearch_oat.rs
+
+crates/bench/src/bin/fig10_simsearch_oat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_user_growth-59d984e2c21a60bf.d: crates/bench/src/bin/fig2_user_growth.rs
+
+/root/repo/target/release/deps/fig2_user_growth-59d984e2c21a60bf: crates/bench/src/bin/fig2_user_growth.rs
+
+crates/bench/src/bin/fig2_user_growth.rs:

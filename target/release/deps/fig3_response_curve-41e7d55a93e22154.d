@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_response_curve-41e7d55a93e22154.d: crates/bench/src/bin/fig3_response_curve.rs
+
+/root/repo/target/release/deps/fig3_response_curve-41e7d55a93e22154: crates/bench/src/bin/fig3_response_curve.rs
+
+crates/bench/src/bin/fig3_response_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_workload_scaling-9a35707da264ca63.d: crates/bench/src/bin/fig8_workload_scaling.rs
+
+/root/repo/target/release/deps/fig8_workload_scaling-9a35707da264ca63: crates/bench/src/bin/fig8_workload_scaling.rs
+
+crates/bench/src/bin/fig8_workload_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_extract_oat-f75774b4b39984e6.d: crates/bench/src/bin/fig9_extract_oat.rs
+
+/root/repo/target/release/deps/fig9_extract_oat-f75774b4b39984e6: crates/bench/src/bin/fig9_extract_oat.rs
+
+crates/bench/src/bin/fig9_extract_oat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/framework_lifecycle-3554f84ac1f27508.d: tests/framework_lifecycle.rs
+
+/root/repo/target/release/deps/framework_lifecycle-3554f84ac1f27508: tests/framework_lifecycle.rs
+
+tests/framework_lifecycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/framework_lifecycle-f5a4fa968b93a48e.d: tests/framework_lifecycle.rs
+
+/root/repo/target/release/deps/framework_lifecycle-f5a4fa968b93a48e: tests/framework_lifecycle.rs
+
+tests/framework_lifecycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mm1_validation-6e69ce8013e366eb.d: crates/des/tests/mm1_validation.rs
+
+/root/repo/target/release/deps/mm1_validation-6e69ce8013e366eb: crates/des/tests/mm1_validation.rs
+
+crates/des/tests/mm1_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-e9337b023707ae60.d: tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-e9337b023707ae60: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

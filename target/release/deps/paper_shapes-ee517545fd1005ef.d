@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-ee517545fd1005ef.d: tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-ee517545fd1005ef: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

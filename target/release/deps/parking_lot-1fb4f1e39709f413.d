@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-1fb4f1e39709f413.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1fb4f1e39709f413.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1fb4f1e39709f413.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/plantnet-07f168611101a95e.d: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs
+
+/root/repo/target/release/deps/plantnet-07f168611101a95e: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs
+
+crates/plantnet/src/lib.rs:
+crates/plantnet/src/config.rs:
+crates/plantnet/src/model.rs:
+crates/plantnet/src/monitor.rs:
+crates/plantnet/src/pipeline.rs:
+crates/plantnet/src/rt.rs:
+crates/plantnet/src/sim.rs:

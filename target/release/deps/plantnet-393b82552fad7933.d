@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/plantnet-393b82552fad7933.d: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs
+
+/root/repo/target/release/deps/libplantnet-393b82552fad7933.rlib: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs
+
+/root/repo/target/release/deps/libplantnet-393b82552fad7933.rmeta: crates/plantnet/src/lib.rs crates/plantnet/src/config.rs crates/plantnet/src/model.rs crates/plantnet/src/monitor.rs crates/plantnet/src/pipeline.rs crates/plantnet/src/rt.rs crates/plantnet/src/sim.rs
+
+crates/plantnet/src/lib.rs:
+crates/plantnet/src/config.rs:
+crates/plantnet/src/model.rs:
+crates/plantnet/src/monitor.rs:
+crates/plantnet/src/pipeline.rs:
+crates/plantnet/src/rt.rs:
+crates/plantnet/src/sim.rs:

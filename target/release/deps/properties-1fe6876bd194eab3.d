@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-1fe6876bd194eab3.d: crates/optim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-1fe6876bd194eab3: crates/optim/tests/properties.rs
+
+crates/optim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f5773f556997f5a8.d: crates/des/tests/properties.rs
+
+/root/repo/target/release/deps/properties-f5773f556997f5a8: crates/des/tests/properties.rs
+
+crates/des/tests/properties.rs:

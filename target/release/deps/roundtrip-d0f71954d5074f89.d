@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-d0f71954d5074f89.d: crates/conf/tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-d0f71954d5074f89: crates/conf/tests/roundtrip.rs
+
+crates/conf/tests/roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_bayesopt-83da85e4825c2ece.d: crates/bench/src/bin/table3_bayesopt.rs
+
+/root/repo/target/release/deps/table3_bayesopt-83da85e4825c2ece: crates/bench/src/bin/table3_bayesopt.rs
+
+crates/bench/src/bin/table3_bayesopt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_fig11_final-a32ea18a9f8ef29b.d: crates/bench/src/bin/table4_fig11_final.rs
+
+/root/repo/target/release/deps/table4_fig11_final-a32ea18a9f8ef29b: crates/bench/src/bin/table4_fig11_final.rs
+
+crates/bench/src/bin/table4_fig11_final.rs:

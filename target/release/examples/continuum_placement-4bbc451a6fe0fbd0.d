@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/continuum_placement-4bbc451a6fe0fbd0.d: examples/continuum_placement.rs
+
+/root/repo/target/release/examples/continuum_placement-4bbc451a6fe0fbd0: examples/continuum_placement.rs
+
+examples/continuum_placement.rs:

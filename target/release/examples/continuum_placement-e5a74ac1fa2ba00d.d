@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/continuum_placement-e5a74ac1fa2ba00d.d: examples/continuum_placement.rs
+
+/root/repo/target/release/examples/continuum_placement-e5a74ac1fa2ba00d: examples/continuum_placement.rs
+
+examples/continuum_placement.rs:

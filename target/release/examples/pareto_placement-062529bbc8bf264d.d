@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pareto_placement-062529bbc8bf264d.d: examples/pareto_placement.rs
+
+/root/repo/target/release/examples/pareto_placement-062529bbc8bf264d: examples/pareto_placement.rs
+
+examples/pareto_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pareto_placement-8f72b6bfbecc14ae.d: examples/pareto_placement.rs
+
+/root/repo/target/release/examples/pareto_placement-8f72b6bfbecc14ae: examples/pareto_placement.rs
+
+examples/pareto_placement.rs:

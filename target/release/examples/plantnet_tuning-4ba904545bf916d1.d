@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/plantnet_tuning-4ba904545bf916d1.d: examples/plantnet_tuning.rs
+
+/root/repo/target/release/examples/plantnet_tuning-4ba904545bf916d1: examples/plantnet_tuning.rs
+
+examples/plantnet_tuning.rs:

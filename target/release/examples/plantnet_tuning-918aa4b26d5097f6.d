@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/plantnet_tuning-918aa4b26d5097f6.d: examples/plantnet_tuning.rs
+
+/root/repo/target/release/examples/plantnet_tuning-918aa4b26d5097f6: examples/plantnet_tuning.rs
+
+examples/plantnet_tuning.rs:

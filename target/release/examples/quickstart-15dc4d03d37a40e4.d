@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-15dc4d03d37a40e4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-15dc4d03d37a40e4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3d851e7dc9945bac.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3d851e7dc9945bac: examples/quickstart.rs
+
+examples/quickstart.rs:

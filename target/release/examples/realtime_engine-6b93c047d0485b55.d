@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/realtime_engine-6b93c047d0485b55.d: examples/realtime_engine.rs
+
+/root/repo/target/release/examples/realtime_engine-6b93c047d0485b55: examples/realtime_engine.rs
+
+examples/realtime_engine.rs:

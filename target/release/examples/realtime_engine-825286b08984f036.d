@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/realtime_engine-825286b08984f036.d: examples/realtime_engine.rs
+
+/root/repo/target/release/examples/realtime_engine-825286b08984f036: examples/realtime_engine.rs
+
+examples/realtime_engine.rs:

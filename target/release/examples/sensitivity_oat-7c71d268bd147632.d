@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sensitivity_oat-7c71d268bd147632.d: examples/sensitivity_oat.rs
+
+/root/repo/target/release/examples/sensitivity_oat-7c71d268bd147632: examples/sensitivity_oat.rs
+
+examples/sensitivity_oat.rs:

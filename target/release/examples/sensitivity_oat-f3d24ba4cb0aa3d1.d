@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sensitivity_oat-f3d24ba4cb0aa3d1.d: examples/sensitivity_oat.rs
+
+/root/repo/target/release/examples/sensitivity_oat-f3d24ba4cb0aa3d1: examples/sensitivity_oat.rs
+
+examples/sensitivity_oat.rs:

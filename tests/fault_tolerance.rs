@@ -139,6 +139,7 @@ fn deadline_exceeding_trial_fails_without_stalling_the_run() {
         "    max_retries: 2\n",
         "    max_retries: 0\n    time_budget_ms: 50\n",
     );
+    // detlint: allow(DET002) test asserts the deadline fires in real elapsed time
     let started = std::time::Instant::now();
     let summary = OptimizationManager::new(opt_conf(&src))
         .with_seed(5)

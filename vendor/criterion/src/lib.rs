@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Measures with plain `std::time::Instant` sampling and prints a one-line
+//! mean/min per benchmark — none of criterion's statistics, HTML reports,
+//! or regression detection. Benchmarks remain runnable via `cargo bench`
+//! and compile under `cargo test --benches`; when the harness receives
+//! `--test` (cargo's "compile-check benches during test" mode) each
+//! routine runs exactly once.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// iteration regardless; the variants exist for signature compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: if self.test_mode {
+                Duration::ZERO // one iteration per sample loop below
+            } else {
+                self.measurement_time
+            },
+            warm_up: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.warm_up_time
+            },
+            sample_size: if self.test_mode { 1 } else { self.sample_size },
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{id:<44} (no samples)");
+            return self;
+        }
+        let mean = samples.iter().map(|d| d.as_secs_f64()).sum::<f64>() / samples.len() as f64;
+        let min = samples
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{id:<44} mean {:>12} min {:>12} ({} samples)",
+            format_time(mean),
+            format_time(min),
+            samples.len()
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run until the per-bench budget is spent, in `sample_size` samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let per_sample = self.budget.div_f64(self.sample_size.max(1) as f64);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let mut iters = 0u32;
+            loop {
+                black_box(routine());
+                iters += 1;
+                if start.elapsed() >= per_sample {
+                    break;
+                }
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Like `iter` but with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_sample = self.budget.div_f64(self.sample_size.max(1) as f64);
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            let mut iters = 0u32;
+            loop {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+                iters += 1;
+                if timed >= per_sample {
+                    break;
+                }
+            }
+            self.samples.push(timed / iters);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        c.test_mode = false;
+        let mut runs = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::from_millis(2));
+        c.test_mode = false;
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 8]
+                },
+                |v| {
+                    runs += 1;
+                    v.iter().sum::<u64>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, runs); // exactly one setup per routine call
+        assert!(runs >= 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for `crossbeam::thread::scope`, implemented over
+//! `std::thread::scope` (stable since 1.63). Preserves the piece of the
+//! crossbeam contract this workspace relies on: `scope(..)` returns
+//! `Err(payload)` when a spawned thread panics instead of propagating the
+//! panic, and spawn closures receive a `&Scope` they can ignore.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type Payload = Box<dyn Any + Send + 'static>;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: Arc<Mutex<Vec<Payload>>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a `&Scope` (like
+        /// crossbeam) so nested spawns are possible; a panic inside the
+        /// closure is captured and surfaced as the scope's `Err` result.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let child = Scope {
+                inner: self.inner,
+                panics: self.panics.clone(),
+            };
+            let panics = self.panics.clone();
+            self.inner.spawn(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&child))) {
+                    panics
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(payload);
+                }
+            });
+        }
+    }
+
+    /// Run `f` with a scope handle; join all spawned threads before
+    /// returning. `Err` carries the first captured panic payload.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics: Arc<Mutex<Vec<Payload>>> = Arc::new(Mutex::new(Vec::new()));
+        let result = std::thread::scope(|s| {
+            let wrapper = Scope {
+                inner: s,
+                panics: panics.clone(),
+            };
+            catch_unwind(AssertUnwindSafe(|| f(&wrapper)))
+        });
+        // All scoped threads are joined by now, so we hold the only Arc.
+        let mut captured = panics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match result {
+            Err(payload) => Err(payload),
+            Ok(value) => {
+                if captured.is_empty() {
+                    Ok(value)
+                } else {
+                    Err(captured.remove(0))
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn joins_all_threads() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let res = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            let payload = res.expect_err("child panic must surface as Err");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "boom");
+        }
+
+        #[test]
+        fn nested_spawn_works() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|scope| {
+                scope.spawn(|inner| {
+                    inner.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 1);
+        }
+    }
+}

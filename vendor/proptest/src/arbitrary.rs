@@ -1,0 +1,70 @@
+//! `any::<T>()` for the primitive types the workspace's tests use.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore};
+use std::marker::PhantomData;
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range; avoids NaN/inf which
+        // upstream `any::<f64>()` also excludes by default.
+        let mantissa: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let exp = rng.gen_range(-64i32..64) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}

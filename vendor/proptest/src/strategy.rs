@@ -1,0 +1,176 @@
+//! Value-generation strategies (generation-only; no shrink trees).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value` from the test RNG.
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let source = Rc::new(self);
+        BoxedStrategy(Rc::new(move |rng| source.gen_value(rng)))
+    }
+
+    /// Build recursive structures: at each of `depth` levels the result is
+    /// an even choice between a leaf (`self`) and one application of `f`
+    /// to the previous level, which bounds nesting at `depth`.
+    /// `_desired_size`/`_expected_branch` are accepted for upstream
+    /// signature compatibility; size is already bounded by the collection
+    /// strategies `f` composes.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(level).boxed();
+            level = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        level
+    }
+}
+
+/// Type-erased, cheaply clonable strategy (`Rc`-backed; single-threaded
+/// like the upstream value tree, which is fine inside one test fn).
+pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.gen_value(rng))
+    }
+}
+
+/// Uniform choice between strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].gen_value(rng)
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(usize, u8, u16, u32, u64, i32, i64, f32, f64);
+
+/// Regex-lite string patterns: `"[a-z][a-z0-9_]{0,8}"` etc. (see
+/// [`crate::string`] for the supported grammar).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);

@@ -1,0 +1,166 @@
+//! Regex-lite string generation for `&str` strategies.
+//!
+//! Supported grammar (the subset our tests use):
+//!
+//! * character classes `[...]` containing literals, `\`-escapes
+//!   (`\n`, `\t`, `\\`, `\-`, ...) and ranges like `a-z` or ` -~`
+//! * literal characters outside classes (same escapes)
+//! * an optional `{m}` / `{m,n}` repetition after any atom
+//!   (regex semantics: both bounds inclusive)
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                // Decode class members first (escape-aware), then fold
+                // unescaped `-` between two members into a range.
+                let mut members: Vec<(char, bool)> = Vec::new();
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated [class] in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('\\') => {
+                            let esc = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                            members.push((unescape(esc), true));
+                        }
+                        Some(m) => members.push((m, false)),
+                    }
+                }
+                let mut set = Vec::new();
+                let mut i = 0;
+                while i < members.len() {
+                    if i + 2 < members.len() && members[i + 1] == ('-', false) {
+                        let (lo, hi) = (members[i].0, members[i + 2].0);
+                        assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                        set.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        set.push(members[i].0);
+                        i += 1;
+                    }
+                }
+                set
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                vec![unescape(esc)]
+            }
+            lit => vec![lit],
+        };
+        // Optional {m} / {m,n} repetition.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    None => panic!("unterminated {{m,n}} in pattern {pattern:?}"),
+                    Some('}') => break,
+                    Some(d) => spec.push(d),
+                }
+            }
+            let mut parts = spec.splitn(2, ',');
+            let m: usize = parts
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repetition {spec:?} in {pattern:?}"));
+            let n = match parts.next() {
+                None => m,
+                Some(hi) => hi
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition {spec:?} in {pattern:?}")),
+            };
+            (m, n)
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in {pattern:?}");
+        assert!(!choices.is_empty(), "empty [class] in {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_ranges_and_literals() {
+        let mut rng = TestRng::deterministic("string");
+        for _ in 0..100 {
+            let s = super::generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_with_newline() {
+        let mut rng = TestRng::deterministic("string2");
+        for _ in 0..50 {
+            let s = super::generate("[ -~\n]{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn escaped_dash_is_literal() {
+        let mut rng = TestRng::deterministic("string3");
+        for _ in 0..50 {
+            let s = super::generate("[a-c\\- ]{1,8}", &mut rng);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == '-' || c == ' '));
+        }
+    }
+
+    #[test]
+    fn bare_literals_repeat() {
+        let mut rng = TestRng::deterministic("string4");
+        let s = super::generate("ab{3}c", &mut rng);
+        assert_eq!(s, "abbbc");
+    }
+}
