@@ -31,14 +31,20 @@ fn main() {
     for (name, cfg) in configs {
         for clients in [80usize, 120, 140] {
             let m = Experiment::run(spec(cfg, clients), 42);
-            let (p50, p95, p99) = m.response_percentiles;
+            // `None` means no request finished after warm-up (crashed or
+            // starved run) — print it as such instead of fake zeros.
+            let pct = |p: Option<f64>| p.map_or("n/a".to_string(), |v| format!("{v:.3}"));
+            let (p50, p95, p99) = match m.response_percentiles {
+                Some((a, b, c)) => (Some(a), Some(b), Some(c)),
+                None => (None, None, None),
+            };
             table.row([
                 name.to_string(),
                 clients.to_string(),
                 format!("{:.3}", m.response.mean),
-                format!("{p50:.3}"),
-                format!("{p95:.3}"),
-                format!("{p99:.3}"),
+                pct(p50),
+                pct(p95),
+                pct(p99),
             ]);
         }
     }

@@ -11,19 +11,28 @@
 //!     Dry-run deployment: reserve nodes on the simulated Grid'5000
 //!     testbed, apply network emulation, print the scenario.
 //! e2clab optimize [--repeat N] [--duration SECS] [--seed S]
-//!                 [--archive DIR] [--faults SPEC] [--replay-check]
-//!                 <conf.yaml>
+//!                 [--archive DIR] [--faults SPEC] [--trace DIR]
+//!                 [--replay-check] <conf.yaml>
 //!     Run the optimization cycle of the configuration's `optimization`
 //!     section against the Pl@ntNet engine model and print the Phase III
 //!     summary. `--faults` injects deterministic trial failures for
 //!     testing the retry layer, e.g.
 //!     `--faults "fail:2@0;delay:4:500;nan:5"` (fail trial 2's first
 //!     attempt, delay trial 4 by 500 ms, make trial 5 return NaN).
+//!     `--trace DIR` records the deterministic structured event log
+//!     (worker lifecycle, scheduler rung decisions, searcher ask/tell,
+//!     DES batches, engine queue depths) to `DIR/trace.jsonl`, plus
+//!     Prometheus text snapshots: `DIR/metrics.prom` for the cycle and
+//!     `DIR/cycles/cycle_<trial>.prom` per evaluated trial.
 //!     `--replay-check` runs the same seeded cycle twice (sequentially)
-//!     and byte-diffs `evaluations.csv` and `trials/trials.jsonl` between
-//!     the two runs — a self-check that the run is actually replayable.
+//!     and byte-diffs `evaluations.csv` and `trials/trials.jsonl` — and,
+//!     with `--trace`, every trace artifact — between the two runs: a
+//!     self-check that the run is actually replayable.
 //! e2clab report <archive-dir>
 //!     Re-print the summary of a previously written archive.
+//! e2clab trace summarize <dir|trace.jsonl>
+//!     Render a recorded trace as per-phase breakdowns and per-trial
+//!     critical paths (ask -> execute -> tell, in virtual-time units).
 //! e2clab lint [--config FILE] [root]
 //!     Run the detlint determinism pass (DET001–DET005) over every `.rs`
 //!     file under `root` (default: this workspace). Exits non-zero when
@@ -45,8 +54,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  e2clab validate <conf.yaml>\n  e2clab deploy <conf.yaml>\n  \
          e2clab optimize [--repeat N] [--duration SECS] [--seed S] [--archive DIR] \
-         [--faults SPEC] [--replay-check] <conf.yaml>\n  \
+         [--faults SPEC] [--trace DIR] [--replay-check] <conf.yaml>\n  \
          e2clab report <archive-dir>\n  \
+         e2clab trace summarize <dir|trace.jsonl>\n  \
          e2clab lint [--config FILE] [root]"
     );
     ExitCode::from(2)
@@ -65,23 +75,123 @@ fn workspace_root() -> PathBuf {
     }
 }
 
+/// Workload knobs shared by every evaluation of a cycle (the engine run
+/// behind the objective).
+#[derive(Clone, Copy)]
+struct CycleSpec {
+    repeat: usize,
+    duration: u64,
+    clients: usize,
+}
+
+/// Run one full optimization cycle. With a trace directory this wires a
+/// fresh [`e2c_trace::Tracer`] through the manager, tuner, scheduler and
+/// the Pl@ntNet engine, then exports `trace.jsonl`, a cycle-level
+/// `metrics.prom` and one `cycles/cycle_<trial>.prom` snapshot per trial.
+fn run_cycle(
+    opt_conf: &e2c_conf::schema::OptimizationConf,
+    seed: u64,
+    faults: &FaultPlan,
+    archive: Option<PathBuf>,
+    trace_dir: Option<&std::path::Path>,
+    spec: CycleSpec,
+) -> Result<e2c_core::optimization::OptimizationSummary, String> {
+    let tracer = trace_dir.map(|_| e2c_trace::Tracer::new());
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(dir.join("cycles"))
+            .map_err(|e| format!("--trace {}: {e}", dir.display()))?;
+    }
+    // Cycle-level samples keyed by trial id. Collected in a map rather
+    // than a Registry because concurrent workers finish trials out of
+    // order, while a TimeSeries only accepts in-order appends — the
+    // registry is built from the sorted map after the run, which also
+    // keeps `metrics.prom` deterministic under concurrency.
+    let cycle_samples = std::sync::Mutex::new(std::collections::BTreeMap::new());
+    let trace_out = trace_dir.map(std::path::Path::to_path_buf);
+    let engine_tracer = tracer.clone();
+    let samples = &cycle_samples;
+    let objective = move |ctx: &e2c_core::optimization::EvalContext| {
+        let cfg = PoolConfig::from_point(&ctx.point);
+        let mut espec = ExperimentSpec::paper(cfg, spec.clients);
+        espec.duration = SimTime::from_secs(spec.duration);
+        espec.warmup = SimTime::from_secs((spec.duration / 10).min(60));
+        let metrics = EngineRun::run_repeated_traced(
+            espec,
+            spec.repeat,
+            1000 + ctx.trial_id,
+            engine_tracer.clone(),
+        );
+        if let Some(dir) = &trace_out {
+            // Per-trial engine snapshot: repetitions concatenated on one
+            // time axis, exported in Prometheus text form.
+            let mut merged = e2c_metrics::Registry::new();
+            for (rep, run) in metrics.runs.iter().enumerate() {
+                merged.append_shifted(&run.registry, (rep as u64 * spec.duration) as f64);
+            }
+            let mut buf = Vec::new();
+            let _ = merged.write_prometheus(&mut buf);
+            let path = dir
+                .join("cycles")
+                .join(format!("cycle_{:04}.prom", ctx.trial_id));
+            if let Err(e) = std::fs::write(&path, buf) {
+                eprintln!("trace: {}: {e}", path.display());
+            }
+            let completed = metrics.runs.iter().map(|r| r.completed).sum::<u64>();
+            samples
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(ctx.trial_id, (metrics.response.mean, completed as f64));
+        }
+        metrics.response.mean
+    };
+    let mut manager = OptimizationManager::new(opt_conf.clone())
+        .with_seed(seed)
+        .with_faults(faults.clone());
+    if let Some(dir) = archive {
+        manager = manager.with_archive(dir);
+    }
+    if let Some(tr) = &tracer {
+        manager = manager.with_trace(tr.clone());
+    }
+    let summary = manager.run(objective);
+    if let (Some(tr), Some(dir)) = (&tracer, trace_dir) {
+        tr.save(&dir.join("trace.jsonl"))
+            .map_err(|e| format!("trace: {}: {e}", dir.display()))?;
+        let mut registry = e2c_metrics::Registry::new();
+        for (trial, (mean, completed)) in cycle_samples
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            let t = trial as f64;
+            registry.record("objective_response_mean", t, mean);
+            registry.record("trial_completed_requests", t, completed);
+        }
+        let mut buf = Vec::new();
+        let _ = registry.write_prometheus(&mut buf);
+        std::fs::write(dir.join("metrics.prom"), buf)
+            .map_err(|e| format!("trace: {}: {e}", dir.display()))?;
+    }
+    Ok(summary)
+}
+
 /// Run the same seeded optimization twice (sequentially — bit-exact replay
 /// only holds without concurrent suggestion interleaving) and byte-diff
-/// the reproducibility artifacts of the two runs.
-fn run_replay_check<F>(
+/// the reproducibility artifacts of the two runs. With `--trace`, the
+/// trace artifacts (`trace.jsonl`, `metrics.prom`, `cycles/*.prom`) are
+/// diffed too.
+fn run_replay_check(
     opt_conf: e2c_conf::schema::OptimizationConf,
     seed: u64,
     faults: FaultPlan,
     archive: Option<PathBuf>,
-    objective: F,
-) -> ExitCode
-where
-    F: Fn(&e2c_core::optimization::EvalContext) -> f64 + Send + Sync,
-{
-    let dir_a = archive.clone().unwrap_or_else(|| {
-        std::env::temp_dir().join(format!("e2clab-replay-a-{}", std::process::id()))
-    });
-    let dir_b = std::env::temp_dir().join(format!("e2clab-replay-b-{}", std::process::id()));
+    trace: Option<PathBuf>,
+    spec: CycleSpec,
+) -> ExitCode {
+    let pid = std::process::id();
+    let dir_a = archive
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("e2clab-replay-a-{pid}")));
+    let dir_b = std::env::temp_dir().join(format!("e2clab-replay-b-{pid}"));
     // The trial log is append-only, so both runs need fresh directories.
     if dir_a.join("trials").join("trials.jsonl").is_file() {
         eprintln!(
@@ -91,45 +201,77 @@ where
         return ExitCode::FAILURE;
     }
     let _ = std::fs::remove_dir_all(&dir_b);
+    let trace_b = trace
+        .as_ref()
+        .map(|_| std::env::temp_dir().join(format!("e2clab-replay-trace-b-{pid}")));
+    if let Some(tb) = &trace_b {
+        let _ = std::fs::remove_dir_all(tb);
+    }
     let mut conf = opt_conf;
     conf.max_concurrent = 1;
-    for dir in [&dir_a, &dir_b] {
-        let summary = OptimizationManager::new(conf.clone())
-            .with_seed(seed)
-            .with_faults(faults.clone())
-            .with_archive(dir.clone())
-            .run(&objective);
-        if dir == &dir_a {
-            print!("{}", summary.render());
+    for (dir, tdir) in [(&dir_a, trace.as_deref()), (&dir_b, trace_b.as_deref())] {
+        match run_cycle(&conf, seed, &faults, Some(dir.clone()), tdir, spec) {
+            Ok(summary) => {
+                if dir == &dir_a {
+                    print!("{}", summary.render());
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Pairs of (label, file in run A, file in run B) to byte-compare.
+    let mut pairs: Vec<(String, PathBuf, PathBuf)> = ["evaluations.csv", "trials/trials.jsonl"]
+        .into_iter()
+        .map(|rel| (rel.to_string(), dir_a.join(rel), dir_b.join(rel)))
+        .collect();
+    if let (Some(ta), Some(tb)) = (&trace, &trace_b) {
+        let mut rels = vec!["trace.jsonl".to_string(), "metrics.prom".to_string()];
+        if let Ok(read) = std::fs::read_dir(ta.join("cycles")) {
+            let mut names: Vec<String> = read
+                .flatten()
+                .filter_map(|e| e.file_name().into_string().ok())
+                .collect();
+            names.sort();
+            rels.extend(names.into_iter().map(|n| format!("cycles/{n}")));
+        }
+        for rel in rels {
+            pairs.push((format!("trace/{rel}"), ta.join(&rel), tb.join(&rel)));
         }
     }
     let mut ok = true;
-    for rel in ["evaluations.csv", "trials/trials.jsonl"] {
-        let a = std::fs::read(dir_a.join(rel));
-        let b = std::fs::read(dir_b.join(rel));
-        match (a, b) {
+    for (label, path_a, path_b) in pairs {
+        match (std::fs::read(path_a), std::fs::read(path_b)) {
             (Ok(a), Ok(b)) if a == b => {
-                println!("replay-check: {rel} identical ({} bytes)", a.len());
+                println!("replay-check: {label} identical ({} bytes)", a.len());
             }
             (Ok(a), Ok(b)) => {
                 eprintln!(
-                    "replay-check: {rel} DIFFERS ({} vs {} bytes) — run is not replayable",
+                    "replay-check: {label} DIFFERS ({} vs {} bytes) — run is not replayable",
                     a.len(),
                     b.len()
                 );
                 ok = false;
             }
             (a, b) => {
-                eprintln!("replay-check: {rel}: {:?} vs {:?}", a.err(), b.err());
+                eprintln!("replay-check: {label}: {:?} vs {:?}", a.err(), b.err());
                 ok = false;
             }
         }
     }
     let _ = std::fs::remove_dir_all(&dir_b);
+    if let Some(tb) = &trace_b {
+        let _ = std::fs::remove_dir_all(tb);
+    }
     if archive.is_none() {
         let _ = std::fs::remove_dir_all(&dir_a);
     } else {
         println!("archive written to {}", dir_a.display());
+    }
+    if let Some(dir) = &trace {
+        println!("trace written to {}", dir.display());
     }
     if ok {
         println!("replay-check: PASS — seeded run replays byte-identically");
@@ -202,11 +344,12 @@ fn main() -> ExitCode {
         }
         "optimize" => {
             // Flag parsing: --repeat N --duration SECS --seed S
-            // --archive DIR --faults SPEC.
+            // --archive DIR --faults SPEC --trace DIR.
             let mut repeat = 1usize;
             let mut duration = 1380u64;
             let mut seed = 0u64;
             let mut archive: Option<PathBuf> = None;
+            let mut trace: Option<PathBuf> = None;
             let mut faults = FaultPlan::new();
             let mut replay_check = false;
             let mut conf_path: Option<String> = None;
@@ -234,6 +377,10 @@ fn main() -> ExitCode {
                     },
                     "--archive" => match grab("--archive") {
                         Some(v) => archive = Some(PathBuf::from(v)),
+                        None => return usage(),
+                    },
+                    "--trace" => match grab("--trace") {
+                        Some(v) => trace = Some(PathBuf::from(v)),
                         None => return usage(),
                     },
                     "--faults" => match grab("--faults") {
@@ -278,30 +425,62 @@ fn main() -> ExitCode {
                 .map(|s| s.quantity * 20)
                 .sum::<usize>()
                 .max(80);
-            let objective = move |ctx: &e2c_core::optimization::EvalContext| {
-                let cfg = PoolConfig::from_point(&ctx.point);
-                let mut spec = ExperimentSpec::paper(cfg, clients);
-                spec.duration = SimTime::from_secs(duration);
-                spec.warmup = SimTime::from_secs((duration / 10).min(60));
-                EngineRun::run_repeated(spec, repeat, 1000 + ctx.trial_id)
-                    .response
-                    .mean
+            let spec = CycleSpec {
+                repeat,
+                duration,
+                clients,
             };
             if replay_check {
-                return run_replay_check(opt_conf, seed, faults, archive, objective);
+                return run_replay_check(opt_conf, seed, faults, archive, trace, spec);
             }
-            let mut manager = OptimizationManager::new(opt_conf)
-                .with_seed(seed)
-                .with_faults(faults);
-            if let Some(dir) = archive.clone() {
-                manager = manager.with_archive(dir);
+            match run_cycle(
+                &opt_conf,
+                seed,
+                &faults,
+                archive.clone(),
+                trace.as_deref(),
+                spec,
+            ) {
+                Ok(summary) => {
+                    print!("{}", summary.render());
+                    if let Some(dir) = archive {
+                        println!("archive written to {}", dir.display());
+                    }
+                    if let Some(dir) = trace {
+                        println!("trace written to {}", dir.display());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
             }
-            let summary = manager.run(objective);
-            print!("{}", summary.render());
-            if let Some(dir) = archive {
-                println!("archive written to {}", dir.display());
+        }
+        "trace" => {
+            // `trace summarize <dir|trace.jsonl>`: render a recorded trace.
+            let (Some(sub), Some(target)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            if sub != "summarize" {
+                return usage();
             }
-            ExitCode::SUCCESS
+            let path = PathBuf::from(target);
+            let file = if path.is_dir() {
+                path.join("trace.jsonl")
+            } else {
+                path
+            };
+            match e2c_trace::load_jsonl(&file) {
+                Ok(events) => {
+                    print!("{}", e2c_trace::TraceSummary::from_events(&events).render());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         "lint" => {
             let mut config = detlint::Config::default();

@@ -144,6 +144,7 @@ pub struct OptimizationManager {
     archive_root: Option<PathBuf>,
     scheduler: Arc<dyn Scheduler>,
     faults: FaultPlan,
+    tracer: Option<e2c_trace::Tracer>,
 }
 
 impl OptimizationManager {
@@ -156,6 +157,7 @@ impl OptimizationManager {
             archive_root: None,
             scheduler: Arc::new(Fifo),
             faults: FaultPlan::new(),
+            tracer: None,
         }
     }
 
@@ -183,6 +185,16 @@ impl OptimizationManager {
     /// failure sequence.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a tracer: the tuner records the worker lifecycle, every
+    /// scheduler decision is logged through a
+    /// [`e2c_tune::TracingScheduler`] wrapper, and the cycle emits an
+    /// objective-value distribution event (raw values — non-finite
+    /// observations from crashed evaluations are counted, not fatal).
+    pub fn with_trace(mut self, tracer: e2c_trace::Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -263,8 +275,38 @@ impl OptimizationManager {
                 tuner = tuner.time_budget(Duration::from_millis(ms));
             }
         }
+        let scheduler: Arc<dyn Scheduler> = match &self.tracer {
+            Some(tr) => {
+                tuner = tuner.trace(tr.clone());
+                Arc::new(e2c_tune::TracingScheduler::new(
+                    self.scheduler.clone(),
+                    tr.clone(),
+                ))
+            }
+            None => self.scheduler.clone(),
+        };
+        if let Some(tr) = &self.tracer {
+            tr.point(
+                "cycle",
+                "start",
+                None,
+                e2c_trace::fields([
+                    ("name", self.conf.name.as_str().into()),
+                    ("num_samples", self.conf.num_samples.into()),
+                    ("max_concurrent", self.conf.max_concurrent.into()),
+                    ("seed", self.seed.into()),
+                ]),
+            );
+        }
+        // Distribution of raw objective values over the cycle.  Crashed
+        // evaluations report NaN — the histogram counts them in its
+        // `nonfinite` bucket instead of aborting (the bug this layer
+        // exists to observe).
+        let observed = std::sync::Mutex::new(e2c_metrics::Histogram::new(0.0, 1e4, 1000));
+        let record_observation = self.tracer.is_some();
+        let observed_ref = &observed;
         let archive_root = self.archive_root.clone();
-        let analysis = tuner.run(searcher, self.scheduler.clone(), move |point, tctx| {
+        let analysis = tuner.run(searcher, scheduler, move |point, tctx| {
             // prepare(): a dedicated directory per model evaluation.
             let eval_dir = archive_root.as_ref().map(|root| {
                 let dir = root.join("evals").join(format!("trial_{}", tctx.trial_id));
@@ -279,12 +321,32 @@ impl OptimizationManager {
             };
             // launch(): deploy + execute the user workload.
             let value = objective(&ctx);
+            if record_observation {
+                observed_ref.lock().unwrap().record(value);
+            }
             // finalize(): record this evaluation's computations.
             if let Some(dir) = eval_dir {
                 let _ = archive::write_evaluation(&dir, tctx.trial_id, point, value);
             }
             value
         });
+        if let Some(tr) = &self.tracer {
+            let h = observed.into_inner().expect("observation lock poisoned");
+            let pct = |q| h.quantile(q).unwrap_or(f64::NAN);
+            tr.point(
+                "cycle",
+                "objective_distribution",
+                None,
+                e2c_trace::fields([
+                    ("count", h.count().into()),
+                    ("nonfinite", h.nonfinite().into()),
+                    ("mean", h.mean().into()),
+                    ("p50", pct(0.50).into()),
+                    ("p95", pct(0.95).into()),
+                    ("p99", pct(0.99).into()),
+                ]),
+            );
+        }
         let best = analysis.best_trial().map(|t| (t.config.clone(), t.value()));
         let summary = OptimizationSummary {
             conf: self.conf.clone(),
@@ -597,6 +659,57 @@ optimization:
         });
         assert_eq!(seen_retry.load(Ordering::SeqCst), 1);
         assert!(summary.analysis.trials()[1].value().is_some());
+    }
+
+    #[test]
+    fn traced_cycle_survives_nan_observations() {
+        // Regression: a Crash-style evaluation returns NaN; the traced
+        // cycle's observed-value histogram must bucket it (pre-fix,
+        // `Histogram::record` asserted `is_finite` and aborted the run).
+        let tracer = e2c_trace::Tracer::new();
+        let mut conf = ft_conf("random", 5, 0);
+        conf.max_concurrent = 1;
+        let mgr = OptimizationManager::new(conf)
+            .with_seed(11)
+            .with_trace(tracer.clone());
+        let summary = mgr.run(|ctx: &EvalContext| {
+            if ctx.trial_id == 2 {
+                f64::NAN // a crashed engine's poisoned response mean
+            } else {
+                objective_value(&ctx.point)
+            }
+        });
+        assert_eq!(summary.analysis.trials().len(), 5);
+        assert!(summary.best_value.is_some());
+        let dist = tracer
+            .snapshot()
+            .into_iter()
+            .find(|e| e.phase == "cycle" && e.name == "objective_distribution")
+            .expect("cycle distribution event");
+        assert_eq!(dist.fields["nonfinite"].as_u64(), Some(1));
+        assert_eq!(dist.fields["count"].as_u64(), Some(4));
+        assert!(dist.fields["mean"].as_f64().unwrap().is_finite());
+    }
+
+    #[test]
+    fn traced_cycle_replays_byte_identically() {
+        let run = || {
+            let tracer = e2c_trace::Tracer::new();
+            let mut conf = opt_conf("extra_trees", 8);
+            conf.max_concurrent = 1;
+            OptimizationManager::new(conf)
+                .with_seed(9)
+                .with_trace(tracer.clone())
+                .run(objective);
+            tracer.to_jsonl()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        assert_eq!(
+            a, b,
+            "sequential traced cycles must replay byte-identically"
+        );
     }
 
     #[test]

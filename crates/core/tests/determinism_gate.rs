@@ -4,7 +4,10 @@
 //!   exits clean (every remaining hazard carries a justified allow);
 //! * `replay_check_*` — `e2clab optimize --replay-check` runs the same
 //!   seeded cycle twice and proves `evaluations.csv` and
-//!   `trials/trials.jsonl` come out byte-identical.
+//!   `trials/trials.jsonl` come out byte-identical;
+//! * `traced_runs_*` — two separate seeded `--trace` runs emit
+//!   byte-identical `trace.jsonl` / `metrics.prom` / `cycles/*.prom`, and
+//!   `e2clab trace summarize` renders them.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -112,6 +115,74 @@ fn replay_check_proves_byte_identical_artifacts() {
     // The requested archive survives the check.
     assert!(archive.join("evaluations.csv").is_file());
     assert!(archive.join("trials").join("trials.jsonl").is_file());
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// Two *independent* seeded processes — not the in-process double run of
+/// `--replay-check` — must still produce byte-identical trace artifacts,
+/// and the recorded trace must summarize.
+#[test]
+fn traced_runs_are_byte_identical_and_summarizable() {
+    let base = std::env::temp_dir().join(format!("e2clab-tracegate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let conf = base.join("conf.yaml");
+    // Byte-identical traces are only promised for sequential runs (worker
+    // interleaving reorders events otherwise), so this gate pins
+    // max_concurrent to 1 — exactly what `--replay-check` forces.
+    std::fs::write(
+        &conf,
+        TINY_CONF.replace("max_concurrent: 2", "max_concurrent: 1"),
+    )
+    .unwrap();
+
+    for run in ["a", "b"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_e2clab"))
+            .args(["optimize", "--seed", "11", "--duration", "30", "--trace"])
+            .arg(base.join(run))
+            .arg(&conf)
+            .output()
+            .expect("run e2clab optimize --trace");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let rel_of = |d: &Path| {
+        let mut rels = vec![PathBuf::from("trace.jsonl"), PathBuf::from("metrics.prom")];
+        let mut cycles: Vec<_> = std::fs::read_dir(d.join("cycles"))
+            .unwrap()
+            .flatten()
+            .map(|e| PathBuf::from("cycles").join(e.file_name()))
+            .collect();
+        cycles.sort();
+        rels.extend(cycles);
+        rels
+    };
+    let rels = rel_of(&base.join("a"));
+    assert!(rels.len() > 2, "expected per-trial cycle exports: {rels:?}");
+    for rel in &rels {
+        let a = std::fs::read(base.join("a").join(rel)).unwrap();
+        let b = std::fs::read(base.join("b").join(rel)).unwrap();
+        assert_eq!(a, b, "{} differs between seeded runs", rel.display());
+        assert!(!a.is_empty(), "{} is empty", rel.display());
+    }
+
+    let out = Command::new(env!("CARGO_BIN_EXE_e2clab"))
+        .args(["trace", "summarize"])
+        .arg(base.join("a"))
+        .output()
+        .expect("run e2clab trace summarize");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("per-phase breakdown"), "{stdout}");
+    assert!(stdout.contains("per-trial critical path"), "{stdout}");
+    assert!(stdout.contains("tuner"), "{stdout}");
     std::fs::remove_dir_all(&base).unwrap();
 }
 

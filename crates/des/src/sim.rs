@@ -75,6 +75,7 @@ pub struct Simulation<M: Model> {
     rng: StdRng,
     now: SimTime,
     processed: u64,
+    trace: Option<(e2c_trace::Tracer, String)>,
 }
 
 impl<M: Model> Simulation<M> {
@@ -86,7 +87,15 @@ impl<M: Model> Simulation<M> {
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
             processed: 0,
+            trace: None,
         }
+    }
+
+    /// Attach a tracer: each `run_until` segment emits one `des/run` event
+    /// carrying `label`, the segment's event count and the queue residue,
+    /// stamped with the sim clock (microseconds) as its virtual time.
+    pub fn set_trace(&mut self, tracer: e2c_trace::Tracer, label: &str) {
+        self.trace = Some((tracer, label.to_string()));
     }
 
     /// Current simulation time.
@@ -153,7 +162,21 @@ impl<M: Model> Simulation<M> {
                 break;
             }
         }
-        self.processed - before
+        let done = self.processed - before;
+        if let Some((tracer, label)) = &self.trace {
+            tracer.point_at(
+                self.now.as_micros(),
+                "des",
+                "run",
+                None,
+                e2c_trace::fields([
+                    ("label", label.as_str().into()),
+                    ("events", done.into()),
+                    ("queued", self.queue.len().into()),
+                ]),
+            );
+        }
+        done
     }
 }
 

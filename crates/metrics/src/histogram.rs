@@ -13,6 +13,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nonfinite: u64,
     count: u64,
     sum: f64,
 }
@@ -28,6 +29,7 @@ impl Histogram {
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            nonfinite: 0,
             count: 0,
             sum: 0.0,
         }
@@ -37,9 +39,15 @@ impl Histogram {
         (self.hi - self.lo) / self.bins.len() as f64
     }
 
-    /// Record one observation.
+    /// Record one observation.  Non-finite values (NaN, ±inf — e.g. the
+    /// poisoned metrics a Crash `ServiceFault` produces) are tallied in a
+    /// separate `nonfinite` bucket and excluded from `count`, `sum` and
+    /// quantiles rather than aborting the run.
     pub fn record(&mut self, x: f64) {
-        assert!(x.is_finite(), "non-finite observation");
+        if !x.is_finite() {
+            self.nonfinite += 1;
+            return;
+        }
         self.count += 1;
         self.sum += x;
         if x < self.lo {
@@ -52,9 +60,14 @@ impl Histogram {
         }
     }
 
-    /// Total observations.
+    /// Total finite observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Non-finite observations (NaN/±inf), kept out of every statistic.
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
     }
 
     /// Mean of all observations (exact, kept outside the bins).
@@ -80,7 +93,10 @@ impl Histogram {
         }
         let target = q * self.count as f64;
         let mut seen = self.underflow as f64;
-        if target <= seen {
+        // Clamp to `lo` only when underflow observations actually exist;
+        // with underflow == 0, `0.0 <= 0.0` used to misreport the minimum
+        // of mid-range data as the range floor.
+        if self.underflow > 0 && target <= seen {
             return Some(self.lo);
         }
         for (i, &n) in self.bins.iter().enumerate() {
@@ -105,6 +121,7 @@ impl Histogram {
         }
         self.underflow += other.underflow;
         self.overflow += other.overflow;
+        self.nonfinite += other.nonfinite;
         self.count += other.count;
         self.sum += other.sum;
     }
@@ -175,8 +192,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-finite")]
-    fn rejects_nan() {
-        Histogram::new(0.0, 1.0, 2).record(f64::NAN);
+    fn nonfinite_observations_are_bucketed_not_fatal() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(0.5);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.nonfinite(), 3);
+        // Statistics see only the finite observation.
+        assert_eq!(h.mean(), 0.5);
+        assert!(h.quantile(0.5).unwrap().is_finite());
+        assert_eq!(h.outliers(), (0, 0));
+    }
+
+    #[test]
+    fn merge_propagates_nonfinite() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        a.record(f64::NAN);
+        b.record(f64::NAN);
+        b.record(0.25);
+        a.merge(&b);
+        assert_eq!(a.nonfinite(), 2);
+        assert_eq!(a.count(), 1);
+        assert!(a.mean().is_finite());
+    }
+
+    #[test]
+    fn quantile_zero_without_underflow_reports_data_minimum() {
+        // Data clustered mid-range: q=0 must not collapse to the range
+        // floor when there are no underflow observations.
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for x in [40.5, 41.5, 42.5] {
+            h.record(x);
+        }
+        let q0 = h.quantile(0.0).unwrap();
+        assert!((40.0..41.0).contains(&q0), "q0 = {q0}");
+        let q1 = h.quantile(1.0).unwrap();
+        assert!((42.0..=43.0).contains(&q1), "q1 = {q1}");
+    }
+
+    #[test]
+    fn quantile_edges_with_outliers_still_clamp() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-2.0); // underflow
+        h.record(0.5);
+        h.record(3.0); // overflow
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(h.quantile(1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn quantile_edges_ignore_nonfinite_bucket() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(f64::NAN);
+        assert_eq!(h.quantile(0.5), None, "only-NaN histogram has no data");
+        h.record(0.5);
+        assert!(h.quantile(0.0).unwrap().is_finite());
+        assert!(h.quantile(1.0).unwrap().is_finite());
     }
 }

@@ -88,6 +88,47 @@ impl Registry {
         }
         Ok(())
     }
+
+    /// Write a snapshot of every series in the Prometheus text exposition
+    /// format (one gauge per series, summary stats as `stat` labels plus a
+    /// `_samples` count).  Output is deterministic: series iterate in
+    /// `BTreeMap` order and values use Rust's shortest-roundtrip `{}`
+    /// formatting, so equal registries produce byte-identical `.prom`
+    /// files — which lets `--replay-check` diff them.
+    pub fn write_prometheus<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for (name, series) in &self.series {
+            let metric = prom_sanitize(name);
+            let s = series.summary();
+            let last = series.values().last().copied().unwrap_or(f64::NAN);
+            writeln!(w, "# HELP {metric} snapshot of series `{name}`")?;
+            writeln!(w, "# TYPE {metric} gauge")?;
+            for (stat, v) in [
+                ("last", last),
+                ("mean", s.mean),
+                ("std", s.std),
+                ("min", s.min),
+                ("max", s.max),
+            ] {
+                writeln!(w, "{metric}{{stat=\"{stat}\"}} {v}")?;
+            }
+            writeln!(w, "{metric}_samples {}", s.n)?;
+        }
+        Ok(())
+    }
+}
+
+/// Restrict a metric name to the Prometheus charset `[a-zA-Z0-9_:]`,
+/// prefixing a leading digit with `_`.
+fn prom_sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
 }
 
 #[cfg(test)]
@@ -133,6 +174,28 @@ mod tests {
         let mut buf = Vec::new();
         r.write_series_csv("resp", &mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "time,resp\n10,2.5\n");
+    }
+
+    #[test]
+    fn prometheus_snapshot_is_deterministic_and_labelled() {
+        let mut r = Registry::new();
+        r.record("user_resp.time", 10.0, 2.0);
+        r.record("user_resp.time", 20.0, 4.0);
+        r.record("cpu", 10.0, 0.5);
+        let render = |r: &Registry| {
+            let mut buf = Vec::new();
+            r.write_prometheus(&mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let text = render(&r);
+        // Sanitized name, gauge type, stat labels, sample count.
+        assert!(text.contains("# TYPE user_resp_time gauge"), "{text}");
+        assert!(text.contains("user_resp_time{stat=\"last\"} 4"), "{text}");
+        assert!(text.contains("user_resp_time{stat=\"mean\"} 3"), "{text}");
+        assert!(text.contains("user_resp_time_samples 2"), "{text}");
+        // cpu sorts before user_resp_time (BTreeMap order).
+        assert!(text.find("cpu").unwrap() < text.find("user_resp_time").unwrap());
+        assert_eq!(text, render(&r.clone()));
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub mod names {
     pub const HTTP_BUSY: &str = "http_pool_busy";
     /// Busy fraction of the download pool per window.
     pub const DOWNLOAD_BUSY: &str = "download_pool_busy";
+    /// Requests waiting on the HTTP admission pool at the window boundary.
+    pub const HTTP_QUEUE: &str = "http_queue_depth";
+    /// Requests waiting on the download pool at the window boundary.
+    pub const DOWNLOAD_QUEUE: &str = "download_queue_depth";
+    /// Requests waiting on the extract pool at the window boundary.
+    pub const EXTRACT_QUEUE: &str = "extract_queue_depth";
+    /// Requests waiting on the simsearch pool at the window boundary.
+    pub const SIMSEARCH_QUEUE: &str = "simsearch_queue_depth";
 }
 
 /// Everything measured in one engine run.
@@ -44,9 +52,11 @@ pub struct EngineMetrics {
     /// the paper's headline metric.
     pub response: Summary,
     /// Tail of the *per-request* response distribution after warm-up:
-    /// (p50, p95, p99) in seconds. The paper's 4-second bound is a user
-    /// tolerance, so tails matter as much as means.
-    pub response_percentiles: (f64, f64, f64),
+    /// (p50, p95, p99) in seconds, or `None` when no request finished
+    /// after warm-up (crashed or starved run) — "no data" must stay
+    /// distinguishable from a zero-latency engine. The paper's 4-second
+    /// bound is a user tolerance, so tails matter as much as means.
+    pub response_percentiles: Option<(f64, f64, f64)>,
     /// Mean duration of each pipeline task (seconds), keyed by the task
     /// label of [`crate::pipeline::Task::label`].
     pub task_times: BTreeMap<String, Summary>,
@@ -144,7 +154,7 @@ mod tests {
             config: PoolConfig::baseline(),
             clients: 80,
             response: registry.summary(names::RESPONSE),
-            response_percentiles: (2.0, 2.5, 3.0),
+            response_percentiles: Some((2.0, 2.5, 3.0)),
             registry,
             task_times: BTreeMap::new(),
             completed: 100,

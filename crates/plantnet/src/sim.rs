@@ -178,6 +178,9 @@ pub struct Experiment {
     /// Set once a [`ServiceFaultKind::Crash`] triggers; every later
     /// event is dropped and `finish` reports a NaN response mean.
     crashed: bool,
+    /// Optional trace sink: per-window `sim/queues` events (pool queue
+    /// depths) and the `sim/crash` marker, stamped with sim microseconds.
+    tracer: Option<e2c_trace::Tracer>,
     // Previous-window integrals for windowed utilizations.
     prev_cpu_demand: f64,
     prev_busy: [f64; 4],
@@ -222,6 +225,7 @@ impl Experiment {
             completed: 0,
             completed_after_warmup: 0,
             crashed: false,
+            tracer: None,
             prev_cpu_demand: 0.0,
             prev_busy: [0.0; 4],
             spec,
@@ -230,7 +234,23 @@ impl Experiment {
 
     /// Run the experiment once with a seed; returns the collected metrics.
     pub fn run(spec: ExperimentSpec, seed: u64) -> EngineMetrics {
-        let mut sim = Simulation::new(Experiment::new(spec), seed);
+        Experiment::run_traced(spec, seed, None)
+    }
+
+    /// [`Experiment::run`] with an optional trace sink: the DES kernel
+    /// emits per-segment `des/run` events and the model per-window
+    /// `sim/queues` depths, all stamped with sim time (deterministic).
+    pub fn run_traced(
+        spec: ExperimentSpec,
+        seed: u64,
+        tracer: Option<e2c_trace::Tracer>,
+    ) -> EngineMetrics {
+        let mut model = Experiment::new(spec);
+        model.tracer = tracer.clone();
+        let mut sim = Simulation::new(model, seed);
+        if let Some(tr) = tracer {
+            sim.set_trace(tr, "plantnet");
+        }
         // Clients ramp in over the first two seconds.
         let ramp = SimTime::from_secs(2);
         let n = spec.clients as u64;
@@ -246,12 +266,24 @@ impl Experiment {
     /// Run `reps` repetitions with derived seeds and pool the windows —
     /// the paper's "repeat each configuration 7 times" protocol.
     pub fn run_repeated(spec: ExperimentSpec, reps: usize, base_seed: u64) -> RepeatedMetrics {
+        Experiment::run_repeated_traced(spec, reps, base_seed, None)
+    }
+
+    /// [`Experiment::run_repeated`] with an optional trace sink shared by
+    /// every repetition.
+    pub fn run_repeated_traced(
+        spec: ExperimentSpec,
+        reps: usize,
+        base_seed: u64,
+        tracer: Option<e2c_trace::Tracer>,
+    ) -> RepeatedMetrics {
         assert!(reps > 0, "need at least one repetition");
         let runs: Vec<EngineMetrics> = (0..reps)
             .map(|r| {
-                Experiment::run(
+                Experiment::run_traced(
                     spec,
                     base_seed.wrapping_mul(0x9E37_79B9).wrapping_add(r as u64),
+                    tracer.clone(),
                 )
             })
             .collect();
@@ -510,6 +542,33 @@ impl Experiment {
             self.registry.record(metric_names[i], t, frac.min(1.0));
         }
 
+        // Per-pool queue depths at the window boundary: where requests
+        // pile up is exactly what the trace layer needs to explain a
+        // configuration's response time.
+        let depths = [
+            (names::HTTP_QUEUE, self.http.queue_len()),
+            (names::DOWNLOAD_QUEUE, self.download.queue_len()),
+            (names::EXTRACT_QUEUE, self.extract.queue_len()),
+            (names::SIMSEARCH_QUEUE, self.simsearch.queue_len()),
+        ];
+        for (name, depth) in depths {
+            self.registry.record(name, t, depth as f64);
+        }
+        if let Some(tr) = &self.tracer {
+            tr.point_at(
+                now.as_micros(),
+                "sim",
+                "queues",
+                None,
+                e2c_trace::fields([
+                    ("http", depths[0].1.into()),
+                    ("download", depths[1].1.into()),
+                    ("extract", depths[2].1.into()),
+                    ("simsearch", depths[3].1.into()),
+                ]),
+            );
+        }
+
         // Constant-per-config footprints, recorded each window so the
         // series render flat (Fig. 9d/9e style).
         self.registry.record(
@@ -550,8 +609,14 @@ impl Experiment {
         } else {
             0.0
         };
-        let pct = |q| self.responses.quantile(q).unwrap_or(0.0);
-        let response_percentiles = (pct(0.50), pct(0.95), pct(0.99));
+        // `None` when no request finished after warm-up — an empty
+        // histogram used to masquerade as "all-zero latencies" here.
+        let response_percentiles = if self.responses.count() == 0 {
+            None
+        } else {
+            let pct = |q| self.responses.quantile(q).expect("non-empty histogram");
+            Some((pct(0.50), pct(0.95), pct(0.99)))
+        };
         EngineMetrics {
             config: self.spec.config,
             clients: self.spec.clients,
@@ -582,6 +647,17 @@ impl Model for Experiment {
         }) = self.spec.fault
         {
             if ctx.now() >= at {
+                if !self.crashed {
+                    if let Some(tr) = &self.tracer {
+                        tr.point_at(
+                            ctx.now().as_micros(),
+                            "sim",
+                            "crash",
+                            None,
+                            e2c_trace::Fields::new(),
+                        );
+                    }
+                }
                 self.crashed = true;
                 return;
             }
@@ -780,7 +856,7 @@ mod tests {
     #[test]
     fn percentiles_are_ordered_and_bracket_the_mean() {
         let m = Experiment::run(tiny_spec(PoolConfig::baseline(), 80), 21);
-        let (p50, p95, p99) = m.response_percentiles;
+        let (p50, p95, p99) = m.response_percentiles.expect("healthy run has data");
         assert!(p50 > 0.0);
         assert!(p50 <= p95 && p95 <= p99, "({p50}, {p95}, {p99})");
         // The mean of a right-skewed queueing distribution sits between
@@ -837,6 +913,72 @@ mod tests {
             m.completed,
             healthy.completed
         );
+    }
+
+    #[test]
+    fn queue_depths_are_sampled_every_window() {
+        let m = Experiment::run(tiny_spec(PoolConfig::baseline(), 80), 6);
+        for name in [
+            names::HTTP_QUEUE,
+            names::DOWNLOAD_QUEUE,
+            names::EXTRACT_QUEUE,
+            names::SIMSEARCH_QUEUE,
+        ] {
+            let series = m.registry.get(name).expect("queue series recorded");
+            assert!(series.len() > 3, "{name}: {} windows", series.len());
+        }
+        // 80 clients on an HTTP pool of 40: admission must queue.
+        assert!(
+            m.registry.summary(names::HTTP_QUEUE).mean > 1.0,
+            "expected admission queueing"
+        );
+    }
+
+    #[test]
+    fn early_crash_reports_no_percentiles() {
+        // Crash before warm-up ends: zero post-warmup requests, so the
+        // percentiles must read "no data", not (0.0, 0.0, 0.0).
+        let mut spec = tiny_spec(PoolConfig::baseline(), 20);
+        spec.fault = Some(ServiceFault {
+            at: SimTime::from_secs(5),
+            kind: ServiceFaultKind::Crash,
+        });
+        let m = Experiment::run(spec, 9);
+        assert_eq!(m.response_percentiles, None);
+    }
+
+    #[test]
+    fn traced_crash_run_completes_and_marks_the_crash() {
+        let tracer = e2c_trace::Tracer::new();
+        let mut spec = tiny_spec(PoolConfig::baseline(), 20);
+        spec.fault = Some(ServiceFault {
+            at: SimTime::from_secs(30),
+            kind: ServiceFaultKind::Crash,
+        });
+        let m = Experiment::run_traced(spec, 9, Some(tracer.clone()));
+        assert!(m.response.mean.is_nan());
+        let events = tracer.snapshot();
+        let crashes: Vec<_> = events
+            .iter()
+            .filter(|e| e.phase == "sim" && e.name == "crash")
+            .collect();
+        assert_eq!(crashes.len(), 1, "exactly one crash marker");
+        assert_eq!(crashes[0].vt, SimTime::from_secs(30).as_micros());
+        assert!(
+            events
+                .iter()
+                .any(|e| e.phase == "sim" && e.name == "queues"),
+            "queue-depth events recorded before the crash"
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_metrics() {
+        let spec = tiny_spec(PoolConfig::baseline(), 40);
+        let plain = Experiment::run(spec, 42);
+        let traced = Experiment::run_traced(spec, 42, Some(e2c_trace::Tracer::new()));
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(plain.response.mean, traced.response.mean);
     }
 
     #[test]

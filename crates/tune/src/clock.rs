@@ -13,6 +13,13 @@
 
 use std::time::Instant;
 
+/// Virtual time for anything *result-bearing*: the tracing layer keys its
+/// event log off this clock (one tick per event, explicit advances for
+/// simulated delays), never off [`now`], so `trace.jsonl` replays
+/// byte-identically.  Re-exported here so the module stays the single
+/// place to reason about time in the tuner.
+pub use e2c_trace::VirtualClock;
+
 /// Read the monotonic wall clock. The only `Instant::now()` the
 /// determinism lint accepts outside explicitly annotated call sites.
 pub fn now() -> Instant {

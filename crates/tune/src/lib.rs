@@ -46,7 +46,7 @@ pub use analysis::Analysis;
 pub use evolution::EvolutionSearch;
 pub use fault::{FaultAction, FaultPlan, FaultSpec, RetryPolicy};
 pub use logger::TrialLogger;
-pub use scheduler::{AsyncHyperBand, Decision, Fifo, MedianStopping, Scheduler};
+pub use scheduler::{AsyncHyperBand, Decision, Fifo, MedianStopping, Scheduler, TracingScheduler};
 pub use searcher::{ConcurrencyLimiter, GridSearch, RandomSearch, Searcher, SkOptSearch};
 pub use trial::{Attempt, Trial, TrialStatus};
 pub use tuner::{TrialContext, Tuner};

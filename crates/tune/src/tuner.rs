@@ -19,6 +19,7 @@ use crate::scheduler::{Decision, Scheduler};
 use crate::searcher::Searcher;
 use crate::trial::{Attempt, Trial, TrialStatus};
 use e2c_optim::space::Point;
+use e2c_trace::Fields;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -172,6 +173,9 @@ pub struct Tuner {
     pub faults: FaultPlan,
     /// Experiment seed; drives the retry backoff jitter.
     pub seed: u64,
+    /// Optional trace sink for the worker lifecycle (ask → execute →
+    /// retry/fault → tell), keyed by the tracer's virtual clock.
+    pub tracer: Option<e2c_trace::Tracer>,
 }
 
 impl Tuner {
@@ -189,6 +193,7 @@ impl Tuner {
             time_budget: None,
             faults: FaultPlan::new(),
             seed: 0,
+            tracer: None,
         }
     }
 
@@ -228,6 +233,12 @@ impl Tuner {
         self
     }
 
+    /// Attach a tracer recording the worker lifecycle.
+    pub fn trace(mut self, tracer: e2c_trace::Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Execute the experiment. The objective receives the configuration
     /// and a [`TrialContext`]; it returns the final metric value (user
     /// orientation). Panicking, non-finite or deadline-overrunning
@@ -257,6 +268,7 @@ impl Tuner {
         let watch: Mutex<BTreeMap<u64, WatchEntry>> = Mutex::new(BTreeMap::new());
         let objective = &objective;
         let scheduler = &*scheduler;
+        let tracer = self.tracer.as_ref();
         let (searcher, trials, worst_seen) = (&searcher, &trials, &worst_seen);
         let (next_id, exhausted, live_workers) = (&next_id, &exhausted, &live_workers);
         let (wake, watch) = (&wake, &watch);
@@ -314,12 +326,22 @@ impl Tuner {
                                 }
                             }
                         };
+                        if let Some(tr) = tracer {
+                            tr.point(
+                                "searcher",
+                                "ask",
+                                Some(id),
+                                e2c_trace::fields([("config", fmt_point(&config).into())]),
+                            );
+                        }
                         {
                             let mut t = trials.lock();
                             let mut trial = Trial::new(id, config.clone());
                             trial.status = TrialStatus::Running;
                             t.push(trial);
                         }
+                        let exec_span =
+                            tracer.map(|tr| tr.begin("tuner", "execute", Some(id), Fields::new()));
                         // Attempt loop: run, classify, retry while the
                         // policy allows, then settle the trial.
                         let mut attempts: Vec<Attempt> = Vec::new();
@@ -348,7 +370,21 @@ impl Tuner {
                                 expired: expired.clone(),
                             };
                             let started = clock::now();
-                            let outcome = match self.faults.lookup(id, attempt) {
+                            let fault = self.faults.lookup(id, attempt);
+                            if let Some(tr) = tracer {
+                                let mut f =
+                                    e2c_trace::fields([("attempt", u64::from(attempt).into())]);
+                                if let Some(action) = &fault {
+                                    let kind = match action {
+                                        FaultAction::Fail => "fail",
+                                        FaultAction::Nan => "nan",
+                                        FaultAction::Delay(_) => "delay",
+                                    };
+                                    f.insert("fault".to_string(), kind.into());
+                                }
+                                tr.point("tuner", "attempt", Some(id), f);
+                            }
+                            let outcome = match fault {
                                 Some(FaultAction::Fail) => {
                                     Err(format!("injected fault: fail (attempt {attempt})"))
                                 }
@@ -382,6 +418,17 @@ impl Tuner {
                                 error: error.clone(),
                                 secs,
                             });
+                            if let (Some(tr), Some(msg)) = (tracer, &error) {
+                                tr.point(
+                                    "tuner",
+                                    "attempt_failed",
+                                    Some(id),
+                                    e2c_trace::fields([
+                                        ("attempt", u64::from(attempt).into()),
+                                        ("error", msg.as_str().into()),
+                                    ]),
+                                );
+                            }
                             if let Some(value) = value {
                                 let normalized = match self.mode {
                                     Mode::Min => value,
@@ -404,12 +451,52 @@ impl Tuner {
                                 break (TrialStatus::Failed(reason), penalty);
                             }
                             let delay = self.retry.backoff(self.seed, id, attempt);
+                            if let Some(tr) = tracer {
+                                tr.point(
+                                    "tuner",
+                                    "retry",
+                                    Some(id),
+                                    e2c_trace::fields([(
+                                        "delay_ms",
+                                        (delay.as_millis() as u64).into(),
+                                    )]),
+                                );
+                                // Account for the backoff in virtual time
+                                // (the delay itself is seed-deterministic).
+                                tr.advance(delay.as_millis() as u64);
+                            }
                             if !delay.is_zero() {
                                 // detlint: allow(DET004) retry backoff: delay length is seed-deterministic and never feeds the metric
                                 std::thread::sleep(delay);
                             }
                         };
+                        if let Some(tr) = tracer {
+                            let outcome = match &status {
+                                TrialStatus::Terminated(_) => "terminated",
+                                TrialStatus::StoppedEarly(_) => "stopped_early",
+                                TrialStatus::Failed(_) => "failed",
+                                TrialStatus::Pending | TrialStatus::Running => "running",
+                            };
+                            tr.end(
+                                "tuner",
+                                "execute",
+                                Some(id),
+                                exec_span.expect("span opened with tracer"),
+                                e2c_trace::fields([
+                                    ("attempts", attempts.len().into()),
+                                    ("outcome", outcome.into()),
+                                ]),
+                            );
+                        }
                         searcher.lock().observe(id, feedback);
+                        if let Some(tr) = tracer {
+                            tr.point(
+                                "searcher",
+                                "tell",
+                                Some(id),
+                                e2c_trace::fields([("value", feedback.into())]),
+                            );
+                        }
                         wake.notify();
                         let mut t = trials.lock();
                         let trial = t
@@ -442,6 +529,18 @@ impl Tuner {
             1e6
         }
     }
+}
+
+/// Compact, deterministic rendering of a configuration for trace events.
+fn fmt_point(p: &Point) -> String {
+    let mut out = String::new();
+    for (i, v) in p.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}"));
+    }
+    out
 }
 
 /// Run the user objective, converting panics into error strings.
@@ -714,6 +813,32 @@ mod tests {
             .as_deref()
             .unwrap()
             .contains("non-finite"));
+    }
+
+    #[test]
+    fn tracer_records_full_worker_lifecycle() {
+        let tracer = e2c_trace::Tracer::new();
+        let tuner = Tuner::new(2, 1, Mode::Min)
+            .retry_policy(fast_retries(1))
+            .faults(FaultPlan::new().fail(0, 0))
+            .trace(tracer.clone());
+        tuner.run(
+            Box::new(GridSearch::from_points(space(), vec![vec![4.0], vec![2.0]])),
+            Arc::new(Fifo),
+            |cfg, _| cfg[0],
+        );
+        let summary = e2c_trace::TraceSummary::from_events(&tracer.snapshot());
+        let t0 = &summary.trials[&0];
+        assert_eq!(t0.attempts, 2, "fault + retry = two attempts");
+        assert_eq!(t0.retries, 1);
+        assert_eq!(t0.faults, 1);
+        assert_eq!(t0.value, Some(4.0));
+        for t in summary.trials.values() {
+            assert!(t.ask_vt.is_some() && t.tell_vt.is_some());
+            assert!(t.exec_begin_vt.is_some() && t.exec_end_vt.is_some());
+            assert!(t.ask_tell_vt().unwrap() > 0, "tell must follow ask");
+        }
+        assert!(summary.phases["tuner"].spans >= 2);
     }
 
     #[test]
