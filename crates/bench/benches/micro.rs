@@ -71,7 +71,11 @@ fn bench_des_kernel(c: &mut Criterion) {
 
 fn bench_samplers(c: &mut Criterion) {
     let space = PoolConfig::space();
-    for design in [InitialDesign::Lhs, InitialDesign::Sobol, InitialDesign::Halton] {
+    for design in [
+        InitialDesign::Lhs,
+        InitialDesign::Sobol,
+        InitialDesign::Halton,
+    ] {
         c.bench_function(&format!("sampling/{design:?}_256pts_4d"), |b| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| design.generate(&space, 256, &mut rng))
@@ -112,13 +116,11 @@ fn bench_optimizers(c: &mut Criterion) {
     c.bench_function("bayes/ask_tell_cycle_after_20obs", |b| {
         b.iter_batched(
             || {
-                let mut opt = BayesOpt::new(
-                    Space::new().real("x", 0.0, 1.0).real("y", 0.0, 1.0),
-                    4,
-                )
-                .acq_func(Acquisition::Ei)
-                .n_initial_points(5)
-                .n_candidate_points(128);
+                let mut opt =
+                    BayesOpt::new(Space::new().real("x", 0.0, 1.0).real("y", 0.0, 1.0), 4)
+                        .acq_func(Acquisition::Ei)
+                        .n_initial_points(5)
+                        .n_candidate_points(128);
                 for _ in 0..20 {
                     let p = opt.ask();
                     let v = (p[0] - 0.3).powi(2) + (p[1] - 0.6).powi(2);
@@ -148,7 +150,10 @@ fn bench_optimizers(c: &mut Criterion) {
 
 fn bench_dists(c: &mut Criterion) {
     c.bench_function("dist/lognormal_sample", |b| {
-        let d = Dist::LogNormal { mean: 0.8, cv: 0.45 };
+        let d = Dist::LogNormal {
+            mean: 0.8,
+            cv: 0.45,
+        };
         let mut rng = StdRng::seed_from_u64(11);
         b.iter(|| d.sample(&mut rng))
     });

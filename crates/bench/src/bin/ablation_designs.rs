@@ -36,7 +36,9 @@ fn min_pairwise_distance(space: &Space, pts: &[Vec<f64>]) -> f64 {
 fn main() {
     let budget = 30usize;
     let n_init = 12usize;
-    println!("Ablation — initial designs (budget {budget}, {n_init} initial points, workload 80)\n");
+    println!(
+        "Ablation — initial designs (budget {budget}, {n_init} initial points, workload 80)\n"
+    );
     let designs = [
         InitialDesign::Random,
         InitialDesign::Lhs,

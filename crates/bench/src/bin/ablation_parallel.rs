@@ -7,9 +7,9 @@
 //! efficiency; concurrency buys back wall-clock).
 
 use e2c_bench::spec;
-use e2c_core::OptimizationManager;
 use e2c_conf::parse;
 use e2c_conf::schema::ExperimentConf;
+use e2c_core::OptimizationManager;
 use e2c_metrics::Table;
 use plantnet::sim::Experiment;
 use plantnet::PoolConfig;
@@ -53,12 +53,7 @@ optimization:
 
 fn main() {
     println!("Ablation — optimization cycle concurrency (24 evaluations each)\n");
-    let mut table = Table::new([
-        "max_concurrent",
-        "wall_clock(s)",
-        "speedup",
-        "best_resp(s)",
-    ]);
+    let mut table = Table::new(["max_concurrent", "wall_clock(s)", "speedup", "best_resp(s)"]);
     let mut sequential_secs = None;
     for workers in [1usize, 2, 4, 8] {
         let manager = OptimizationManager::new(conf(workers)).with_seed(5);

@@ -17,8 +17,17 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "config", "clients", "resp(s)", "std", "X(req/s)", "cpu%", "extract_busy%",
-        "ss_busy%", "wait-extract(ms)", "simsearch(ms)", "gpu_mem(GB)",
+        "config",
+        "clients",
+        "resp(s)",
+        "std",
+        "X(req/s)",
+        "cpu%",
+        "extract_busy%",
+        "ss_busy%",
+        "wait-extract(ms)",
+        "simsearch(ms)",
+        "gpu_mem(GB)",
     ]);
     let configs = [
         ("baseline", PoolConfig::baseline()),
@@ -51,7 +60,9 @@ fn main() {
         }
     }
     print!("{table}");
-    println!("\npaper anchors: baseline@80=2.657  baseline@120=3.86  prelim@80=2.484  refined@80=2.476");
+    println!(
+        "\npaper anchors: baseline@80=2.657  baseline@120=3.86  prelim@80=2.484  refined@80=2.476"
+    );
 
     // Extract OAT quick view at the preliminary optimum.
     println!("\nextract sweep at preliminary optimum (clients=80):");

@@ -14,10 +14,7 @@ use plantnet::PoolConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let config_name = args.first().map(|s| s.as_str()).unwrap_or("preliminary");
-    let clients: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(80);
+    let clients: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(80);
     let config = match config_name {
         "baseline" => PoolConfig::baseline(),
         "preliminary" => PoolConfig::preliminary_optimum(),

@@ -50,7 +50,11 @@ fn main() {
     }
     print!("{table}");
     println!("\npaper context: Fig. 3 caps the baseline near 120 simultaneous requests (we measure 121).");
-    println!("note: the paper's '35% more simultaneous users' counts HTTP admission slots (54 vs 40);");
-    println!("end-to-end capacity at the 4 s bound grows by the response-time gain (~7%) — admission");
+    println!(
+        "note: the paper's '35% more simultaneous users' counts HTTP admission slots (54 vs 40);"
+    );
+    println!(
+        "end-to-end capacity at the 4 s bound grows by the response-time gain (~7%) — admission"
+    );
     println!("slots beyond the bottleneck's ability to serve them queue internally instead of externally.");
 }

@@ -54,7 +54,13 @@ fn main() {
         "\nbest with 1 GPU: extract={} ({:.3} s); best with 2 GPUs: extract={} ({:.3} s)",
         best[0].0, best[0].1, best[1].0, best[1].1
     );
-    println!("\nreading: the second GPU shifts the optimal extract pool and buys some response time,");
-    println!("but the 40-core CPU becomes the wall (feeding + simsearch): doubling GPU capacity does");
-    println!("not double capacity — exactly why the paper insists hardware changes need a fresh search.");
+    println!(
+        "\nreading: the second GPU shifts the optimal extract pool and buys some response time,"
+    );
+    println!(
+        "but the 40-core CPU becomes the wall (feeding + simsearch): doubling GPU capacity does"
+    );
+    println!(
+        "not double capacity — exactly why the paper insists hardware changes need a fresh search."
+    );
 }

@@ -20,14 +20,7 @@ fn main() {
         ("preliminary", PoolConfig::preliminary_optimum()),
         ("refined", PoolConfig::refined_optimum()),
     ];
-    let mut table = Table::new([
-        "config",
-        "clients",
-        "mean(s)",
-        "p50(s)",
-        "p95(s)",
-        "p99(s)",
-    ]);
+    let mut table = Table::new(["config", "clients", "mean(s)", "p50(s)", "p95(s)", "p99(s)"]);
     for (name, cfg) in configs {
         for clients in [80usize, 120, 140] {
             let m = Experiment::run(spec(cfg, clients), 42);

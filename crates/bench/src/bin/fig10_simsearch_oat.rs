@@ -74,7 +74,12 @@ fn main() {
     print!("{table}");
     let best = results
         .iter()
-        .min_by(|a, b| a.1.response.mean.partial_cmp(&b.1.response.mean).expect("finite"))
+        .min_by(|a, b| {
+            a.1.response
+                .mean
+                .partial_cmp(&b.1.response.mean)
+                .expect("finite")
+        })
         .expect("non-empty sweep");
     println!(
         "\nminimum at simsearch={} ({} vs 53)",

@@ -15,7 +15,12 @@ fn main() {
         reps,
         e2c_bench::duration_secs()
     );
-    let mut table = Table::new(["simultaneous_requests", "resp_mean(s)", "resp_std(s)", "over_4s"]);
+    let mut table = Table::new([
+        "simultaneous_requests",
+        "resp_mean(s)",
+        "resp_std(s)",
+        "over_4s",
+    ]);
     let mut knee: Option<usize> = None;
     for clients in (40..=160).step_by(10) {
         let rep = Experiment::run_repeated(spec(PoolConfig::baseline(), clients), reps, 7);
@@ -35,5 +40,7 @@ fn main() {
         Some(k) => println!("\n4 s tolerance exceeded from {k} simultaneous requests"),
         None => println!("\n4 s tolerance never exceeded in the swept range"),
     }
-    println!("paper: 3.86 ± 0.13 s at 120 simultaneous requests; cannot serve more than ~120 within 4 s");
+    println!(
+        "paper: 3.86 ± 0.13 s at 120 simultaneous requests; cannot serve more than ~120 within 4 s"
+    );
 }

@@ -60,9 +60,17 @@ fn main() {
     print!("{ta}");
     let best = results
         .iter()
-        .min_by(|a, b| a.1.response.mean.partial_cmp(&b.1.response.mean).expect("finite"))
+        .min_by(|a, b| {
+            a.1.response
+                .mean
+                .partial_cmp(&b.1.response.mean)
+                .expect("finite")
+        })
         .expect("non-empty sweep");
-    println!("minimum at extract={} | paper: minimum at 6 (-8.5% vs 7)\n", best.0);
+    println!(
+        "minimum at extract={} | paper: minimum at 6 (-8.5% vs 7)\n",
+        best.0
+    );
 
     // (b) per-task processing times.
     println!("(b) identification processing time per task (ms)");

@@ -80,7 +80,11 @@ fn main() {
     let best = Experiment::run_repeated(spec(optimum, 80), reps, 42);
 
     let mut table = Table::new(["Thread pool", "baseline", "found optimum"]);
-    table.row(["HTTP", &baseline.http.to_string(), &optimum.http.to_string()]);
+    table.row([
+        "HTTP",
+        &baseline.http.to_string(),
+        &optimum.http.to_string(),
+    ]);
     table.row([
         "Download",
         &baseline.download.to_string(),

@@ -11,9 +11,9 @@
 //! over the substrates (DES throughput, samplers, surrogates,
 //! metaheuristics).
 
+use e2c_des::SimTime;
 use plantnet::sim::ExperimentSpec;
 use plantnet::PoolConfig;
-use e2c_des::SimTime;
 
 /// Repetitions per configuration (`E2C_REPS`, default 7 — the paper's
 /// protocol).

@@ -107,9 +107,10 @@ fn strip_comment(line: &str) -> String {
             '\'' if !in_double => in_single = !in_single,
             '#' if !in_single && !in_double
                 // `#` begins a comment at line start or after whitespace.
-                && (out.is_empty() || out.ends_with(' ')) => {
-                    break;
-                }
+                && (out.is_empty() || out.ends_with(' ')) =>
+            {
+                break;
+            }
             _ => {}
         }
         escaped = false;
@@ -162,8 +163,7 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Valu
             let virtual_indent = indent + 2;
             let mut map_pairs = Vec::new();
             *pos += 1; // consume the `- key: ...` line itself
-            let first_val =
-                parse_mapping_value(lines, pos, virtual_indent, &inline, number)?;
+            let first_val = parse_mapping_value(lines, pos, virtual_indent, &inline, number)?;
             map_pairs.push((key, first_val));
             // Continue the mapping on subsequent lines at the same virtual
             // indent.
@@ -248,9 +248,7 @@ fn parse_mapping_value(
             let child_indent = next.indent;
             return parse_block(lines, pos, child_indent);
         }
-        if next.indent == indent
-            && (next.content.starts_with("- ") || next.content == "-")
-        {
+        if next.indent == indent && (next.content.starts_with("- ") || next.content == "-") {
             return parse_sequence(lines, pos, indent);
         }
     }
@@ -288,8 +286,7 @@ fn split_key(content: &str) -> Option<(String, String)> {
 
 fn unquote(s: &str) -> String {
     if s.len() >= 2
-        && ((s.starts_with('"') && s.ends_with('"'))
-            || (s.starts_with('\'') && s.ends_with('\'')))
+        && ((s.starts_with('"') && s.ends_with('"')) || (s.starts_with('\'') && s.ends_with('\'')))
     {
         let inner = &s[1..s.len() - 1];
         if s.starts_with('"') {
@@ -382,14 +379,8 @@ mod tests {
     #[test]
     fn scalars() {
         assert_eq!(parse("x: 42").unwrap().get("x"), Some(&Value::Int(42)));
-        assert_eq!(
-            parse("x: 2.5").unwrap().get("x"),
-            Some(&Value::Float(2.5))
-        );
-        assert_eq!(
-            parse("x: true").unwrap().get("x"),
-            Some(&Value::Bool(true))
-        );
+        assert_eq!(parse("x: 2.5").unwrap().get("x"), Some(&Value::Float(2.5)));
+        assert_eq!(parse("x: true").unwrap().get("x"), Some(&Value::Bool(true)));
         assert_eq!(parse("x: null").unwrap().get("x"), Some(&Value::Null));
         assert_eq!(parse("x: ~").unwrap().get("x"), Some(&Value::Null));
         assert_eq!(
@@ -408,10 +399,7 @@ mod tests {
 
     #[test]
     fn nested_mapping() {
-        let doc = parse(
-            "engine:\n  pools:\n    http: 40\n    extract: 7\n  gpu: true\n",
-        )
-        .unwrap();
+        let doc = parse("engine:\n  pools:\n    http: 40\n    extract: 7\n  gpu: true\n").unwrap();
         let pools = doc.get("engine").unwrap().get("pools").unwrap();
         assert_eq!(pools.get("http").unwrap().as_int(), Some(40));
         assert_eq!(pools.get("extract").unwrap().as_int(), Some(7));
@@ -447,10 +435,7 @@ mod tests {
 
     #[test]
     fn sequence_item_with_nested_block() {
-        let doc = parse(
-            "layers:\n- name: cloud\n  services:\n    - engine\n    - db\n",
-        )
-        .unwrap();
+        let doc = parse("layers:\n- name: cloud\n  services:\n    - engine\n    - db\n").unwrap();
         let layer = &doc.get("layers").unwrap().as_seq().unwrap()[0];
         assert_eq!(layer.get("name").unwrap().as_str(), Some("cloud"));
         let svcs = layer.get("services").unwrap().as_seq().unwrap();
@@ -471,10 +456,8 @@ mod tests {
 
     #[test]
     fn comments_stripped() {
-        let doc = parse(
-            "# experiment definition\nhttp: 40   # pool size\nurl: \"http://x#y\"\n",
-        )
-        .unwrap();
+        let doc = parse("# experiment definition\nhttp: 40   # pool size\nurl: \"http://x#y\"\n")
+            .unwrap();
         assert_eq!(doc.get("http").unwrap().as_int(), Some(40));
         assert_eq!(doc.get("url").unwrap().as_str(), Some("http://x#y"));
     }

@@ -152,9 +152,7 @@ impl Value {
                         }
                         Value::Map(_) => out.push_str(&format!("{pad}{k}: {{}}\n")),
                         Value::Seq(_) => out.push_str(&format!("{pad}{k}: []\n")),
-                        scalar => {
-                            out.push_str(&format!("{pad}{k}: {}\n", scalar.scalar_repr()))
-                        }
+                        scalar => out.push_str(&format!("{pad}{k}: {}\n", scalar.scalar_repr())),
                     }
                 }
             }
@@ -171,8 +169,9 @@ impl Value {
                             // `- key: value` with the rest indented.
                             let (k0, v0) = &pairs[0];
                             match v0 {
-                                Value::Map(m) if m.is_empty() => out
-                                    .push_str(&format!("{pad}- {k0}: {{}}\n")),
+                                Value::Map(m) if m.is_empty() => {
+                                    out.push_str(&format!("{pad}- {k0}: {{}}\n"))
+                                }
                                 Value::Seq(s) if s.is_empty() => {
                                     out.push_str(&format!("{pad}- {k0}: []\n"))
                                 }
@@ -180,17 +179,17 @@ impl Value {
                                     out.push_str(&format!("{pad}- {k0}:\n"));
                                     v0.write_block(out, indent + 2);
                                 }
-                                scalar => out.push_str(&format!(
-                                    "{pad}- {k0}: {}\n",
-                                    scalar.scalar_repr()
-                                )),
+                                scalar => out
+                                    .push_str(&format!("{pad}- {k0}: {}\n", scalar.scalar_repr())),
                             }
                             for (k, v) in &pairs[1..] {
                                 match v {
-                                    Value::Map(m) if m.is_empty() => out
-                                        .push_str(&format!("{pad}  {k}: {{}}\n")),
-                                    Value::Seq(s) if s.is_empty() => out
-                                        .push_str(&format!("{pad}  {k}: []\n")),
+                                    Value::Map(m) if m.is_empty() => {
+                                        out.push_str(&format!("{pad}  {k}: {{}}\n"))
+                                    }
+                                    Value::Seq(s) if s.is_empty() => {
+                                        out.push_str(&format!("{pad}  {k}: []\n"))
+                                    }
                                     Value::Map(_) | Value::Seq(_) => {
                                         out.push_str(&format!("{pad}  {k}:\n"));
                                         v.write_block(out, indent + 2);
@@ -206,9 +205,7 @@ impl Value {
                             out.push_str(&format!("{pad}-\n"));
                             item.write_block(out, indent + 1);
                         }
-                        scalar => {
-                            out.push_str(&format!("{pad}- {}\n", scalar.scalar_repr()))
-                        }
+                        scalar => out.push_str(&format!("{pad}- {}\n", scalar.scalar_repr())),
                     }
                 }
             }
@@ -256,11 +253,15 @@ mod tests {
         let v = sample();
         assert_eq!(v.get("name").and_then(Value::as_str), Some("plantnet"));
         assert_eq!(
-            v.get("pools").and_then(|p| p.get("http")).and_then(Value::as_int),
+            v.get("pools")
+                .and_then(|p| p.get("http"))
+                .and_then(Value::as_int),
             Some(40)
         );
         assert_eq!(
-            v.get("workloads").and_then(|w| w.idx(1)).and_then(Value::as_int),
+            v.get("workloads")
+                .and_then(|w| w.idx(1))
+                .and_then(Value::as_int),
             Some(120)
         );
         assert!(v.get("absent").is_none());

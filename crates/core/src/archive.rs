@@ -18,8 +18,9 @@ use crate::optimization::OptimizationSummary;
 use e2c_conf::schema::{OptimizationConf, VarKind};
 use e2c_conf::Value;
 use e2c_optim::space::Point;
+use std::fmt::Write as _;
 use std::fs;
-use std::io::{self, Write};
+use std::io;
 use std::path::Path;
 
 /// Serialize a problem definition to a configuration document.
@@ -97,23 +98,25 @@ pub fn problem_to_value(conf: &OptimizationConf) -> Value {
     doc
 }
 
-/// Write the full Phase III archive.
+/// Write the full Phase III archive. Every file goes through an atomic
+/// tmp+rename, so a crash mid-write can never leave a truncated archive —
+/// readers (and crash-resumed runs) see either the previous snapshot or
+/// the new one.
 pub fn write_summary(summary: &OptimizationSummary, dir: &Path) -> io::Result<()> {
     fs::create_dir_all(dir)?;
-    fs::write(
-        dir.join("problem.yaml"),
-        problem_to_value(&summary.conf).to_yaml(),
+    e2c_journal::write_atomic(
+        &dir.join("problem.yaml"),
+        problem_to_value(&summary.conf).to_yaml().as_bytes(),
     )?;
-    fs::write(dir.join("summary.txt"), summary.render())?;
+    e2c_journal::write_atomic(&dir.join("summary.txt"), summary.render().as_bytes())?;
 
     // evaluations.csv — trial id, status, attempt count, variables...,
     // value, last failure reason (empty for successes).
-    let mut csv = fs::File::create(dir.join("evaluations.csv"))?;
-    write!(csv, "trial,status,attempts")?;
+    let mut csv = String::from("trial,status,attempts");
     for v in &summary.conf.variables {
-        write!(csv, ",{}", v.name)?;
+        let _ = write!(csv, ",{}", v.name);
     }
-    writeln!(csv, ",{},failure", summary.conf.metric)?;
+    let _ = writeln!(csv, ",{},failure", summary.conf.metric);
     for t in summary.analysis.trials() {
         let status = match &t.status {
             e2c_tune::TrialStatus::Terminated(_) => "terminated",
@@ -121,17 +124,20 @@ pub fn write_summary(summary: &OptimizationSummary, dir: &Path) -> io::Result<()
             e2c_tune::TrialStatus::Failed(_) => "failed",
             _ => "incomplete",
         };
-        write!(csv, "{},{},{}", t.id, status, t.attempt_count())?;
+        let _ = write!(csv, "{},{},{}", t.id, status, t.attempt_count());
         for x in &t.config {
-            write!(csv, ",{x}")?;
+            let _ = write!(csv, ",{x}");
         }
         match t.value() {
-            Some(v) => write!(csv, ",{v}")?,
-            None => write!(csv, ",")?,
+            Some(v) => {
+                let _ = write!(csv, ",{v}");
+            }
+            None => csv.push(','),
         }
         let failure = t.status.failure().map(sanitize_csv).unwrap_or_default();
-        writeln!(csv, ",{failure}")?;
+        let _ = writeln!(csv, ",{failure}");
     }
+    e2c_journal::write_atomic(&dir.join("evaluations.csv"), csv.as_bytes())?;
 
     // best.yaml
     let best = match (&summary.best_point, summary.best_value) {
@@ -148,22 +154,21 @@ pub fn write_summary(summary: &OptimizationSummary, dir: &Path) -> io::Result<()
         }
         _ => Value::Null,
     };
-    fs::write(dir.join("best.yaml"), best.to_yaml())?;
+    e2c_journal::write_atomic(&dir.join("best.yaml"), best.to_yaml().as_bytes())?;
     Ok(())
 }
 
-/// finalize() for one evaluation: record its point and value.
+/// finalize() for one evaluation: record its point and value (atomically —
+/// a retried or crash-resumed evaluation overwrites, never tears).
 pub fn write_evaluation(dir: &Path, trial: u64, point: &Point, value: f64) -> io::Result<()> {
     fs::create_dir_all(dir)?;
-    let mut f = fs::File::create(dir.join("result.csv"))?;
-    writeln!(f, "trial,point,value")?;
     let point_str = point
         .iter()
         .map(|x| x.to_string())
         .collect::<Vec<_>>()
         .join(";");
-    writeln!(f, "{trial},{point_str},{value}")?;
-    Ok(())
+    let text = format!("trial,point,value\n{trial},{point_str},{value}\n");
+    e2c_journal::write_atomic(&dir.join("result.csv"), text.as_bytes())
 }
 
 /// Strip CSV-hostile characters from a free-text field (failure reasons
@@ -313,12 +318,13 @@ optimization:
         ));
         let _ = fs::remove_dir_all(&dir);
 
+        use e2c_tune::trial::TrialError;
         let mut flaky = Trial::new(0, vec![40.0, 7.0]);
         flaky.status = TrialStatus::Terminated(2.5);
         flaky.attempts = vec![
             Attempt {
                 index: 0,
-                error: Some("panic: broken, pipe".into()),
+                error: Some(TrialError::Panicked("panic: broken, pipe".into())),
                 secs: 0.1,
             },
             Attempt {
@@ -331,7 +337,7 @@ optimization:
         doomed.status = TrialStatus::Failed("deadline exceeded".into());
         doomed.attempts = vec![Attempt {
             index: 0,
-            error: Some("deadline exceeded".into()),
+            error: Some(TrialError::DeadlineExceeded),
             secs: 0.2,
         }];
         let analysis = Analysis::new(

@@ -12,7 +12,8 @@
 //!     testbed, apply network emulation, print the scenario.
 //! e2clab optimize [--repeat N] [--duration SECS] [--seed S]
 //!                 [--archive DIR] [--faults SPEC] [--trace DIR]
-//!                 [--replay-check] <conf.yaml>
+//!                 [--replay-check] [--journal DIR | --resume DIR]
+//!                 [--crash-at N] <conf.yaml>
 //!     Run the optimization cycle of the configuration's `optimization`
 //!     section against the Pl@ntNet engine model and print the Phase III
 //!     summary. `--faults` injects deterministic trial failures for
@@ -28,6 +29,14 @@
 //!     and byte-diffs `evaluations.csv` and `trials/trials.jsonl` — and,
 //!     with `--trace`, every trace artifact — between the two runs: a
 //!     self-check that the run is actually replayable.
+//!     `--journal DIR` makes the run crash-safe: every searcher ask/tell,
+//!     scheduler decision and attempt outcome is appended (fsync'd) to a
+//!     write-ahead log in `DIR` before taking effect; `--resume DIR`
+//!     continues a killed run from its journal (replaying the decision
+//!     sequence deterministically) and converges on byte-identical
+//!     artifacts; `--crash-at N` is the chaos knob — the process exits
+//!     (code 86) right after the Nth journal append of this process.
+//!     Journaled runs are forced sequential (`max_concurrent=1`).
 //! e2clab report <archive-dir>
 //!     Re-print the summary of a previously written archive.
 //! e2clab trace summarize <dir|trace.jsonl>
@@ -41,7 +50,7 @@
 
 use e2c_conf::schema::ExperimentConf;
 use e2c_core::experiment::Experiment;
-use e2c_core::optimization::OptimizationManager;
+use e2c_core::optimization::{JournalConfig, OptimizationManager};
 use e2c_des::SimTime;
 use e2c_testbed::grid5000;
 use e2c_tune::FaultPlan;
@@ -54,7 +63,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  e2clab validate <conf.yaml>\n  e2clab deploy <conf.yaml>\n  \
          e2clab optimize [--repeat N] [--duration SECS] [--seed S] [--archive DIR] \
-         [--faults SPEC] [--trace DIR] [--replay-check] <conf.yaml>\n  \
+         [--faults SPEC] [--trace DIR] [--replay-check] [--journal DIR | --resume DIR] \
+         [--crash-at N] <conf.yaml>\n  \
          e2clab report <archive-dir>\n  \
          e2clab trace summarize <dir|trace.jsonl>\n  \
          e2clab lint [--config FILE] [root]"
@@ -95,6 +105,7 @@ fn run_cycle(
     archive: Option<PathBuf>,
     trace_dir: Option<&std::path::Path>,
     spec: CycleSpec,
+    journal: Option<JournalConfig>,
 ) -> Result<e2c_core::optimization::OptimizationSummary, String> {
     let tracer = trace_dir.map(|_| e2c_trace::Tracer::new());
     if let Some(dir) = trace_dir {
@@ -107,6 +118,50 @@ fn run_cycle(
     // registry is built from the sorted map after the run, which also
     // keeps `metrics.prom` deterministic under concurrency.
     let cycle_samples = std::sync::Mutex::new(std::collections::BTreeMap::new());
+    // Journaled + traced runs persist the per-trial samples in a side WAL
+    // (`samples.wal`): completed trials are not re-evaluated on resume,
+    // yet `metrics.prom` must still cover them.
+    let samples_wal = match (&journal, trace_dir) {
+        (Some(jc), Some(_)) => {
+            let path = jc.dir.join("samples.wal");
+            let wal = if jc.resume && path.is_file() {
+                let (wal, records) = e2c_journal::Wal::open(&path)
+                    .map_err(|e| format!("--resume: open {}: {e}", path.display()))?;
+                let mut map = cycle_samples
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for (i, rec) in records.iter().enumerate() {
+                    let line = std::str::from_utf8(rec)
+                        .map_err(|e| format!("samples.wal record {i}: not UTF-8: {e}"))?;
+                    let mut parts = line.split('\t');
+                    let (trial, mean, completed) = (|| {
+                        Some((
+                            parts.next()?.parse::<u64>().ok()?,
+                            parts.next()?.parse::<f64>().ok()?,
+                            parts.next()?.parse::<f64>().ok()?,
+                        ))
+                    })()
+                    .ok_or_else(|| format!("samples.wal record {i}: malformed: {line:?}"))?;
+                    map.insert(trial, (mean, completed));
+                }
+                wal
+            } else {
+                e2c_journal::Wal::create(&path).map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::AlreadyExists {
+                        format!(
+                            "--journal: {} already exists — use --resume to continue it",
+                            path.display()
+                        )
+                    } else {
+                        format!("--journal: create {}: {e}", path.display())
+                    }
+                })?
+            };
+            Some(std::sync::Mutex::new(wal))
+        }
+        _ => None,
+    };
+    let samples_wal = &samples_wal;
     let trace_out = trace_dir.map(std::path::Path::to_path_buf);
     let engine_tracer = tracer.clone();
     let samples = &cycle_samples;
@@ -141,6 +196,19 @@ fn run_cycle(
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .insert(ctx.trial_id, (metrics.response.mean, completed as f64));
+            if let Some(wal) = samples_wal {
+                let line = format!(
+                    "{}\t{}\t{}",
+                    ctx.trial_id, metrics.response.mean, completed as f64
+                );
+                if let Err(e) = wal
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .append(line.as_bytes())
+                {
+                    eprintln!("samples.wal: {e}");
+                }
+            }
         }
         metrics.response.mean
     };
@@ -153,7 +221,10 @@ fn run_cycle(
     if let Some(tr) = &tracer {
         manager = manager.with_trace(tr.clone());
     }
-    let summary = manager.run(objective);
+    if let Some(jc) = journal {
+        manager = manager.with_journal(jc);
+    }
+    let summary = manager.run_checked(objective)?;
     if let (Some(tr), Some(dir)) = (&tracer, trace_dir) {
         tr.save(&dir.join("trace.jsonl"))
             .map_err(|e| format!("trace: {}: {e}", dir.display()))?;
@@ -192,14 +263,6 @@ fn run_replay_check(
         .clone()
         .unwrap_or_else(|| std::env::temp_dir().join(format!("e2clab-replay-a-{pid}")));
     let dir_b = std::env::temp_dir().join(format!("e2clab-replay-b-{pid}"));
-    // The trial log is append-only, so both runs need fresh directories.
-    if dir_a.join("trials").join("trials.jsonl").is_file() {
-        eprintln!(
-            "--replay-check: {} already holds a trial log; pass a fresh --archive directory",
-            dir_a.display()
-        );
-        return ExitCode::FAILURE;
-    }
     let _ = std::fs::remove_dir_all(&dir_b);
     let trace_b = trace
         .as_ref()
@@ -210,7 +273,7 @@ fn run_replay_check(
     let mut conf = opt_conf;
     conf.max_concurrent = 1;
     for (dir, tdir) in [(&dir_a, trace.as_deref()), (&dir_b, trace_b.as_deref())] {
-        match run_cycle(&conf, seed, &faults, Some(dir.clone()), tdir, spec) {
+        match run_cycle(&conf, seed, &faults, Some(dir.clone()), tdir, spec, None) {
             Ok(summary) => {
                 if dir == &dir_a {
                     print!("{}", summary.render());
@@ -352,6 +415,9 @@ fn main() -> ExitCode {
             let mut trace: Option<PathBuf> = None;
             let mut faults = FaultPlan::new();
             let mut replay_check = false;
+            let mut journal: Option<PathBuf> = None;
+            let mut resume: Option<PathBuf> = None;
+            let mut crash_at: Option<u64> = None;
             let mut conf_path: Option<String> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
@@ -393,6 +459,18 @@ fn main() -> ExitCode {
                         },
                         None => return usage(),
                     },
+                    "--journal" => match grab("--journal") {
+                        Some(v) => journal = Some(PathBuf::from(v)),
+                        None => return usage(),
+                    },
+                    "--resume" => match grab("--resume") {
+                        Some(v) => resume = Some(PathBuf::from(v)),
+                        None => return usage(),
+                    },
+                    "--crash-at" => match grab("--crash-at").and_then(|v| v.parse().ok()) {
+                        Some(v) => crash_at = Some(v),
+                        None => return usage(),
+                    },
                     "--replay-check" => replay_check = true,
                     other if !other.starts_with("--") => conf_path = Some(other.to_string()),
                     other => {
@@ -430,6 +508,43 @@ fn main() -> ExitCode {
                 duration,
                 clients,
             };
+            let mut opt_conf = opt_conf;
+            if journal.is_some() && resume.is_some() {
+                eprintln!("--journal and --resume are mutually exclusive");
+                return usage();
+            }
+            if crash_at.is_some() && journal.is_none() && resume.is_none() {
+                eprintln!("--crash-at needs --journal or --resume");
+                return usage();
+            }
+            if replay_check && (journal.is_some() || resume.is_some()) {
+                eprintln!("--replay-check cannot be combined with --journal/--resume");
+                return usage();
+            }
+            let journal_conf = journal
+                .map(JournalConfig::fresh)
+                .or_else(|| resume.map(JournalConfig::resume))
+                .map(|jc| {
+                    // Fold the CLI-level knobs that shape the objective into
+                    // the journal fingerprint: a resume under a different
+                    // workload must be refused, not silently diverge.
+                    let jc = jc.crash_after(crash_at).extra_fingerprint(format!(
+                        "repeat={repeat};duration={duration};clients={clients};faults={faults:?}",
+                        repeat = spec.repeat,
+                        duration = spec.duration,
+                        clients = spec.clients,
+                    ));
+                    if opt_conf.max_concurrent > 1 {
+                        // Deterministic resume (and byte-identical artifacts)
+                        // only hold for the sequential cycle.
+                        eprintln!(
+                            "journal: forcing max_concurrent=1 (was {})",
+                            opt_conf.max_concurrent
+                        );
+                        opt_conf.max_concurrent = 1;
+                    }
+                    jc
+                });
             if replay_check {
                 return run_replay_check(opt_conf, seed, faults, archive, trace, spec);
             }
@@ -440,6 +555,7 @@ fn main() -> ExitCode {
                 archive.clone(),
                 trace.as_deref(),
                 spec,
+                journal_conf,
             ) {
                 Ok(summary) => {
                     print!("{}", summary.render());

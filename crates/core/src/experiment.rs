@@ -114,7 +114,10 @@ impl Experiment {
             .deployment
             .as_ref()
             .ok_or_else(|| ExperimentError::State("run before deploy".into()))?;
-        let topology = self.topology.as_ref().expect("set together with deployment");
+        let topology = self
+            .topology
+            .as_ref()
+            .expect("set together with deployment");
         for rep in 0..repeats {
             let registry = application(rep, deployment, topology);
             self.monitoring.absorb(&registry, self.run_duration_secs);
@@ -217,9 +220,7 @@ network:
     #[test]
     fn run_before_deploy_errors() {
         let mut exp = Experiment::new(conf(), grid5000::paper_testbed());
-        let err = exp
-            .run_repeated(1, |_, _, _| Registry::new())
-            .unwrap_err();
+        let err = exp.run_repeated(1, |_, _, _| Registry::new()).unwrap_err();
         assert!(err.to_string().contains("run before deploy"));
     }
 

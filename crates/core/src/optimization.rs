@@ -24,12 +24,65 @@ use e2c_optim::sampling::InitialDesign;
 use e2c_optim::space::{Point, Space};
 use e2c_optim::surrogate::SurrogateKind;
 use e2c_tune::fault::{FaultPlan, RetryPolicy};
+use e2c_tune::journal::{ResumeState, RunEvent, RunJournal};
 use e2c_tune::searcher::{ConcurrencyLimiter, GridSearch, RandomSearch, SkOptSearch};
 use e2c_tune::tuner::{Mode, Tuner};
 use e2c_tune::{Analysis, Fifo, Scheduler, Searcher};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Crash-safety configuration for a journaled run (`--journal` /
+/// `--resume` / `--crash-at`).
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding `run.wal` (and `trace.stream.jsonl` when traced).
+    pub dir: PathBuf,
+    /// Resume an existing journal instead of starting a fresh one.
+    pub resume: bool,
+    /// Chaos knob: exit with [`e2c_tune::CRASH_EXIT_CODE`] right after
+    /// the Nth journal append of this process.
+    pub crash_after: Option<u64>,
+    /// Caller-supplied context folded into the configuration fingerprint
+    /// (the CLI adds its cycle parameters so a journal cannot be resumed
+    /// under different ones).
+    pub extra_fingerprint: String,
+}
+
+impl JournalConfig {
+    /// Fresh journal under `dir`.
+    pub fn fresh(dir: PathBuf) -> Self {
+        JournalConfig {
+            dir,
+            resume: false,
+            crash_after: None,
+            extra_fingerprint: String::new(),
+        }
+    }
+
+    /// Resume the journal under `dir`.
+    pub fn resume(dir: PathBuf) -> Self {
+        JournalConfig {
+            dir,
+            resume: true,
+            crash_after: None,
+            extra_fingerprint: String::new(),
+        }
+    }
+
+    /// Chaos knob: exit right after the Nth journal append (`None` = run
+    /// to completion).
+    pub fn crash_after(mut self, after: Option<u64>) -> Self {
+        self.crash_after = after;
+        self
+    }
+
+    /// Fold caller context (CLI workload knobs) into the fingerprint.
+    pub fn extra_fingerprint(mut self, extra: String) -> Self {
+        self.extra_fingerprint = extra;
+        self
+    }
+}
 
 /// Per-evaluation context handed to the user objective — the analogue of
 /// the paper's `run_objective(self, _config)` body. This is the single
@@ -145,6 +198,7 @@ pub struct OptimizationManager {
     scheduler: Arc<dyn Scheduler>,
     faults: FaultPlan,
     tracer: Option<e2c_trace::Tracer>,
+    journal: Option<JournalConfig>,
 }
 
 impl OptimizationManager {
@@ -158,6 +212,7 @@ impl OptimizationManager {
             scheduler: Arc::new(Fifo),
             faults: FaultPlan::new(),
             tracer: None,
+            journal: None,
         }
     }
 
@@ -195,6 +250,16 @@ impl OptimizationManager {
     /// observations from crashed evaluations are counted, not fatal).
     pub fn with_trace(mut self, tracer: e2c_trace::Tracer) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Enable the crash-safety journal: every searcher/scheduler decision
+    /// and attempt outcome is write-ahead logged under
+    /// [`JournalConfig::dir`], and `resume` continues an interrupted run
+    /// to the byte-identical artifacts of an uninterrupted one
+    /// (sequential runs, `max_concurrent = 1`).
+    pub fn with_journal(mut self, journal: JournalConfig) -> Self {
+        self.journal = Some(journal);
         self
     }
 
@@ -246,18 +311,150 @@ impl OptimizationManager {
     /// (up to `max_concurrent` at once); each completed evaluation
     /// retrains the model asynchronously and reconfigures the next
     /// deployment. Returns the Phase III summary (and writes the archive
-    /// if a root was configured).
+    /// if a root was configured). Panics on journal/archive errors; use
+    /// [`OptimizationManager::run_checked`] to handle them.
     pub fn run<F>(&self, objective: F) -> OptimizationSummary
     where
         F: Fn(&EvalContext) -> f64 + Send + Sync,
     {
+        match self.run_checked(objective) {
+            Ok(summary) => summary,
+            Err(e) => panic!("optimization run failed: {e}"),
+        }
+    }
+
+    /// Configuration fingerprint recorded in (and verified against) the
+    /// journal's meta record. Everything that shapes the decision
+    /// sequence is folded in; resuming under a different configuration is
+    /// refused before any state is touched.
+    fn fingerprint(&self, jc: &JournalConfig) -> String {
+        format!(
+            "{}seed={}\ntraced={}\narchived={}\nextra={}",
+            archive::problem_to_value(&self.conf).to_yaml(),
+            self.seed,
+            self.tracer.is_some(),
+            self.archive_root.is_some(),
+            jc.extra_fingerprint
+        )
+    }
+
+    /// Prepare the journal (fresh or resumed) and, when resuming, replay
+    /// it: the searcher and scheduler are re-driven through every
+    /// journaled decision, and the trace stream is truncated back to the
+    /// last settled trial's mark.
+    fn prepare_journal(
+        &self,
+        searcher: &mut dyn Searcher,
+        mode: Mode,
+    ) -> Result<(Option<RunJournal>, ResumeState), String> {
+        let Some(jc) = &self.journal else {
+            return Ok((None, ResumeState::empty()));
+        };
+        let fingerprint = self.fingerprint(jc);
+        let wal_path = jc.dir.join("run.wal");
+        let mut resume_state = ResumeState::empty();
+        let journal = if jc.resume {
+            let (wal, records) = e2c_journal::Wal::open(&wal_path)
+                .map_err(|e| format!("--resume: open {}: {e}", wal_path.display()))?;
+            let events: Vec<RunEvent> = records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let line = std::str::from_utf8(r)
+                        .map_err(|e| format!("journal record {i}: not UTF-8: {e}"))?;
+                    RunEvent::parse(line).map_err(|e| format!("journal record {i}: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            let journal = RunJournal::new(wal, jc.crash_after);
+            if events.is_empty() {
+                // The crash hit before the meta record landed: nothing to
+                // replay, start over on the same (now truncated) log.
+                journal.append(&RunEvent::Meta { fingerprint });
+            } else {
+                match &events[0] {
+                    RunEvent::Meta { fingerprint: f } if *f == fingerprint => {}
+                    RunEvent::Meta { .. } => {
+                        return Err("--resume: the journal was recorded with a different \
+                             configuration or seed — refusing to continue it"
+                            .to_string())
+                    }
+                    _ => {
+                        return Err(
+                            "--resume: journal does not start with a meta record".to_string()
+                        )
+                    }
+                }
+                resume_state = e2c_tune::replay(&events, searcher, &*self.scheduler, mode)?;
+            }
+            journal
+        } else {
+            if wal_path.exists() {
+                return Err(format!(
+                    "--journal: {} already holds a run journal — use --resume to continue it",
+                    wal_path.display()
+                ));
+            }
+            let wal = e2c_journal::Wal::create(&wal_path)
+                .map_err(|e| format!("--journal: create {}: {e}", wal_path.display()))?;
+            let journal = RunJournal::new(wal, jc.crash_after);
+            journal.append(&RunEvent::Meta { fingerprint });
+            journal
+        };
+        if let Some(tr) = &self.tracer {
+            let stream_path = jc.dir.join("trace.stream.jsonl");
+            if jc.resume {
+                let (events, _torn) = if stream_path.is_file() {
+                    e2c_trace::load_jsonl_tolerant(&stream_path)?
+                } else {
+                    (Vec::new(), false)
+                };
+                let (keep, vt) = match resume_state.trace_mark {
+                    Some((n, vt)) => {
+                        if (events.len() as u64) < n {
+                            return Err(format!(
+                                "--resume: trace stream {} holds {} events but the journal \
+                                 marks {n} — the stream does not belong to this journal",
+                                stream_path.display(),
+                                events.len()
+                            ));
+                        }
+                        (events[..n as usize].to_vec(), vt)
+                    }
+                    None => (Vec::new(), 0),
+                };
+                // Rewrite the stream to exactly the kept prefix: events
+                // after the last settled trial are regenerated live.
+                let mut text = String::with_capacity(keep.len() * 96);
+                for e in &keep {
+                    text.push_str(&e.to_json());
+                    text.push('\n');
+                }
+                e2c_journal::write_atomic(&stream_path, text.as_bytes())
+                    .map_err(|e| format!("--resume: rewrite {}: {e}", stream_path.display()))?;
+                tr.restore(keep, vt);
+            }
+            tr.stream_to(&stream_path)
+                .map_err(|e| format!("stream trace to {}: {e}", stream_path.display()))?;
+        }
+        Ok((Some(journal), resume_state))
+    }
+
+    /// Fallible variant of [`OptimizationManager::run`] — journaled runs
+    /// route through this so configuration mismatches and journal IO
+    /// surface as errors instead of panics.
+    pub fn run_checked<F>(&self, objective: F) -> Result<OptimizationSummary, String>
+    where
+        F: Fn(&EvalContext) -> f64 + Send + Sync,
+    {
         let space = self.space();
-        let searcher = self.build_searcher(space);
+        let mut searcher = self.build_searcher(space);
         let mode = if self.conf.minimize {
             Mode::Min
         } else {
             Mode::Max
         };
+        let (run_journal, resume_state) = self.prepare_journal(searcher.as_mut(), mode)?;
+        let already_complete = resume_state.complete;
         let mut tuner = Tuner::new(self.conf.num_samples, self.conf.max_concurrent, mode)
             .metric(&self.conf.metric)
             .name(&self.conf.name)
@@ -286,17 +483,21 @@ impl OptimizationManager {
             None => self.scheduler.clone(),
         };
         if let Some(tr) = &self.tracer {
-            tr.point(
-                "cycle",
-                "start",
-                None,
-                e2c_trace::fields([
-                    ("name", self.conf.name.as_str().into()),
-                    ("num_samples", self.conf.num_samples.into()),
-                    ("max_concurrent", self.conf.max_concurrent.into()),
-                    ("seed", self.seed.into()),
-                ]),
-            );
+            // On resume the restored trace already opens with this event;
+            // re-emitting it would shift every sequence number.
+            if tr.is_empty() {
+                tr.point(
+                    "cycle",
+                    "start",
+                    None,
+                    e2c_trace::fields([
+                        ("name", self.conf.name.as_str().into()),
+                        ("num_samples", self.conf.num_samples.into()),
+                        ("max_concurrent", self.conf.max_concurrent.into()),
+                        ("seed", self.seed.into()),
+                    ]),
+                );
+            }
         }
         // Distribution of raw objective values over the cycle.  Crashed
         // evaluations report NaN — the histogram counts them in its
@@ -304,6 +505,18 @@ impl OptimizationManager {
         // exists to observe).
         let observed = std::sync::Mutex::new(e2c_metrics::Histogram::new(0.0, 1e4, 1000));
         let record_observation = self.tracer.is_some();
+        if record_observation {
+            // Re-feed the journaled raw observations so the end-of-cycle
+            // distribution matches an uninterrupted run.
+            let mut h = observed.lock().expect("observation lock poisoned");
+            for v in &resume_state.observations {
+                h.record(*v);
+            }
+        }
+        if let Some(j) = &run_journal {
+            tuner = tuner.journal(j.clone());
+        }
+        tuner = tuner.resume(resume_state);
         let observed_ref = &observed;
         let archive_root = self.archive_root.clone();
         let analysis = tuner.run(searcher, scheduler, move |point, tctx| {
@@ -330,6 +543,11 @@ impl OptimizationManager {
             }
             value
         });
+        if let Some(j) = &run_journal {
+            if !already_complete {
+                j.append(&RunEvent::Complete);
+            }
+        }
         if let Some(tr) = &self.tracer {
             let h = observed.into_inner().expect("observation lock poisoned");
             let pct = |q| h.quantile(q).unwrap_or(f64::NAN);
@@ -358,16 +576,18 @@ impl OptimizationManager {
         if let Some(root) = &self.archive_root {
             summary
                 .write_archive(root)
-                .expect("write optimization archive");
+                .map_err(|e| format!("write optimization archive: {e}"))?;
             // Trial log (JSONL + per-trial progress): the "checkpoints and
-            // logging" half of the Phase III story.
+            // logging" half of the Phase III story.  Rewritten whole (and
+            // atomically) so a resumed run converges on the same bytes as
+            // an uninterrupted one.
             let logger = e2c_tune::TrialLogger::new(&root.join("trials"))
-                .expect("create trial log directory");
-            for trial in summary.analysis.trials() {
-                logger.log(trial).expect("append trial log");
-            }
+                .map_err(|e| format!("create trial log directory: {e}"))?;
+            logger
+                .write_all(summary.analysis.trials())
+                .map_err(|e| format!("write trial log: {e}"))?;
         }
-        summary
+        Ok(summary)
     }
 }
 
@@ -739,6 +959,173 @@ optimization:
         let index = log.load_index().unwrap();
         assert_eq!(index.len(), 8);
         assert!(index.iter().all(|(_, status, _)| status == "terminated"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tmp(label: &str, line: u32) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("e2clab-test-{label}-{}-{line}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn journaled_conf() -> OptimizationConf {
+        let mut conf = ft_conf("random", 6, 1);
+        conf.max_concurrent = 1; // byte-identity holds for the sequential cycle
+        conf
+    }
+
+    fn read(path: &std::path::Path) -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+    }
+
+    /// Baseline artifacts from an unjournaled run with the same conf/seed.
+    fn baseline_artifacts(root: &std::path::Path) -> (String, String, String) {
+        let tracer = e2c_trace::Tracer::new();
+        OptimizationManager::new(journaled_conf())
+            .with_seed(13)
+            .with_archive(root.to_path_buf())
+            .with_trace(tracer.clone())
+            .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
+            .run(objective);
+        (
+            read(&root.join("evaluations.csv")),
+            read(&root.join("trials").join("trials.jsonl")),
+            tracer.to_jsonl(),
+        )
+    }
+
+    #[test]
+    fn journaled_run_matches_baseline_and_resume_after_complete_is_a_noop() {
+        let base = tmp("journal-base", line!());
+        let dir = tmp("journal-run", line!());
+        let (want_evals, want_trials, want_trace) = baseline_artifacts(&base);
+
+        // Journaled run: artifacts must match the unjournaled baseline.
+        let tracer = e2c_trace::Tracer::new();
+        OptimizationManager::new(journaled_conf())
+            .with_seed(13)
+            .with_archive(dir.clone())
+            .with_trace(tracer.clone())
+            .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
+            .with_journal(JournalConfig::fresh(dir.join("journal")))
+            .run_checked(objective)
+            .unwrap();
+        assert_eq!(read(&dir.join("evaluations.csv")), want_evals);
+        assert_eq!(read(&dir.join("trials").join("trials.jsonl")), want_trials);
+        assert_eq!(tracer.to_jsonl(), want_trace);
+
+        // A fresh journal refuses to overwrite an existing one.
+        let err = OptimizationManager::new(journaled_conf())
+            .with_seed(13)
+            .with_journal(JournalConfig::fresh(dir.join("journal")))
+            .run_checked(objective)
+            .unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+
+        // Resuming a completed run re-executes nothing and converges on
+        // the same bytes.
+        let tracer = e2c_trace::Tracer::new();
+        OptimizationManager::new(journaled_conf())
+            .with_seed(13)
+            .with_archive(dir.clone())
+            .with_trace(tracer.clone())
+            .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
+            .with_journal(JournalConfig::resume(dir.join("journal")))
+            .run_checked(objective)
+            .unwrap();
+        assert_eq!(read(&dir.join("evaluations.csv")), want_evals);
+        assert_eq!(read(&dir.join("trials").join("trials.jsonl")), want_trials);
+        assert_eq!(tracer.to_jsonl(), want_trace);
+        assert_eq!(
+            read(&dir.join("journal").join("trace.stream.jsonl")),
+            want_trace
+        );
+
+        std::fs::remove_dir_all(&base).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_from_every_journal_prefix_reproduces_the_baseline() {
+        let base = tmp("prefix-base", line!());
+        let dir = tmp("prefix-run", line!());
+        let (want_evals, want_trials, want_trace) = baseline_artifacts(&base);
+
+        // Record a complete journaled run, then replay resume from every
+        // truncation point — as if the process had died mid-append.
+        let tracer = e2c_trace::Tracer::new();
+        OptimizationManager::new(journaled_conf())
+            .with_seed(13)
+            .with_archive(dir.clone())
+            .with_trace(tracer.clone())
+            .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
+            .with_journal(JournalConfig::fresh(dir.join("journal")))
+            .run_checked(objective)
+            .unwrap();
+        let full_wal = e2c_journal::read_records(&dir.join("journal").join("run.wal")).unwrap();
+        let full_stream = read(&dir.join("journal").join("trace.stream.jsonl"));
+        assert!(full_wal.len() > 10, "{} records", full_wal.len());
+
+        for cut in 0..full_wal.len() {
+            let rdir = tmp("prefix-resume", line!()).join(format!("cut{cut}"));
+            let jdir = rdir.join("journal");
+            let mut wal = e2c_journal::Wal::create(&jdir.join("run.wal")).unwrap();
+            for rec in &full_wal[..cut] {
+                wal.append(rec).unwrap();
+            }
+            drop(wal);
+            // The trace stream at crash time held at least the journaled
+            // mark; handing resume the full stream exercises truncation.
+            std::fs::write(jdir.join("trace.stream.jsonl"), &full_stream).unwrap();
+            let tracer = e2c_trace::Tracer::new();
+            OptimizationManager::new(journaled_conf())
+                .with_seed(13)
+                .with_archive(rdir.clone())
+                .with_trace(tracer.clone())
+                .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
+                .with_journal(JournalConfig::resume(jdir))
+                .run_checked(objective)
+                .unwrap_or_else(|e| panic!("resume at cut {cut}: {e}"));
+            assert_eq!(read(&rdir.join("evaluations.csv")), want_evals, "cut {cut}");
+            assert_eq!(
+                read(&rdir.join("trials").join("trials.jsonl")),
+                want_trials,
+                "cut {cut}"
+            );
+            assert_eq!(tracer.to_jsonl(), want_trace, "cut {cut}");
+            std::fs::remove_dir_all(rdir.parent().unwrap()).unwrap();
+        }
+
+        std::fs::remove_dir_all(&base).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_under_a_different_seed_or_conf_is_refused() {
+        let dir = tmp("journal-mismatch", line!());
+        OptimizationManager::new(journaled_conf())
+            .with_seed(13)
+            .with_journal(JournalConfig::fresh(dir.join("journal")))
+            .run_checked(objective)
+            .unwrap();
+
+        let err = OptimizationManager::new(journaled_conf())
+            .with_seed(14)
+            .with_journal(JournalConfig::resume(dir.join("journal")))
+            .run_checked(objective)
+            .unwrap_err();
+        assert!(err.contains("different configuration"), "{err}");
+
+        let mut conf = journaled_conf();
+        conf.num_samples = 9;
+        let err = OptimizationManager::new(conf)
+            .with_seed(13)
+            .with_journal(JournalConfig::resume(dir.join("journal")))
+            .run_checked(objective)
+            .unwrap_err();
+        assert!(err.contains("different configuration"), "{err}");
+
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -37,8 +37,7 @@ pub trait Service: Send + Sync {
     /// Validate the assigned nodes and produce deployment facts (software
     /// installed, endpoints, parameters) recorded in the archive. Returns
     /// the per-node description.
-    fn deploy(&self, nodes: &[NodeId], testbed: &Testbed)
-        -> Result<Vec<String>, DeployError>;
+    fn deploy(&self, nodes: &[NodeId], testbed: &Testbed) -> Result<Vec<String>, DeployError>;
 }
 
 /// The Pl@ntNet Identification Engine service: requires GPU nodes.
@@ -49,11 +48,7 @@ impl Service for PlantnetEngineService {
         "plantnet-engine"
     }
 
-    fn deploy(
-        &self,
-        nodes: &[NodeId],
-        testbed: &Testbed,
-    ) -> Result<Vec<String>, DeployError> {
+    fn deploy(&self, nodes: &[NodeId], testbed: &Testbed) -> Result<Vec<String>, DeployError> {
         if nodes.is_empty() {
             return Err(DeployError {
                 service: self.name().to_string(),
@@ -91,11 +86,7 @@ impl Service for ClientsService {
         "clients"
     }
 
-    fn deploy(
-        &self,
-        nodes: &[NodeId],
-        testbed: &Testbed,
-    ) -> Result<Vec<String>, DeployError> {
+    fn deploy(&self, nodes: &[NodeId], testbed: &Testbed) -> Result<Vec<String>, DeployError> {
         if nodes.is_empty() {
             return Err(DeployError {
                 service: self.name().to_string(),

@@ -1,0 +1,294 @@
+//! End-to-end crash/resume gate: kill `e2clab optimize --journal` at
+//! every write-ahead-log append boundary (via the `--crash-at` chaos
+//! knob), resume each kill with `--resume`, and byte-diff every
+//! reproducibility artifact — `evaluations.csv`, `trials/trials.jsonl`,
+//! `trace.jsonl`, `metrics.prom`, `cycles/*.prom` — against an
+//! uninterrupted baseline run of the same seed.  This is the paper's
+//! repeatability claim under process failure: a crashed optimization,
+//! resumed, is indistinguishable from one that never crashed.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const CONF: &str = r#"
+name: crash-gate
+optimization:
+  metric: response_time
+  mode: min
+  name: crash-gate
+  num_samples: 3
+  max_concurrent: 1
+  fault_tolerance:
+    max_retries: 1
+    backoff_ms: 1
+    max_backoff_ms: 2
+  search:
+    algo: extra_trees
+    n_initial_points: 2
+    initial_point_generator: lhs
+    acq_func: ei
+  config:
+    - name: http
+      type: randint
+      bounds: [20, 60]
+    - name: download
+      type: randint
+      bounds: [20, 60]
+    - name: simsearch
+      type: randint
+      bounds: [20, 60]
+    - name: extract
+      type: randint
+      bounds: [2, 20]
+"#;
+
+struct Fixture {
+    root: PathBuf,
+    conf: PathBuf,
+}
+
+impl Fixture {
+    fn new(label: &str) -> Fixture {
+        let root =
+            std::env::temp_dir().join(format!("e2clab-crash-gate-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let conf = root.join("conf.yaml");
+        std::fs::write(&conf, CONF).unwrap();
+        Fixture { root, conf }
+    }
+
+    /// `e2clab optimize --duration 20 --seed 3 --faults fail:1@0 ...`
+    /// plus the given extra flags; archive/trace under `root/<name>`.
+    fn optimize(&self, name: &str, extra: &[&str]) -> std::process::Output {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_e2clab"));
+        cmd.arg("optimize")
+            .args(["--duration", "20", "--seed", "3", "--faults", "fail:1@0"])
+            .args(["--archive"])
+            .arg(self.root.join(name))
+            .args(["--trace"])
+            .arg(self.root.join(format!("{name}-trace")))
+            .args(extra)
+            .arg(&self.conf);
+        cmd.output().expect("run e2clab optimize")
+    }
+
+    /// The artifacts whose bytes must survive any kill+resume.
+    fn artifacts(&self, name: &str) -> Vec<(String, Vec<u8>)> {
+        let trace = self.root.join(format!("{name}-trace"));
+        let mut rels: Vec<(String, PathBuf)> = vec![
+            (
+                "evaluations.csv".into(),
+                self.root.join(name).join("evaluations.csv"),
+            ),
+            (
+                "trials/trials.jsonl".into(),
+                self.root.join(name).join("trials").join("trials.jsonl"),
+            ),
+            ("trace.jsonl".into(), trace.join("trace.jsonl")),
+            ("metrics.prom".into(), trace.join("metrics.prom")),
+        ];
+        let mut cycles: Vec<String> = std::fs::read_dir(trace.join("cycles"))
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        cycles.sort();
+        rels.extend(
+            cycles
+                .into_iter()
+                .map(|n| (format!("cycles/{n}"), trace.join("cycles").join(n))),
+        );
+        rels.into_iter()
+            .map(|(label, path)| {
+                let bytes = std::fs::read(&path)
+                    .unwrap_or_else(|e| panic!("{name}: read {}: {e}", path.display()));
+                (label, bytes)
+            })
+            .collect()
+    }
+}
+
+fn assert_same_artifacts(want: &[(String, Vec<u8>)], got: &[(String, Vec<u8>)], ctx: &str) {
+    let labels =
+        |set: &[(String, Vec<u8>)]| -> Vec<String> { set.iter().map(|(l, _)| l.clone()).collect() };
+    assert_eq!(labels(want), labels(got), "{ctx}: artifact sets differ");
+    for ((label, a), (_, b)) in want.iter().zip(got) {
+        assert!(
+            a == b,
+            "{ctx}: {label} differs ({} vs {} bytes) — resumed run is not byte-identical",
+            a.len(),
+            b.len()
+        );
+    }
+}
+
+fn wal_records(path: &Path) -> usize {
+    e2c_journal::read_records(path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+        .len()
+}
+
+#[test]
+fn killing_a_journaled_run_at_every_append_boundary_resumes_byte_identically() {
+    let fx = Fixture::new("sweep");
+
+    // Uninterrupted, unjournaled baseline.  The conf is sequential
+    // (max_concurrent=1) — the regime the byte-identity guarantee covers
+    // (and the one --journal forces on concurrent confs).
+    let out = fx.optimize("base", &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let baseline = fx.artifacts("base");
+
+    // Full journaled run: same bytes as the plain run, plus a journal.
+    let jdir = fx.root.join("full-journal");
+    let out = fx.optimize("full", &["--journal", jdir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_same_artifacts(&baseline, &fx.artifacts("full"), "journaled vs plain");
+    let records = wal_records(&jdir.join("run.wal"));
+    assert!(records > 5, "suspiciously small journal: {records} records");
+
+    // Resuming a completed journal re-executes nothing and rewrites the
+    // same bytes.
+    let out = fx.optimize("full", &["--resume", jdir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_same_artifacts(&baseline, &fx.artifacts("full"), "resume after complete");
+
+    // The sweep: kill right after every journal append, resume, compare.
+    for cut in 1..=records {
+        let name = format!("cut{cut}");
+        let jdir = fx.root.join(format!("{name}-journal"));
+        let out = fx.optimize(
+            &name,
+            &[
+                "--journal",
+                jdir.to_str().unwrap(),
+                "--crash-at",
+                &cut.to_string(),
+            ],
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(e2c_tune::CRASH_EXIT_CODE),
+            "cut {cut}: expected the crash exit code, got {:?}\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let out = fx.optimize(&name, &["--resume", jdir.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "cut {cut}: resume failed\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_same_artifacts(&baseline, &fx.artifacts(&name), &format!("cut {cut}"));
+    }
+
+    std::fs::remove_dir_all(&fx.root).unwrap();
+}
+
+#[test]
+fn a_crash_during_resume_is_itself_resumable() {
+    let fx = Fixture::new("double");
+    let out = fx.optimize("base", &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let baseline = fx.artifacts("base");
+
+    let jdir = fx.root.join("journal");
+    let j = jdir.to_str().unwrap().to_string();
+    let out = fx.optimize("run", &["--journal", &j, "--crash-at", "4"]);
+    assert_eq!(out.status.code(), Some(86), "{:?}", out.status);
+    let out = fx.optimize("run", &["--resume", &j, "--crash-at", "3"]);
+    assert_eq!(out.status.code(), Some(86), "{:?}", out.status);
+    let out = fx.optimize("run", &["--resume", &j]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_same_artifacts(&baseline, &fx.artifacts("run"), "double crash");
+    std::fs::remove_dir_all(&fx.root).unwrap();
+}
+
+#[test]
+fn resume_refuses_a_journal_from_a_different_run_and_flags_are_validated() {
+    let fx = Fixture::new("refuse");
+    let jdir = fx.root.join("journal");
+    let j = jdir.to_str().unwrap().to_string();
+    let out = fx.optimize("run", &["--journal", &j, "--crash-at", "2"]);
+    assert_eq!(out.status.code(), Some(86), "{:?}", out.status);
+
+    // Wrong seed: refused before any state is touched.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_e2clab"));
+    cmd.arg("optimize")
+        .args(["--duration", "20", "--seed", "4", "--faults", "fail:1@0"])
+        .args(["--archive"])
+        .arg(fx.root.join("run"))
+        .args(["--trace"])
+        .arg(fx.root.join("run-trace"))
+        .args(["--resume", &j])
+        .arg(&fx.conf);
+    let out = cmd.output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("different configuration"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A fresh --journal refuses to clobber an existing one.
+    let out = fx.optimize("run", &["--journal", &j]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--resume"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Flag validation: --crash-at alone, --journal + --resume, and
+    // --replay-check + --journal are usage errors.
+    for extra in [
+        &["--crash-at", "2"][..],
+        &["--journal", "a", "--resume", "b"][..],
+        &["--replay-check", "--journal", "a"][..],
+    ] {
+        let out = fx.optimize("run", extra);
+        assert_eq!(out.status.code(), Some(2), "{extra:?}: {:?}", out.status);
+    }
+
+    // Journaled runs force the sequential cycle on concurrent confs (the
+    // byte-identity guarantee only covers max_concurrent=1).
+    std::fs::write(
+        &fx.conf,
+        CONF.replace("max_concurrent: 1", "max_concurrent: 2"),
+    )
+    .unwrap();
+    let j2 = fx.root.join("journal2");
+    let out = fx.optimize("run2", &["--journal", j2.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("forcing max_concurrent=1"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&fx.root).unwrap();
+}

@@ -200,7 +200,11 @@ impl Discipline {
                     }
                 }
             },
-            Discipline::Saturating { alpha, cap, devices } => {
+            Discipline::Saturating {
+                alpha,
+                cap,
+                devices,
+            } => {
                 if n_jobs == 0 {
                     1.0
                 } else {
@@ -422,23 +426,20 @@ impl ProcShare {
     /// when concurrency no longer buys throughput.
     pub fn utilization_now(&self) -> f64 {
         match self.discipline {
-            Discipline::ProcessorSharing { capacity } => {
-                (self.total_weight / capacity).min(1.0)
-            }
-            Discipline::Saturating { alpha, cap, devices } => {
+            Discipline::ProcessorSharing { capacity } => (self.total_weight / capacity).min(1.0),
+            Discipline::Saturating {
+                alpha,
+                cap,
+                devices,
+            } => {
                 if self.jobs.is_empty() {
                     0.0
                 } else {
                     let d = devices.max(1) as f64;
                     let n = self.jobs.len() as f64;
                     let per_device = (n / d).ceil();
-                    let throughput =
-                        (n / (1.0 + alpha * (per_device - 1.0))).min(d * cap);
-                    let ceiling = if cap.is_finite() {
-                        d * cap
-                    } else {
-                        d / alpha
-                    };
+                    let throughput = (n / (1.0 + alpha * (per_device - 1.0))).min(d * cap);
+                    let ceiling = if cap.is_finite() { d * cap } else { d / alpha };
                     (throughput / ceiling).min(1.0)
                 }
             }
@@ -602,7 +603,11 @@ mod tests {
 
     #[test]
     fn saturating_single_job_full_speed() {
-        let mut gpu = ProcShare::new(Discipline::Saturating { alpha: 0.3, cap: f64::INFINITY, devices: 1 });
+        let mut gpu = ProcShare::new(Discipline::Saturating {
+            alpha: 0.3,
+            cap: f64::INFINITY,
+            devices: 1,
+        });
         gpu.start(t(0.0), 1, 0.5, 1.0);
         let (at, _) = gpu.next_completion(t(0.0)).unwrap();
         assert_eq!(at, t(0.5));
@@ -613,7 +618,11 @@ mod tests {
         let alpha = 0.5;
         // n jobs of 1s each, started together: each runs at 1/(1+alpha(n-1)).
         for n in 2..6u64 {
-            let mut gpu = ProcShare::new(Discipline::Saturating { alpha, cap: f64::INFINITY, devices: 1 });
+            let mut gpu = ProcShare::new(Discipline::Saturating {
+                alpha,
+                cap: f64::INFINITY,
+                devices: 1,
+            });
             for id in 0..n {
                 gpu.start(t(0.0), id, 1.0, 1.0);
             }

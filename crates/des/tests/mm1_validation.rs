@@ -83,8 +83,7 @@ fn run_queue(lambda: f64, mu: f64, servers: usize, horizon_secs: u64, seed: u64)
     sim.run_until(SimTime::from_secs(horizon_secs));
     let m = sim.model();
     let mean_response = m.response_sum / m.completed as f64;
-    let throughput =
-        m.completed as f64 / (horizon_secs as f64 - horizon_secs as f64 / 10.0);
+    let throughput = m.completed as f64 / (horizon_secs as f64 - horizon_secs as f64 / 10.0);
     assert_eq!(m.servers, servers); // silence dead-code analysis honestly
     (mean_response, throughput)
 }

@@ -1,0 +1,260 @@
+//! # e2c-journal — crash-safe persistence primitives
+//!
+//! Two std-only building blocks for the crash-safe optimization story:
+//!
+//! * [`Wal`] — a write-ahead log of opaque byte records. Each record is
+//!   framed as `[u32 LE length][u32 LE CRC32][payload]`; every append is
+//!   flushed and fsync'd before it returns, so a record that the caller
+//!   saw acknowledged survives a process kill at any later instruction.
+//!   [`Wal::open`] recovers by scanning frames from the start and
+//!   truncating the file at the first torn or corrupt frame (the standard
+//!   single-appender recovery rule: a bad frame can only be the
+//!   interrupted tail, and anything after it was never acknowledged).
+//! * [`write_atomic`] — full-file snapshot writes via a tmp sibling +
+//!   `rename`, with the file and its directory fsync'd, so readers only
+//!   ever observe the old bytes or the new bytes, never a truncated mix.
+//!
+//! The framing is deliberately dumb: no compression, no sequence numbers,
+//! no format versioning beyond the frame itself. Interpretation of the
+//! payload belongs to the caller (`e2c-tune`'s run journal gives records
+//! meaning; this crate only promises they are whole).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame header size: 4-byte length + 4-byte CRC32, both little-endian.
+const HEADER: usize = 8;
+
+/// Sanity cap on a single record (64 MiB). A declared length beyond this
+/// is treated as frame corruption, not an allocation request.
+const MAX_RECORD: u32 = 64 * 1024 * 1024;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// An append-only write-ahead log of length- and checksum-framed records.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    records: u64,
+}
+
+impl Wal {
+    /// Create a fresh, empty log. Fails if `path` already exists — an
+    /// existing journal must be opened (resumed), never clobbered.
+    pub fn create(path: &Path) -> io::Result<Wal> {
+        if let Some(parent) = parent_dir(path) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+        })
+    }
+
+    /// Open an existing log, returning every intact record in append
+    /// order. The file is truncated at the first torn or corrupt frame
+    /// (an interrupted append's tail) and positioned for further appends.
+    pub fn open(path: &Path) -> io::Result<(Wal, Vec<Vec<u8>>)> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, valid_len) = scan(&bytes);
+        if valid_len as u64 != bytes.len() as u64 {
+            file.set_len(valid_len as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        let n = records.len() as u64;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                records: n,
+            },
+            records,
+        ))
+    }
+
+    /// Append one record. The frame is flushed and fsync'd before this
+    /// returns: an acknowledged append survives a crash at any later
+    /// point.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_RECORD)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "record too large"))?;
+        let mut frame = Vec::with_capacity(HEADER + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of intact records (recovered + appended).
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Scan framed records from `bytes`, stopping at the first invalid frame.
+/// Returns the intact records and the byte length of the valid prefix.
+fn scan(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= HEADER {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD {
+            break;
+        }
+        let end = pos + HEADER + len as usize;
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[pos + HEADER..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        records.push(payload.to_vec());
+        pos = end;
+    }
+    (records, pos)
+}
+
+/// Read every intact record of a log without taking write access (the
+/// file is left untouched, torn tail included). For inspection and tests.
+pub fn read_records(path: &Path) -> io::Result<Vec<Vec<u8>>> {
+    let bytes = std::fs::read(path)?;
+    Ok(scan(&bytes).0)
+}
+
+/// Write `bytes` to `path` atomically: the content goes to a tmp sibling
+/// first, is fsync'd, then renamed over the target, and the parent
+/// directory is fsync'd. A crash at any point leaves either the old file
+/// or the new one — never a truncated hybrid.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let parent = parent_dir(path);
+    if let Some(dir) = parent {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = parent {
+        // Persist the rename itself: fsync the containing directory.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// `path.parent()`, treating the empty path (bare file name) as "no
+/// parent" so `create_dir_all("")` is never attempted.
+fn parent_dir(path: &Path) -> Option<&Path> {
+    path.parent().filter(|p| !p.as_os_str().is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("e2c-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_open_round_trips() {
+        let path = tmp("roundtrip.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"alpha").unwrap();
+        wal.append(b"").unwrap();
+        wal.append(&[0u8, 255, 7]).unwrap();
+        assert_eq!(wal.record_count(), 3);
+        drop(wal);
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(wal.record_count(), 3);
+        assert_eq!(
+            records,
+            vec![b"alpha".to_vec(), Vec::new(), vec![0u8, 255, 7]]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_file() {
+        let path = tmp("existing.wal");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, b"x").unwrap();
+        assert!(Wal::create(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let path = tmp("atomic.txt");
+        let _ = std::fs::remove_file(&path);
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        assert!(!path.with_extension("txt.tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,137 @@
+//! WAL edge cases: torn tails, checksum corruption, empty journals, and
+//! appending after recovery. These are the crash shapes the resume layer
+//! relies on the log to absorb.
+
+use e2c_journal::{read_records, write_atomic, Wal};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("e2c-journal-it-{}-{name}", std::process::id()))
+}
+
+fn fresh(name: &str) -> PathBuf {
+    let path = tmp(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn empty_journal_opens_with_no_records() {
+    let path = fresh("empty.wal");
+    Wal::create(&path).unwrap();
+    let (wal, records) = Wal::open(&path).unwrap();
+    assert_eq!(wal.record_count(), 0);
+    assert!(records.is_empty());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_tail_record_is_truncated_on_open() {
+    let path = fresh("torn.wal");
+    let mut wal = Wal::create(&path).unwrap();
+    wal.append(b"one").unwrap();
+    wal.append(b"two").unwrap();
+    wal.append(b"three").unwrap();
+    drop(wal);
+    // Chop the last record mid-payload: a kill between write and fsync.
+    let full = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+    let (mut wal, records) = Wal::open(&path).unwrap();
+    assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec()]);
+    // The torn bytes are gone from disk and appends continue cleanly.
+    let on_disk = std::fs::read(&path).unwrap();
+    assert_eq!(on_disk.len(), full.len() - (8 + 5));
+    wal.append(b"three again").unwrap();
+    drop(wal);
+    let records = read_records(&path).unwrap();
+    assert_eq!(
+        records,
+        vec![b"one".to_vec(), b"two".to_vec(), b"three again".to_vec()]
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_header_is_truncated_on_open() {
+    let path = fresh("torn-header.wal");
+    let mut wal = Wal::create(&path).unwrap();
+    wal.append(b"kept").unwrap();
+    drop(wal);
+    // A kill after only 5 of the 8 header bytes hit the disk.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&[9, 0, 0, 0, 0xAA]);
+    std::fs::write(&path, &bytes).unwrap();
+    let (wal, records) = Wal::open(&path).unwrap();
+    assert_eq!(wal.record_count(), 1);
+    assert_eq!(records, vec![b"kept".to_vec()]);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checksum_mismatch_truncates_from_the_corrupt_frame() {
+    let path = fresh("crc.wal");
+    let mut wal = Wal::create(&path).unwrap();
+    wal.append(b"good").unwrap();
+    wal.append(b"flipped").unwrap();
+    wal.append(b"after").unwrap();
+    drop(wal);
+    // Flip one payload byte of the middle record; it and everything after
+    // it are unacknowledgeable and must be dropped.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let second_payload = 8 + 4 + 8; // frame 1 + header of frame 2
+    bytes[second_payload] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    let (wal, records) = Wal::open(&path).unwrap();
+    assert_eq!(wal.record_count(), 1);
+    assert_eq!(records, vec![b"good".to_vec()]);
+    assert_eq!(std::fs::read(&path).unwrap().len(), 8 + 4);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn absurd_length_field_is_treated_as_corruption() {
+    let path = fresh("length.wal");
+    let mut wal = Wal::create(&path).unwrap();
+    wal.append(b"ok").unwrap();
+    drop(wal);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(b"garbage garbage");
+    std::fs::write(&path, &bytes).unwrap();
+    let (_, records) = Wal::open(&path).unwrap();
+    assert_eq!(records, vec![b"ok".to_vec()]);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn read_records_tolerates_a_torn_tail_without_writing() {
+    let path = fresh("readonly.wal");
+    let mut wal = Wal::create(&path).unwrap();
+    wal.append(b"a").unwrap();
+    drop(wal);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let len = bytes.len();
+    bytes.extend_from_slice(&[1, 0]);
+    std::fs::write(&path, &bytes).unwrap();
+    assert_eq!(read_records(&path).unwrap(), vec![b"a".to_vec()]);
+    // Non-destructive: the torn tail is still on disk.
+    assert_eq!(std::fs::read(&path).unwrap().len(), len + 2);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn atomic_write_leaves_no_tmp_behind_and_creates_parents() {
+    let dir = tmp("atomic-dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("nested").join("out.txt");
+    write_atomic(&path, b"payload").unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+    let entries: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name())
+        .collect();
+    assert_eq!(entries.len(), 1, "{entries:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

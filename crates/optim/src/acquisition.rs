@@ -126,7 +126,11 @@ impl Hedge {
     /// Selection probabilities (softmax of gains).
     pub fn probabilities(&self) -> Vec<f64> {
         let m = self.gains.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = self.gains.iter().map(|g| ((g - m) * self.eta).exp()).collect();
+        let exps: Vec<f64> = self
+            .gains
+            .iter()
+            .map(|g| ((g - m) * self.eta).exp())
+            .collect();
         let sum: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / sum).collect()
     }
@@ -178,17 +182,13 @@ mod tests {
     #[test]
     fn ei_prefers_lower_mean_at_equal_std() {
         let best = 1.0;
-        assert!(
-            expected_improvement(0.5, 0.1, best) > expected_improvement(0.9, 0.1, best)
-        );
+        assert!(expected_improvement(0.5, 0.1, best) > expected_improvement(0.9, 0.1, best));
     }
 
     #[test]
     fn ei_prefers_higher_std_at_equal_mean() {
         let best = 1.0;
-        assert!(
-            expected_improvement(1.2, 0.5, best) > expected_improvement(1.2, 0.01, best)
-        );
+        assert!(expected_improvement(1.2, 0.5, best) > expected_improvement(1.2, 0.01, best));
     }
 
     #[test]
@@ -238,7 +238,10 @@ mod tests {
     #[test]
     fn names_parse() {
         assert_eq!(Acquisition::from_name("ei"), Some(Acquisition::Ei));
-        assert_eq!(Acquisition::from_name("gp_hedge"), Some(Acquisition::GpHedge));
+        assert_eq!(
+            Acquisition::from_name("gp_hedge"),
+            Some(Acquisition::GpHedge)
+        );
         assert!(matches!(
             Acquisition::from_name("lcb"),
             Some(Acquisition::Lcb { .. })

@@ -172,8 +172,7 @@ impl BayesOpt {
     /// pending points, in unit coordinates.
     fn fit_model(&mut self) -> Box<dyn crate::surrogate::Surrogate> {
         let liar = self.ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut x_unit: Vec<Vec<f64>> =
-            self.xs.iter().map(|p| self.space.to_unit(p)).collect();
+        let mut x_unit: Vec<Vec<f64>> = self.xs.iter().map(|p| self.space.to_unit(p)).collect();
         let mut y: Vec<f64> = self.ys.clone();
         for p in &self.pending {
             x_unit.push(self.space.to_unit(p));
@@ -246,15 +245,9 @@ impl BayesOpt {
             Acquisition::GpHedge => {
                 // Each member proposes; probability matching picks one.
                 let members = self.hedge.members().to_vec();
-                let proposals: Vec<Point> = members
-                    .iter()
-                    .map(|m| pick_best(m, &candidates))
-                    .collect();
-                self.hedge_proposals = proposals
-                    .iter()
-                    .cloned()
-                    .enumerate()
-                    .collect();
+                let proposals: Vec<Point> =
+                    members.iter().map(|m| pick_best(m, &candidates)).collect();
+                self.hedge_proposals = proposals.iter().cloned().enumerate().collect();
                 let chosen = self.hedge.choose(self.rng.gen::<f64>());
                 proposals[chosen].clone()
             }
@@ -296,8 +289,7 @@ mod tests {
         // so adjacent strata may share a boundary integer — but most
         // samples must still land on distinct values (pure random sampling
         // collides far more).
-        let distinct: std::collections::BTreeSet<i64> =
-            pts.iter().map(|p| p[0] as i64).collect();
+        let distinct: std::collections::BTreeSet<i64> = pts.iter().map(|p| p[0] as i64).collect();
         assert!(distinct.len() >= 6, "{distinct:?}");
     }
 

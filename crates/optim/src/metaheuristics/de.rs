@@ -86,8 +86,7 @@ impl Metaheuristic for DifferentialEvolution {
                 let mut trial = pop[i].clone();
                 for j in 0..dims {
                     if j == j_rand || self.rng.gen::<f64>() < self.crossover {
-                        trial[j] =
-                            reflect(pop[a][j] + self.weight * (pop[b][j] - pop[c][j]));
+                        trial[j] = reflect(pop[a][j] + self.weight * (pop[b][j] - pop[c][j]));
                     }
                 }
                 let x = space.from_unit(&trial);

@@ -106,9 +106,7 @@ impl Metaheuristic for GeneticAlgorithm {
                 };
                 for g in child.iter_mut() {
                     if self.rng.gen::<f64>() < self.mutation_rate {
-                        let step = self.mutation_sigma
-                            * 2.0
-                            * (self.rng.gen::<f64>() - 0.5);
+                        let step = self.mutation_sigma * 2.0 * (self.rng.gen::<f64>() - 0.5);
                         *g = (*g + step).clamp(0.0, 1.0);
                     }
                 }

@@ -36,8 +36,12 @@ pub trait Metaheuristic {
     /// Minimize `f` with an evaluation budget of (approximately)
     /// `max_evals` calls. Implementations are deterministic for a given
     /// seed (provided at construction).
-    fn minimize(&mut self, space: &Space, f: &mut dyn FnMut(&[f64]) -> f64, max_evals: usize)
-        -> RunResult;
+    fn minimize(
+        &mut self,
+        space: &Space,
+        f: &mut dyn FnMut(&[f64]) -> f64,
+        max_evals: usize,
+    ) -> RunResult;
 
     /// Human-readable algorithm name.
     fn name(&self) -> &'static str;
@@ -147,8 +151,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let space = space_2d();
-        for make in [|s| -> Box<dyn Metaheuristic> { Box::new(GeneticAlgorithm::new(s)) },
-                     |s| -> Box<dyn Metaheuristic> { Box::new(ParticleSwarm::new(s)) }] {
+        for make in [
+            |s| -> Box<dyn Metaheuristic> { Box::new(GeneticAlgorithm::new(s)) },
+            |s| -> Box<dyn Metaheuristic> { Box::new(ParticleSwarm::new(s)) },
+        ] {
             let mut f1 = sphere;
             let mut f2 = sphere;
             let r1 = make(5).minimize(&space, &mut f1, 1000);

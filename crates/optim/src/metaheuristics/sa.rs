@@ -85,8 +85,7 @@ impl Metaheuristic for SimulatedAnnealing {
             let x = space.from_unit(&cand);
             let y = f(&x);
             evals += 1;
-            let accept = y <= current_f
-                || self.rng.gen::<f64>() < ((current_f - y) / temp).exp();
+            let accept = y <= current_f || self.rng.gen::<f64>() < ((current_f - y) / temp).exp();
             if accept {
                 current = cand;
                 current_f = y;

@@ -150,14 +150,11 @@ impl Nsga2 {
     ) -> Vec<ParetoSolution> {
         let dims = space.len();
         let pop_size = self.pop_size.max(4) & !1; // even
-        // Unit-coordinate population.
+                                                  // Unit-coordinate population.
         let mut pop: Vec<Vec<f64>> = (0..pop_size)
             .map(|_| (0..dims).map(|_| self.rng.gen::<f64>()).collect())
             .collect();
-        let mut objs: Vec<Vec<f64>> = pop
-            .iter()
-            .map(|u| f(&space.from_unit(u)))
-            .collect();
+        let mut objs: Vec<Vec<f64>> = pop.iter().map(|u| f(&space.from_unit(u))).collect();
         let n_obj = objs.first().map(|o| o.len()).unwrap_or(0);
         assert!(n_obj >= 1, "objective function returned no objectives");
 
@@ -204,10 +201,8 @@ impl Nsga2 {
                 }
                 children.push(child);
             }
-            let child_objs: Vec<Vec<f64>> = children
-                .iter()
-                .map(|u| f(&space.from_unit(u)))
-                .collect();
+            let child_objs: Vec<Vec<f64>> =
+                children.iter().map(|u| f(&space.from_unit(u))).collect();
 
             // Environmental selection over parents ∪ children.
             pop.extend(children);
@@ -221,9 +216,7 @@ impl Nsga2 {
                     // Fill the remainder by descending crowding distance.
                     let d = crowding_distance(front, &objs);
                     let mut order: Vec<usize> = (0..front.len()).collect();
-                    order.sort_by(|&a, &b| {
-                        d[b].partial_cmp(&d[a]).expect("crowding is not NaN")
-                    });
+                    order.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).expect("crowding is not NaN"));
                     for &slot in order.iter().take(pop_size - keep.len()) {
                         keep.push(front[slot]);
                     }
@@ -324,7 +317,10 @@ mod tests {
             assert!((check - 2.0).abs() < 0.15, "off the front: {check}");
         }
         // The front must span the trade-off, not collapse to one corner.
-        let f1_min = front.iter().map(|s| s.objectives[0]).fold(f64::INFINITY, f64::min);
+        let f1_min = front
+            .iter()
+            .map(|s| s.objectives[0])
+            .fold(f64::INFINITY, f64::min);
         let f1_max = front
             .iter()
             .map(|s| s.objectives[0])

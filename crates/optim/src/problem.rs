@@ -154,10 +154,11 @@ impl OptimizationProblem {
         let mut total = 0.0;
         for (obj, &wi) in self.objectives.iter().zip(w) {
             let v = (obj.f)(x);
-            total += wi * match obj.sense {
-                Sense::Minimize => v,
-                Sense::Maximize => -v,
-            };
+            total += wi
+                * match obj.sense {
+                    Sense::Minimize => v,
+                    Sense::Maximize => -v,
+                };
         }
         total + self.penalty * self.total_violation(x)
     }

@@ -143,9 +143,7 @@ fn sobol_directions(dim: usize) -> Vec<u64> {
     let (s, a, m_init) = SOBOL_PARAMS[dim - 1];
     let s = s as usize;
     let mut m = vec![0u64; SOBOL_BITS];
-    m[..s].copy_from_slice(
-        &m_init.iter().map(|&x| x as u64).collect::<Vec<_>>()[..s],
-    );
+    m[..s].copy_from_slice(&m_init.iter().map(|&x| x as u64).collect::<Vec<_>>()[..s]);
     for k in s..SOBOL_BITS {
         let mut val = m[k - s] ^ (m[k - s] << s);
         for i in 1..s {
@@ -254,8 +252,7 @@ mod tests {
         let n = 40;
         let pts = lhs(3, n, &mut rng);
         for d in 0..3 {
-            let mut strata: Vec<usize> =
-                pts.iter().map(|p| (p[d] * n as f64) as usize).collect();
+            let mut strata: Vec<usize> = pts.iter().map(|p| (p[d] * n as f64) as usize).collect();
             strata.sort_unstable();
             let expect: Vec<usize> = (0..n).collect();
             assert_eq!(strata, expect, "dimension {d} not stratified");
@@ -281,12 +278,7 @@ mod tests {
         // Classic 2-D Sobol sequence beginning (after skipping 0):
         // (0.5, 0.5), (0.75, 0.25), (0.25, 0.75), (0.375, 0.375), ...
         let pts = sobol(2, 4);
-        let expect = [
-            [0.5, 0.5],
-            [0.75, 0.25],
-            [0.25, 0.75],
-            [0.375, 0.375],
-        ];
+        let expect = [[0.5, 0.5], [0.75, 0.25], [0.25, 0.75], [0.375, 0.375]];
         for (p, e) in pts.iter().zip(expect.iter()) {
             for (a, b) in p.iter().zip(e.iter()) {
                 assert!((a - b).abs() < 1e-12, "{pts:?}");
@@ -319,7 +311,11 @@ mod tests {
     fn external_units_respect_space() {
         let space = Space::plantnet();
         let mut rng = StdRng::seed_from_u64(3);
-        for design in [InitialDesign::Lhs, InitialDesign::Sobol, InitialDesign::Halton] {
+        for design in [
+            InitialDesign::Lhs,
+            InitialDesign::Sobol,
+            InitialDesign::Halton,
+        ] {
             for p in design.generate(&space, 30, &mut rng) {
                 assert!(space.contains(&p), "{design:?}: {p:?}");
             }
@@ -333,8 +329,7 @@ mod tests {
         let space = Space::new().int("http", 20, 60);
         let mut rng = StdRng::seed_from_u64(11);
         let pts = InitialDesign::Lhs.generate(&space, 41, &mut rng);
-        let distinct: std::collections::BTreeSet<i64> =
-            pts.iter().map(|p| p[0] as i64).collect();
+        let distinct: std::collections::BTreeSet<i64> = pts.iter().map(|p| p[0] as i64).collect();
         assert_eq!(distinct.len(), 41, "LHS must hit every integer once");
     }
 

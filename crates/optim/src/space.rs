@@ -93,9 +93,7 @@ impl Dimension {
         match self {
             Dimension::Int { lo, hi } => (v.round()).clamp(*lo as f64, *hi as f64),
             Dimension::Real { lo, hi } => v.clamp(*lo, *hi),
-            Dimension::Categorical { choices } => {
-                v.round().clamp(0.0, (choices.len() - 1) as f64)
-            }
+            Dimension::Categorical { choices } => v.round().clamp(0.0, (choices.len() - 1) as f64),
         }
     }
 
@@ -103,9 +101,7 @@ impl Dimension {
     /// whole).
     pub fn contains(&self, v: f64) -> bool {
         match self {
-            Dimension::Int { lo, hi } => {
-                v.fract() == 0.0 && v >= *lo as f64 && v <= *hi as f64
-            }
+            Dimension::Int { lo, hi } => v.fract() == 0.0 && v >= *lo as f64 && v <= *hi as f64,
             Dimension::Real { lo, hi } => v >= *lo && v <= *hi,
             Dimension::Categorical { choices } => {
                 v.fract() == 0.0 && v >= 0.0 && v < choices.len() as f64
@@ -232,8 +228,7 @@ impl Space {
 
     /// Whether a point lies in the space.
     pub fn contains(&self, point: &[f64]) -> bool {
-        point.len() == self.len()
-            && self.dims.iter().zip(point).all(|(d, &v)| d.contains(v))
+        point.len() == self.len() && self.dims.iter().zip(point).all(|(d, &v)| d.contains(v))
     }
 
     /// The Pl@ntNet search space of Eq. 2: `http`, `download`, `simsearch`

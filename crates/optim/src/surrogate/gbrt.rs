@@ -70,8 +70,7 @@ impl Surrogate for Gbrt {
                 break;
             }
         }
-        let mse: f64 =
-            residual.iter().map(|r| r * r).sum::<f64>() / x.len() as f64;
+        let mse: f64 = residual.iter().map(|r| r * r).sum::<f64>() / x.len() as f64;
         self.residual_std = mse.sqrt();
     }
 

@@ -135,7 +135,9 @@ mod tests {
     fn heavier_regularization_smooths_more() {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
         // Zig-zag target.
-        let y: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mut tight = KernelRidge::new(1e-6);
         let mut loose = KernelRidge::new(10.0);
         tight.fit(&x, &y);

@@ -86,9 +86,7 @@ impl SurrogateKind {
             SurrogateKind::Cart => Box::new(RegressionTree::new(TreeParams::cart(), seed)),
             SurrogateKind::Gbrt => Box::new(Gbrt::new(100, 0.1, seed)),
             SurrogateKind::GpRbf => Box::new(GaussianProcess::new(Kernel::Rbf, 1e-6)),
-            SurrogateKind::GpMatern => {
-                Box::new(GaussianProcess::new(Kernel::Matern52, 1e-6))
-            }
+            SurrogateKind::GpMatern => Box::new(GaussianProcess::new(Kernel::Matern52, 1e-6)),
             SurrogateKind::KernelRidge => Box::new(KernelRidge::new(1e-3)),
             SurrogateKind::Polynomial => Box::new(Polynomial::quadratic()),
         }
@@ -155,10 +153,7 @@ mod tests {
             // it must be larger.
             let (near, std_near) = model.predict(&[0.3, 0.7]);
             let (far, _) = model.predict(&[1.0, 0.0]);
-            assert!(
-                near < far,
-                "{kind:?}: near={near:.4} !< far={far:.4}"
-            );
+            assert!(near < far, "{kind:?}: near={near:.4} !< far={far:.4}");
             assert!(std_near >= 0.0, "{kind:?}: negative std");
             assert!(near.is_finite() && far.is_finite(), "{kind:?}");
         }
@@ -169,7 +164,10 @@ mod tests {
         for kind in SurrogateKind::all() {
             assert_eq!(SurrogateKind::from_name(kind.name()), Some(kind));
         }
-        assert_eq!(SurrogateKind::from_name("ET"), Some(SurrogateKind::ExtraTrees));
+        assert_eq!(
+            SurrogateKind::from_name("ET"),
+            Some(SurrogateKind::ExtraTrees)
+        );
         assert_eq!(SurrogateKind::from_name("unknown"), None);
     }
 

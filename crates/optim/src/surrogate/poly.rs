@@ -75,8 +75,7 @@ impl Surrogate for Polynomial {
             let mean = y.iter().sum::<f64>() / y.len() as f64;
             self.coeffs = vec![0.0; p];
             self.coeffs[0] = mean;
-            let mse =
-                y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64;
+            let mse = y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64;
             self.residual_std = mse.sqrt();
             self.fitted = true;
             return;

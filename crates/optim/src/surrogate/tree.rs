@@ -123,8 +123,8 @@ impl RegressionTree {
     /// summed squared error, or `None` if nothing separates the samples.
     fn best_split(&mut self, x: &[Vec<f64>], y: &[f64], idx: &[usize]) -> Option<(usize, f64)> {
         let n_features = x[0].len();
-        let k = ((n_features as f64 * self.params.max_features).ceil() as usize)
-            .clamp(1, n_features);
+        let k =
+            ((n_features as f64 * self.params.max_features).ceil() as usize).clamp(1, n_features);
         // Sample k distinct features.
         let mut features: Vec<usize> = (0..n_features).collect();
         for i in 0..k {
@@ -169,8 +169,7 @@ impl RegressionTree {
                     continue;
                 }
                 // SSE = Σy² - (Σy)²/n for each side.
-                let score =
-                    (ssl - sl * sl / nl as f64) + (ssr - sr * sr / nr as f64);
+                let score = (ssl - sl * sl / nl as f64) + (ssr - sr * sr / nr as f64);
                 if best.is_none_or(|(b, _, _)| score < b) {
                     best = Some((score, f, t));
                 }
@@ -190,7 +189,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -235,7 +238,10 @@ mod tests {
     fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         // y = 1 if x0 > 0.5 else 0 — one split suffices.
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
-        let y: Vec<f64> = x.iter().map(|p| if p[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|p| if p[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         (x, y)
     }
 

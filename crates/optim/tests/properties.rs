@@ -13,15 +13,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_space() -> impl Strategy<Value = Space> {
-    (
-        (-20i64..0, 1i64..50),
-        (-5.0f64..0.0, 0.1f64..10.0),
-    )
-        .prop_map(|((ilo, ispan), (rlo, rspan))| {
+    ((-20i64..0, 1i64..50), (-5.0f64..0.0, 0.1f64..10.0)).prop_map(
+        |((ilo, ispan), (rlo, rspan))| {
             Space::new()
                 .int("i", ilo, ilo + ispan)
                 .real("r", rlo, rlo + rspan)
-        })
+        },
+    )
 }
 
 proptest! {

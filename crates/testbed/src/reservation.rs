@@ -180,10 +180,7 @@ mod tests {
     fn insufficient_nodes_error() {
         let mut tb = grid5000::paper_testbed();
         let err = tb.reserve("chifflot", 3).unwrap_err();
-        assert_eq!(
-            err,
-            ReserveError::Insufficient("chifflot".into(), 3, 2)
-        );
+        assert_eq!(err, ReserveError::Insufficient("chifflot".into(), 3, 2));
         assert!(err.to_string().contains("3 nodes"));
     }
 

@@ -45,6 +45,13 @@ impl VirtualClock {
     pub fn advance(&self, delta: u64) -> u64 {
         self.ticks.fetch_add(delta, Ordering::SeqCst) + delta
     }
+
+    /// Set the clock to an absolute tick — crash-resume restores the
+    /// virtual time recorded at the journal's last settled trial so
+    /// re-executed events land on the same timestamps.
+    pub fn restore(&self, ticks: u64) {
+        self.ticks.store(ticks, Ordering::SeqCst);
+    }
 }
 
 /// Convenience alias for building event field maps.
@@ -58,6 +65,13 @@ pub fn fields<const N: usize>(pairs: [(&str, Value); N]) -> Fields {
 struct Inner {
     events: Mutex<Vec<TraceEvent>>,
     clock: VirtualClock,
+    /// Incremental sink for crash-safe runs: every pushed event is also
+    /// written (and flushed) to this file while the events lock is held,
+    /// so the stream order equals the buffer order. Flushing without
+    /// fsync survives a process kill (the kernel owns the bytes); a
+    /// whole-machine crash may lose the tail, which resume absorbs by
+    /// truncating to the journal's last trace mark.
+    stream: Mutex<Option<std::fs::File>>,
 }
 
 /// Handle onto a shared, append-only trace.  Clone freely; all clones
@@ -79,8 +93,39 @@ impl Tracer {
             inner: Arc::new(Inner {
                 events: Mutex::new(Vec::new()),
                 clock: VirtualClock::new(),
+                stream: Mutex::new(None),
             }),
         }
+    }
+
+    /// Mirror every subsequent event to `path` (append + create), one
+    /// JSONL line per event, flushed per line. Crash-safe runs stream so
+    /// the trace survives a kill; [`Tracer::save`] still writes the
+    /// canonical snapshot at the end.
+    pub fn stream_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        *self.inner.stream.lock().unwrap() = Some(file);
+        Ok(())
+    }
+
+    /// Preload a recovered event prefix and restore the virtual clock —
+    /// the crash-resume path. The tracer must not have recorded anything
+    /// yet; subsequent events continue the `seq` numbering and virtual
+    /// time exactly where the prefix stops.
+    pub fn restore(&self, events: Vec<TraceEvent>, vt: u64) {
+        let mut buf = self.inner.events.lock().unwrap();
+        assert!(
+            buf.is_empty(),
+            "restore into a tracer that already recorded"
+        );
+        *buf = events;
+        self.inner.clock.restore(vt);
     }
 
     /// Current virtual time (does not advance the clock).
@@ -111,7 +156,7 @@ impl Tracer {
         // seq and vt are assigned under the same lock so their order agrees.
         let seq = events.len() as u64;
         let vt = vt.unwrap_or_else(|| self.inner.clock.tick());
-        events.push(TraceEvent {
+        let event = TraceEvent {
             seq,
             vt,
             phase: phase.to_string(),
@@ -120,7 +165,18 @@ impl Tracer {
             trial,
             span,
             fields,
-        });
+        };
+        if let Some(stream) = self.inner.stream.lock().unwrap().as_mut() {
+            // Still under the events lock: stream order == buffer order.
+            // A run that cannot persist its trace stream has lost its
+            // crash-safety story; abort rather than resume from a lie.
+            let write = writeln!(stream, "{}", event.to_json()).and_then(|()| stream.flush());
+            if let Err(e) = write {
+                eprintln!("trace: streaming event failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        events.push(event);
         seq
     }
 
@@ -178,14 +234,9 @@ impl Tracer {
         out
     }
 
-    /// Write the log to `path` as JSONL.
+    /// Write the log to `path` as JSONL (atomically, via tmp + rename).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_jsonl().as_bytes())?;
-        Ok(())
+        e2c_journal::write_atomic(path, self.to_jsonl().as_bytes())
     }
 }
 
@@ -203,6 +254,25 @@ pub fn load_jsonl(path: &Path) -> Result<Vec<TraceEvent>, String> {
         events.push(ev);
     }
     Ok(events)
+}
+
+/// Load a streamed trace, tolerating a torn *final* line (a crash can
+/// interrupt the unsynced tail mid-write). Returns the parsed events and
+/// whether a torn tail was dropped; a parse error anywhere but the last
+/// line is still a hard error.
+pub fn load_jsonl_tolerant(path: &Path) -> Result<(Vec<TraceEvent>, bool), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut events = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match TraceEvent::from_json(line) {
+            Ok(ev) => events.push(ev),
+            Err(_) if i + 1 == lines.len() => return Ok((events, true)),
+            Err(e) => return Err(format!("{}:{}: {e}", path.display(), i + 1)),
+        }
+    }
+    Ok((events, false))
 }
 
 #[cfg(test)]
@@ -265,6 +335,53 @@ mod tests {
             t.to_jsonl()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn streamed_trace_matches_the_snapshot_and_survives_restore() {
+        let dir = std::env::temp_dir().join(format!("e2c-trace-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("trace.stream.jsonl");
+        let t = Tracer::new();
+        t.stream_to(&path).unwrap();
+        t.point("a", "one", None, Fields::new());
+        t.point("a", "two", Some(3), fields([("v", 1.5.into())]));
+        // The stream mirrors the buffer line for line.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), t.to_jsonl());
+
+        // Restore the prefix into a fresh tracer and continue: seq and vt
+        // carry on exactly where the original left off.
+        let (events, torn) = load_jsonl_tolerant(&path).unwrap();
+        assert!(!torn);
+        let resumed = Tracer::new();
+        resumed.restore(events, t.now());
+        resumed.point("a", "three", None, Fields::new());
+        t.point("a", "three", None, Fields::new());
+        assert_eq!(resumed.to_jsonl(), t.to_jsonl());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_load_drops_only_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("e2c-trace-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = Tracer::new();
+        t.point("a", "x", None, Fields::new());
+        t.point("a", "y", None, Fields::new());
+        let mut text = t.to_jsonl();
+        // Chop the final line mid-object: only the tail may be dropped.
+        text.truncate(text.len() - 10);
+        let path = dir.join("torn.jsonl");
+        std::fs::write(&path, &text).unwrap();
+        let (events, torn) = load_jsonl_tolerant(&path).unwrap();
+        assert!(torn);
+        assert_eq!(events.len(), 1);
+        // Corruption *before* the tail stays a hard error.
+        let bad = format!("not json\n{}", t.to_jsonl());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(load_jsonl_tolerant(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

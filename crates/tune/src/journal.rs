@@ -1,0 +1,878 @@
+//! The run journal: a typed write-ahead log of everything the tuner
+//! decides, and the replay that rebuilds searcher/scheduler state after a
+//! crash.
+//!
+//! Every state transition of a journaled run is appended (and fsync'd) to
+//! an [`e2c_journal::Wal`] *after* it takes effect in memory:
+//!
+//! * [`RunEvent::Meta`] — a configuration fingerprint, written first;
+//!   resume refuses a journal whose fingerprint does not match.
+//! * [`RunEvent::Ask`] — the searcher suggested a configuration for a
+//!   trial (the RNG stream advanced by one draw).
+//! * [`RunEvent::Restart`] — a resumed run is re-executing a trial that
+//!   was mid-flight at the crash; all earlier partial records of that
+//!   trial are discarded by subsequent replays.
+//! * [`RunEvent::Report`] — an intermediate metric report and the
+//!   scheduler's rung decision for it.
+//! * [`RunEvent::Attempt`] — one execution attempt's outcome (typed
+//!   error, raw objective return when the objective actually ran).
+//! * [`RunEvent::Tell`] — the searcher was fed the trial's final
+//!   feedback; carries the trial's settled status and, when tracing, the
+//!   `(events, virtual-time)` mark the trace can be truncated back to.
+//! * [`RunEvent::Complete`] — the sample budget is spent.
+//!
+//! [`replay`] rebuilds state *by re-execution*: every journaled `Ask` is
+//! re-asked against a freshly seeded searcher and the suggestion is
+//! compared byte-for-byte against the journal — this restores the RNG
+//! stream position implicitly and turns a mismatched seed, space or
+//! search configuration into a hard error instead of silent divergence.
+//! Scheduler decisions are re-derived and verified the same way.
+//!
+//! Trials that were asked but never told ("dangling") are returned as
+//! pending work: the resumed run re-executes them from attempt 0 with the
+//! journaled configuration, regenerating their scheduler reports, trace
+//! events and archive rows exactly as an uninterrupted run would have.
+
+use crate::scheduler::{Decision, Scheduler};
+use crate::searcher::Searcher;
+use crate::trial::{Attempt, Trial, TrialError, TrialStatus};
+use crate::tuner::Mode;
+use e2c_optim::space::Point;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Exit code of a `--crash-at` self-kill, distinct from ordinary failure
+/// exits so the chaos harness can tell a scripted crash from a bug.
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// One journaled state transition. See the module docs for the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEvent {
+    /// Configuration fingerprint (always the first record).
+    Meta { fingerprint: String },
+    /// The searcher proposed `config` for `trial`.
+    Ask { trial: u64, config: Point },
+    /// A resumed run is re-executing the dangling `trial` from scratch.
+    Restart { trial: u64 },
+    /// Intermediate report: the scheduler saw `normalized` at
+    /// `iteration` and answered `stop`.
+    Report {
+        trial: u64,
+        iteration: u64,
+        normalized: f64,
+        stop: bool,
+    },
+    /// One execution attempt finished. `raw` is the objective's return
+    /// value when it was actually invoked and returned (even if the
+    /// attempt was then classified as failed), `None` when the objective
+    /// never ran or panicked.
+    Attempt {
+        trial: u64,
+        index: u32,
+        secs: f64,
+        raw: Option<f64>,
+        error: Option<TrialError>,
+    },
+    /// The searcher was fed `feedback` for the settled `trial`.
+    /// `status`/`value` settle the trial record; `trace_mark` is the
+    /// tracer's `(event count, virtual time)` right after the tell event.
+    Tell {
+        trial: u64,
+        feedback: f64,
+        status: String,
+        value: Option<f64>,
+        trace_mark: Option<(u64, u64)>,
+    },
+    /// The sample budget is spent; artifacts may be (re)written.
+    Complete,
+}
+
+/// Escape a payload for the tab-separated wire format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .map_err(|e| format!("bad float `{s}`: {e}"))
+}
+
+fn fmt_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => fmt_f64(v),
+        None => "-".to_string(),
+    }
+}
+
+fn parse_opt_f64(s: &str) -> Result<Option<f64>, String> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        parse_f64(s).map(Some)
+    }
+}
+
+impl RunEvent {
+    /// Serialize as one tab-separated line. `f64` fields use Rust's
+    /// shortest-round-trip `Display`, so parsing back is exact.
+    pub fn to_line(&self) -> String {
+        match self {
+            RunEvent::Meta { fingerprint } => format!("meta\t{}", escape(fingerprint)),
+            RunEvent::Ask { trial, config } => {
+                let cfg = config
+                    .iter()
+                    .map(|v| fmt_f64(*v))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("ask\t{trial}\t{cfg}")
+            }
+            RunEvent::Restart { trial } => format!("restart\t{trial}"),
+            RunEvent::Report {
+                trial,
+                iteration,
+                normalized,
+                stop,
+            } => format!(
+                "report\t{trial}\t{iteration}\t{}\t{}",
+                fmt_f64(*normalized),
+                if *stop { "stop" } else { "continue" }
+            ),
+            RunEvent::Attempt {
+                trial,
+                index,
+                secs,
+                raw,
+                error,
+            } => {
+                let (kind, payload) = match error {
+                    Some(e) => (e.kind(), escape(e.payload())),
+                    None => ("-", String::new()),
+                };
+                format!(
+                    "attempt\t{trial}\t{index}\t{}\t{}\t{kind}\t{payload}",
+                    fmt_f64(*secs),
+                    fmt_opt_f64(*raw)
+                )
+            }
+            RunEvent::Tell {
+                trial,
+                feedback,
+                status,
+                value,
+                trace_mark,
+            } => {
+                let (me, mv) = match trace_mark {
+                    Some((e, v)) => (e.to_string(), v.to_string()),
+                    None => ("-".to_string(), "-".to_string()),
+                };
+                format!(
+                    "tell\t{trial}\t{}\t{status}\t{}\t{me}\t{mv}",
+                    fmt_f64(*feedback),
+                    fmt_opt_f64(*value)
+                )
+            }
+            RunEvent::Complete => "complete".to_string(),
+        }
+    }
+
+    /// Parse a line produced by [`RunEvent::to_line`].
+    pub fn parse(line: &str) -> Result<RunEvent, String> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let need = |n: usize| -> Result<(), String> {
+            if fields.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "journal record `{}...`: expected {n} fields, got {}",
+                    fields[0],
+                    fields.len()
+                ))
+            }
+        };
+        let int = |s: &str| -> Result<u64, String> {
+            s.parse::<u64>()
+                .map_err(|e| format!("bad integer `{s}`: {e}"))
+        };
+        match fields[0] {
+            "meta" => {
+                need(2)?;
+                Ok(RunEvent::Meta {
+                    fingerprint: unescape(fields[1]),
+                })
+            }
+            "ask" => {
+                need(3)?;
+                let config = if fields[2].is_empty() {
+                    Vec::new()
+                } else {
+                    fields[2]
+                        .split(',')
+                        .map(parse_f64)
+                        .collect::<Result<_, _>>()?
+                };
+                Ok(RunEvent::Ask {
+                    trial: int(fields[1])?,
+                    config,
+                })
+            }
+            "restart" => {
+                need(2)?;
+                Ok(RunEvent::Restart {
+                    trial: int(fields[1])?,
+                })
+            }
+            "report" => {
+                need(5)?;
+                let stop = match fields[4] {
+                    "stop" => true,
+                    "continue" => false,
+                    other => return Err(format!("bad decision `{other}`")),
+                };
+                Ok(RunEvent::Report {
+                    trial: int(fields[1])?,
+                    iteration: int(fields[2])?,
+                    normalized: parse_f64(fields[3])?,
+                    stop,
+                })
+            }
+            "attempt" => {
+                need(7)?;
+                let error = if fields[5] == "-" {
+                    None
+                } else {
+                    Some(TrialError::from_parts(fields[5], &unescape(fields[6]))?)
+                };
+                Ok(RunEvent::Attempt {
+                    trial: int(fields[1])?,
+                    index: int(fields[2])? as u32,
+                    secs: parse_f64(fields[3])?,
+                    raw: parse_opt_f64(fields[4])?,
+                    error,
+                })
+            }
+            "tell" => {
+                need(7)?;
+                let trace_mark = match (fields[5], fields[6]) {
+                    ("-", "-") => None,
+                    (e, v) => Some((int(e)?, int(v)?)),
+                };
+                Ok(RunEvent::Tell {
+                    trial: int(fields[1])?,
+                    feedback: parse_f64(fields[2])?,
+                    status: fields[3].to_string(),
+                    value: parse_opt_f64(fields[4])?,
+                    trace_mark,
+                })
+            }
+            "complete" => {
+                need(1)?;
+                Ok(RunEvent::Complete)
+            }
+            other => Err(format!("unknown journal record `{other}`")),
+        }
+    }
+}
+
+struct JournalInner {
+    wal: Mutex<e2c_journal::Wal>,
+    /// Records appended *by this process* (replayed records don't count):
+    /// the `--crash-at` boundary index is per-process.
+    appended: AtomicU64,
+    crash_after: Option<u64>,
+}
+
+/// Shared, cheap-to-clone handle onto the run's write-ahead log.
+///
+/// Appends never fail softly: a journal that cannot persist invalidates
+/// every crash-safety promise, so an append error aborts the process
+/// (exit 1) rather than continuing with an unprotected run.
+#[derive(Clone)]
+pub struct RunJournal {
+    inner: Arc<JournalInner>,
+}
+
+impl RunJournal {
+    /// Wrap an open WAL. `crash_after` arms the chaos knob: the process
+    /// exits with [`CRASH_EXIT_CODE`] immediately after the Nth record
+    /// (1-based, counted in this process) is durably appended.
+    pub fn new(wal: e2c_journal::Wal, crash_after: Option<u64>) -> Self {
+        RunJournal {
+            inner: Arc::new(JournalInner {
+                wal: Mutex::new(wal),
+                appended: AtomicU64::new(0),
+                crash_after,
+            }),
+        }
+    }
+
+    /// Append one event; fsync'd before returning. May exit the process
+    /// (see [`RunJournal::new`] and the type docs).
+    pub fn append(&self, event: &RunEvent) {
+        let line = event.to_line();
+        {
+            let mut wal = self.inner.wal.lock();
+            if let Err(e) = wal.append(line.as_bytes()) {
+                eprintln!("journal: append to {} failed: {e}", wal.path().display());
+                std::process::exit(1);
+            }
+        }
+        let n = self.inner.appended.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.inner.crash_after == Some(n) {
+            eprintln!("journal: --crash-at {n}: simulated crash after record boundary");
+            std::process::exit(CRASH_EXIT_CODE);
+        }
+    }
+
+    /// Records appended by this process so far.
+    pub fn appended(&self) -> u64 {
+        self.inner.appended.load(Ordering::SeqCst)
+    }
+}
+
+/// Everything [`replay`] recovered from the journal: the tuner continues
+/// a run from this instead of starting fresh.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeState {
+    /// Settled trials, in tell order (re-sorted by id for the analysis).
+    pub trials: Vec<Trial>,
+    /// Dangling trials to re-execute, in ask order: `(id, config)`.
+    pub pending: Vec<(u64, Point)>,
+    /// Next fresh trial id (all smaller ids are settled or pending).
+    pub next_id: u64,
+    /// Running maximum of normalized successful values (feeds the
+    /// failure penalty).
+    pub worst_seen: f64,
+    /// Whether the journal already holds a [`RunEvent::Complete`].
+    pub complete: bool,
+    /// Latest trace mark among tells: truncate the streamed trace to
+    /// this many events and restore the virtual clock to this tick.
+    pub trace_mark: Option<(u64, u64)>,
+    /// Raw objective returns of kept attempts, in journal order (the
+    /// traced cycle re-feeds its observation histogram from these).
+    pub observations: Vec<f64>,
+}
+
+impl ResumeState {
+    /// A state equivalent to "nothing happened yet".
+    pub fn empty() -> Self {
+        ResumeState {
+            worst_seen: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+}
+
+/// Read a journal's records back as parsed events.
+pub fn load_events(path: &Path) -> Result<Vec<RunEvent>, String> {
+    let records =
+        e2c_journal::read_records(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let line = std::str::from_utf8(r)
+                .map_err(|e| format!("journal record {i}: not UTF-8: {e}"))?;
+            RunEvent::parse(line).map_err(|e| format!("journal record {i}: {e}"))
+        })
+        .collect()
+}
+
+/// Rebuild run state by re-executing the journal against freshly seeded
+/// components. `searcher` and `scheduler` must be constructed exactly as
+/// for the original run; every re-derived suggestion and scheduler
+/// decision is verified against the journal and a divergence (different
+/// seed, space, search or scheduler configuration) is a hard error.
+pub fn replay(
+    events: &[RunEvent],
+    searcher: &mut dyn Searcher,
+    scheduler: &dyn Scheduler,
+    mode: Mode,
+) -> Result<ResumeState, String> {
+    // Pass 1: which trials settled, where each trial's canonical timeline
+    // starts (after its last restart), and the latest trace mark.
+    let mut last_restart: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut settled: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut complete = false;
+    let mut trace_mark: Option<(u64, u64)> = None;
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            RunEvent::Restart { trial } => {
+                last_restart.insert(*trial, i);
+            }
+            RunEvent::Tell {
+                trial,
+                trace_mark: mark,
+                ..
+            } => {
+                if settled.insert(*trial, i).is_some() {
+                    return Err(format!("journal tells trial {trial} twice"));
+                }
+                if let Some(m) = mark {
+                    if trace_mark.is_none_or(|t| m.0 > t.0) {
+                        trace_mark = Some(*m);
+                    }
+                }
+            }
+            RunEvent::Complete => complete = true,
+            _ => {}
+        }
+    }
+    // A record is part of a trial's canonical timeline only after the
+    // trial's last restart — everything before was abandoned mid-flight.
+    let canonical = |trial: u64, i: usize| last_restart.get(&trial).is_none_or(|r| i > *r);
+
+    // Pass 2: re-execute in order.
+    let mut asked: Vec<(u64, Point)> = Vec::new();
+    let mut configs: BTreeMap<u64, Point> = BTreeMap::new();
+    let mut cur_attempts: BTreeMap<u64, Vec<Attempt>> = BTreeMap::new();
+    let mut cur_reports: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
+    let mut last_reports: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
+    let mut state = ResumeState::empty();
+    state.complete = complete;
+    state.trace_mark = trace_mark;
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            RunEvent::Meta { .. } => {
+                if i != 0 {
+                    return Err("journal meta record is not first".to_string());
+                }
+            }
+            RunEvent::Ask { trial, config } => {
+                let suggested = searcher.suggest(*trial).ok_or_else(|| {
+                    format!("searcher refused to re-suggest trial {trial} during replay — the journal does not match this configuration")
+                })?;
+                if suggested != *config {
+                    return Err(format!(
+                        "replayed suggestion for trial {trial} diverges from the journal \
+                         (got {suggested:?}, journal has {config:?}) — the journal was \
+                         recorded with a different seed or search configuration"
+                    ));
+                }
+                asked.push((*trial, config.clone()));
+                configs.insert(*trial, config.clone());
+                state.next_id = state.next_id.max(trial + 1);
+            }
+            RunEvent::Restart { trial } => {
+                // Discard the pre-crash partial state of the trial; the
+                // records that follow are its canonical timeline.
+                cur_attempts.remove(trial);
+                cur_reports.remove(trial);
+                last_reports.remove(trial);
+            }
+            RunEvent::Report {
+                trial,
+                iteration,
+                normalized,
+                stop,
+            } => {
+                if !(settled.contains_key(trial) && canonical(*trial, i)) {
+                    continue; // the re-run will regenerate this report
+                }
+                let decision = scheduler.on_report(*trial, *iteration, *normalized);
+                let expect = if *stop {
+                    Decision::Stop
+                } else {
+                    Decision::Continue
+                };
+                if decision != expect {
+                    return Err(format!(
+                        "replayed scheduler decision for trial {trial} iteration {iteration} \
+                         diverges from the journal — the journal was recorded with a \
+                         different scheduler configuration"
+                    ));
+                }
+                let value = match mode {
+                    Mode::Min => *normalized,
+                    Mode::Max => -*normalized,
+                };
+                cur_reports
+                    .entry(*trial)
+                    .or_default()
+                    .push((*iteration, value));
+            }
+            RunEvent::Attempt {
+                trial,
+                index,
+                secs,
+                raw,
+                error,
+            } => {
+                if !(settled.contains_key(trial) && canonical(*trial, i)) {
+                    continue;
+                }
+                cur_attempts.entry(*trial).or_default().push(Attempt {
+                    index: *index,
+                    error: error.clone(),
+                    secs: *secs,
+                });
+                last_reports.insert(*trial, cur_reports.remove(trial).unwrap_or_default());
+                if let Some(v) = raw {
+                    state.observations.push(*v);
+                }
+            }
+            RunEvent::Tell {
+                trial,
+                feedback,
+                status,
+                value,
+                ..
+            } => {
+                searcher.observe(*trial, *feedback);
+                let attempts = cur_attempts.remove(trial).unwrap_or_default();
+                let reports = last_reports.remove(trial).unwrap_or_default();
+                let config = configs
+                    .get(trial)
+                    .cloned()
+                    .ok_or_else(|| format!("journal tells trial {trial} before asking it"))?;
+                let need_value = || {
+                    value.ok_or_else(|| {
+                        format!("journal tell for trial {trial} is missing its value")
+                    })
+                };
+                let status = match status.as_str() {
+                    "terminated" => TrialStatus::Terminated(need_value()?),
+                    "stopped_early" => TrialStatus::StoppedEarly(need_value()?),
+                    "failed" => {
+                        let reason = attempts
+                            .last()
+                            .and_then(|a| a.error.as_ref())
+                            .map(|e| e.to_string())
+                            .unwrap_or_default();
+                        TrialStatus::Failed(reason)
+                    }
+                    other => return Err(format!("unknown journal status `{other}`")),
+                };
+                if !matches!(status, TrialStatus::Failed(_)) {
+                    state.worst_seen = state.worst_seen.max(*feedback);
+                }
+                state.trials.push(Trial {
+                    id: *trial,
+                    config,
+                    status,
+                    reports,
+                    attempts,
+                });
+            }
+            RunEvent::Complete => {}
+        }
+    }
+    state.pending = asked
+        .into_iter()
+        .filter(|(id, _)| !settled.contains_key(id))
+        .collect();
+    state.trials.sort_by_key(|t| t.id);
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Fifo;
+    use crate::searcher::{ConcurrencyLimiter, RandomSearch};
+    use e2c_optim::space::Space;
+
+    fn space() -> Space {
+        Space::new().int("x", 0, 20)
+    }
+
+    #[test]
+    fn events_round_trip_through_the_wire_format() {
+        let events = vec![
+            RunEvent::Meta {
+                fingerprint: "name: x\nseed: 7\ttabbed".into(),
+            },
+            RunEvent::Ask {
+                trial: 0,
+                config: vec![4.0, -0.5],
+            },
+            RunEvent::Restart { trial: 3 },
+            RunEvent::Report {
+                trial: 1,
+                iteration: 2,
+                normalized: 0.1,
+                stop: true,
+            },
+            RunEvent::Attempt {
+                trial: 1,
+                index: 0,
+                secs: 0.25,
+                raw: Some(f64::NAN),
+                error: Some(TrialError::NonFinite("NaN".into())),
+            },
+            RunEvent::Attempt {
+                trial: 1,
+                index: 1,
+                secs: 0.5,
+                raw: None,
+                error: Some(TrialError::Panicked("boom\nnewline \\ tab\t".into())),
+            },
+            RunEvent::Tell {
+                trial: 1,
+                feedback: 2.5,
+                status: "terminated".into(),
+                value: Some(2.5),
+                trace_mark: Some((17, 42)),
+            },
+            RunEvent::Tell {
+                trial: 2,
+                feedback: 1e6,
+                status: "failed".into(),
+                value: None,
+                trace_mark: None,
+            },
+            RunEvent::Complete,
+        ];
+        for ev in events {
+            let line = ev.to_line();
+            let back = RunEvent::parse(&line).unwrap();
+            // NaN breaks PartialEq; compare the canonical wire form.
+            assert_eq!(back.to_line(), line, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_records() {
+        assert!(RunEvent::parse("bogus\t1").is_err());
+        assert!(RunEvent::parse("ask\t1").is_err());
+        assert!(RunEvent::parse("report\t1\t2\tx\tcontinue").is_err());
+        assert!(RunEvent::parse("attempt\t1\t0\t0.1\t-\tweird\t").is_err());
+    }
+
+    /// Drive a seeded searcher, journal its decisions by hand, then
+    /// replay a prefix against a fresh instance and check the rebuilt
+    /// state.
+    #[test]
+    fn replay_rebuilds_searcher_state_and_pending_work() {
+        let mut live = ConcurrencyLimiter::new(RandomSearch::new(space(), 5), 1);
+        let mut events = vec![RunEvent::Meta {
+            fingerprint: "f".into(),
+        }];
+        let mut asked = Vec::new();
+        for id in 0..3u64 {
+            let p = live.suggest(id).unwrap();
+            asked.push(p.clone());
+            events.push(RunEvent::Ask {
+                trial: id,
+                config: p.clone(),
+            });
+            if id < 2 {
+                events.push(RunEvent::Attempt {
+                    trial: id,
+                    index: 0,
+                    secs: 0.1,
+                    raw: Some(p[0]),
+                    error: None,
+                });
+                live.observe(id, p[0]);
+                events.push(RunEvent::Tell {
+                    trial: id,
+                    feedback: p[0],
+                    status: "terminated".into(),
+                    value: Some(p[0]),
+                    trace_mark: None,
+                });
+            }
+        }
+        // Trial 2 dangles (asked, attempted nothing journaled, no tell).
+        let mut fresh = ConcurrencyLimiter::new(RandomSearch::new(space(), 5), 1);
+        let state = replay(&events, &mut fresh, &Fifo, Mode::Min).unwrap();
+        assert_eq!(state.trials.len(), 2);
+        assert_eq!(state.pending, vec![(2, asked[2].clone())]);
+        assert_eq!(state.next_id, 3);
+        assert!(!state.complete);
+        assert_eq!(state.observations, vec![asked[0][0], asked[1][0]]);
+        assert_eq!(state.worst_seen, asked[0][0].max(asked[1][0]));
+        // The limiter still accounts the dangling trial as in flight, and
+        // the RNG stream continues exactly where the live searcher's did.
+        assert_eq!(fresh.inflight(), 1);
+        fresh.observe(2, 1.0);
+        live.observe(2, 1.0);
+        let next_live = live.suggest(3).unwrap();
+        let next_fresh = fresh.suggest(3).unwrap();
+        assert_eq!(next_live, next_fresh);
+    }
+
+    #[test]
+    fn replay_discards_partial_records_before_a_restart() {
+        let mut live = RandomSearch::new(space(), 9);
+        let p0 = live.suggest(0).unwrap();
+        let events = vec![
+            RunEvent::Meta {
+                fingerprint: "f".into(),
+            },
+            RunEvent::Ask {
+                trial: 0,
+                config: p0.clone(),
+            },
+            // Pre-crash partial attempt, then the resumed run's restart
+            // and canonical timeline.
+            RunEvent::Attempt {
+                trial: 0,
+                index: 0,
+                secs: 0.1,
+                raw: Some(1.0),
+                error: Some(TrialError::Panicked("pre-crash".into())),
+            },
+            RunEvent::Restart { trial: 0 },
+            RunEvent::Attempt {
+                trial: 0,
+                index: 0,
+                secs: 0.1,
+                raw: Some(1.0),
+                error: Some(TrialError::Panicked("canonical".into())),
+            },
+            RunEvent::Attempt {
+                trial: 0,
+                index: 1,
+                secs: 0.1,
+                raw: Some(2.0),
+                error: None,
+            },
+            RunEvent::Tell {
+                trial: 0,
+                feedback: 2.0,
+                status: "terminated".into(),
+                value: Some(2.0),
+                trace_mark: None,
+            },
+        ];
+        let mut fresh = RandomSearch::new(space(), 9);
+        let state = replay(&events, &mut fresh, &Fifo, Mode::Min).unwrap();
+        let t = &state.trials[0];
+        assert_eq!(t.attempts.len(), 2);
+        assert_eq!(
+            t.attempts[0].error,
+            Some(TrialError::Panicked("canonical".into()))
+        );
+        // Only canonical attempts feed the observation re-feed.
+        assert_eq!(state.observations, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn replay_hard_errors_on_mismatched_seed() {
+        let mut live = RandomSearch::new(space(), 5);
+        let p = live.suggest(0).unwrap();
+        let events = vec![
+            RunEvent::Meta {
+                fingerprint: "f".into(),
+            },
+            RunEvent::Ask {
+                trial: 0,
+                config: p,
+            },
+        ];
+        // Different seed ⇒ different RNG stream ⇒ divergent suggestion.
+        let mut fresh = RandomSearch::new(space(), 6);
+        let err = replay(&events, &mut fresh, &Fifo, Mode::Min).unwrap_err();
+        assert!(err.contains("diverges"), "{err}");
+    }
+
+    #[test]
+    fn replay_hard_errors_on_divergent_scheduler() {
+        use crate::scheduler::Scheduler;
+        struct AlwaysStop;
+        impl Scheduler for AlwaysStop {
+            fn on_report(&self, _: u64, _: u64, _: f64) -> Decision {
+                Decision::Stop
+            }
+        }
+        let mut live = RandomSearch::new(space(), 5);
+        let p = live.suggest(0).unwrap();
+        let events = vec![
+            RunEvent::Meta {
+                fingerprint: "f".into(),
+            },
+            RunEvent::Ask {
+                trial: 0,
+                config: p.clone(),
+            },
+            RunEvent::Report {
+                trial: 0,
+                iteration: 1,
+                normalized: 1.0,
+                stop: false, // journaled Continue, scheduler says Stop
+            },
+            RunEvent::Attempt {
+                trial: 0,
+                index: 0,
+                secs: 0.1,
+                raw: Some(1.0),
+                error: None,
+            },
+            RunEvent::Tell {
+                trial: 0,
+                feedback: 1.0,
+                status: "terminated".into(),
+                value: Some(1.0),
+                trace_mark: None,
+            },
+        ];
+        let mut fresh = RandomSearch::new(space(), 5);
+        let err = replay(&events, &mut fresh, &AlwaysStop, Mode::Min).unwrap_err();
+        assert!(err.contains("scheduler decision"), "{err}");
+    }
+
+    #[test]
+    fn journal_appends_are_recovered_in_order() {
+        let dir = std::env::temp_dir().join(format!("e2c-runjournal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("run.wal");
+        let wal = e2c_journal::Wal::create(&path).unwrap();
+        let j = RunJournal::new(wal, None);
+        j.append(&RunEvent::Meta {
+            fingerprint: "fp".into(),
+        });
+        j.append(&RunEvent::Ask {
+            trial: 0,
+            config: vec![3.0],
+        });
+        j.append(&RunEvent::Complete);
+        assert_eq!(j.appended(), 3);
+        let events = load_events(&path).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0],
+            RunEvent::Meta {
+                fingerprint: "fp".into()
+            }
+        );
+        assert_eq!(events[2], RunEvent::Complete);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

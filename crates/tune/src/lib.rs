@@ -23,7 +23,12 @@
 //!   routinely, so failed trials are retried before the searcher is fed
 //!   a penalty;
 //! * [`trial`] — trial state and records, including per-attempt
-//!   bookkeeping ([`trial::Attempt`]);
+//!   bookkeeping ([`trial::Attempt`]) and the typed
+//!   [`trial::TrialError`];
+//! * [`journal`] — crash safety: the typed run journal
+//!   ([`journal::RunJournal`]) appended to an `e2c-journal` WAL, and the
+//!   deterministic [`journal::replay`] that rebuilds searcher/scheduler
+//!   state on `--resume`;
 //! * [`tuner`] — [`tuner::Tuner`], which fans trials out over worker
 //!   threads, feeding observations back to the searcher *asynchronously*
 //!   (workers do not wait for a generation barrier — the paper's
@@ -36,6 +41,7 @@ pub mod analysis;
 pub mod clock;
 pub mod evolution;
 pub mod fault;
+pub mod journal;
 pub mod logger;
 pub mod scheduler;
 pub mod searcher;
@@ -45,8 +51,9 @@ pub mod tuner;
 pub use analysis::Analysis;
 pub use evolution::EvolutionSearch;
 pub use fault::{FaultAction, FaultPlan, FaultSpec, RetryPolicy};
+pub use journal::{load_events, replay, ResumeState, RunEvent, RunJournal, CRASH_EXIT_CODE};
 pub use logger::TrialLogger;
 pub use scheduler::{AsyncHyperBand, Decision, Fifo, MedianStopping, Scheduler, TracingScheduler};
 pub use searcher::{ConcurrencyLimiter, GridSearch, RandomSearch, Searcher, SkOptSearch};
-pub use trial::{Attempt, Trial, TrialStatus};
+pub use trial::{Attempt, Trial, TrialError, TrialStatus};
 pub use tuner::{TrialContext, Tuner};

@@ -3,10 +3,13 @@
 //! A [`TrialLogger`] appends one JSON-lines record per finished trial to
 //! `trials.jsonl` in the experiment directory, and the intermediate
 //! reports of each trial to `trial_<id>/progress.csv`. Everything is
-//! plain-text, deterministic and append-only — the logging half of the
-//! Phase III reproducibility story.
+//! plain-text and deterministic — the logging half of the Phase III
+//! reproducibility story. Crash-safe runs use [`TrialLogger::write_all`],
+//! which atomically rewrites the whole log from the settled trial set so
+//! a resumed run converges on the same bytes as an uninterrupted one.
 
 use crate::trial::{Trial, TrialStatus};
+use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
@@ -49,6 +52,32 @@ impl TrialLogger {
         Ok(())
     }
 
+    /// Atomically (re)write the whole log from a finished trial set:
+    /// `trials.jsonl` and every per-trial progress file are replaced via
+    /// tmp+rename, so a crash mid-write leaves the previous snapshot
+    /// intact and a resumed run overwrites stale pre-crash lines instead
+    /// of appending duplicates.
+    pub fn write_all(&self, trials: &[Trial]) -> io::Result<()> {
+        let mut jsonl = String::new();
+        for trial in trials {
+            jsonl.push_str(&Self::to_json(trial));
+            jsonl.push('\n');
+        }
+        e2c_journal::write_atomic(&self.root.join("trials.jsonl"), jsonl.as_bytes())?;
+        for trial in trials {
+            if trial.reports.is_empty() {
+                continue;
+            }
+            let mut csv = String::from("iteration,value\n");
+            for (iter, value) in &trial.reports {
+                let _ = writeln!(csv, "{iter},{value}");
+            }
+            let dir = self.root.join(format!("trial_{}", trial.id));
+            e2c_journal::write_atomic(&dir.join("progress.csv"), csv.as_bytes())?;
+        }
+        Ok(())
+    }
+
     /// Serialize a trial as one JSON object (hand-rolled: flat structure,
     /// no external JSON dependency). The retry layer's bookkeeping rides
     /// along: `attempts` is the execution count and `failures` holds the
@@ -73,8 +102,8 @@ impl TrialLogger {
         let failures = trial
             .attempts
             .iter()
-            .filter_map(|a| a.error.as_deref())
-            .map(json_escape)
+            .filter_map(|a| a.error.as_ref())
+            .map(|e| json_escape(&e.to_string()))
             .collect::<Vec<_>>()
             .join(",");
         format!(
@@ -185,12 +214,13 @@ mod tests {
 
     #[test]
     fn retried_trial_records_attempts_and_escaped_failures() {
+        use crate::trial::TrialError;
         let mut t = Trial::new(2, vec![3.0]);
         t.status = TrialStatus::Terminated(1.0);
         t.attempts = vec![
             Attempt {
                 index: 0,
-                error: Some("boom \"quoted\"\nline".into()),
+                error: Some(TrialError::Panicked("boom \"quoted\"\nline".into())),
                 secs: 0.1,
             },
             Attempt {
@@ -204,6 +234,37 @@ mod tests {
             line,
             "{\"id\":2,\"status\":\"terminated\",\"config\":[3],\"value\":1,\"iterations\":0,\"attempts\":2,\"failures\":[\"boom \\\"quoted\\\"\\nline\"]}"
         );
+    }
+
+    #[test]
+    fn write_all_replaces_stale_lines_and_matches_append_logging() {
+        let append_dir = tmp("writeall-append");
+        let rewrite_dir = tmp("writeall-rewrite");
+        let _ = std::fs::remove_dir_all(&append_dir);
+        let _ = std::fs::remove_dir_all(&rewrite_dir);
+        let mut t0 = Trial::new(0, vec![1.0]);
+        t0.status = TrialStatus::Terminated(1.0);
+        t0.reports = vec![(1, 1.0)];
+        let mut t1 = Trial::new(1, vec![2.0]);
+        t1.status = TrialStatus::Failed("broke".into());
+
+        let appender = TrialLogger::new(&append_dir).unwrap();
+        appender.log(&t0).unwrap();
+        appender.log(&t1).unwrap();
+
+        // A stale pre-crash line must be overwritten, not appended to.
+        let rewriter = TrialLogger::new(&rewrite_dir).unwrap();
+        rewriter.log(&t0).unwrap();
+        rewriter.write_all(&[t0, t1]).unwrap();
+
+        let a = std::fs::read_to_string(append_dir.join("trials.jsonl")).unwrap();
+        let b = std::fs::read_to_string(rewrite_dir.join("trials.jsonl")).unwrap();
+        assert_eq!(a, b);
+        let a = std::fs::read_to_string(append_dir.join("trial_0/progress.csv")).unwrap();
+        let b = std::fs::read_to_string(rewrite_dir.join("trial_0/progress.csv")).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&append_dir).unwrap();
+        std::fs::remove_dir_all(&rewrite_dir).unwrap();
     }
 
     #[test]

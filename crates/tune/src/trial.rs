@@ -1,6 +1,70 @@
 //! Trial records.
 
 use e2c_optim::space::Point;
+use std::fmt;
+
+/// Why one execution attempt failed — typed, so the journal can replay a
+/// failure exactly and callers can distinguish a worker panic from an
+/// overrun deadline without string matching.
+///
+/// `Display` renders the exact failure strings the untyped layer used
+/// (raw panic payloads, `non-finite metric <v>`, `deadline exceeded`),
+/// which keeps `evaluations.csv` / `trials.jsonl` byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialError {
+    /// The objective (or a worker-side component) panicked; the payload
+    /// rides along verbatim.
+    Panicked(String),
+    /// The objective returned a non-finite metric; the rendered value
+    /// (`NaN`, `inf`, ...) rides along.
+    NonFinite(String),
+    /// The attempt overran its wall-clock budget.
+    DeadlineExceeded,
+    /// A scripted [`FaultPlan`](crate::fault::FaultPlan) fault failed the
+    /// attempt; the full injected message rides along.
+    Injected(String),
+}
+
+impl TrialError {
+    /// Stable token for the journal wire format.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TrialError::Panicked(_) => "panicked",
+            TrialError::NonFinite(_) => "nonfinite",
+            TrialError::DeadlineExceeded => "deadline",
+            TrialError::Injected(_) => "injected",
+        }
+    }
+
+    /// The variant's payload ("" for payload-free variants).
+    pub fn payload(&self) -> &str {
+        match self {
+            TrialError::Panicked(s) | TrialError::NonFinite(s) | TrialError::Injected(s) => s,
+            TrialError::DeadlineExceeded => "",
+        }
+    }
+
+    /// Rebuild from the journal wire format.
+    pub fn from_parts(kind: &str, payload: &str) -> Result<TrialError, String> {
+        match kind {
+            "panicked" => Ok(TrialError::Panicked(payload.to_string())),
+            "nonfinite" => Ok(TrialError::NonFinite(payload.to_string())),
+            "deadline" => Ok(TrialError::DeadlineExceeded),
+            "injected" => Ok(TrialError::Injected(payload.to_string())),
+            other => Err(format!("unknown trial error kind `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialError::Panicked(s) | TrialError::Injected(s) => f.write_str(s),
+            TrialError::NonFinite(v) => write!(f, "non-finite metric {v}"),
+            TrialError::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
 
 /// Lifecycle state of a trial.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,8 +111,8 @@ impl TrialStatus {
 pub struct Attempt {
     /// 0-based attempt index.
     pub index: u32,
-    /// `None` on success; the failure reason otherwise.
-    pub error: Option<String>,
+    /// `None` on success; the typed failure otherwise.
+    pub error: Option<TrialError>,
     /// Wall-clock duration of the attempt, in seconds.
     pub secs: f64,
 }
@@ -150,7 +214,7 @@ mod tests {
         assert_eq!(t.retries(), 0);
         t.attempts.push(Attempt {
             index: 0,
-            error: Some("boom".into()),
+            error: Some(TrialError::Panicked("boom".into())),
             secs: 0.1,
         });
         t.attempts.push(Attempt {
@@ -165,5 +229,38 @@ mod tests {
         assert!(t.attempts[1].succeeded());
         assert_eq!(TrialStatus::Failed("x".into()).failure(), Some("x"));
         assert_eq!(t.status.failure(), None);
+    }
+
+    #[test]
+    fn trial_error_display_is_byte_stable() {
+        assert_eq!(
+            TrialError::Panicked("boom at 3".into()).to_string(),
+            "boom at 3"
+        );
+        assert_eq!(
+            TrialError::NonFinite("NaN".into()).to_string(),
+            "non-finite metric NaN"
+        );
+        assert_eq!(
+            TrialError::DeadlineExceeded.to_string(),
+            "deadline exceeded"
+        );
+        assert_eq!(
+            TrialError::Injected("injected fault: fail (attempt 0)".into()).to_string(),
+            "injected fault: fail (attempt 0)"
+        );
+    }
+
+    #[test]
+    fn trial_error_round_trips_through_parts() {
+        for e in [
+            TrialError::Panicked("p".into()),
+            TrialError::NonFinite("inf".into()),
+            TrialError::DeadlineExceeded,
+            TrialError::Injected("i".into()),
+        ] {
+            assert_eq!(TrialError::from_parts(e.kind(), e.payload()).unwrap(), e);
+        }
+        assert!(TrialError::from_parts("bogus", "").is_err());
     }
 }

@@ -15,13 +15,14 @@
 use crate::analysis::Analysis;
 use crate::clock;
 use crate::fault::{FaultAction, FaultPlan, RetryPolicy};
+use crate::journal::{ResumeState, RunEvent, RunJournal};
 use crate::scheduler::{Decision, Scheduler};
 use crate::searcher::Searcher;
-use crate::trial::{Attempt, Trial, TrialStatus};
+use crate::trial::{Attempt, Trial, TrialError, TrialStatus};
 use e2c_optim::space::Point;
 use e2c_trace::Fields;
 use parking_lot::{Condvar, Mutex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -56,6 +57,7 @@ pub struct TrialContext<'a> {
     pub attempt: u32,
     mode: Mode,
     scheduler: &'a dyn Scheduler,
+    journal: Option<&'a RunJournal>,
     reports: Vec<(u64, f64)>,
     stopped: bool,
     deadline: Option<Instant>,
@@ -81,6 +83,18 @@ impl<'a> TrialContext<'a> {
             .on_report(self.trial_id, iteration, normalized);
         if d == Decision::Stop {
             self.stopped = true;
+        }
+        // Journal the report *with* the scheduler's verdict so resume can
+        // verify the replayed scheduler reproduces every decision.
+        // Deadline-shortcut stops above never consult the scheduler and
+        // are not journaled (the re-run regenerates them).
+        if let Some(j) = self.journal {
+            j.append(&RunEvent::Report {
+                trial: self.trial_id,
+                iteration,
+                normalized,
+                stop: d == Decision::Stop,
+            });
         }
         d
     }
@@ -176,6 +190,14 @@ pub struct Tuner {
     /// Optional trace sink for the worker lifecycle (ask → execute →
     /// retry/fault → tell), keyed by the tracer's virtual clock.
     pub tracer: Option<e2c_trace::Tracer>,
+    /// Optional write-ahead run journal: every ask/report/attempt/tell is
+    /// appended (fsync'd) before the run proceeds, making the run
+    /// crash-resumable.
+    pub journal: Option<RunJournal>,
+    /// State recovered by [`crate::journal::replay`] when resuming a
+    /// journaled run: settled trials, dangling trials to re-execute, and
+    /// the continuation id.
+    pub resume: Option<ResumeState>,
 }
 
 impl Tuner {
@@ -194,6 +216,8 @@ impl Tuner {
             faults: FaultPlan::new(),
             seed: 0,
             tracer: None,
+            journal: None,
+            resume: None,
         }
     }
 
@@ -239,6 +263,18 @@ impl Tuner {
         self
     }
 
+    /// Attach a write-ahead run journal (crash safety).
+    pub fn journal(mut self, journal: RunJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Continue from replayed journal state instead of starting fresh.
+    pub fn resume(mut self, resume: ResumeState) -> Self {
+        self.resume = Some(resume);
+        self
+    }
+
     /// Execute the experiment. The objective receives the configuration
     /// and a [`TrialContext`]; it returns the final metric value (user
     /// orientation). Panicking, non-finite or deadline-overrunning
@@ -255,10 +291,17 @@ impl Tuner {
     where
         F: Fn(&Point, &mut TrialContext<'_>) -> f64 + Send + Sync,
     {
+        let resume = self.resume.clone().unwrap_or_else(ResumeState::empty);
         let searcher = Mutex::new(searcher);
-        let trials: Mutex<Vec<Trial>> = Mutex::new(Vec::with_capacity(self.num_samples));
-        let next_id = AtomicU64::new(0);
-        let worst_seen = Mutex::new(f64::NEG_INFINITY);
+        let trials: Mutex<Vec<Trial>> = Mutex::new(resume.trials);
+        let next_id = AtomicU64::new(resume.next_id);
+        let worst_seen = Mutex::new(resume.worst_seen);
+        // Dangling trials from a resumed journal: asked pre-crash but
+        // never settled. They re-execute from attempt 0 with their
+        // journaled configuration (no fresh suggest — the replay already
+        // advanced the searcher past their asks).
+        let pending: Mutex<VecDeque<(u64, Point)>> =
+            Mutex::new(resume.pending.into_iter().collect());
         let exhausted = AtomicBool::new(false);
         let live_workers = AtomicUsize::new(self.workers);
         let wake = Wake::new();
@@ -269,9 +312,10 @@ impl Tuner {
         let objective = &objective;
         let scheduler = &*scheduler;
         let tracer = self.tracer.as_ref();
+        let journal = self.journal.as_ref();
         let (searcher, trials, worst_seen) = (&searcher, &trials, &worst_seen);
         let (next_id, exhausted, live_workers) = (&next_id, &exhausted, &live_workers);
-        let (wake, watch) = (&wake, &watch);
+        let (wake, watch, pending) = (&wake, &watch, &pending);
 
         crossbeam::thread::scope(|scope| {
             // Deadline watchdog: sweeps running attempts and flags the
@@ -293,38 +337,78 @@ impl Tuner {
             for _ in 0..self.workers {
                 scope.spawn(move |_| {
                     let work = || loop {
-                        let id = next_id.fetch_add(1, Ordering::SeqCst);
-                        if id >= self.num_samples as u64 {
-                            return;
-                        }
-                        // Obtain a suggestion, waiting out concurrency
-                        // limits parked on the condvar (woken by observe).
-                        let config = loop {
-                            if exhausted.load(Ordering::SeqCst) {
+                        // Dangling trials of a resumed run come first;
+                        // their configurations are already journaled, so
+                        // re-execution starts with a Restart marker that
+                        // tells future replays to discard the pre-crash
+                        // partial records.
+                        let resumed = pending.lock().pop_front();
+                        let (id, config) = if let Some((id, config)) = resumed {
+                            if let Some(j) = journal {
+                                j.append(&RunEvent::Restart { trial: id });
+                            }
+                            (id, config)
+                        } else {
+                            let id = next_id.fetch_add(1, Ordering::SeqCst);
+                            if id >= self.num_samples as u64 {
                                 return;
                             }
-                            let seen = wake.generation();
-                            let suggestion = searcher.lock().suggest(id);
-                            match suggestion {
-                                Some(p) => break p,
-                                None => {
-                                    // Either concurrency-limited (an
-                                    // observe will wake us) or the
-                                    // searcher is done. A grid that ran
-                                    // dry while nothing is running can
-                                    // never produce again.
-                                    let nothing_running = {
-                                        let t = trials.lock();
-                                        t.iter().all(|tr| tr.status.is_finished())
-                                    };
-                                    if nothing_running {
-                                        exhausted.store(true, Ordering::SeqCst);
-                                        wake.notify();
-                                        return;
-                                    }
-                                    wake.wait_past(seen, SUGGEST_WAIT);
+                            // Obtain a suggestion, waiting out concurrency
+                            // limits parked on the condvar (woken by
+                            // observe).
+                            let config = loop {
+                                if exhausted.load(Ordering::SeqCst) {
+                                    return;
                                 }
-                            }
+                                let seen = wake.generation();
+                                let suggestion = {
+                                    let mut s = searcher.lock();
+                                    match catch_unwind(AssertUnwindSafe(|| s.suggest(id))) {
+                                        Ok(p) => {
+                                            // Journal the ask under the
+                                            // searcher lock: journal order
+                                            // must equal RNG draw order.
+                                            if let (Some(j), Some(p)) = (journal, p.as_ref()) {
+                                                j.append(&RunEvent::Ask {
+                                                    trial: id,
+                                                    config: p.clone(),
+                                                });
+                                            }
+                                            p
+                                        }
+                                        Err(_) => {
+                                            // A panicking searcher cannot
+                                            // drive the run further; wind
+                                            // down instead of poisoning
+                                            // every worker.
+                                            exhausted.store(true, Ordering::SeqCst);
+                                            wake.notify();
+                                            return;
+                                        }
+                                    }
+                                };
+                                match suggestion {
+                                    Some(p) => break p,
+                                    None => {
+                                        // Either concurrency-limited (an
+                                        // observe will wake us) or the
+                                        // searcher is done. A grid that ran
+                                        // dry while nothing is running can
+                                        // never produce again.
+                                        let nothing_running = {
+                                            let t = trials.lock();
+                                            t.iter().all(|tr| tr.status.is_finished())
+                                        };
+                                        if nothing_running {
+                                            exhausted.store(true, Ordering::SeqCst);
+                                            wake.notify();
+                                            return;
+                                        }
+                                        wake.wait_past(seen, SUGGEST_WAIT);
+                                    }
+                                }
+                            };
+                            (id, config)
                         };
                         if let Some(tr) = tracer {
                             tr.point(
@@ -364,6 +448,7 @@ impl Tuner {
                                 attempt,
                                 mode: self.mode,
                                 scheduler,
+                                journal,
                                 reports: Vec::new(),
                                 stopped: false,
                                 deadline,
@@ -384,10 +469,16 @@ impl Tuner {
                                 }
                                 tr.point("tuner", "attempt", Some(id), f);
                             }
-                            let outcome = match fault {
-                                Some(FaultAction::Fail) => {
-                                    Err(format!("injected fault: fail (attempt {attempt})"))
-                                }
+                            // Whether the user objective actually runs for
+                            // this attempt (injected Fail/Nan short-circuit
+                            // it). The journaled `raw` value mirrors this:
+                            // it carries exactly the objective returns an
+                            // uninterrupted run would have produced.
+                            let invoked = matches!(fault, None | Some(FaultAction::Delay(_)));
+                            let outcome: Result<f64, TrialError> = match fault {
+                                Some(FaultAction::Fail) => Err(TrialError::Injected(format!(
+                                    "injected fault: fail (attempt {attempt})"
+                                ))),
                                 Some(FaultAction::Nan) => Ok(f64::NAN),
                                 Some(FaultAction::Delay(d)) => {
                                     // detlint: allow(DET004) injected-fault delay: reproduces a configured, deterministic slowdown
@@ -404,13 +495,18 @@ impl Tuner {
                                 || deadline.is_some_and(|d| clock::now() >= d);
                             let stopped = ctx.stopped;
                             reports = ctx.reports;
+                            let raw = if invoked {
+                                outcome.as_ref().ok().copied()
+                            } else {
+                                None
+                            };
                             let (error, value) = if overran {
-                                (Some("deadline exceeded".to_string()), None)
+                                (Some(TrialError::DeadlineExceeded), None)
                             } else {
                                 match outcome {
                                     Ok(v) if v.is_finite() => (None, Some(v)),
-                                    Ok(v) => (Some(format!("non-finite metric {v}")), None),
-                                    Err(msg) => (Some(msg), None),
+                                    Ok(v) => (Some(TrialError::NonFinite(format!("{v}"))), None),
+                                    Err(e) => (Some(e), None),
                                 }
                             };
                             attempts.push(Attempt {
@@ -418,14 +514,23 @@ impl Tuner {
                                 error: error.clone(),
                                 secs,
                             });
-                            if let (Some(tr), Some(msg)) = (tracer, &error) {
+                            if let Some(j) = journal {
+                                j.append(&RunEvent::Attempt {
+                                    trial: id,
+                                    index: attempt,
+                                    secs,
+                                    raw,
+                                    error: error.clone(),
+                                });
+                            }
+                            if let (Some(tr), Some(e)) = (tracer, &error) {
                                 tr.point(
                                     "tuner",
                                     "attempt_failed",
                                     Some(id),
                                     e2c_trace::fields([
                                         ("attempt", u64::from(attempt).into()),
-                                        ("error", msg.as_str().into()),
+                                        ("error", e.to_string().into()),
                                     ]),
                                 );
                             }
@@ -445,7 +550,7 @@ impl Tuner {
                                 };
                                 break (status, normalized);
                             }
-                            let reason = error.unwrap_or_default();
+                            let reason = error.map(|e| e.to_string()).unwrap_or_default();
                             if attempts.len() as u32 >= self.retry.max_attempts() {
                                 let penalty = self.failure_penalty(worst_seen);
                                 break (TrialStatus::Failed(reason), penalty);
@@ -488,24 +593,67 @@ impl Tuner {
                                 ]),
                             );
                         }
-                        searcher.lock().observe(id, feedback);
-                        if let Some(tr) = tracer {
-                            tr.point(
-                                "searcher",
-                                "tell",
-                                Some(id),
-                                e2c_trace::fields([("value", feedback.into())]),
-                            );
-                        }
+                        // A panicking searcher must not poison the run: the
+                        // trial is marked failed and the run winds down
+                        // with every settled result intact.
+                        let observed = {
+                            let mut s = searcher.lock();
+                            catch_unwind(AssertUnwindSafe(|| s.observe(id, feedback)))
+                        };
+                        let status = match observed {
+                            Ok(()) => {
+                                if let Some(tr) = tracer {
+                                    tr.point(
+                                        "searcher",
+                                        "tell",
+                                        Some(id),
+                                        e2c_trace::fields([("value", feedback.into())]),
+                                    );
+                                }
+                                if let Some(j) = journal {
+                                    let token = match &status {
+                                        TrialStatus::StoppedEarly(_) => "stopped_early",
+                                        TrialStatus::Failed(_) => "failed",
+                                        _ => "terminated",
+                                    };
+                                    // The trace mark taken *after* the tell
+                                    // point: resume truncates the streamed
+                                    // trace here and restores the virtual
+                                    // clock, so re-executed trials land on
+                                    // the same (seq, vt) slots.
+                                    let trace_mark = tracer.map(|tr| (tr.len() as u64, tr.now()));
+                                    j.append(&RunEvent::Tell {
+                                        trial: id,
+                                        feedback,
+                                        status: token.to_string(),
+                                        value: status.value(),
+                                        trace_mark,
+                                    });
+                                }
+                                status
+                            }
+                            Err(panic) => {
+                                exhausted.store(true, Ordering::SeqCst);
+                                TrialStatus::Failed(
+                                    TrialError::Panicked(format!(
+                                        "searcher observe panicked: {}",
+                                        panic_message(panic.as_ref(), "observe panicked")
+                                    ))
+                                    .to_string(),
+                                )
+                            }
+                        };
                         wake.notify();
-                        let mut t = trials.lock();
-                        let trial = t
-                            .iter_mut()
-                            .find(|tr| tr.id == id)
-                            .expect("trial recorded at start");
-                        trial.reports = reports;
-                        trial.attempts = attempts;
-                        trial.status = status;
+                        {
+                            let mut t = trials.lock();
+                            let trial = t
+                                .iter_mut()
+                                .find(|tr| tr.id == id)
+                                .expect("trial recorded at start");
+                            trial.reports = reports;
+                            trial.attempts = attempts;
+                            trial.status = status;
+                        }
                     };
                     work();
                     live_workers.fetch_sub(1, Ordering::SeqCst);
@@ -543,22 +691,26 @@ fn fmt_point(p: &Point) -> String {
     out
 }
 
-/// Run the user objective, converting panics into error strings.
+/// Extract a printable message from a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send), fallback: &str) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| fallback.to_string())
+}
+
+/// Run the user objective, converting panics into typed errors.
 fn run_objective<F>(
     objective: &F,
     config: &Point,
     ctx: &mut TrialContext<'_>,
-) -> Result<f64, String>
+) -> Result<f64, TrialError>
 where
     F: Fn(&Point, &mut TrialContext<'_>) -> f64 + Send + Sync,
 {
-    catch_unwind(AssertUnwindSafe(|| objective(config, ctx))).map_err(|panic| {
-        panic
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| panic.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "objective panicked".to_string())
-    })
+    catch_unwind(AssertUnwindSafe(|| objective(config, ctx)))
+        .map_err(|panic| TrialError::Panicked(panic_message(panic.as_ref(), "objective panicked")))
 }
 
 #[cfg(test)]
@@ -769,11 +921,12 @@ mod tests {
         assert_eq!(flaky.attempt_count(), 2);
         assert_eq!(flaky.retries(), 1);
         assert!(!flaky.attempts[0].succeeded());
-        assert!(flaky.attempts[0]
-            .error
-            .as_deref()
-            .unwrap()
-            .contains("injected fault"));
+        assert_eq!(
+            flaky.attempts[0].error,
+            Some(TrialError::Injected(
+                "injected fault: fail (attempt 0)".into()
+            ))
+        );
         assert!(flaky.attempts[1].succeeded());
         // The flaky trial's true value wins the experiment.
         assert_eq!(analysis.best_trial().unwrap().id, 1);
@@ -808,11 +961,119 @@ mod tests {
         );
         let t = &analysis.trials()[0];
         assert_eq!(t.status, TrialStatus::Terminated(7.0));
-        assert!(t.attempts[0]
-            .error
-            .as_deref()
-            .unwrap()
-            .contains("non-finite"));
+        assert_eq!(
+            t.attempts[0].error,
+            Some(TrialError::NonFinite("NaN".into()))
+        );
+    }
+
+    #[test]
+    fn panicking_searcher_observe_fails_the_trial_without_poisoning_the_run() {
+        /// Suggests fine, panics the first time it is told a result.
+        struct Grumpy {
+            inner: GridSearch,
+        }
+        impl Searcher for Grumpy {
+            fn space(&self) -> &Space {
+                self.inner.space()
+            }
+            fn suggest(&mut self, trial_id: u64) -> Option<Point> {
+                self.inner.suggest(trial_id)
+            }
+            fn observe(&mut self, _trial_id: u64, _value: f64) {
+                panic!("observe exploded");
+            }
+        }
+        let tuner = Tuner::new(4, 1, Mode::Min);
+        let analysis = tuner.run(
+            Box::new(Grumpy {
+                inner: GridSearch::from_points(
+                    space(),
+                    vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+                ),
+            }),
+            Arc::new(Fifo),
+            |cfg, _| cfg[0],
+        );
+        // The run returns normally; the stricken trial is typed-failed.
+        let t = &analysis.trials()[0];
+        assert!(
+            matches!(&t.status, TrialStatus::Failed(r) if r.contains("observe exploded")),
+            "{:?}",
+            t.status
+        );
+    }
+
+    #[test]
+    fn journaled_run_resumes_from_a_wal_prefix_with_identical_results() {
+        use crate::journal::{load_events, replay, RunJournal};
+
+        let dir = std::env::temp_dir().join(format!("e2c-tuner-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            Tuner::new(6, 1, Mode::Min)
+                .retry_policy(fast_retries(1))
+                .faults(FaultPlan::new().fail(2, 0))
+                .seed(5)
+        };
+        let make_searcher = || Box::new(RandomSearch::new(space(), 41));
+        let objective = |cfg: &Point, _: &mut TrialContext<'_>| (cfg[0] - 9.0).powi(2);
+
+        // Baseline: one uninterrupted journaled run.
+        let full_wal = dir.join("full.wal");
+        let journal = RunJournal::new(e2c_journal::Wal::create(&full_wal).unwrap(), None);
+        journal.append(&RunEvent::Meta {
+            fingerprint: "t".into(),
+        });
+        let baseline = build()
+            .journal(journal)
+            .run(make_searcher(), Arc::new(Fifo), objective);
+        let events = load_events(&full_wal).unwrap();
+        assert!(events.len() > 6, "expected a meaty journal");
+
+        // Cut the journal at every boundary, resume, and compare.
+        for cut in 1..events.len() {
+            let part = dir.join(format!("cut-{cut}.wal"));
+            let mut wal = e2c_journal::Wal::create(&part).unwrap();
+            for ev in &events[..cut] {
+                wal.append(ev.to_line().as_bytes()).unwrap();
+            }
+            drop(wal);
+            let (wal, records) = e2c_journal::Wal::open(&part).unwrap();
+            let replayed: Vec<RunEvent> = records
+                .iter()
+                .map(|r| RunEvent::parse(std::str::from_utf8(r).unwrap()).unwrap())
+                .collect();
+            let mut searcher = make_searcher();
+            let state = replay(&replayed, searcher.as_mut(), &Fifo, Mode::Min).unwrap();
+            let resumed = build()
+                .journal(RunJournal::new(wal, None))
+                .resume(state)
+                .run(searcher, Arc::new(Fifo), objective);
+            assert_eq!(
+                resumed.trials().len(),
+                baseline.trials().len(),
+                "cut at {cut}"
+            );
+            for (a, b) in baseline.trials().iter().zip(resumed.trials()) {
+                assert_eq!(a.id, b.id, "cut at {cut}");
+                assert_eq!(a.config, b.config, "cut at {cut}");
+                assert_eq!(a.status, b.status, "cut at {cut}");
+                assert_eq!(a.reports, b.reports, "cut at {cut}");
+                assert_eq!(
+                    a.attempts
+                        .iter()
+                        .map(|x| (x.index, x.error.clone()))
+                        .collect::<Vec<_>>(),
+                    b.attempts
+                        .iter()
+                        .map(|x| (x.index, x.error.clone()))
+                        .collect::<Vec<_>>(),
+                    "cut at {cut}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod tests {
         let d = Diurnal::default();
         assert!((d.factor(14.0) - 1.6).abs() < 1e-9);
         assert!((d.factor(2.0) - 0.15).abs() < 1e-9); // 12h opposite
-        // Monotone rise through the morning.
+                                                      // Monotone rise through the morning.
         assert!(d.factor(8.0) < d.factor(11.0));
         assert!(d.factor(11.0) < d.factor(14.0));
     }

@@ -89,15 +89,13 @@ fn main() {
     for (w_latency, w_cost) in [(1.0, 0.0), (1.0, 1.0), (1.0, 5.0), (1.0, 25.0), (0.0, 1.0)] {
         let topo_obj = topo.clone();
         let topo_con = topo.clone();
-        let problem = OptimizationProblem::single(
-            space.clone(),
-            "latency",
-            Sense::Minimize,
-            move |p| latency(p, &topo_obj),
-        )
-        .and_objective("comm_cost", Sense::Minimize, comm_cost)
-        // The paper's example constraint: response time below a bound.
-        .subject_to(move |p| latency(p, &topo_con) - 3.0);
+        let problem =
+            OptimizationProblem::single(space.clone(), "latency", Sense::Minimize, move |p| {
+                latency(p, &topo_obj)
+            })
+            .and_objective("comm_cost", Sense::Minimize, comm_cost)
+            // The paper's example constraint: response time below a bound.
+            .subject_to(move |p| latency(p, &topo_con) - 3.0);
 
         let mut de = DifferentialEvolution::new(11);
         let mut objective = |p: &[f64]| problem.penalized(p, Some(&[w_latency, w_cost]));

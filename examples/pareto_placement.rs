@@ -72,14 +72,16 @@ fn main() {
             .expect("finite objectives")
     });
 
-    let mut table = Table::new(["placement(pre,extract,search)", "latency(s)", "comm_cost(m$)"]);
+    let mut table = Table::new([
+        "placement(pre,extract,search)",
+        "latency(s)",
+        "comm_cost(m$)",
+    ]);
     for sol in &front {
         table.row([
             format!(
                 "({},{},{})",
-                LAYERS[sol.x[0] as usize],
-                LAYERS[sol.x[1] as usize],
-                LAYERS[sol.x[2] as usize]
+                LAYERS[sol.x[0] as usize], LAYERS[sol.x[1] as usize], LAYERS[sol.x[2] as usize]
             ),
             format!("{:.3}", sol.objectives[0]),
             format!("{:.2}", sol.objectives[1]),

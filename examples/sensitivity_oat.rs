@@ -40,7 +40,13 @@ fn main() {
         .map(|p| evaluate(p, 42))
         .collect();
 
-    let mut table = Table::new(["variable", "center_resp(s)", "best_value", "best_resp(s)", "range(s)"]);
+    let mut table = Table::new([
+        "variable",
+        "center_resp(s)",
+        "best_value",
+        "best_resp(s)",
+        "range(s)",
+    ]);
     for effect in oat_effects(&plan, &outputs) {
         table.row([
             space.names()[effect.dim].clone(),

@@ -63,8 +63,7 @@ pub mod optim {
     pub use e2c_optim::bayes::BayesOpt;
     pub use e2c_optim::linalg;
     pub use e2c_optim::metaheuristics::{
-        DifferentialEvolution, GeneticAlgorithm, Metaheuristic, ParticleSwarm,
-        SimulatedAnnealing,
+        DifferentialEvolution, GeneticAlgorithm, Metaheuristic, ParticleSwarm, SimulatedAnnealing,
     };
     pub use e2c_optim::pareto::{Nsga2, ParetoSolution};
     pub use e2c_optim::problem::{OptimizationProblem, Sense};

@@ -52,6 +52,9 @@ fn rt_engine_response_has_sane_absolute_scale() {
     // means (~1.3 model seconds) in both backends.
     let des = des_response(PoolConfig::baseline(), 1);
     let rt = rt_response(PoolConfig::baseline(), 1);
-    assert!((0.8..2.5).contains(&des), "DES single-client response {des}");
+    assert!(
+        (0.8..2.5).contains(&des),
+        "DES single-client response {des}"
+    );
     assert!((0.8..3.5).contains(&rt), "RT single-client response {rt}");
 }

@@ -77,7 +77,12 @@ fn archive_round_trips_through_the_filesystem() {
         .run(|ctx| objective(&ctx.point, 100 + ctx.trial_id));
 
     // Phase III files exist.
-    for file in ["problem.yaml", "summary.txt", "evaluations.csv", "best.yaml"] {
+    for file in [
+        "problem.yaml",
+        "summary.txt",
+        "evaluations.csv",
+        "best.yaml",
+    ] {
         assert!(dir.join(file).is_file(), "missing {file}");
     }
     // problem.yaml re-parses into the same schema.

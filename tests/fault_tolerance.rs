@@ -93,8 +93,8 @@ fn engine_crash_is_retried_and_recovers_with_the_true_metric() {
     assert!(
         flaky.attempts[0]
             .error
-            .as_deref()
-            .is_some_and(|e| e.contains("non-finite")),
+            .as_ref()
+            .is_some_and(|e| e.to_string().contains("non-finite")),
         "first attempt should record the NaN failure: {:?}",
         flaky.attempts
     );

@@ -22,7 +22,11 @@ fn fig3_response_grows_with_simultaneous_requests() {
         .collect();
     assert!(resp[0] < resp[1] && resp[1] < resp[2], "{resp:?}");
     // The 4-second knee falls beyond ~120 requests (Fig. 3).
-    assert!(resp[1] < 4.0, "100 clients should be under 4 s: {}", resp[1]);
+    assert!(
+        resp[1] < 4.0,
+        "100 clients should be under 4 s: {}",
+        resp[1]
+    );
     assert!(resp[2] > 4.0, "140 clients should be over 4 s: {}", resp[2]);
 }
 
@@ -73,7 +77,10 @@ fn fig9_extract_pool_busy_falls_once_cpu_binds() {
     let at6 = busy(6);
     let at9 = busy(9);
     assert!(at6 > 0.97, "extract=6 pool must be pinned: {at6}");
-    assert!(at9 < at6 - 0.1, "extract=9 pool must starve: {at9} vs {at6}");
+    assert!(
+        at9 < at6 - 0.1,
+        "extract=9 pool must starve: {at9} vs {at6}"
+    );
 }
 
 #[test]

@@ -80,12 +80,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($lhs:expr, $rhs:expr $(,)?) => {{
         let (lhs, rhs) = (&$lhs, &$rhs);
-        $crate::prop_assert!(
-            *lhs != *rhs,
-            "assertion failed: `{:?}` == `{:?}`",
-            lhs,
-            rhs
-        );
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: `{:?}` == `{:?}`", lhs, rhs);
     }};
 }
 
@@ -204,9 +199,11 @@ mod tests {
             Leaf(i64),
             Node(Vec<Tree>),
         }
-        let strat = any::<i64>().prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
-            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = any::<i64>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
         let mut rng = crate::test_runner::TestRng::deterministic("recursive");
         fn depth(t: &Tree) -> usize {
             match t {

@@ -153,7 +153,9 @@ mod tests {
         let mut rng = TestRng::deterministic("string3");
         for _ in 0..50 {
             let s = super::generate("[a-c\\- ]{1,8}", &mut rng);
-            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == '-' || c == ' '));
+            assert!(s
+                .chars()
+                .all(|c| ('a'..='c').contains(&c) || c == '-' || c == ' '));
         }
     }
 
