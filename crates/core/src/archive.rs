@@ -326,11 +326,13 @@ optimization:
                 index: 0,
                 error: Some(TrialError::Panicked("panic: broken, pipe".into())),
                 secs: 0.1,
+                raw: None,
             },
             Attempt {
                 index: 1,
                 error: None,
                 secs: 0.1,
+                raw: Some(2.5),
             },
         ];
         let mut doomed = Trial::new(1, vec![20.0, 3.0]);
@@ -339,6 +341,7 @@ optimization:
             index: 0,
             error: Some(TrialError::DeadlineExceeded),
             secs: 0.2,
+            raw: None,
         }];
         let analysis = Analysis::new(
             "plantnet_engine".into(),

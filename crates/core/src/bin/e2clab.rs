@@ -25,10 +25,12 @@
 //!     DES batches, engine queue depths) to `DIR/trace.jsonl`, plus
 //!     Prometheus text snapshots: `DIR/metrics.prom` for the cycle and
 //!     `DIR/cycles/cycle_<trial>.prom` per evaluated trial.
-//!     `--replay-check` runs the same seeded cycle twice (sequentially)
-//!     and byte-diffs `evaluations.csv` and `trials/trials.jsonl` — and,
-//!     with `--trace`, every trace artifact — between the two runs: a
-//!     self-check that the run is actually replayable.
+//!     `--replay-check` runs the same seeded cycle twice (at the
+//!     configured `max_concurrent` — the commit sequencer makes even
+//!     concurrent cycles replay bit-exactly) and byte-diffs
+//!     `evaluations.csv` and `trials/trials.jsonl` — and, with `--trace`,
+//!     every trace artifact — between the two runs: a self-check that the
+//!     run is actually replayable.
 //!     `--journal DIR` makes the run crash-safe: every searcher ask/tell,
 //!     scheduler decision and attempt outcome is appended (fsync'd) to a
 //!     write-ahead log in `DIR` before taking effect; `--resume DIR`
@@ -36,7 +38,9 @@
 //!     sequence deterministically) and converges on byte-identical
 //!     artifacts; `--crash-at N` is the chaos knob — the process exits
 //!     (code 86) right after the Nth journal append of this process.
-//!     Journaled runs are forced sequential (`max_concurrent=1`).
+//!     Journaled runs execute trials on up to `max_concurrent` workers;
+//!     effects commit in canonical ask order, so resume is deterministic
+//!     at any concurrency.
 //! e2clab report <archive-dir>
 //!     Re-print the summary of a previously written archive.
 //! e2clab trace summarize <dir|trace.jsonl>
@@ -163,18 +167,20 @@ fn run_cycle(
     };
     let samples_wal = &samples_wal;
     let trace_out = trace_dir.map(std::path::Path::to_path_buf);
-    let engine_tracer = tracer.clone();
     let samples = &cycle_samples;
     let objective = move |ctx: &e2c_core::optimization::EvalContext| {
         let cfg = PoolConfig::from_point(&ctx.point);
         let mut espec = ExperimentSpec::paper(cfg, spec.clients);
         espec.duration = SimTime::from_secs(spec.duration);
         espec.warmup = SimTime::from_secs((spec.duration / 10).min(60));
+        // Engine events go through the evaluation's own trace handle:
+        // under concurrent execution it is a per-trial buffer the commit
+        // sequencer splices into the run trace in canonical order.
         let metrics = EngineRun::run_repeated_traced(
             espec,
             spec.repeat,
             1000 + ctx.trial_id,
-            engine_tracer.clone(),
+            ctx.tracer.clone(),
         );
         if let Some(dir) = &trace_out {
             // Per-trial engine snapshot: repetitions concatenated on one
@@ -245,11 +251,12 @@ fn run_cycle(
     Ok(summary)
 }
 
-/// Run the same seeded optimization twice (sequentially — bit-exact replay
-/// only holds without concurrent suggestion interleaving) and byte-diff
-/// the reproducibility artifacts of the two runs. With `--trace`, the
-/// trace artifacts (`trace.jsonl`, `metrics.prom`, `cycles/*.prom`) are
-/// diffed too.
+/// Run the same seeded optimization twice at the configured concurrency
+/// (the commit sequencer orders effects canonically, so bit-exact replay
+/// holds under concurrent suggestion too) and byte-diff the
+/// reproducibility artifacts of the two runs. With `--trace`, the trace
+/// artifacts (`trace.jsonl`, `metrics.prom`, `cycles/*.prom`) are diffed
+/// too.
 fn run_replay_check(
     opt_conf: e2c_conf::schema::OptimizationConf,
     seed: u64,
@@ -270,10 +277,16 @@ fn run_replay_check(
     if let Some(tb) = &trace_b {
         let _ = std::fs::remove_dir_all(tb);
     }
-    let mut conf = opt_conf;
-    conf.max_concurrent = 1;
     for (dir, tdir) in [(&dir_a, trace.as_deref()), (&dir_b, trace_b.as_deref())] {
-        match run_cycle(&conf, seed, &faults, Some(dir.clone()), tdir, spec, None) {
+        match run_cycle(
+            &opt_conf,
+            seed,
+            &faults,
+            Some(dir.clone()),
+            tdir,
+            spec,
+            None,
+        ) {
             Ok(summary) => {
                 if dir == &dir_a {
                     print!("{}", summary.render());
@@ -508,7 +521,6 @@ fn main() -> ExitCode {
                 duration,
                 clients,
             };
-            let mut opt_conf = opt_conf;
             if journal.is_some() && resume.is_some() {
                 eprintln!("--journal and --resume are mutually exclusive");
                 return usage();
@@ -528,22 +540,12 @@ fn main() -> ExitCode {
                     // Fold the CLI-level knobs that shape the objective into
                     // the journal fingerprint: a resume under a different
                     // workload must be refused, not silently diverge.
-                    let jc = jc.crash_after(crash_at).extra_fingerprint(format!(
+                    jc.crash_after(crash_at).extra_fingerprint(format!(
                         "repeat={repeat};duration={duration};clients={clients};faults={faults:?}",
                         repeat = spec.repeat,
                         duration = spec.duration,
                         clients = spec.clients,
-                    ));
-                    if opt_conf.max_concurrent > 1 {
-                        // Deterministic resume (and byte-identical artifacts)
-                        // only hold for the sequential cycle.
-                        eprintln!(
-                            "journal: forcing max_concurrent=1 (was {})",
-                            opt_conf.max_concurrent
-                        );
-                        opt_conf.max_concurrent = 1;
-                    }
-                    jc
+                    ))
                 });
             if replay_check {
                 return run_replay_check(opt_conf, seed, faults, archive, trace, spec);

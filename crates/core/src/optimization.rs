@@ -87,7 +87,7 @@ impl JournalConfig {
 /// Per-evaluation context handed to the user objective — the analogue of
 /// the paper's `run_objective(self, _config)` body. This is the single
 /// user-facing evaluation handle (re-exported by `crate::user_api`).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EvalContext {
     /// Trial identifier.
     pub trial_id: u64,
@@ -99,6 +99,24 @@ pub struct EvalContext {
     /// Directory created by `prepare()` for this evaluation's artifacts
     /// (absent when the manager runs without an archive root).
     pub eval_dir: Option<PathBuf>,
+    /// Trace handle for this evaluation. Under concurrent execution this
+    /// is a per-trial buffer that the commit sequencer splices into the
+    /// run trace in canonical order — objectives that emit trace events
+    /// MUST use this handle (never a captured tracer) or their events
+    /// land interleaved by wall clock instead of by trial.
+    pub tracer: Option<e2c_trace::Tracer>,
+}
+
+impl std::fmt::Debug for EvalContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalContext")
+            .field("trial_id", &self.trial_id)
+            .field("attempt", &self.attempt)
+            .field("point", &self.point)
+            .field("eval_dir", &self.eval_dir)
+            .field("traced", &self.tracer.is_some())
+            .finish()
+    }
 }
 
 /// Phase III output: everything needed to reproduce the optimization.
@@ -255,9 +273,11 @@ impl OptimizationManager {
 
     /// Enable the crash-safety journal: every searcher/scheduler decision
     /// and attempt outcome is write-ahead logged under
-    /// [`JournalConfig::dir`], and `resume` continues an interrupted run
-    /// to the byte-identical artifacts of an uninterrupted one
-    /// (sequential runs, `max_concurrent = 1`).
+    /// [`JournalConfig::dir`] in canonical commit order (trials execute on
+    /// up to `max_concurrent` workers, but their effects commit by
+    /// ask-index), and `resume` continues an interrupted run to the
+    /// byte-identical artifacts of an uninterrupted one at any
+    /// concurrency.
     pub fn with_journal(mut self, journal: JournalConfig) -> Self {
         self.journal = Some(journal);
         self
@@ -369,10 +389,10 @@ impl OptimizationManager {
             if events.is_empty() {
                 // The crash hit before the meta record landed: nothing to
                 // replay, start over on the same (now truncated) log.
-                journal.append(&RunEvent::Meta { fingerprint });
+                journal.append(&RunEvent::meta(fingerprint));
             } else {
                 match &events[0] {
-                    RunEvent::Meta { fingerprint: f } if *f == fingerprint => {}
+                    RunEvent::Meta { fingerprint: f, .. } if *f == fingerprint => {}
                     RunEvent::Meta { .. } => {
                         return Err("--resume: the journal was recorded with a different \
                              configuration or seed — refusing to continue it"
@@ -397,7 +417,7 @@ impl OptimizationManager {
             let wal = e2c_journal::Wal::create(&wal_path)
                 .map_err(|e| format!("--journal: create {}: {e}", wal_path.display()))?;
             let journal = RunJournal::new(wal, jc.crash_after);
-            journal.append(&RunEvent::Meta { fingerprint });
+            journal.append(&RunEvent::meta(fingerprint));
             journal
         };
         if let Some(tr) = &self.tracer {
@@ -499,25 +519,10 @@ impl OptimizationManager {
                 );
             }
         }
-        // Distribution of raw objective values over the cycle.  Crashed
-        // evaluations report NaN — the histogram counts them in its
-        // `nonfinite` bucket instead of aborting (the bug this layer
-        // exists to observe).
-        let observed = std::sync::Mutex::new(e2c_metrics::Histogram::new(0.0, 1e4, 1000));
-        let record_observation = self.tracer.is_some();
-        if record_observation {
-            // Re-feed the journaled raw observations so the end-of-cycle
-            // distribution matches an uninterrupted run.
-            let mut h = observed.lock().expect("observation lock poisoned");
-            for v in &resume_state.observations {
-                h.record(*v);
-            }
-        }
         if let Some(j) = &run_journal {
             tuner = tuner.journal(j.clone());
         }
         tuner = tuner.resume(resume_state);
-        let observed_ref = &observed;
         let archive_root = self.archive_root.clone();
         let analysis = tuner.run(searcher, scheduler, move |point, tctx| {
             // prepare(): a dedicated directory per model evaluation.
@@ -531,12 +536,10 @@ impl OptimizationManager {
                 attempt: tctx.attempt,
                 point: point.clone(),
                 eval_dir: eval_dir.clone(),
+                tracer: tctx.tracer().cloned(),
             };
             // launch(): deploy + execute the user workload.
             let value = objective(&ctx);
-            if record_observation {
-                observed_ref.lock().unwrap().record(value);
-            }
             // finalize(): record this evaluation's computations.
             if let Some(dir) = eval_dir {
                 let _ = archive::write_evaluation(&dir, tctx.trial_id, point, value);
@@ -549,7 +552,21 @@ impl OptimizationManager {
             }
         }
         if let Some(tr) = &self.tracer {
-            let h = observed.into_inner().expect("observation lock poisoned");
+            // Distribution of raw objective values over the cycle, fed
+            // from the attempt records in canonical order (trial id, then
+            // attempt index) so the event is identical under any worker
+            // interleaving — and across crash-resume, because the journal
+            // carries every raw value.  Crashed evaluations report NaN;
+            // the histogram counts them in its `nonfinite` bucket instead
+            // of aborting (the bug this layer exists to observe).
+            let mut h = e2c_metrics::Histogram::new(0.0, 1e4, 1000);
+            for t in analysis.trials() {
+                for a in &t.attempts {
+                    if let Some(raw) = a.raw {
+                        h.record(raw);
+                    }
+                }
+            }
             let pct = |q| h.quantile(q).unwrap_or(f64::NAN);
             tr.point(
                 "cycle",
@@ -681,10 +698,11 @@ optimization:
 
     #[test]
     fn bayesian_cycle_finds_good_configuration() {
-        // Sequential cycle: with max_concurrent=2 the model-fit order (and
-        // so the best value found) depends on thread interleaving, which
-        // makes a quality threshold flaky. Concurrency is exercised by
-        // `random_algo_also_works` and the tuner's own tests.
+        // Sequential cycle for the quality threshold: with concurrent
+        // evaluation each suggestion trains on a lagged model (asks run
+        // ahead of tells by the worker window) — deterministic now, but
+        // measurably weaker on this budget. Concurrent determinism is
+        // covered by `same_seed_reproduces_the_cycle`.
         let mut conf = opt_conf("extra_trees", 30);
         conf.max_concurrent = 1;
         let mgr = OptimizationManager::new(conf).with_seed(3);
@@ -720,15 +738,11 @@ optimization:
 
     #[test]
     fn same_seed_reproduces_the_cycle() {
-        // Bit-exact replay holds for the sequential cycle
-        // (max_concurrent=1). With concurrent evaluation the *set* of
-        // suggestions depends on thread interleaving (asynchronous model
-        // optimization is order-sensitive by nature) — that path is
-        // covered by budget/validity invariants instead.
+        // Bit-exact replay holds under concurrent evaluation too: the
+        // commit sequencer drives suggest/observe in canonical ask order,
+        // so thread interleaving cannot leak into the suggestion sequence.
         let run = |seed| {
-            let mut conf = opt_conf("extra_trees", 12);
-            conf.max_concurrent = 1;
-            OptimizationManager::new(conf)
+            OptimizationManager::new(opt_conf("extra_trees", 12))
                 .with_seed(seed)
                 .run(objective)
         };
@@ -887,9 +901,7 @@ optimization:
         // cycle's observed-value histogram must bucket it (pre-fix,
         // `Histogram::record` asserted `is_finite` and aborted the run).
         let tracer = e2c_trace::Tracer::new();
-        let mut conf = ft_conf("random", 5, 0);
-        conf.max_concurrent = 1;
-        let mgr = OptimizationManager::new(conf)
+        let mgr = OptimizationManager::new(ft_conf("random", 5, 0))
             .with_seed(11)
             .with_trace(tracer.clone());
         let summary = mgr.run(|ctx: &EvalContext| {
@@ -915,9 +927,7 @@ optimization:
     fn traced_cycle_replays_byte_identically() {
         let run = || {
             let tracer = e2c_trace::Tracer::new();
-            let mut conf = opt_conf("extra_trees", 8);
-            conf.max_concurrent = 1;
-            OptimizationManager::new(conf)
+            OptimizationManager::new(opt_conf("extra_trees", 8))
                 .with_seed(9)
                 .with_trace(tracer.clone())
                 .run(objective);
@@ -928,7 +938,7 @@ optimization:
         assert!(!a.is_empty());
         assert_eq!(
             a, b,
-            "sequential traced cycles must replay byte-identically"
+            "concurrent traced cycles must replay byte-identically"
         );
     }
 
@@ -970,9 +980,10 @@ optimization:
     }
 
     fn journaled_conf() -> OptimizationConf {
-        let mut conf = ft_conf("random", 6, 1);
-        conf.max_concurrent = 1; // byte-identity holds for the sequential cycle
-        conf
+        // max_concurrent stays at the conf's 2: byte-identity now holds at
+        // any concurrency, so the prefix-resume sweep exercises the
+        // deferred commit path too.
+        ft_conf("random", 6, 1)
     }
 
     fn read(path: &std::path::Path) -> String {

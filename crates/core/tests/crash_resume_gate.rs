@@ -6,6 +6,13 @@
 //! uninterrupted baseline run of the same seed.  This is the paper's
 //! repeatability claim under process failure: a crashed optimization,
 //! resumed, is indistinguishable from one that never crashed.
+//!
+//! The sweep runs per `max_concurrent` ∈ {1, 2, 4}: the commit sequencer
+//! promises byte-identity at any concurrency, and each cell is compared
+//! against its *own* uninterrupted baseline (the canonical commit order
+//! depends on the worker-window size, so cells differ from each other by
+//! design).  Scratch directories root at `E2C_GATE_DIR` when set so CI
+//! can upload the differing artifacts on failure.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -42,28 +49,46 @@ optimization:
       bounds: [2, 20]
 "#;
 
+/// Root for gate scratch directories: `E2C_GATE_DIR` when set (CI points
+/// this at a workspace path and uploads it when the gate fails), the
+/// system temp directory otherwise.
+fn gate_root() -> PathBuf {
+    std::env::var_os("E2C_GATE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir)
+}
+
 struct Fixture {
     root: PathBuf,
     conf: PathBuf,
+    seed: u64,
 }
 
 impl Fixture {
-    fn new(label: &str) -> Fixture {
-        let root =
-            std::env::temp_dir().join(format!("e2clab-crash-gate-{label}-{}", std::process::id()));
+    fn new(label: &str, max_concurrent: u32, seed: u64) -> Fixture {
+        let root = gate_root().join(format!("e2clab-crash-gate-{label}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(&root).unwrap();
         let conf = root.join("conf.yaml");
-        std::fs::write(&conf, CONF).unwrap();
-        Fixture { root, conf }
+        std::fs::write(
+            &conf,
+            CONF.replace(
+                "max_concurrent: 1",
+                &format!("max_concurrent: {max_concurrent}"),
+            ),
+        )
+        .unwrap();
+        Fixture { root, conf, seed }
     }
 
-    /// `e2clab optimize --duration 20 --seed 3 --faults fail:1@0 ...`
+    /// `e2clab optimize --duration 20 --seed <seed> --faults fail:1@0 ...`
     /// plus the given extra flags; archive/trace under `root/<name>`.
     fn optimize(&self, name: &str, extra: &[&str]) -> std::process::Output {
         let mut cmd = Command::new(env!("CARGO_BIN_EXE_e2clab"));
         cmd.arg("optimize")
-            .args(["--duration", "20", "--seed", "3", "--faults", "fail:1@0"])
+            .args(["--duration", "20"])
+            .args(["--seed", &self.seed.to_string()])
+            .args(["--faults", "fail:1@0"])
             .args(["--archive"])
             .arg(self.root.join(name))
             .args(["--trace"])
@@ -129,17 +154,18 @@ fn wal_records(path: &Path) -> usize {
         .len()
 }
 
-#[test]
-fn killing_a_journaled_run_at_every_append_boundary_resumes_byte_identically() {
-    let fx = Fixture::new("sweep");
+/// One full matrix cell: uninterrupted baseline, full journaled run,
+/// resume-after-complete, then kill at *every* append boundary and
+/// resume — all artifact sets byte-compared against the cell's baseline.
+fn kill_sweep_cell(workers: u32, seed: u64) {
+    let fx = Fixture::new(&format!("sweep-w{workers}-s{seed}"), workers, seed);
+    let ctx = format!("w{workers}/s{seed}");
 
-    // Uninterrupted, unjournaled baseline.  The conf is sequential
-    // (max_concurrent=1) — the regime the byte-identity guarantee covers
-    // (and the one --journal forces on concurrent confs).
+    // Uninterrupted, unjournaled baseline for this cell.
     let out = fx.optimize("base", &[]);
     assert!(
         out.status.success(),
-        "{}",
+        "{ctx}: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     let baseline = fx.artifacts("base");
@@ -149,22 +175,33 @@ fn killing_a_journaled_run_at_every_append_boundary_resumes_byte_identically() {
     let out = fx.optimize("full", &["--journal", jdir.to_str().unwrap()]);
     assert!(
         out.status.success(),
-        "{}",
+        "{ctx}: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    assert_same_artifacts(&baseline, &fx.artifacts("full"), "journaled vs plain");
+    assert_same_artifacts(
+        &baseline,
+        &fx.artifacts("full"),
+        &format!("{ctx}: journaled vs plain"),
+    );
     let records = wal_records(&jdir.join("run.wal"));
-    assert!(records > 5, "suspiciously small journal: {records} records");
+    assert!(
+        records > 5,
+        "{ctx}: suspiciously small journal: {records} records"
+    );
 
     // Resuming a completed journal re-executes nothing and rewrites the
     // same bytes.
     let out = fx.optimize("full", &["--resume", jdir.to_str().unwrap()]);
     assert!(
         out.status.success(),
-        "{}",
+        "{ctx}: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    assert_same_artifacts(&baseline, &fx.artifacts("full"), "resume after complete");
+    assert_same_artifacts(
+        &baseline,
+        &fx.artifacts("full"),
+        &format!("{ctx}: resume after complete"),
+    );
 
     // The sweep: kill right after every journal append, resume, compare.
     for cut in 1..=records {
@@ -182,25 +219,84 @@ fn killing_a_journaled_run_at_every_append_boundary_resumes_byte_identically() {
         assert_eq!(
             out.status.code(),
             Some(e2c_tune::CRASH_EXIT_CODE),
-            "cut {cut}: expected the crash exit code, got {:?}\n{}",
+            "{ctx}: cut {cut}: expected the crash exit code, got {:?}\n{}",
             out.status.code(),
             String::from_utf8_lossy(&out.stderr)
         );
         let out = fx.optimize(&name, &["--resume", jdir.to_str().unwrap()]);
         assert!(
             out.status.success(),
-            "cut {cut}: resume failed\n{}",
+            "{ctx}: cut {cut}: resume failed\n{}",
             String::from_utf8_lossy(&out.stderr)
         );
-        assert_same_artifacts(&baseline, &fx.artifacts(&name), &format!("cut {cut}"));
+        assert_same_artifacts(
+            &baseline,
+            &fx.artifacts(&name),
+            &format!("{ctx}: cut {cut}"),
+        );
     }
 
     std::fs::remove_dir_all(&fx.root).unwrap();
 }
 
 #[test]
+fn kill_sweep_sequential() {
+    kill_sweep_cell(1, 3);
+}
+
+#[test]
+fn kill_sweep_two_workers() {
+    kill_sweep_cell(2, 3);
+}
+
+#[test]
+fn kill_sweep_four_workers() {
+    kill_sweep_cell(4, 3);
+}
+
+/// The seed dimension of the matrix, kept lighter than the full sweep:
+/// for each (seed, workers) cell, one mid-run kill + resume must match
+/// the cell's own uninterrupted baseline.
+#[test]
+fn mid_run_kill_resumes_across_the_seed_concurrency_matrix() {
+    for seed in [5u64, 9] {
+        for workers in [2u32, 4] {
+            let fx = Fixture::new(&format!("matrix-w{workers}-s{seed}"), workers, seed);
+            let ctx = format!("w{workers}/s{seed}");
+            let out = fx.optimize("base", &[]);
+            assert!(
+                out.status.success(),
+                "{ctx}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let baseline = fx.artifacts("base");
+            let jdir = fx.root.join("journal");
+            let j = jdir.to_str().unwrap().to_string();
+            let out = fx.optimize("run", &["--journal", &j, "--crash-at", "6"]);
+            assert_eq!(
+                out.status.code(),
+                Some(e2c_tune::CRASH_EXIT_CODE),
+                "{ctx}: {:?}\n{}",
+                out.status.code(),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let out = fx.optimize("run", &["--resume", &j]);
+            assert!(
+                out.status.success(),
+                "{ctx}: resume failed\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            assert_same_artifacts(&baseline, &fx.artifacts("run"), &ctx);
+            std::fs::remove_dir_all(&fx.root).unwrap();
+        }
+    }
+}
+
+#[test]
 fn a_crash_during_resume_is_itself_resumable() {
-    let fx = Fixture::new("double");
+    // Two workers: the double-crash path goes through the deferred
+    // commit sequencer, not just the sequential fast path.
+    let fx = Fixture::new("double", 2, 3);
     let out = fx.optimize("base", &[]);
     assert!(
         out.status.success(),
@@ -227,7 +323,7 @@ fn a_crash_during_resume_is_itself_resumable() {
 
 #[test]
 fn resume_refuses_a_journal_from_a_different_run_and_flags_are_validated() {
-    let fx = Fixture::new("refuse");
+    let fx = Fixture::new("refuse", 1, 3);
     let jdir = fx.root.join("journal");
     let j = jdir.to_str().unwrap().to_string();
     let out = fx.optimize("run", &["--journal", &j, "--crash-at", "2"]);
@@ -271,22 +367,18 @@ fn resume_refuses_a_journal_from_a_different_run_and_flags_are_validated() {
         assert_eq!(out.status.code(), Some(2), "{extra:?}: {:?}", out.status);
     }
 
-    // Journaled runs force the sequential cycle on concurrent confs (the
-    // byte-identity guarantee only covers max_concurrent=1).
+    // `max_concurrent` shapes the canonical commit order, so it is part
+    // of the journal fingerprint: editing it between crash and resume is
+    // refused, not silently diverged.
     std::fs::write(
         &fx.conf,
         CONF.replace("max_concurrent: 1", "max_concurrent: 2"),
     )
     .unwrap();
-    let j2 = fx.root.join("journal2");
-    let out = fx.optimize("run2", &["--journal", j2.to_str().unwrap()]);
+    let out = fx.optimize("run", &["--resume", &j]);
+    assert!(!out.status.success(), "{:?}", out.status);
     assert!(
-        out.status.success(),
-        "{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    assert!(
-        String::from_utf8_lossy(&out.stderr).contains("forcing max_concurrent=1"),
+        String::from_utf8_lossy(&out.stderr).contains("different configuration"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );

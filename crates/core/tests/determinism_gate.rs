@@ -4,16 +4,30 @@
 //!   exits clean (every remaining hazard carries a justified allow);
 //! * `replay_check_*` — `e2clab optimize --replay-check` runs the same
 //!   seeded cycle twice and proves `evaluations.csv` and
-//!   `trials/trials.jsonl` come out byte-identical;
+//!   `trials/trials.jsonl` come out byte-identical, across a
+//!   seed × `max_concurrent` ∈ {1, 2, 4} matrix (the commit sequencer
+//!   makes concurrent cycles replay bit-exactly too);
 //! * `traced_runs_*` — two separate seeded `--trace` runs emit
 //!   byte-identical `trace.jsonl` / `metrics.prom` / `cycles/*.prom`, and
 //!   `e2clab trace summarize` renders them.
+//!
+//! Scratch directories root at `E2C_GATE_DIR` when set so CI can upload
+//! the differing artifacts on failure.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Root for gate scratch directories: `E2C_GATE_DIR` when set (CI points
+/// this at a workspace path and uploads it when the gate fails), the
+/// system temp directory otherwise.
+fn gate_root() -> PathBuf {
+    std::env::var_os("E2C_GATE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir)
 }
 
 const TINY_CONF: &str = r#"
@@ -81,40 +95,51 @@ fn lint_rejects_a_dirty_tree() {
 }
 
 #[test]
-fn replay_check_proves_byte_identical_artifacts() {
-    let base = std::env::temp_dir().join(format!("e2clab-replaygate-{}", std::process::id()));
+fn replay_check_proves_byte_identical_artifacts_across_the_matrix() {
+    let base = gate_root().join(format!("e2clab-replaygate-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
     std::fs::create_dir_all(&base).unwrap();
-    let conf = base.join("conf.yaml");
-    std::fs::write(&conf, TINY_CONF).unwrap();
-    let archive = base.join("archive");
 
-    let out = Command::new(env!("CARGO_BIN_EXE_e2clab"))
-        .args([
-            "optimize",
-            "--seed",
-            "11",
-            "--duration",
-            "30",
-            "--replay-check",
-            "--archive",
-        ])
-        .arg(&archive)
-        .arg(&conf)
-        .output()
-        .expect("run e2clab optimize --replay-check");
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(
-        out.status.success(),
-        "replay check failed:\n{stdout}{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    assert!(stdout.contains("evaluations.csv identical"), "{stdout}");
-    assert!(stdout.contains("trials/trials.jsonl identical"), "{stdout}");
-    assert!(stdout.contains("replay-check: PASS"), "{stdout}");
-    // The requested archive survives the check.
-    assert!(archive.join("evaluations.csv").is_file());
-    assert!(archive.join("trials").join("trials.jsonl").is_file());
+    for seed in ["11", "23"] {
+        for workers in ["1", "2", "4"] {
+            let cell = base.join(format!("s{seed}-w{workers}"));
+            std::fs::create_dir_all(&cell).unwrap();
+            let conf = cell.join("conf.yaml");
+            std::fs::write(
+                &conf,
+                TINY_CONF.replace("max_concurrent: 2", &format!("max_concurrent: {workers}")),
+            )
+            .unwrap();
+            let archive = cell.join("archive");
+
+            let out = Command::new(env!("CARGO_BIN_EXE_e2clab"))
+                .args([
+                    "optimize",
+                    "--seed",
+                    seed,
+                    "--duration",
+                    "30",
+                    "--replay-check",
+                    "--archive",
+                ])
+                .arg(&archive)
+                .arg(&conf)
+                .output()
+                .expect("run e2clab optimize --replay-check");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert!(
+                out.status.success(),
+                "replay check failed (seed {seed}, workers {workers}):\n{stdout}{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            assert!(stdout.contains("evaluations.csv identical"), "{stdout}");
+            assert!(stdout.contains("trials/trials.jsonl identical"), "{stdout}");
+            assert!(stdout.contains("replay-check: PASS"), "{stdout}");
+            // The requested archive survives the check.
+            assert!(archive.join("evaluations.csv").is_file());
+            assert!(archive.join("trials").join("trials.jsonl").is_file());
+        }
+    }
     std::fs::remove_dir_all(&base).unwrap();
 }
 
@@ -123,18 +148,14 @@ fn replay_check_proves_byte_identical_artifacts() {
 /// and the recorded trace must summarize.
 #[test]
 fn traced_runs_are_byte_identical_and_summarizable() {
-    let base = std::env::temp_dir().join(format!("e2clab-tracegate-{}", std::process::id()));
+    let base = gate_root().join(format!("e2clab-tracegate-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
     std::fs::create_dir_all(&base).unwrap();
     let conf = base.join("conf.yaml");
-    // Byte-identical traces are only promised for sequential runs (worker
-    // interleaving reorders events otherwise), so this gate pins
-    // max_concurrent to 1 — exactly what `--replay-check` forces.
-    std::fs::write(
-        &conf,
-        TINY_CONF.replace("max_concurrent: 2", "max_concurrent: 1"),
-    )
-    .unwrap();
+    // max_concurrent stays at the conf's 2: the commit sequencer splices
+    // every worker's trace into canonical order, so even concurrent runs
+    // promise byte-identical traces.
+    std::fs::write(&conf, TINY_CONF).unwrap();
 
     for run in ["a", "b"] {
         let out = Command::new(env!("CARGO_BIN_EXE_e2clab"))
@@ -188,7 +209,7 @@ fn traced_runs_are_byte_identical_and_summarizable() {
 
 #[test]
 fn replay_check_without_archive_cleans_up() {
-    let base = std::env::temp_dir().join(format!("e2clab-replaygate2-{}", std::process::id()));
+    let base = gate_root().join(format!("e2clab-replaygate2-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
     std::fs::create_dir_all(&base).unwrap();
     let conf = base.join("conf.yaml");

@@ -17,7 +17,8 @@
 //! The framing is deliberately dumb: no compression, no sequence numbers,
 //! no format versioning beyond the frame itself. Interpretation of the
 //! payload belongs to the caller (`e2c-tune`'s run journal gives records
-//! meaning; this crate only promises they are whole).
+//! meaning — including their wire version, carried in its meta record —
+//! this crate only promises they are whole).
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};

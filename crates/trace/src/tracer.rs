@@ -62,8 +62,18 @@ pub fn fields<const N: usize>(pairs: [(&str, Value); N]) -> Fields {
     pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
 }
 
+/// Event log plus, per event, whether its `vt` came from this tracer's
+/// own clock (a tick or an `advance`) rather than an explicit `*_at`
+/// stamp — the bit [`Tracer::splice`] needs to relocate events captured
+/// on a detached per-trial buffer onto the main trace.
+#[derive(Default)]
+struct Buf {
+    events: Vec<TraceEvent>,
+    ticked: Vec<bool>,
+}
+
 struct Inner {
-    events: Mutex<Vec<TraceEvent>>,
+    events: Mutex<Buf>,
     clock: VirtualClock,
     /// Incremental sink for crash-safe runs: every pushed event is also
     /// written (and flushed) to this file while the events lock is held,
@@ -91,7 +101,7 @@ impl Tracer {
     pub fn new() -> Self {
         Tracer {
             inner: Arc::new(Inner {
-                events: Mutex::new(Vec::new()),
+                events: Mutex::new(Buf::default()),
                 clock: VirtualClock::new(),
                 stream: Mutex::new(None),
             }),
@@ -121,10 +131,11 @@ impl Tracer {
     pub fn restore(&self, events: Vec<TraceEvent>, vt: u64) {
         let mut buf = self.inner.events.lock().unwrap();
         assert!(
-            buf.is_empty(),
+            buf.events.is_empty(),
             "restore into a tracer that already recorded"
         );
-        *buf = events;
+        buf.ticked = vec![true; events.len()];
+        buf.events = events;
         self.inner.clock.restore(vt);
     }
 
@@ -152,9 +163,10 @@ impl Tracer {
         span: Option<u64>,
         fields: Fields,
     ) -> u64 {
-        let mut events = self.inner.events.lock().unwrap();
+        let mut buf = self.inner.events.lock().unwrap();
         // seq and vt are assigned under the same lock so their order agrees.
-        let seq = events.len() as u64;
+        let seq = buf.events.len() as u64;
+        let ticked = vt.is_none();
         let vt = vt.unwrap_or_else(|| self.inner.clock.tick());
         let event = TraceEvent {
             seq,
@@ -166,8 +178,16 @@ impl Tracer {
             span,
             fields,
         };
+        self.write_stream(&event);
+        buf.events.push(event);
+        buf.ticked.push(ticked);
+        seq
+    }
+
+    /// Mirror one event to the stream sink, if any. Must be called with
+    /// the events lock held so stream order equals buffer order.
+    fn write_stream(&self, event: &TraceEvent) {
         if let Some(stream) = self.inner.stream.lock().unwrap().as_mut() {
-            // Still under the events lock: stream order == buffer order.
             // A run that cannot persist its trace stream has lost its
             // crash-safety story; abort rather than resume from a lie.
             let write = writeln!(stream, "{}", event.to_json()).and_then(|()| stream.flush());
@@ -176,8 +196,60 @@ impl Tracer {
                 std::process::exit(1);
             }
         }
-        events.push(event);
-        seq
+    }
+
+    /// Drain a detached (per-trial) tracer for relocation onto the main
+    /// trace via [`Tracer::splice`]: every event paired with its tick
+    /// bit, plus the buffer clock's final value (which can exceed the
+    /// last event's stamp after a trailing [`Tracer::advance`]).
+    pub fn drain_for_splice(&self) -> (Vec<(TraceEvent, bool)>, u64) {
+        let mut buf = self.inner.events.lock().unwrap();
+        let events = std::mem::take(&mut buf.events);
+        let ticked = std::mem::take(&mut buf.ticked);
+        (
+            events.into_iter().zip(ticked).collect(),
+            self.inner.clock.now(),
+        )
+    }
+
+    /// Splice a drained per-trial buffer onto this tracer as one atomic
+    /// block: sequence numbers are reassigned, tick-stamped events
+    /// replay their clock *deltas* against this tracer's clock (so
+    /// inter-event `advance` gaps such as retry backoff carry over),
+    /// explicitly stamped events (sim time) keep their `vt`, and span
+    /// references — which must be buffer-local — are remapped to the new
+    /// sequence numbers. `end_clock` is the buffer clock's final value;
+    /// any advance past the last tick-stamped event is re-applied so the
+    /// main clock ends where a live-traced execution would have left it.
+    /// Returns the local-seq → spliced-seq map so the caller can close
+    /// spans opened inside the buffer.
+    pub fn splice(&self, buffered: &[(TraceEvent, bool)], end_clock: u64) -> Vec<u64> {
+        let mut buf = self.inner.events.lock().unwrap();
+        let mut seq_map: Vec<u64> = Vec::with_capacity(buffered.len());
+        let mut local_clock = 0u64;
+        for (ev, ticked) in buffered {
+            let seq = buf.events.len() as u64;
+            let vt = if *ticked {
+                let delta = ev.vt.saturating_sub(local_clock);
+                local_clock = ev.vt;
+                self.inner.clock.advance(delta)
+            } else {
+                ev.vt
+            };
+            let span = ev.span.map(|s| seq_map[s as usize]);
+            let mut event = ev.clone();
+            event.seq = seq;
+            event.vt = vt;
+            event.span = span;
+            self.write_stream(&event);
+            seq_map.push(seq);
+            buf.events.push(event);
+            buf.ticked.push(*ticked);
+        }
+        if end_clock > local_clock {
+            self.inner.clock.advance(end_clock - local_clock);
+        }
+        seq_map
     }
 
     /// Record a standalone event, ticking the virtual clock.
@@ -211,7 +283,7 @@ impl Tracer {
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.inner.events.lock().unwrap().len()
+        self.inner.events.lock().unwrap().events.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -220,12 +292,13 @@ impl Tracer {
 
     /// Copy of the event log in append order.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.inner.events.lock().unwrap().clone()
+        self.inner.events.lock().unwrap().events.clone()
     }
 
     /// Serialize the log as JSONL (one event per line, trailing newline).
     pub fn to_jsonl(&self) -> String {
-        let events = self.inner.events.lock().unwrap();
+        let buf = self.inner.events.lock().unwrap();
+        let events = &buf.events;
         let mut out = String::with_capacity(events.len() * 96);
         for e in events.iter() {
             out.push_str(&e.to_json());
@@ -381,6 +454,62 @@ mod tests {
         let bad = format!("not json\n{}", t.to_jsonl());
         std::fs::write(&path, &bad).unwrap();
         assert!(load_jsonl_tolerant(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn splice_relocates_a_detached_buffer() {
+        // Main trace already has one event (clock at 1).
+        let main = Tracer::new();
+        main.point("searcher", "ask", Some(0), Fields::new());
+
+        // Per-trial buffer: a span, a sim-time event, a retry gap.
+        let buf = Tracer::new();
+        let b = buf.begin("tuner", "execute", Some(0), Fields::new()); // local vt 1
+        buf.point_at(500_000, "sim", "queues", None, Fields::new()); // explicit
+        buf.advance(250); // retry backoff
+        buf.point("tuner", "attempt", Some(0), Fields::new()); // local vt 252
+        buf.end("tuner", "execute", Some(0), b, Fields::new()); // local vt 253
+
+        let (events, end_clock) = buf.drain_for_splice();
+        assert_eq!(end_clock, 253);
+        let map = main.splice(&events, end_clock);
+        assert_eq!(map, vec![1, 2, 3, 4]);
+
+        let evs = main.snapshot();
+        assert_eq!(evs.len(), 5);
+        // Tick-stamped events replay their deltas on the main clock
+        // (1 + 1 = 2, then +251, +1); the sim event keeps its stamp.
+        assert_eq!(evs[1].vt, 2);
+        assert_eq!(evs[2].vt, 500_000);
+        assert_eq!(evs[3].vt, 253);
+        assert_eq!(evs[4].vt, 254);
+        assert_eq!(main.now(), 254);
+        // Span reference remapped from local seq 0 to spliced seq 1.
+        assert_eq!(evs[4].span, Some(1));
+        // Sequence numbers stay dense.
+        assert_eq!(
+            evs.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn spliced_events_reach_the_stream_in_order() {
+        let dir = std::env::temp_dir().join(format!("e2c-trace-splice-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let main = Tracer::new();
+        main.stream_to(&dir.join("s.jsonl")).unwrap();
+        main.point("a", "before", None, Fields::new());
+        let buf = Tracer::new();
+        buf.point("b", "inside", Some(2), Fields::new());
+        let (events, end_clock) = buf.drain_for_splice();
+        main.splice(&events, end_clock);
+        main.point("a", "after", None, Fields::new());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("s.jsonl")).unwrap(),
+            main.to_jsonl()
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

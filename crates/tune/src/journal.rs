@@ -3,10 +3,24 @@
 //! crash.
 //!
 //! Every state transition of a journaled run is appended (and fsync'd) to
-//! an [`e2c_journal::Wal`] *after* it takes effect in memory:
+//! an [`e2c_journal::Wal`] *after* it takes effect in memory. Appends
+//! happen in the run's *canonical commit order*: asks are journaled in
+//! id order as the sequencer admits them, and each trial's effects
+//! (reports, attempts, tell) are journaled as one block when the trial
+//! commits — so the journal's record order *is* the searcher/scheduler
+//! op order, under any worker interleaving, and replay re-drives both to
+//! the same state by simply walking the records.
 //!
-//! * [`RunEvent::Meta`] — a configuration fingerprint, written first;
-//!   resume refuses a journal whose fingerprint does not match.
+//! The wire format is versioned ([`WIRE_VERSION`], carried by the meta
+//! record). Version 2 added the tell record's ask count — the ask/commit
+//! permutation — letting replay verify that the interleaving it
+//! reconstructs matches the one the live run journaled. Version 1
+//! records (no meta version, 7-field tells) still parse.
+//!
+//! * [`RunEvent::Meta`] — the wire version and a configuration
+//!   fingerprint, written first; resume refuses a journal whose
+//!   fingerprint does not match or whose version is newer than this
+//!   build understands.
 //! * [`RunEvent::Ask`] — the searcher suggested a configuration for a
 //!   trial (the RNG stream advanced by one draw).
 //! * [`RunEvent::Restart`] — a resumed run is re-executing a trial that
@@ -48,11 +62,19 @@ use std::sync::Arc;
 /// exits so the chaos harness can tell a scripted crash from a bug.
 pub const CRASH_EXIT_CODE: i32 = 86;
 
+/// Current journal wire version, carried by [`RunEvent::Meta`]. Version 2
+/// added the meta version field itself and the tell record's ask count
+/// (the ask/commit permutation). Replay accepts any version up to this
+/// one and hard-errors on journals from a newer build.
+pub const WIRE_VERSION: u64 = 2;
+
 /// One journaled state transition. See the module docs for the protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunEvent {
-    /// Configuration fingerprint (always the first record).
-    Meta { fingerprint: String },
+    /// Wire version and configuration fingerprint (always the first
+    /// record). Build with [`RunEvent::meta`]; `version` only differs
+    /// from [`WIRE_VERSION`] when parsed back from an older journal.
+    Meta { version: u64, fingerprint: String },
     /// The searcher proposed `config` for `trial`.
     Ask { trial: u64, config: Point },
     /// A resumed run is re-executing the dangling `trial` from scratch.
@@ -79,12 +101,17 @@ pub enum RunEvent {
     /// The searcher was fed `feedback` for the settled `trial`.
     /// `status`/`value` settle the trial record; `trace_mark` is the
     /// tracer's `(event count, virtual time)` right after the tell event.
+    /// `asks` is the number of `Ask` records journaled before this tell —
+    /// the run's ask/commit permutation, one point per commit — which
+    /// replay verifies against its own running count (`None` only in
+    /// version-1 journals, which were strictly sequential).
     Tell {
         trial: u64,
         feedback: f64,
         status: String,
         value: Option<f64>,
         trace_mark: Option<(u64, u64)>,
+        asks: Option<u64>,
     },
     /// The sample budget is spent; artifacts may be (re)written.
     Complete,
@@ -149,11 +176,28 @@ fn parse_opt_f64(s: &str) -> Result<Option<f64>, String> {
 }
 
 impl RunEvent {
+    /// A meta record at the current [`WIRE_VERSION`].
+    pub fn meta(fingerprint: impl Into<String>) -> RunEvent {
+        RunEvent::Meta {
+            version: WIRE_VERSION,
+            fingerprint: fingerprint.into(),
+        }
+    }
+
     /// Serialize as one tab-separated line. `f64` fields use Rust's
     /// shortest-round-trip `Display`, so parsing back is exact.
     pub fn to_line(&self) -> String {
         match self {
-            RunEvent::Meta { fingerprint } => format!("meta\t{}", escape(fingerprint)),
+            // Version-1 metas re-serialize in their original 2-field
+            // form, so appending to an old journal never rewrites it.
+            RunEvent::Meta {
+                version: 1,
+                fingerprint,
+            } => format!("meta\t{}", escape(fingerprint)),
+            RunEvent::Meta {
+                version,
+                fingerprint,
+            } => format!("meta\t{version}\t{}", escape(fingerprint)),
             RunEvent::Ask { trial, config } => {
                 let cfg = config
                     .iter()
@@ -196,16 +240,23 @@ impl RunEvent {
                 status,
                 value,
                 trace_mark,
+                asks,
             } => {
                 let (me, mv) = match trace_mark {
                     Some((e, v)) => (e.to_string(), v.to_string()),
                     None => ("-".to_string(), "-".to_string()),
                 };
-                format!(
+                let line = format!(
                     "tell\t{trial}\t{}\t{status}\t{}\t{me}\t{mv}",
                     fmt_f64(*feedback),
                     fmt_opt_f64(*value)
-                )
+                );
+                // The ask count is the 8th field, appended only when
+                // present — a version-1 tell stays 7 fields.
+                match asks {
+                    Some(a) => format!("{line}\t{a}"),
+                    None => line,
+                }
             }
             RunEvent::Complete => "complete".to_string(),
         }
@@ -231,10 +282,20 @@ impl RunEvent {
         };
         match fields[0] {
             "meta" => {
-                need(2)?;
-                Ok(RunEvent::Meta {
-                    fingerprint: unescape(fields[1]),
-                })
+                // 2 fields: legacy version-1 form; 3 fields: versioned.
+                match fields.len() {
+                    2 => Ok(RunEvent::Meta {
+                        version: 1,
+                        fingerprint: unescape(fields[1]),
+                    }),
+                    3 => Ok(RunEvent::Meta {
+                        version: int(fields[1])?,
+                        fingerprint: unescape(fields[2]),
+                    }),
+                    n => Err(format!(
+                        "journal record `meta...`: expected 2 or 3 fields, got {n}"
+                    )),
+                }
             }
             "ask" => {
                 need(3)?;
@@ -287,7 +348,16 @@ impl RunEvent {
                 })
             }
             "tell" => {
-                need(7)?;
+                // 7 fields: version-1 form (no ask count); 8: versioned.
+                let asks = match fields.len() {
+                    7 => None,
+                    8 => Some(int(fields[7])?),
+                    n => {
+                        return Err(format!(
+                            "journal record `tell...`: expected 7 or 8 fields, got {n}"
+                        ))
+                    }
+                };
                 let trace_mark = match (fields[5], fields[6]) {
                     ("-", "-") => None,
                     (e, v) => Some((int(e)?, int(v)?)),
@@ -298,6 +368,7 @@ impl RunEvent {
                     status: fields[3].to_string(),
                     value: parse_opt_f64(fields[4])?,
                     trace_mark,
+                    asks,
                 })
             }
             "complete" => {
@@ -383,9 +454,13 @@ pub struct ResumeState {
     /// Latest trace mark among tells: truncate the streamed trace to
     /// this many events and restore the virtual clock to this tick.
     pub trace_mark: Option<(u64, u64)>,
-    /// Raw objective returns of kept attempts, in journal order (the
-    /// traced cycle re-feeds its observation histogram from these).
-    pub observations: Vec<f64>,
+    /// Ask count recorded by the tell that [`ResumeState::trace_mark`]
+    /// came from: asks with an index at or past this were journaled
+    /// *after* the mark, so their trace points are truncated away with
+    /// the pre-crash suffix and must be re-emitted when the dangling
+    /// trial re-dispatches. `None` (version-1 journal, or no marked tell
+    /// yet) means re-emit, matching strictly sequential behaviour.
+    pub asks_at_mark: Option<u64>,
 }
 
 impl ResumeState {
@@ -430,6 +505,7 @@ pub fn replay(
     let mut settled: BTreeMap<u64, usize> = BTreeMap::new();
     let mut complete = false;
     let mut trace_mark: Option<(u64, u64)> = None;
+    let mut asks_at_mark: Option<u64> = None;
     for (i, ev) in events.iter().enumerate() {
         match ev {
             RunEvent::Restart { trial } => {
@@ -438,6 +514,7 @@ pub fn replay(
             RunEvent::Tell {
                 trial,
                 trace_mark: mark,
+                asks,
                 ..
             } => {
                 if settled.insert(*trial, i).is_some() {
@@ -446,6 +523,7 @@ pub fn replay(
                 if let Some(m) = mark {
                     if trace_mark.is_none_or(|t| m.0 > t.0) {
                         trace_mark = Some(*m);
+                        asks_at_mark = *asks;
                     }
                 }
             }
@@ -466,11 +544,19 @@ pub fn replay(
     let mut state = ResumeState::empty();
     state.complete = complete;
     state.trace_mark = trace_mark;
+    state.asks_at_mark = asks_at_mark;
+    let mut asks_seen: u64 = 0;
     for (i, ev) in events.iter().enumerate() {
         match ev {
-            RunEvent::Meta { .. } => {
+            RunEvent::Meta { version, .. } => {
                 if i != 0 {
                     return Err("journal meta record is not first".to_string());
+                }
+                if *version > WIRE_VERSION {
+                    return Err(format!(
+                        "journal wire version {version} is newer than this build \
+                         understands (max {WIRE_VERSION})"
+                    ));
                 }
             }
             RunEvent::Ask { trial, config } => {
@@ -487,6 +573,7 @@ pub fn replay(
                 asked.push((*trial, config.clone()));
                 configs.insert(*trial, config.clone());
                 state.next_id = state.next_id.max(trial + 1);
+                asks_seen += 1;
             }
             RunEvent::Restart { trial } => {
                 // Discard the pre-crash partial state of the trial; the
@@ -540,19 +627,28 @@ pub fn replay(
                     index: *index,
                     error: error.clone(),
                     secs: *secs,
+                    raw: *raw,
                 });
                 last_reports.insert(*trial, cur_reports.remove(trial).unwrap_or_default());
-                if let Some(v) = raw {
-                    state.observations.push(*v);
-                }
             }
             RunEvent::Tell {
                 trial,
                 feedback,
                 status,
                 value,
+                asks,
                 ..
             } => {
+                if let Some(a) = asks {
+                    if *a != asks_seen {
+                        return Err(format!(
+                            "ask/commit permutation diverges at trial {trial}: the \
+                             journal committed it after {a} asks but replay has \
+                             re-driven {asks_seen} — the journal was recorded with \
+                             a different concurrency or is corrupt"
+                        ));
+                    }
+                }
                 searcher.observe(*trial, *feedback);
                 let attempts = cur_attempts.remove(trial).unwrap_or_default();
                 let reports = last_reports.remove(trial).unwrap_or_default();
@@ -614,8 +710,10 @@ mod tests {
     #[test]
     fn events_round_trip_through_the_wire_format() {
         let events = vec![
+            RunEvent::meta("name: x\nseed: 7\ttabbed"),
             RunEvent::Meta {
-                fingerprint: "name: x\nseed: 7\ttabbed".into(),
+                version: 1,
+                fingerprint: "legacy".into(),
             },
             RunEvent::Ask {
                 trial: 0,
@@ -648,6 +746,7 @@ mod tests {
                 status: "terminated".into(),
                 value: Some(2.5),
                 trace_mark: Some((17, 42)),
+                asks: Some(3),
             },
             RunEvent::Tell {
                 trial: 2,
@@ -655,6 +754,7 @@ mod tests {
                 status: "failed".into(),
                 value: None,
                 trace_mark: None,
+                asks: None,
             },
             RunEvent::Complete,
         ];
@@ -672,6 +772,82 @@ mod tests {
         assert!(RunEvent::parse("ask\t1").is_err());
         assert!(RunEvent::parse("report\t1\t2\tx\tcontinue").is_err());
         assert!(RunEvent::parse("attempt\t1\t0\t0.1\t-\tweird\t").is_err());
+        assert!(RunEvent::parse("meta\t2\tfp\textra").is_err());
+        assert!(RunEvent::parse("tell\t0\t1\tterminated\t1\t-\t-\t3\textra").is_err());
+    }
+
+    /// Version-1 journals (unversioned meta, 7-field tells) still parse,
+    /// as the legacy variants.
+    #[test]
+    fn legacy_version_1_records_still_parse() {
+        assert_eq!(
+            RunEvent::parse("meta\tfp").unwrap(),
+            RunEvent::Meta {
+                version: 1,
+                fingerprint: "fp".into()
+            }
+        );
+        assert_eq!(
+            RunEvent::parse("tell\t0\t1.5\tterminated\t1.5\t-\t-").unwrap(),
+            RunEvent::Tell {
+                trial: 0,
+                feedback: 1.5,
+                status: "terminated".into(),
+                value: Some(1.5),
+                trace_mark: None,
+                asks: None,
+            }
+        );
+    }
+
+    #[test]
+    fn replay_refuses_a_newer_wire_version() {
+        let events = vec![RunEvent::Meta {
+            version: WIRE_VERSION + 1,
+            fingerprint: "f".into(),
+        }];
+        let mut fresh = RandomSearch::new(space(), 5);
+        let err = replay(&events, &mut fresh, &Fifo, Mode::Min).unwrap_err();
+        assert!(err.contains("newer than this build"), "{err}");
+    }
+
+    #[test]
+    fn replay_hard_errors_on_a_divergent_ask_count() {
+        let mut live = RandomSearch::new(space(), 5);
+        let p0 = live.suggest(0).unwrap();
+        let p1 = live.suggest(1).unwrap();
+        let events = vec![
+            RunEvent::meta("f"),
+            RunEvent::Ask {
+                trial: 0,
+                config: p0.clone(),
+            },
+            RunEvent::Ask {
+                trial: 1,
+                config: p1,
+            },
+            RunEvent::Attempt {
+                trial: 0,
+                index: 0,
+                secs: 0.1,
+                raw: Some(p0[0]),
+                error: None,
+            },
+            RunEvent::Tell {
+                trial: 0,
+                feedback: p0[0],
+                status: "terminated".into(),
+                value: Some(p0[0]),
+                trace_mark: None,
+                // The live run claims trial 0 committed after a single
+                // ask, but the journal holds two — a corrupted or
+                // misordered permutation record.
+                asks: Some(1),
+            },
+        ];
+        let mut fresh = RandomSearch::new(space(), 5);
+        let err = replay(&events, &mut fresh, &Fifo, Mode::Min).unwrap_err();
+        assert!(err.contains("ask/commit permutation diverges"), "{err}");
     }
 
     /// Drive a seeded searcher, journal its decisions by hand, then
@@ -680,9 +856,7 @@ mod tests {
     #[test]
     fn replay_rebuilds_searcher_state_and_pending_work() {
         let mut live = ConcurrencyLimiter::new(RandomSearch::new(space(), 5), 1);
-        let mut events = vec![RunEvent::Meta {
-            fingerprint: "f".into(),
-        }];
+        let mut events = vec![RunEvent::meta("f")];
         let mut asked = Vec::new();
         for id in 0..3u64 {
             let p = live.suggest(id).unwrap();
@@ -706,6 +880,7 @@ mod tests {
                     status: "terminated".into(),
                     value: Some(p[0]),
                     trace_mark: None,
+                    asks: Some(id + 1),
                 });
             }
         }
@@ -716,7 +891,10 @@ mod tests {
         assert_eq!(state.pending, vec![(2, asked[2].clone())]);
         assert_eq!(state.next_id, 3);
         assert!(!state.complete);
-        assert_eq!(state.observations, vec![asked[0][0], asked[1][0]]);
+        // Raw objective returns ride on the rebuilt attempts (the traced
+        // cycle re-feeds its observation histogram from these).
+        assert_eq!(state.trials[0].attempts[0].raw, Some(asked[0][0]));
+        assert_eq!(state.trials[1].attempts[0].raw, Some(asked[1][0]));
         assert_eq!(state.worst_seen, asked[0][0].max(asked[1][0]));
         // The limiter still accounts the dangling trial as in flight, and
         // the RNG stream continues exactly where the live searcher's did.
@@ -733,9 +911,7 @@ mod tests {
         let mut live = RandomSearch::new(space(), 9);
         let p0 = live.suggest(0).unwrap();
         let events = vec![
-            RunEvent::Meta {
-                fingerprint: "f".into(),
-            },
+            RunEvent::meta("f"),
             RunEvent::Ask {
                 trial: 0,
                 config: p0.clone(),
@@ -770,6 +946,7 @@ mod tests {
                 status: "terminated".into(),
                 value: Some(2.0),
                 trace_mark: None,
+                asks: Some(1),
             },
         ];
         let mut fresh = RandomSearch::new(space(), 9);
@@ -780,8 +957,9 @@ mod tests {
             t.attempts[0].error,
             Some(TrialError::Panicked("canonical".into()))
         );
-        // Only canonical attempts feed the observation re-feed.
-        assert_eq!(state.observations, vec![1.0, 2.0]);
+        // Only canonical attempts (with their raws) survive the replay.
+        assert_eq!(t.attempts[0].raw, Some(1.0));
+        assert_eq!(t.attempts[1].raw, Some(2.0));
     }
 
     #[test]
@@ -789,9 +967,7 @@ mod tests {
         let mut live = RandomSearch::new(space(), 5);
         let p = live.suggest(0).unwrap();
         let events = vec![
-            RunEvent::Meta {
-                fingerprint: "f".into(),
-            },
+            RunEvent::meta("f"),
             RunEvent::Ask {
                 trial: 0,
                 config: p,
@@ -815,9 +991,7 @@ mod tests {
         let mut live = RandomSearch::new(space(), 5);
         let p = live.suggest(0).unwrap();
         let events = vec![
-            RunEvent::Meta {
-                fingerprint: "f".into(),
-            },
+            RunEvent::meta("f"),
             RunEvent::Ask {
                 trial: 0,
                 config: p.clone(),
@@ -841,6 +1015,7 @@ mod tests {
                 status: "terminated".into(),
                 value: Some(1.0),
                 trace_mark: None,
+                asks: Some(1),
             },
         ];
         let mut fresh = RandomSearch::new(space(), 5);
@@ -855,9 +1030,7 @@ mod tests {
         let path = dir.join("run.wal");
         let wal = e2c_journal::Wal::create(&path).unwrap();
         let j = RunJournal::new(wal, None);
-        j.append(&RunEvent::Meta {
-            fingerprint: "fp".into(),
-        });
+        j.append(&RunEvent::meta("fp"));
         j.append(&RunEvent::Ask {
             trial: 0,
             config: vec![3.0],
@@ -866,12 +1039,7 @@ mod tests {
         assert_eq!(j.appended(), 3);
         let events = load_events(&path).unwrap();
         assert_eq!(events.len(), 3);
-        assert_eq!(
-            events[0],
-            RunEvent::Meta {
-                fingerprint: "fp".into()
-            }
-        );
+        assert_eq!(events[0], RunEvent::meta("fp"));
         assert_eq!(events[2], RunEvent::Complete);
         std::fs::remove_dir_all(&dir).unwrap();
     }

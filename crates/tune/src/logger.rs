@@ -222,11 +222,13 @@ mod tests {
                 index: 0,
                 error: Some(TrialError::Panicked("boom \"quoted\"\nline".into())),
                 secs: 0.1,
+                raw: None,
             },
             Attempt {
                 index: 1,
                 error: None,
                 secs: 0.2,
+                raw: Some(1.0),
             },
         ];
         let line = TrialLogger::to_json(&t);

@@ -115,6 +115,12 @@ pub struct Attempt {
     pub error: Option<TrialError>,
     /// Wall-clock duration of the attempt, in seconds.
     pub secs: f64,
+    /// The objective's raw return value when it was actually invoked and
+    /// returned (even if the attempt was then classified as failed, e.g.
+    /// a non-finite metric); `None` when the objective never ran or
+    /// panicked. Feeds the observation histogram in canonical commit
+    /// order — and survives crash-resume, because the journal carries it.
+    pub raw: Option<f64>,
 }
 
 impl Attempt {
@@ -216,11 +222,13 @@ mod tests {
             index: 0,
             error: Some(TrialError::Panicked("boom".into())),
             secs: 0.1,
+            raw: None,
         });
         t.attempts.push(Attempt {
             index: 1,
             error: None,
             secs: 0.2,
+            raw: Some(3.0),
         });
         t.status = TrialStatus::Terminated(3.0);
         assert_eq!(t.attempt_count(), 2);

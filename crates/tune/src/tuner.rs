@@ -11,6 +11,15 @@
 //! can carry a wall-clock `time_budget` enforced cooperatively through
 //! [`TrialContext`] plus a watchdog thread, and a [`FaultPlan`] injects
 //! deterministic failures so the robustness layer is itself testable.
+//!
+//! Parallel runs stay deterministic through a *commit sequencer*: trials
+//! execute concurrently on the worker pool, but every effect with
+//! observable order — searcher asks/tells, scheduler feeds, journal
+//! appends, trace events — is applied in ask-index order at each trial's
+//! *commit*, with out-of-order completions buffered until their turn.
+//! The journal, trace and artifacts of a run are therefore a pure
+//! function of (configuration, seed, worker count), byte-identical under
+//! any thread interleaving, and crash-resume replays them exactly.
 
 use crate::analysis::Analysis;
 use crate::clock;
@@ -24,15 +33,16 @@ use e2c_trace::Fields;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How often the watchdog sweeps running attempts for blown deadlines.
 const WATCHDOG_TICK: Duration = Duration::from_millis(2);
 
-/// Safety-net timeout for suggestion-starved workers: they are woken by
-/// `observe()`, but re-check this often so exhaustion can never stall.
+/// Safety-net timeout for workers parked on the commit sequencer: they
+/// are woken by every commit and dispatch, but re-check this often so a
+/// missed edge can never stall the run.
 const SUGGEST_WAIT: Duration = Duration::from_millis(50);
 
 /// Optimization direction of the user metric.
@@ -58,6 +68,10 @@ pub struct TrialContext<'a> {
     mode: Mode,
     scheduler: &'a dyn Scheduler,
     journal: Option<&'a RunJournal>,
+    tracer: Option<&'a e2c_trace::Tracer>,
+    /// Parallel (deferred-commit) execution: reports are buffered and fed
+    /// to the scheduler in canonical commit order instead of live.
+    deferred: bool,
     reports: Vec<(u64, f64)>,
     stopped: bool,
     deadline: Option<Instant>,
@@ -68,12 +82,20 @@ impl<'a> TrialContext<'a> {
     /// Report an intermediate metric value (user orientation); returns the
     /// scheduler's verdict. Once the trial's deadline has passed this
     /// returns [`Decision::Stop`] without consulting the scheduler.
+    ///
+    /// Under parallel execution the scheduler is consulted at the trial's
+    /// *commit*, not live — this returns [`Decision::Continue`] and the
+    /// early-stop (with its truncated report list) is settled in canonical
+    /// commit order, identically for every worker interleaving.
     pub fn report(&mut self, value: f64) -> Decision {
         if self.deadline_exceeded() {
             return Decision::Stop;
         }
         let iteration = self.reports.len() as u64 + 1;
         self.reports.push((iteration, value));
+        if self.deferred {
+            return Decision::Continue;
+        }
         let normalized = match self.mode {
             Mode::Min => value,
             Mode::Max => -value,
@@ -104,6 +126,15 @@ impl<'a> TrialContext<'a> {
         self.stopped
     }
 
+    /// The trace sink for this attempt's engine-side events. Under
+    /// parallel execution this is a per-trial buffer whose events are
+    /// spliced into the run trace at the trial's commit; objectives that
+    /// trace must use this handle, never a captured tracer, or their
+    /// events land mid-buffer in nondeterministic order.
+    pub fn tracer(&self) -> Option<&e2c_trace::Tracer> {
+        self.tracer
+    }
+
     /// Whether this attempt's wall-clock budget is spent (flagged by the
     /// watchdog, or observed directly). Cooperative objectives should
     /// check this in long loops and return promptly when it turns true;
@@ -128,39 +159,57 @@ struct WatchEntry {
     expired: Arc<AtomicBool>,
 }
 
-/// Parking spot for suggestion-starved workers: instead of spinning on
-/// `suggest()`, they wait here until an `observe()` bumps the generation.
-struct Wake {
-    generation: Mutex<u64>,
+/// The commit sequencer's shared state. Trials execute on any worker, in
+/// any real-time order, but their *effects* — searcher ask/tell, journal
+/// appends, scheduler feeds, trace events — are applied in ask-index
+/// order, so every run over the same seed and worker count produces the
+/// same journal, trace and artifacts under any thread interleaving.
+///
+/// Invariants (all under the one mutex):
+/// * trials `[next_commit, next_ask)` are in flight, at most `workers`;
+/// * ask `k` is admitted only while `next_ask < next_commit + workers`,
+///   so the journal's ask/commit permutation is the canonical greedy one;
+/// * trial `id` commits only when `next_commit == id` *and* no earlier
+///   ask is still admissible (window full, searcher parked/done, budget
+///   spent, or the run is winding down) — asks always journal before the
+///   commit they canonically precede.
+struct SeqState {
+    /// The searcher lives inside the sequencer: suggest order, journal
+    /// order and RNG draw order are one critical section.
+    searcher: Box<dyn Searcher>,
+    /// Next fresh trial id to ask for.
+    next_ask: u64,
+    /// Id of the next trial allowed to commit.
+    next_commit: u64,
+    /// The searcher refused a suggestion while trials were in flight
+    /// (e.g. a concurrency limiter at capacity); cleared by every commit,
+    /// after which dispatchers re-probe. Suggest paths that return `None`
+    /// are side-effect-free, so re-probing any number of times cannot
+    /// perturb determinism.
+    ask_parked: bool,
+    /// No further asks will ever be admitted (budget spent or searcher
+    /// exhausted); in-flight trials still commit.
+    asks_done: bool,
+    /// Fatal wind-down (searcher panicked): stop dispatching, let
+    /// in-flight trials commit, keep every settled result.
+    exhausted: bool,
+    /// Dangling trials of a resumed run, in id order.
+    pending: VecDeque<(u64, Point)>,
+    /// Ids settled by a previous incarnation (resume): `next_commit`
+    /// skips over them.
+    settled: std::collections::BTreeSet<u64>,
+}
+
+struct Sequencer {
+    state: Mutex<SeqState>,
     cv: Condvar,
 }
 
-impl Wake {
-    fn new() -> Self {
-        Wake {
-            generation: Mutex::new(0),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn generation(&self) -> u64 {
-        *self.generation.lock()
-    }
-
-    fn notify(&self) {
-        *self.generation.lock() += 1;
-        self.cv.notify_all();
-    }
-
-    /// Park until the generation moves past `seen`, or `timeout` elapses
-    /// (the timeout is a safety net for exhaustion paths, not a poll).
-    fn wait_past(&self, seen: u64, timeout: Duration) {
-        let mut generation = self.generation.lock();
-        if *generation != seen {
-            return;
-        }
-        self.cv.wait_for(&mut generation, timeout);
-    }
+/// One executed attempt plus the intermediate reports it buffered
+/// (deferred mode feeds these to the scheduler at commit).
+struct ExecAttempt {
+    attempt: Attempt,
+    reports: Vec<(u64, f64)>,
 }
 
 /// Runs trials in parallel until the sample budget is spent.
@@ -292,19 +341,37 @@ impl Tuner {
         F: Fn(&Point, &mut TrialContext<'_>) -> f64 + Send + Sync,
     {
         let resume = self.resume.clone().unwrap_or_else(ResumeState::empty);
-        let searcher = Mutex::new(searcher);
+        // Live mode (one worker) journals and traces during execution,
+        // exactly as a sequential run always has; deferred mode (several
+        // workers) buffers each trial's effects and applies them at its
+        // commit, in ask-index order.
+        let deferred = self.workers > 1;
+        let settled: std::collections::BTreeSet<u64> = resume.trials.iter().map(|t| t.id).collect();
+        let mut next_commit = 0u64;
+        while settled.contains(&next_commit) {
+            next_commit += 1;
+        }
+        // Dangling trials from a resumed journal (`pending`): asked
+        // pre-crash but never settled. They re-execute from attempt 0
+        // with their journaled configuration (no fresh suggest — the
+        // replay already advanced the searcher past their asks).
+        let seq = Sequencer {
+            state: Mutex::new(SeqState {
+                searcher,
+                next_ask: resume.next_id,
+                next_commit,
+                ask_parked: false,
+                asks_done: false,
+                exhausted: false,
+                pending: resume.pending.into_iter().collect(),
+                settled,
+            }),
+            cv: Condvar::new(),
+        };
+        let asks_at_mark = resume.asks_at_mark;
         let trials: Mutex<Vec<Trial>> = Mutex::new(resume.trials);
-        let next_id = AtomicU64::new(resume.next_id);
         let worst_seen = Mutex::new(resume.worst_seen);
-        // Dangling trials from a resumed journal: asked pre-crash but
-        // never settled. They re-execute from attempt 0 with their
-        // journaled configuration (no fresh suggest — the replay already
-        // advanced the searcher past their asks).
-        let pending: Mutex<VecDeque<(u64, Point)>> =
-            Mutex::new(resume.pending.into_iter().collect());
-        let exhausted = AtomicBool::new(false);
         let live_workers = AtomicUsize::new(self.workers);
-        let wake = Wake::new();
         // BTreeMap, not HashMap: the watchdog iterates this map, and even
         // though expiry flags are commutative, keeping every iterated
         // collection ordered is this workspace's determinism baseline.
@@ -313,9 +380,10 @@ impl Tuner {
         let scheduler = &*scheduler;
         let tracer = self.tracer.as_ref();
         let journal = self.journal.as_ref();
-        let (searcher, trials, worst_seen) = (&searcher, &trials, &worst_seen);
-        let (next_id, exhausted, live_workers) = (&next_id, &exhausted, &live_workers);
-        let (wake, watch, pending) = (&wake, &watch, &pending);
+        let num_samples = self.num_samples as u64;
+        let workers = self.workers as u64;
+        let (seq, trials, worst_seen) = (&seq, &trials, &worst_seen);
+        let (live_workers, watch) = (&live_workers, &watch);
 
         crossbeam::thread::scope(|scope| {
             // Deadline watchdog: sweeps running attempts and flags the
@@ -337,101 +405,142 @@ impl Tuner {
             for _ in 0..self.workers {
                 scope.spawn(move |_| {
                     let work = || loop {
-                        // Dangling trials of a resumed run come first;
-                        // their configurations are already journaled, so
-                        // re-execution starts with a Restart marker that
-                        // tells future replays to discard the pre-crash
-                        // partial records.
-                        let resumed = pending.lock().pop_front();
-                        let (id, config) = if let Some((id, config)) = resumed {
-                            if let Some(j) = journal {
-                                j.append(&RunEvent::Restart { trial: id });
-                            }
-                            (id, config)
-                        } else {
-                            let id = next_id.fetch_add(1, Ordering::SeqCst);
-                            if id >= self.num_samples as u64 {
+                        // ---- dispatch: claim a trial under the sequencer
+                        // lock. Dangling trials of a resumed run come
+                        // first; fresh asks are admitted only while the
+                        // in-flight window has room, so the journal's
+                        // ask/commit permutation is canonical.
+                        let mut st = seq.state.lock();
+                        let (id, config, resumed) = loop {
+                            if st.exhausted {
                                 return;
                             }
-                            // Obtain a suggestion, waiting out concurrency
-                            // limits parked on the condvar (woken by
-                            // observe).
-                            let config = loop {
-                                if exhausted.load(Ordering::SeqCst) {
-                                    return;
+                            if let Some((id, config)) = st.pending.pop_front() {
+                                // Live mode journals the Restart marker
+                                // now, ahead of the re-run's live reports;
+                                // deferred mode journals it at commit with
+                                // the rest of the trial's records.
+                                if !deferred {
+                                    if let Some(j) = journal {
+                                        j.append(&RunEvent::Restart { trial: id });
+                                    }
                                 }
-                                let seen = wake.generation();
-                                let suggestion = {
-                                    let mut s = searcher.lock();
-                                    match catch_unwind(AssertUnwindSafe(|| s.suggest(id))) {
-                                        Ok(p) => {
-                                            // Journal the ask under the
-                                            // searcher lock: journal order
-                                            // must equal RNG draw order.
-                                            if let (Some(j), Some(p)) = (journal, p.as_ref()) {
-                                                j.append(&RunEvent::Ask {
-                                                    trial: id,
-                                                    config: p.clone(),
-                                                });
-                                            }
-                                            p
-                                        }
-                                        Err(_) => {
-                                            // A panicking searcher cannot
-                                            // drive the run further; wind
-                                            // down instead of poisoning
-                                            // every worker.
-                                            exhausted.store(true, Ordering::SeqCst);
-                                            wake.notify();
-                                            return;
-                                        }
+                                // Re-emit the ask trace point only if the
+                                // original one was truncated away with the
+                                // pre-crash trace suffix: asks journaled
+                                // before the last committed tell (the
+                                // truncation mark) are still in the stream.
+                                if asks_at_mark.is_none_or(|a| id >= a) {
+                                    if let Some(tr) = tracer {
+                                        tr.point(
+                                            "searcher",
+                                            "ask",
+                                            Some(id),
+                                            e2c_trace::fields([(
+                                                "config",
+                                                fmt_point(&config).into(),
+                                            )]),
+                                        );
+                                    }
+                                }
+                                break (id, config, true);
+                            }
+                            if st.next_ask >= num_samples {
+                                st.asks_done = true;
+                                seq.cv.notify_all();
+                                return;
+                            }
+                            if st.asks_done {
+                                return;
+                            }
+                            if !st.ask_parked && st.next_ask < st.next_commit + workers {
+                                let id = st.next_ask;
+                                let suggestion = match catch_unwind(AssertUnwindSafe(|| {
+                                    st.searcher.suggest(id)
+                                })) {
+                                    Ok(p) => p,
+                                    Err(_) => {
+                                        // A panicking searcher cannot
+                                        // drive the run further; wind
+                                        // down instead of poisoning
+                                        // every worker.
+                                        st.exhausted = true;
+                                        seq.cv.notify_all();
+                                        return;
                                     }
                                 };
                                 match suggestion {
-                                    Some(p) => break p,
+                                    Some(config) => {
+                                        // Journal the ask inside the
+                                        // sequencer critical section:
+                                        // journal order must equal RNG
+                                        // draw order.
+                                        if let Some(j) = journal {
+                                            j.append(&RunEvent::Ask {
+                                                trial: id,
+                                                config: config.clone(),
+                                            });
+                                        }
+                                        st.next_ask += 1;
+                                        if let Some(tr) = tracer {
+                                            tr.point(
+                                                "searcher",
+                                                "ask",
+                                                Some(id),
+                                                e2c_trace::fields([(
+                                                    "config",
+                                                    fmt_point(&config).into(),
+                                                )]),
+                                            );
+                                        }
+                                        seq.cv.notify_all();
+                                        break (id, config, false);
+                                    }
                                     None => {
-                                        // Either concurrency-limited (an
-                                        // observe will wake us) or the
-                                        // searcher is done. A grid that ran
-                                        // dry while nothing is running can
-                                        // never produce again.
-                                        let nothing_running = {
-                                            let t = trials.lock();
-                                            t.iter().all(|tr| tr.status.is_finished())
-                                        };
-                                        if nothing_running {
-                                            exhausted.store(true, Ordering::SeqCst);
-                                            wake.notify();
+                                        if st.next_commit == st.next_ask {
+                                            // Nothing in flight and nothing
+                                            // suggested: a dry searcher
+                                            // (exhausted grid) can never
+                                            // produce again.
+                                            st.asks_done = true;
+                                            seq.cv.notify_all();
                                             return;
                                         }
-                                        wake.wait_past(seen, SUGGEST_WAIT);
+                                        // Concurrency-limited or awaiting
+                                        // stragglers: the next commit both
+                                        // unblocks the searcher and clears
+                                        // the parking flag.
+                                        st.ask_parked = true;
+                                        seq.cv.notify_all();
                                     }
                                 }
-                            };
-                            (id, config)
+                            }
+                            seq.cv.wait_for(&mut st, SUGGEST_WAIT);
                         };
-                        if let Some(tr) = tracer {
-                            tr.point(
-                                "searcher",
-                                "ask",
-                                Some(id),
-                                e2c_trace::fields([("config", fmt_point(&config).into())]),
-                            );
-                        }
+                        drop(st);
                         {
                             let mut t = trials.lock();
                             let mut trial = Trial::new(id, config.clone());
                             trial.status = TrialStatus::Running;
                             t.push(trial);
                         }
+                        // Deferred mode buffers the trial's trace events
+                        // locally; they are spliced into the run trace —
+                        // re-stamped onto the shared virtual clock — at
+                        // the trial's commit.
+                        let buffer = (deferred && tracer.is_some()).then(e2c_trace::Tracer::new);
+                        let tr_exec: Option<&e2c_trace::Tracer> = buffer.as_ref().or(tracer);
                         let exec_span =
-                            tracer.map(|tr| tr.begin("tuner", "execute", Some(id), Fields::new()));
+                            tr_exec.map(|tr| tr.begin("tuner", "execute", Some(id), Fields::new()));
                         // Attempt loop: run, classify, retry while the
-                        // policy allows, then settle the trial.
-                        let mut attempts: Vec<Attempt> = Vec::new();
-                        let mut reports: Vec<(u64, f64)>;
-                        let (status, feedback) = loop {
-                            let attempt = attempts.len() as u32;
+                        // policy allows. Live mode settles the trial here;
+                        // deferred mode only records outcomes — the trial
+                        // settles at its commit.
+                        let mut exec: Vec<ExecAttempt> = Vec::new();
+                        let mut live_settled: Option<(TrialStatus, f64)> = None;
+                        let mut success: Option<f64> = None;
+                        loop {
+                            let attempt = exec.len() as u32;
                             let expired = Arc::new(AtomicBool::new(false));
                             let deadline = self.time_budget.map(|b| clock::now() + b);
                             if let Some(d) = deadline {
@@ -448,7 +557,9 @@ impl Tuner {
                                 attempt,
                                 mode: self.mode,
                                 scheduler,
-                                journal,
+                                journal: if deferred { None } else { journal },
+                                tracer: tr_exec,
+                                deferred,
                                 reports: Vec::new(),
                                 stopped: false,
                                 deadline,
@@ -456,7 +567,7 @@ impl Tuner {
                             };
                             let started = clock::now();
                             let fault = self.faults.lookup(id, attempt);
-                            if let Some(tr) = tracer {
+                            if let Some(tr) = tr_exec {
                                 let mut f =
                                     e2c_trace::fields([("attempt", u64::from(attempt).into())]);
                                 if let Some(action) = &fault {
@@ -494,7 +605,7 @@ impl Tuner {
                             let overran = expired.load(Ordering::SeqCst)
                                 || deadline.is_some_and(|d| clock::now() >= d);
                             let stopped = ctx.stopped;
-                            reports = ctx.reports;
+                            let reports = ctx.reports;
                             let raw = if invoked {
                                 outcome.as_ref().ok().copied()
                             } else {
@@ -509,21 +620,19 @@ impl Tuner {
                                     Err(e) => (Some(e), None),
                                 }
                             };
-                            attempts.push(Attempt {
-                                index: attempt,
-                                error: error.clone(),
-                                secs,
-                            });
-                            if let Some(j) = journal {
-                                j.append(&RunEvent::Attempt {
-                                    trial: id,
-                                    index: attempt,
-                                    secs,
-                                    raw,
-                                    error: error.clone(),
-                                });
+                            // Deferred attempts journal at commit.
+                            if !deferred {
+                                if let Some(j) = journal {
+                                    j.append(&RunEvent::Attempt {
+                                        trial: id,
+                                        index: attempt,
+                                        secs,
+                                        raw,
+                                        error: error.clone(),
+                                    });
+                                }
                             }
-                            if let (Some(tr), Some(e)) = (tracer, &error) {
+                            if let (Some(tr), Some(e)) = (tr_exec, &error) {
                                 tr.point(
                                     "tuner",
                                     "attempt_failed",
@@ -534,29 +643,46 @@ impl Tuner {
                                     ]),
                                 );
                             }
+                            exec.push(ExecAttempt {
+                                attempt: Attempt {
+                                    index: attempt,
+                                    error: error.clone(),
+                                    secs,
+                                    raw,
+                                },
+                                reports,
+                            });
                             if let Some(value) = value {
-                                let normalized = match self.mode {
-                                    Mode::Min => value,
-                                    Mode::Max => -value,
-                                };
-                                {
-                                    let mut worst = worst_seen.lock();
-                                    *worst = worst.max(normalized);
-                                }
-                                let status = if stopped {
-                                    TrialStatus::StoppedEarly(value)
+                                if deferred {
+                                    success = Some(value);
                                 } else {
-                                    TrialStatus::Terminated(value)
-                                };
-                                break (status, normalized);
+                                    let normalized = match self.mode {
+                                        Mode::Min => value,
+                                        Mode::Max => -value,
+                                    };
+                                    {
+                                        let mut worst = worst_seen.lock();
+                                        *worst = worst.max(normalized);
+                                    }
+                                    let status = if stopped {
+                                        TrialStatus::StoppedEarly(value)
+                                    } else {
+                                        TrialStatus::Terminated(value)
+                                    };
+                                    live_settled = Some((status, normalized));
+                                }
+                                break;
                             }
-                            let reason = error.map(|e| e.to_string()).unwrap_or_default();
-                            if attempts.len() as u32 >= self.retry.max_attempts() {
-                                let penalty = self.failure_penalty(worst_seen);
-                                break (TrialStatus::Failed(reason), penalty);
+                            if exec.len() as u32 >= self.retry.max_attempts() {
+                                if !deferred {
+                                    let reason = error.map(|e| e.to_string()).unwrap_or_default();
+                                    let penalty = self.failure_penalty(worst_seen);
+                                    live_settled = Some((TrialStatus::Failed(reason), penalty));
+                                }
+                                break;
                             }
                             let delay = self.retry.backoff(self.seed, id, attempt);
-                            if let Some(tr) = tracer {
+                            if let Some(tr) = tr_exec {
                                 tr.point(
                                     "tuner",
                                     "retry",
@@ -574,32 +700,160 @@ impl Tuner {
                                 // detlint: allow(DET004) retry backoff: delay length is seed-deterministic and never feeds the metric
                                 std::thread::sleep(delay);
                             }
-                        };
-                        if let Some(tr) = tracer {
-                            let outcome = match &status {
-                                TrialStatus::Terminated(_) => "terminated",
-                                TrialStatus::StoppedEarly(_) => "stopped_early",
-                                TrialStatus::Failed(_) => "failed",
-                                TrialStatus::Pending | TrialStatus::Running => "running",
-                            };
-                            tr.end(
-                                "tuner",
-                                "execute",
-                                Some(id),
-                                exec_span.expect("span opened with tracer"),
-                                e2c_trace::fields([
-                                    ("attempts", attempts.len().into()),
-                                    ("outcome", outcome.into()),
-                                ]),
-                            );
                         }
+                        // ---- commit: wait for this trial's turn, then
+                        // apply its effects in canonical order. The gate
+                        // also requires that no earlier ask is still
+                        // admissible, so asks always journal before the
+                        // commit they canonically precede.
+                        let mut st = seq.state.lock();
+                        while !(st.next_commit == id
+                            && (st.next_ask >= id + workers
+                                || st.ask_parked
+                                || st.asks_done
+                                || st.exhausted
+                                || st.next_ask >= num_samples))
+                        {
+                            seq.cv.wait_for(&mut st, SUGGEST_WAIT);
+                        }
+                        let (status, feedback, final_reports) = if deferred {
+                            if resumed {
+                                if let Some(j) = journal {
+                                    j.append(&RunEvent::Restart { trial: id });
+                                }
+                            }
+                            // Splice the buffered trace onto the shared
+                            // clock; the execute span's begin reference is
+                            // remapped into the run trace.
+                            let exec_begin = match (tracer, &buffer) {
+                                (Some(tr), Some(buf)) => {
+                                    let (events, end_clock) = buf.drain_for_splice();
+                                    let seq_map = tr.splice(&events, end_clock);
+                                    exec_span.map(|s| seq_map[s as usize])
+                                }
+                                _ => exec_span,
+                            };
+                            // Feed the buffered reports to the scheduler in
+                            // order, journaling each verdict; at the first
+                            // Stop the kept reports are truncated there,
+                            // exactly where a live sequential run would
+                            // have returned early.
+                            let mut stop_value: Option<f64> = None;
+                            let mut final_reports: Vec<(u64, f64)> = Vec::new();
+                            for ea in &exec {
+                                let mut kept: Vec<(u64, f64)> = Vec::new();
+                                if stop_value.is_none() {
+                                    for &(iteration, user_value) in &ea.reports {
+                                        let normalized = match self.mode {
+                                            Mode::Min => user_value,
+                                            Mode::Max => -user_value,
+                                        };
+                                        let d = scheduler.on_report(id, iteration, normalized);
+                                        if let Some(j) = journal {
+                                            j.append(&RunEvent::Report {
+                                                trial: id,
+                                                iteration,
+                                                normalized,
+                                                stop: d == Decision::Stop,
+                                            });
+                                        }
+                                        kept.push((iteration, user_value));
+                                        if d == Decision::Stop {
+                                            stop_value = Some(user_value);
+                                            break;
+                                        }
+                                    }
+                                }
+                                if let Some(j) = journal {
+                                    let a = &ea.attempt;
+                                    j.append(&RunEvent::Attempt {
+                                        trial: id,
+                                        index: a.index,
+                                        secs: a.secs,
+                                        raw: a.raw,
+                                        error: a.error.clone(),
+                                    });
+                                }
+                                final_reports = kept;
+                            }
+                            let (status, feedback) = match success {
+                                Some(v) => {
+                                    let (value, status) = match stop_value {
+                                        Some(s) => (s, TrialStatus::StoppedEarly(s)),
+                                        None => (v, TrialStatus::Terminated(v)),
+                                    };
+                                    let normalized = match self.mode {
+                                        Mode::Min => value,
+                                        Mode::Max => -value,
+                                    };
+                                    {
+                                        let mut worst = worst_seen.lock();
+                                        *worst = worst.max(normalized);
+                                    }
+                                    (status, normalized)
+                                }
+                                None => {
+                                    let reason = exec
+                                        .last()
+                                        .and_then(|ea| ea.attempt.error.as_ref())
+                                        .map(|e| e.to_string())
+                                        .unwrap_or_default();
+                                    (
+                                        TrialStatus::Failed(reason),
+                                        self.failure_penalty(worst_seen),
+                                    )
+                                }
+                            };
+                            if let (Some(tr), Some(span)) = (tracer, exec_begin) {
+                                let outcome = match &status {
+                                    TrialStatus::Terminated(_) => "terminated",
+                                    TrialStatus::StoppedEarly(_) => "stopped_early",
+                                    TrialStatus::Failed(_) => "failed",
+                                    TrialStatus::Pending | TrialStatus::Running => "running",
+                                };
+                                tr.end(
+                                    "tuner",
+                                    "execute",
+                                    Some(id),
+                                    span,
+                                    e2c_trace::fields([
+                                        ("attempts", exec.len().into()),
+                                        ("outcome", outcome.into()),
+                                    ]),
+                                );
+                            }
+                            (status, feedback, final_reports)
+                        } else {
+                            let (status, feedback) = live_settled
+                                .clone()
+                                .expect("live execution settles the trial");
+                            if let (Some(tr), Some(span)) = (tracer, exec_span) {
+                                let outcome = match &status {
+                                    TrialStatus::Terminated(_) => "terminated",
+                                    TrialStatus::StoppedEarly(_) => "stopped_early",
+                                    TrialStatus::Failed(_) => "failed",
+                                    TrialStatus::Pending | TrialStatus::Running => "running",
+                                };
+                                tr.end(
+                                    "tuner",
+                                    "execute",
+                                    Some(id),
+                                    span,
+                                    e2c_trace::fields([
+                                        ("attempts", exec.len().into()),
+                                        ("outcome", outcome.into()),
+                                    ]),
+                                );
+                            }
+                            let final_reports =
+                                exec.last().map(|ea| ea.reports.clone()).unwrap_or_default();
+                            (status, feedback, final_reports)
+                        };
                         // A panicking searcher must not poison the run: the
                         // trial is marked failed and the run winds down
                         // with every settled result intact.
-                        let observed = {
-                            let mut s = searcher.lock();
-                            catch_unwind(AssertUnwindSafe(|| s.observe(id, feedback)))
-                        };
+                        let observed =
+                            catch_unwind(AssertUnwindSafe(|| st.searcher.observe(id, feedback)));
                         let status = match observed {
                             Ok(()) => {
                                 if let Some(tr) = tracer {
@@ -620,7 +874,9 @@ impl Tuner {
                                     // point: resume truncates the streamed
                                     // trace here and restores the virtual
                                     // clock, so re-executed trials land on
-                                    // the same (seq, vt) slots.
+                                    // the same (seq, vt) slots. The ask
+                                    // count records the run's ask/commit
+                                    // permutation for replay verification.
                                     let trace_mark = tracer.map(|tr| (tr.len() as u64, tr.now()));
                                     j.append(&RunEvent::Tell {
                                         trial: id,
@@ -628,12 +884,13 @@ impl Tuner {
                                         status: token.to_string(),
                                         value: status.value(),
                                         trace_mark,
+                                        asks: Some(st.next_ask),
                                     });
                                 }
                                 status
                             }
                             Err(panic) => {
-                                exhausted.store(true, Ordering::SeqCst);
+                                st.exhausted = true;
                                 TrialStatus::Failed(
                                     TrialError::Panicked(format!(
                                         "searcher observe panicked: {}",
@@ -643,15 +900,21 @@ impl Tuner {
                                 )
                             }
                         };
-                        wake.notify();
+                        st.next_commit += 1;
+                        while st.settled.contains(&st.next_commit) {
+                            st.next_commit += 1;
+                        }
+                        st.ask_parked = false;
+                        seq.cv.notify_all();
+                        drop(st);
                         {
                             let mut t = trials.lock();
                             let trial = t
                                 .iter_mut()
                                 .find(|tr| tr.id == id)
                                 .expect("trial recorded at start");
-                            trial.reports = reports;
-                            trial.attempts = attempts;
+                            trial.reports = final_reports;
+                            trial.attempts = exec.into_iter().map(|ea| ea.attempt).collect();
                             trial.status = status;
                         }
                     };
@@ -1022,9 +1285,7 @@ mod tests {
         // Baseline: one uninterrupted journaled run.
         let full_wal = dir.join("full.wal");
         let journal = RunJournal::new(e2c_journal::Wal::create(&full_wal).unwrap(), None);
-        journal.append(&RunEvent::Meta {
-            fingerprint: "t".into(),
-        });
+        journal.append(&RunEvent::meta("t"));
         let baseline = build()
             .journal(journal)
             .run(make_searcher(), Arc::new(Fifo), objective);
@@ -1068,6 +1329,126 @@ mod tests {
                     b.attempts
                         .iter()
                         .map(|x| (x.index, x.error.clone()))
+                        .collect::<Vec<_>>(),
+                    "cut at {cut}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Two identically seeded parallel runs must be indistinguishable:
+    /// same trials, same attempt records, and byte-identical traces —
+    /// the commit sequencer erases the thread interleaving.
+    #[test]
+    fn parallel_runs_are_deterministic_and_trace_stable() {
+        let run = || {
+            let tracer = e2c_trace::Tracer::new();
+            let tuner = Tuner::new(12, 4, Mode::Min)
+                .retry_policy(fast_retries(1))
+                .faults(FaultPlan::new().fail(3, 0))
+                .seed(7)
+                .trace(tracer.clone());
+            let analysis = tuner.run(
+                Box::new(RandomSearch::new(space(), 23)),
+                Arc::new(AsyncHyperBand::new(1, 2, 4)),
+                |cfg, ctx| {
+                    let value = (cfg[0] - 6.0).powi(2);
+                    for _ in 0..4 {
+                        if ctx.report(value) == Decision::Stop {
+                            break;
+                        }
+                    }
+                    value
+                },
+            );
+            (analysis, tracer.to_jsonl())
+        };
+        let (a, trace_a) = run();
+        let (b, trace_b) = run();
+        assert_eq!(a.trials().len(), 12);
+        for (x, y) in a.trials().iter().zip(b.trials()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.status, y.status);
+            assert_eq!(x.reports, y.reports);
+            assert_eq!(
+                x.attempts
+                    .iter()
+                    .map(|at| (at.index, at.error.clone(), at.raw))
+                    .collect::<Vec<_>>(),
+                y.attempts
+                    .iter()
+                    .map(|at| (at.index, at.error.clone(), at.raw))
+                    .collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(trace_a, trace_b, "parallel trace must be byte-stable");
+    }
+
+    /// The parallel analogue of the WAL-prefix resume test: a journaled
+    /// run on 4 workers, cut at every record boundary, must resume to
+    /// the same trials as its uninterrupted self.
+    #[test]
+    fn parallel_journaled_run_resumes_from_a_wal_prefix_with_identical_results() {
+        use crate::journal::{load_events, replay, RunJournal};
+
+        let dir = std::env::temp_dir().join(format!("e2c-tuner-par-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            Tuner::new(8, 4, Mode::Min)
+                .retry_policy(fast_retries(1))
+                .faults(FaultPlan::new().fail(2, 0))
+                .seed(5)
+        };
+        let make_searcher = || Box::new(ConcurrencyLimiter::new(RandomSearch::new(space(), 41), 4));
+        let objective = |cfg: &Point, _: &mut TrialContext<'_>| (cfg[0] - 9.0).powi(2);
+
+        let full_wal = dir.join("full.wal");
+        let journal = RunJournal::new(e2c_journal::Wal::create(&full_wal).unwrap(), None);
+        journal.append(&RunEvent::meta("t"));
+        let baseline = build()
+            .journal(journal)
+            .run(make_searcher(), Arc::new(Fifo), objective);
+        let events = load_events(&full_wal).unwrap();
+        assert!(events.len() > 8, "expected a meaty journal");
+
+        for cut in 1..events.len() {
+            let part = dir.join(format!("cut-{cut}.wal"));
+            let mut wal = e2c_journal::Wal::create(&part).unwrap();
+            for ev in &events[..cut] {
+                wal.append(ev.to_line().as_bytes()).unwrap();
+            }
+            drop(wal);
+            let (wal, records) = e2c_journal::Wal::open(&part).unwrap();
+            let replayed: Vec<RunEvent> = records
+                .iter()
+                .map(|r| RunEvent::parse(std::str::from_utf8(r).unwrap()).unwrap())
+                .collect();
+            let mut searcher = make_searcher();
+            let state = replay(&replayed, searcher.as_mut(), &Fifo, Mode::Min).unwrap();
+            let resumed = build()
+                .journal(RunJournal::new(wal, None))
+                .resume(state)
+                .run(searcher, Arc::new(Fifo), objective);
+            assert_eq!(
+                resumed.trials().len(),
+                baseline.trials().len(),
+                "cut at {cut}"
+            );
+            for (a, b) in baseline.trials().iter().zip(resumed.trials()) {
+                assert_eq!(a.id, b.id, "cut at {cut}");
+                assert_eq!(a.config, b.config, "cut at {cut}");
+                assert_eq!(a.status, b.status, "cut at {cut}");
+                assert_eq!(a.reports, b.reports, "cut at {cut}");
+                assert_eq!(
+                    a.attempts
+                        .iter()
+                        .map(|x| (x.index, x.error.clone(), x.raw))
+                        .collect::<Vec<_>>(),
+                    b.attempts
+                        .iter()
+                        .map(|x| (x.index, x.error.clone(), x.raw))
                         .collect::<Vec<_>>(),
                     "cut at {cut}"
                 );

@@ -1,0 +1,204 @@
+//! Property-based coverage of the run journal's escaped-TSV wire format.
+//!
+//! The journal is the crash-safety story's single source of truth, so its
+//! encoding must round-trip *exactly* — including payloads carrying tabs,
+//! newlines, backslashes and multi-byte unicode — and its decoder must
+//! reject truncated records rather than misread them.  Two deliberate
+//! compatibility holes are pinned as such: a version-2 `meta` with its
+//! version field dropped *is* a valid version-1 meta, and a `tell` with
+//! its ask-count dropped *is* a valid version-1 tell (that is how old
+//! journals stay readable); both decode to the legacy variant, never to
+//! the record that was truncated.
+
+use e2c_tune::journal::{RunEvent, WIRE_VERSION};
+use e2c_tune::TrialError;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Printable ASCII plus the characters the escaper exists for (tab,
+/// newline, carriage return, backslash) plus multi-byte unicode.
+const PAYLOAD: &str = "[ -~\t\n\réà→ß🦀]{0,24}";
+
+fn arb_config() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e4f64..1e4, 0..5)
+}
+
+fn arb_error() -> impl Strategy<Value = Option<TrialError>> {
+    (0u32..5, PAYLOAD).prop_map(|(kind, payload)| match kind {
+        0 => None,
+        1 => Some(TrialError::Panicked(payload)),
+        2 => Some(TrialError::NonFinite(payload)),
+        3 => Some(TrialError::DeadlineExceeded),
+        _ => Some(TrialError::Injected(payload)),
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = RunEvent> {
+    let meta = PAYLOAD.prop_map(RunEvent::meta).boxed();
+    let legacy_meta = PAYLOAD
+        .prop_map(|fingerprint| RunEvent::Meta {
+            version: 1,
+            fingerprint,
+        })
+        .boxed();
+    let ask = (0u64..1000, arb_config())
+        .prop_map(|(trial, config)| RunEvent::Ask { trial, config })
+        .boxed();
+    let restart = (0u64..1000)
+        .prop_map(|trial| RunEvent::Restart { trial })
+        .boxed();
+    let report = (0u64..1000, 0u64..100, -1e6f64..1e6, any::<bool>())
+        .prop_map(|(trial, iteration, normalized, stop)| RunEvent::Report {
+            trial,
+            iteration,
+            normalized,
+            stop,
+        })
+        .boxed();
+    let attempt = (0u64..1000, 0u64..10, 0.0f64..100.0, arb_raw(), arb_error())
+        .prop_map(|(trial, index, secs, raw, error)| RunEvent::Attempt {
+            trial,
+            index: index as u32,
+            secs,
+            raw,
+            error,
+        })
+        .boxed();
+    let tell = (
+        (0u64..1000, -1e6f64..1e6, "[a-z_]{1,12}"),
+        (arb_raw(), arb_mark(), arb_asks()),
+    )
+        .prop_map(
+            |((trial, feedback, status), (value, trace_mark, asks))| RunEvent::Tell {
+                trial,
+                feedback,
+                status,
+                value,
+                trace_mark,
+                asks,
+            },
+        )
+        .boxed();
+    let complete = Just(RunEvent::Complete).boxed();
+    Union::new(vec![
+        meta,
+        legacy_meta,
+        ask,
+        restart,
+        report,
+        attempt,
+        tell,
+        complete,
+    ])
+}
+
+fn arb_raw() -> impl Strategy<Value = Option<f64>> {
+    (any::<bool>(), -1e6f64..1e6).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_mark() -> impl Strategy<Value = Option<(u64, u64)>> {
+    (any::<bool>(), 0u64..10_000, 0u64..10_000).prop_map(|(some, e, v)| some.then_some((e, v)))
+}
+
+fn arb_asks() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), 0u64..10_000).prop_map(|(some, a)| some.then_some(a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity for every event shape, whatever
+    /// the payload characters — and the wire line itself is stable
+    /// (decode → re-encode reproduces the same bytes).
+    #[test]
+    fn wire_round_trips_exactly(event in arb_event()) {
+        let line = event.to_line();
+        prop_assert!(!line.contains('\n'), "wire line must be newline-free: {line:?}");
+        let back = RunEvent::parse(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e} (line {line:?})")))?;
+        prop_assert_eq!(&back, &event, "decode(encode(e)) != e for {}", line);
+        prop_assert_eq!(back.to_line(), line);
+    }
+
+    /// Dropping the last field of a fixed-arity record is a decode error,
+    /// never a silent misread.  `meta`/`tell` are the two variable-arity
+    /// kinds: their truncated forms decode as the *legacy* (version-1)
+    /// variant by design, and never compare equal to the original.
+    #[test]
+    fn truncated_records_never_decode_to_the_original(event in arb_event()) {
+        let line = event.to_line();
+        let Some((truncated, _)) = line.rsplit_once('\t') else {
+            // `complete` (and nothing else) is a single field; dropping it
+            // leaves an empty line, which must not parse.
+            prop_assert!(matches!(event, RunEvent::Complete));
+            prop_assert!(RunEvent::parse("").is_err());
+            return Ok(());
+        };
+        match &event {
+            RunEvent::Meta { version: 1, .. } => {
+                // A 1-field `meta` is malformed outright.
+                prop_assert!(RunEvent::parse(truncated).is_err(), "{truncated:?}");
+            }
+            RunEvent::Meta { .. } => {
+                // Versioned meta minus its tail is a valid *version-1*
+                // meta (the compat path) — but never the original record.
+                let got = RunEvent::parse(truncated)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert!(
+                    matches!(got, RunEvent::Meta { version: 1, .. }),
+                    "{got:?}"
+                );
+                prop_assert_ne!(got, event.clone());
+            }
+            RunEvent::Tell { asks: Some(_), .. } => {
+                // Versioned tell minus its ask count is the version-1
+                // tell: same payload, `asks: None`.
+                let got = RunEvent::parse(truncated)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert!(
+                    matches!(&got, RunEvent::Tell { asks: None, .. }),
+                    "{got:?}"
+                );
+                prop_assert_ne!(got, event.clone());
+            }
+            _ => {
+                prop_assert!(
+                    RunEvent::parse(truncated).is_err(),
+                    "truncated {} still parsed: {truncated:?}",
+                    line
+                );
+            }
+        }
+    }
+
+    /// Appending a junk field to any record is a decode error (the two
+    /// variable-arity kinds cap at their versioned width).
+    #[test]
+    fn overlong_records_are_rejected(event in arb_event()) {
+        let mut line = event.to_line();
+        if matches!(
+            &event,
+            RunEvent::Meta { version: 1, .. } | RunEvent::Tell { asks: None, .. }
+        ) {
+            // Legacy forms are one field short of the versioned width, so
+            // pad twice to overshoot it.
+            line.push_str("\t0");
+        }
+        line.push_str("\t0");
+        prop_assert!(RunEvent::parse(&line).is_err(), "{line:?}");
+    }
+
+    /// The current-version constructor always stamps `WIRE_VERSION`, and
+    /// escaping is transparent: the decoded fingerprint is the input.
+    #[test]
+    fn meta_constructor_preserves_fingerprint(fp in PAYLOAD) {
+        let ev = RunEvent::meta(fp.clone());
+        match RunEvent::parse(&ev.to_line()) {
+            Ok(RunEvent::Meta { version, fingerprint }) => {
+                prop_assert_eq!(version, WIRE_VERSION);
+                prop_assert_eq!(fingerprint, fp);
+            }
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+}
