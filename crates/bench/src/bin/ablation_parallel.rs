@@ -65,6 +65,7 @@ fn main() {
                 .response
                 .mean
         });
+        let summary = summary.expect("optimization run");
         let secs = started.elapsed().as_secs_f64();
         let baseline = *sequential_secs.get_or_insert(secs);
         table.row([

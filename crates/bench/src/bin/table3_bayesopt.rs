@@ -65,6 +65,7 @@ fn main() {
             .response
             .mean
     });
+    let summary = summary.expect("optimization run");
     println!("{}", summary.render());
 
     let optimum = PoolConfig::from_point(

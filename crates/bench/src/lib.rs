@@ -1,15 +1,33 @@
-//! # e2c-bench — the experiment harness
+//! # e2c-bench — benchmark API + experiment harness
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §4 for the
-//! index). Binaries print the same rows/series the paper reports and
-//! honor two environment variables so CI can run them quickly:
+//! Two layers:
 //!
-//! * `E2C_REPS` — repetitions per configuration (paper: 7);
-//! * `E2C_DURATION` — seconds per run (paper: 1380).
+//! 1. **The benchmark API** ([`harness`]): a public [`Benchmark`] trait, a
+//!    builder-style [`BenchRegistry`], and stable [`BenchReport`]
+//!    artifacts written as `BENCH_<name>.json`. The [`suite`] module
+//!    registers one benchmark per load-bearing path (DES event loop, full
+//!    Pl@ntNet run, Bayesian cycle, journal append/replay, wire codec);
+//!    [`default_registry`] wires them up and `e2clab bench` runs them, so
+//!    every PR can regenerate the performance trajectory.
+//! 2. **The paper harness**: one binary per table/figure of the paper
+//!    (see DESIGN.md §4 for the index). Binaries print the same
+//!    rows/series the paper reports and honor two environment variables
+//!    so CI can run them quickly:
+//!    * `E2C_REPS` — repetitions per configuration (paper: 7);
+//!    * `E2C_DURATION` — seconds per run (paper: 1380).
 //!
-//! `cargo bench -p e2c-bench` additionally runs Criterion micro-benchmarks
-//! over the substrates (DES throughput, samplers, surrogates,
-//! metaheuristics).
+//! The benchmark API honors `E2C_BENCH_WARMUP` / `E2C_BENCH_ITERS` the
+//! same way (see [`BenchPolicy::from_env`]). `cargo bench -p e2c-bench`
+//! additionally runs Criterion micro-benchmarks over the substrates.
+
+pub mod harness;
+pub mod suite;
+
+pub use harness::{BenchError, BenchPolicy, BenchRegistry, BenchReport, Benchmark, WallStats};
+pub use suite::{
+    default_registry, BayesCycleBench, DesMm1Bench, JournalWalBench, JournalWireBench,
+    PlantnetRunBench,
+};
 
 use e2c_des::SimTime;
 use plantnet::sim::ExperimentSpec;

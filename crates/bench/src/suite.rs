@@ -1,0 +1,462 @@
+//! The default benchmark suite: one [`Benchmark`] per load-bearing path
+//! named by the roadmap.
+//!
+//! * [`DesMm1Bench`] — the DES event loop: queue push/pop/cancel under an
+//!   M/M/1 workload with per-job timeouts (most timeouts are cancelled,
+//!   so the cancellation path is exercised as hard as scheduling).
+//! * [`PlantnetRunBench`] — a full 600 s simulated Pl@ntNet engine run at
+//!   the paper's 80-client workload.
+//! * [`BayesCycleBench`] — a 50-trial Bayesian optimization cycle
+//!   (Extra-Trees fit + `gp_hedge` ask per suggestion).
+//! * [`JournalWalBench`] — WAL append (fsync'd) + recovery-scan replay.
+//! * [`JournalWireBench`] — the escaped-TSV wire codec alone
+//!   (`RunEvent::to_line` / `RunEvent::parse`), no I/O.
+//!
+//! Every suite benchmark carries the `smoke` tag so
+//! `e2clab bench --filter smoke` (the CI job) runs them all.
+
+use crate::harness::{BenchPolicy, BenchRegistry, Benchmark};
+use e2c_des::{Context, Dist, Model, SimTime, Simulation};
+use e2c_optim::bayes::BayesOpt;
+use e2c_optim::space::Space;
+use e2c_tune::journal::RunEvent;
+use e2c_tune::TrialError;
+use plantnet::sim::{Experiment, ExperimentSpec};
+use plantnet::PoolConfig;
+use std::collections::VecDeque;
+
+/// The registry with every suite benchmark registered, ready for
+/// `with_*` configuration and [`BenchRegistry::run`].
+pub fn default_registry() -> BenchRegistry {
+    BenchRegistry::new()
+        .register(DesMm1Bench::new())
+        .register(PlantnetRunBench::new())
+        .register(BayesCycleBench::new())
+        .register(JournalWalBench::new())
+        .register(JournalWireBench::new())
+}
+
+// ---------------------------------------------------------------------------
+// DES event loop
+// ---------------------------------------------------------------------------
+
+/// M/M/1 queue with a per-job timeout event that is cancelled when the job
+/// completes in time — the common DES pattern that stresses all three
+/// event-queue operations (schedule, pop, cancel).
+struct Mm1 {
+    interarrival: Dist,
+    service: Dist,
+    timeout: SimTime,
+    horizon: SimTime,
+    /// Jobs waiting for the server: `(job id, timeout handle)`.
+    waiting: VecDeque<(u64, e2c_des::EventHandle)>,
+    /// The job in service, with its timeout handle.
+    in_service: Option<(u64, e2c_des::EventHandle)>,
+    next_job: u64,
+    served: u64,
+    timed_out: u64,
+}
+
+enum Mm1Ev {
+    Arrive,
+    Depart,
+    Timeout(u64),
+}
+
+impl Model for Mm1 {
+    type Event = Mm1Ev;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Mm1Ev>, event: Mm1Ev) {
+        match event {
+            Mm1Ev::Arrive => {
+                let job = self.next_job;
+                self.next_job += 1;
+                let timeout = ctx.schedule_in(self.timeout, Mm1Ev::Timeout(job));
+                if self.in_service.is_none() {
+                    let s = SimTime::from_secs_f64(self.service.sample(ctx.rng()));
+                    ctx.schedule_in(s, Mm1Ev::Depart);
+                    self.in_service = Some((job, timeout));
+                } else {
+                    self.waiting.push_back((job, timeout));
+                }
+                if ctx.now() < self.horizon {
+                    let a = SimTime::from_secs_f64(self.interarrival.sample(ctx.rng()));
+                    ctx.schedule_in(a, Mm1Ev::Arrive);
+                }
+            }
+            Mm1Ev::Depart => {
+                if let Some((_, timeout)) = self.in_service.take() {
+                    ctx.cancel(timeout);
+                    self.served += 1;
+                }
+                if let Some((job, timeout)) = self.waiting.pop_front() {
+                    let s = SimTime::from_secs_f64(self.service.sample(ctx.rng()));
+                    ctx.schedule_in(s, Mm1Ev::Depart);
+                    self.in_service = Some((job, timeout));
+                }
+            }
+            Mm1Ev::Timeout(job) => {
+                // Fires only for jobs still waiting (in-service and
+                // completed jobs cancelled theirs): the job abandons.
+                if let Some(i) = self.waiting.iter().position(|&(j, _)| j == job) {
+                    self.waiting.remove(i);
+                    self.timed_out += 1;
+                }
+            }
+        }
+    }
+}
+
+/// DES event-loop benchmark (`crates/des`): ~120 k arrivals per iteration
+/// through [`Simulation::run`], heavy on cancellations.
+pub struct DesMm1Bench {
+    seed: u64,
+}
+
+impl DesMm1Bench {
+    pub fn new() -> Self {
+        DesMm1Bench { seed: 0 }
+    }
+}
+
+impl Default for DesMm1Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for DesMm1Bench {
+    fn name(&self) -> &'static str {
+        "des_mm1"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["smoke", "des"]
+    }
+    fn policy(&self) -> BenchPolicy {
+        BenchPolicy::new(2, 7)
+    }
+    fn setup(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+    fn iter(&mut self, round: u64) -> u64 {
+        // ρ = 0.8 with a timeout deep enough that most jobs finish first:
+        // the cancel path dominates over the timeout-fires path.
+        let horizon = SimTime::from_secs(120_000);
+        let model = Mm1 {
+            interarrival: Dist::Exp { mean: 1.0 },
+            service: Dist::Exp { mean: 0.8 },
+            timeout: SimTime::from_secs(25),
+            horizon,
+            waiting: VecDeque::new(),
+            in_service: None,
+            next_job: 0,
+            served: 0,
+            timed_out: 0,
+        };
+        let mut sim = Simulation::new(model, self.seed ^ round.wrapping_mul(0x9E37));
+        sim.schedule(SimTime::ZERO, Mm1Ev::Arrive);
+        // Drain fully (the arrival chain stops at the horizon).
+        sim.run()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pl@ntNet engine run
+// ---------------------------------------------------------------------------
+
+/// Full Pl@ntNet engine simulation (`crates/plantnet`): 600 simulated
+/// seconds at the paper's 80-client closed loop, baseline pool sizes.
+pub struct PlantnetRunBench {
+    seed: u64,
+}
+
+impl PlantnetRunBench {
+    pub fn new() -> Self {
+        PlantnetRunBench { seed: 0 }
+    }
+}
+
+impl Default for PlantnetRunBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for PlantnetRunBench {
+    fn name(&self) -> &'static str {
+        "plantnet_600s"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["smoke", "plantnet"]
+    }
+    fn policy(&self) -> BenchPolicy {
+        BenchPolicy::new(1, 5)
+    }
+    fn setup(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+    fn iter(&mut self, round: u64) -> u64 {
+        let mut spec = ExperimentSpec::paper(PoolConfig::baseline(), 80);
+        spec.duration = SimTime::from_secs(600);
+        spec.warmup = SimTime::from_secs(60);
+        let metrics = Experiment::run(spec, self.seed.wrapping_add(round));
+        metrics.completed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bayesian optimization cycle
+// ---------------------------------------------------------------------------
+
+/// 50-trial Bayesian cycle (`crates/optim`): Extra-Trees surrogate refit
+/// plus a `gp_hedge` candidate ranking per suggestion, over a
+/// paper-shaped 4-dimensional integer space.
+pub struct BayesCycleBench {
+    seed: u64,
+}
+
+impl BayesCycleBench {
+    pub fn new() -> Self {
+        BayesCycleBench { seed: 0 }
+    }
+}
+
+impl Default for BayesCycleBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for BayesCycleBench {
+    fn name(&self) -> &'static str {
+        "bayes_cycle50"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["smoke", "optim"]
+    }
+    fn policy(&self) -> BenchPolicy {
+        BenchPolicy::new(1, 5)
+    }
+    fn setup(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+    fn iter(&mut self, round: u64) -> u64 {
+        let space = Space::new()
+            .int("http", 2, 60)
+            .int("download", 2, 40)
+            .int("simsearch", 2, 30)
+            .int("extract", 2, 20);
+        let mut opt = BayesOpt::new(space, self.seed.wrapping_add(round)).n_initial_points(10);
+        let trials = 50u64;
+        for _ in 0..trials {
+            let p = opt.ask();
+            // A deterministic stand-in objective with the response-surface
+            // shape of the engine (sweet spot mid-space).
+            let y = (p[0] - 40.0).powi(2) / 16.0
+                + (p[1] - 24.0).powi(2) / 9.0
+                + (p[2] - 11.0).powi(2) / 4.0
+                + (p[3] - 9.0).powi(2);
+            opt.tell(p, y);
+        }
+        trials
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal: WAL + wire codec
+// ---------------------------------------------------------------------------
+
+/// A realistic mix of run-journal events (asks with 4-dim configs,
+/// scheduler reports, attempt outcomes, tells with trace marks).
+fn journal_events(n: usize, seed: u64) -> Vec<RunEvent> {
+    let mut events = Vec::with_capacity(n + 1);
+    events.push(RunEvent::meta(format!(
+        "bench-journal;seed={seed};space=4d;faults=none"
+    )));
+    let mut trial = 0u64;
+    while events.len() < n {
+        let t = trial;
+        let frac = (t.wrapping_mul(seed | 1) % 1000) as f64 / 1000.0;
+        events.push(RunEvent::Ask {
+            trial: t,
+            config: vec![2.0 + frac * 58.0, 24.0, 11.0 + frac, 9.0],
+        });
+        events.push(RunEvent::Report {
+            trial: t,
+            iteration: 1,
+            normalized: 0.25 + frac,
+            stop: t.is_multiple_of(7),
+        });
+        events.push(RunEvent::Attempt {
+            trial: t,
+            index: 0,
+            secs: 0.125 + frac,
+            raw: Some(840.0 + frac * 100.0),
+            error: if t % 11 == 3 {
+                Some(TrialError::Injected("injected fault: scripted".to_string()))
+            } else {
+                None
+            },
+        });
+        events.push(RunEvent::Tell {
+            trial: t,
+            feedback: 840.0 + frac * 100.0,
+            status: "terminated".to_string(),
+            value: Some(840.0 + frac * 100.0),
+            trace_mark: Some((t * 12, t * 1000)),
+            asks: Some(t + 1),
+        });
+        trial += 1;
+    }
+    events.truncate(n);
+    events
+}
+
+/// WAL throughput (`crates/journal`): fsync'd appends of realistic
+/// journal records, then a recovery scan + parse of the whole log.
+pub struct JournalWalBench {
+    events: Vec<RunEvent>,
+}
+
+impl JournalWalBench {
+    pub fn new() -> Self {
+        JournalWalBench { events: Vec::new() }
+    }
+}
+
+impl Default for JournalWalBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for JournalWalBench {
+    fn name(&self) -> &'static str {
+        "journal_wal"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["smoke", "journal"]
+    }
+    fn policy(&self) -> BenchPolicy {
+        BenchPolicy::new(1, 5)
+    }
+    fn setup(&mut self, seed: u64) {
+        self.events = journal_events(400, seed);
+    }
+    fn iter(&mut self, round: u64) -> u64 {
+        let path =
+            std::env::temp_dir().join(format!("e2c-bench-wal-{}-{round}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = e2c_journal::Wal::create(&path).expect("create bench WAL");
+        for event in &self.events {
+            wal.append(event.to_line().as_bytes()).expect("append");
+        }
+        drop(wal);
+        // Replay: recovery scan + wire parse, as `--resume` does.
+        let (_, records) = e2c_journal::Wal::open(&path).expect("open bench WAL");
+        let mut parsed = 0u64;
+        for record in &records {
+            let line = std::str::from_utf8(record).expect("utf8 record");
+            std::hint::black_box(RunEvent::parse(line).expect("parse record"));
+            parsed += 1;
+        }
+        let _ = std::fs::remove_file(&path);
+        self.events.len() as u64 + parsed
+    }
+}
+
+/// Wire-codec throughput (`crates/tune/src/journal.rs`): encode + parse
+/// round-trips of the escaped-TSV format, no filesystem.
+pub struct JournalWireBench {
+    events: Vec<RunEvent>,
+}
+
+impl JournalWireBench {
+    pub fn new() -> Self {
+        JournalWireBench { events: Vec::new() }
+    }
+}
+
+impl Default for JournalWireBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for JournalWireBench {
+    fn name(&self) -> &'static str {
+        "journal_wire"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["smoke", "journal"]
+    }
+    fn policy(&self) -> BenchPolicy {
+        BenchPolicy::new(3, 15)
+    }
+    fn setup(&mut self, seed: u64) {
+        self.events = journal_events(2000, seed);
+    }
+    fn iter(&mut self, _round: u64) -> u64 {
+        let mut bytes = 0usize;
+        for event in &self.events {
+            let line = event.to_line();
+            bytes += line.len();
+            std::hint::black_box(RunEvent::parse(&line).expect("roundtrip"));
+        }
+        std::hint::black_box(bytes);
+        self.events.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_names_cover_the_roadmap_paths() {
+        let reg = default_registry();
+        assert_eq!(
+            reg.selected(),
+            vec![
+                "des_mm1",
+                "plantnet_600s",
+                "bayes_cycle50",
+                "journal_wal",
+                "journal_wire"
+            ]
+        );
+        // Every suite benchmark answers the CI smoke filter.
+        assert_eq!(default_registry().with_filter("smoke").selected().len(), 5);
+    }
+
+    #[test]
+    fn mm1_workload_is_seed_deterministic() {
+        let mut a = DesMm1Bench::new();
+        let mut b = DesMm1Bench::new();
+        a.setup(7);
+        b.setup(7);
+        // Same seed+round ⇒ same event count; different round ⇒ different
+        // workload instance (still the same size class).
+        assert_eq!(a.iter(0), b.iter(0));
+        assert!(a.iter(1) > 100_000);
+    }
+
+    #[test]
+    fn journal_events_roundtrip_and_cover_variants() {
+        let events = journal_events(40, 3);
+        assert!(matches!(events[0], RunEvent::Meta { .. }));
+        let mut kinds = std::collections::BTreeSet::new();
+        for e in &events {
+            kinds.insert(match e {
+                RunEvent::Meta { .. } => "meta",
+                RunEvent::Ask { .. } => "ask",
+                RunEvent::Report { .. } => "report",
+                RunEvent::Attempt { .. } => "attempt",
+                RunEvent::Tell { .. } => "tell",
+                _ => "other",
+            });
+            assert_eq!(&RunEvent::parse(&e.to_line()).unwrap(), e);
+        }
+        assert!(kinds.contains("ask") && kinds.contains("tell") && kinds.contains("attempt"));
+    }
+}

@@ -28,6 +28,6 @@ pub mod service;
 pub mod user_api;
 
 pub use experiment::Experiment;
-pub use optimization::{EvalContext, OptimizationManager, OptimizationSummary};
+pub use optimization::{EvalContext, OptimizationManager, OptimizationSummary, RunError};
 pub use service::Service;
 pub use user_api::UserOptimization;

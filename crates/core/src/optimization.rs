@@ -84,6 +84,36 @@ impl JournalConfig {
     }
 }
 
+/// Why an optimization run failed. Display output preserves the
+/// CLI-facing messages (including their `--journal:` / `--resume:`
+/// prefixes), so matching on rendered text keeps working; matching on the
+/// variant is the typed alternative.
+#[derive(Debug)]
+pub enum RunError {
+    /// The journal WAL could not be created, or a fresh journal would
+    /// clobber an existing one.
+    Journal(String),
+    /// A resume was refused or failed: fingerprint mismatch, corrupt or
+    /// divergent journal, or a trace stream that does not belong to it.
+    Resume(String),
+    /// The trace stream could not be written.
+    Trace(String),
+    /// The reproducibility archive or trial log could not be written.
+    Archive(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (RunError::Journal(msg)
+        | RunError::Resume(msg)
+        | RunError::Trace(msg)
+        | RunError::Archive(msg)) = self;
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Per-evaluation context handed to the user objective — the analogue of
 /// the paper's `run_objective(self, _config)` body. This is the single
 /// user-facing evaluation handle (re-exported by `crate::user_api`).
@@ -327,22 +357,6 @@ impl OptimizationManager {
         }
     }
 
-    /// Run the optimization cycle: the objective is evaluated in parallel
-    /// (up to `max_concurrent` at once); each completed evaluation
-    /// retrains the model asynchronously and reconfigures the next
-    /// deployment. Returns the Phase III summary (and writes the archive
-    /// if a root was configured). Panics on journal/archive errors; use
-    /// [`OptimizationManager::run_checked`] to handle them.
-    pub fn run<F>(&self, objective: F) -> OptimizationSummary
-    where
-        F: Fn(&EvalContext) -> f64 + Send + Sync,
-    {
-        match self.run_checked(objective) {
-            Ok(summary) => summary,
-            Err(e) => panic!("optimization run failed: {e}"),
-        }
-    }
-
     /// Configuration fingerprint recorded in (and verified against) the
     /// journal's meta record. Everything that shapes the decision
     /// sequence is folded in; resuming under a different configuration is
@@ -366,7 +380,7 @@ impl OptimizationManager {
         &self,
         searcher: &mut dyn Searcher,
         mode: Mode,
-    ) -> Result<(Option<RunJournal>, ResumeState), String> {
+    ) -> Result<(Option<RunJournal>, ResumeState), RunError> {
         let Some(jc) = &self.journal else {
             return Ok((None, ResumeState::empty()));
         };
@@ -374,8 +388,9 @@ impl OptimizationManager {
         let wal_path = jc.dir.join("run.wal");
         let mut resume_state = ResumeState::empty();
         let journal = if jc.resume {
-            let (wal, records) = e2c_journal::Wal::open(&wal_path)
-                .map_err(|e| format!("--resume: open {}: {e}", wal_path.display()))?;
+            let (wal, records) = e2c_journal::Wal::open(&wal_path).map_err(|e| {
+                RunError::Resume(format!("--resume: open {}: {e}", wal_path.display()))
+            })?;
             let events: Vec<RunEvent> = records
                 .iter()
                 .enumerate()
@@ -384,7 +399,8 @@ impl OptimizationManager {
                         .map_err(|e| format!("journal record {i}: not UTF-8: {e}"))?;
                     RunEvent::parse(line).map_err(|e| format!("journal record {i}: {e}"))
                 })
-                .collect::<Result<_, _>>()?;
+                .collect::<Result<_, _>>()
+                .map_err(RunError::Resume)?;
             let journal = RunJournal::new(wal, jc.crash_after);
             if events.is_empty() {
                 // The crash hit before the meta record landed: nothing to
@@ -394,28 +410,32 @@ impl OptimizationManager {
                 match &events[0] {
                     RunEvent::Meta { fingerprint: f, .. } if *f == fingerprint => {}
                     RunEvent::Meta { .. } => {
-                        return Err("--resume: the journal was recorded with a different \
+                        return Err(RunError::Resume(
+                            "--resume: the journal was recorded with a different \
                              configuration or seed — refusing to continue it"
-                            .to_string())
+                                .to_string(),
+                        ))
                     }
                     _ => {
-                        return Err(
-                            "--resume: journal does not start with a meta record".to_string()
-                        )
+                        return Err(RunError::Resume(
+                            "--resume: journal does not start with a meta record".to_string(),
+                        ))
                     }
                 }
-                resume_state = e2c_tune::replay(&events, searcher, &*self.scheduler, mode)?;
+                resume_state = e2c_tune::replay(&events, searcher, &*self.scheduler, mode)
+                    .map_err(RunError::Resume)?;
             }
             journal
         } else {
             if wal_path.exists() {
-                return Err(format!(
+                return Err(RunError::Journal(format!(
                     "--journal: {} already holds a run journal — use --resume to continue it",
                     wal_path.display()
-                ));
+                )));
             }
-            let wal = e2c_journal::Wal::create(&wal_path)
-                .map_err(|e| format!("--journal: create {}: {e}", wal_path.display()))?;
+            let wal = e2c_journal::Wal::create(&wal_path).map_err(|e| {
+                RunError::Journal(format!("--journal: create {}: {e}", wal_path.display()))
+            })?;
             let journal = RunJournal::new(wal, jc.crash_after);
             journal.append(&RunEvent::meta(fingerprint));
             journal
@@ -424,19 +444,19 @@ impl OptimizationManager {
             let stream_path = jc.dir.join("trace.stream.jsonl");
             if jc.resume {
                 let (events, _torn) = if stream_path.is_file() {
-                    e2c_trace::load_jsonl_tolerant(&stream_path)?
+                    e2c_trace::load_jsonl_tolerant(&stream_path).map_err(RunError::Resume)?
                 } else {
                     (Vec::new(), false)
                 };
                 let (keep, vt) = match resume_state.trace_mark {
                     Some((n, vt)) => {
                         if (events.len() as u64) < n {
-                            return Err(format!(
+                            return Err(RunError::Resume(format!(
                                 "--resume: trace stream {} holds {} events but the journal \
                                  marks {n} — the stream does not belong to this journal",
                                 stream_path.display(),
                                 events.len()
-                            ));
+                            )));
                         }
                         (events[..n as usize].to_vec(), vt)
                     }
@@ -449,20 +469,26 @@ impl OptimizationManager {
                     text.push_str(&e.to_json());
                     text.push('\n');
                 }
-                e2c_journal::write_atomic(&stream_path, text.as_bytes())
-                    .map_err(|e| format!("--resume: rewrite {}: {e}", stream_path.display()))?;
+                e2c_journal::write_atomic(&stream_path, text.as_bytes()).map_err(|e| {
+                    RunError::Resume(format!("--resume: rewrite {}: {e}", stream_path.display()))
+                })?;
                 tr.restore(keep, vt);
             }
-            tr.stream_to(&stream_path)
-                .map_err(|e| format!("stream trace to {}: {e}", stream_path.display()))?;
+            tr.stream_to(&stream_path).map_err(|e| {
+                RunError::Trace(format!("stream trace to {}: {e}", stream_path.display()))
+            })?;
         }
         Ok((Some(journal), resume_state))
     }
 
-    /// Fallible variant of [`OptimizationManager::run`] — journaled runs
-    /// route through this so configuration mismatches and journal IO
-    /// surface as errors instead of panics.
-    pub fn run_checked<F>(&self, objective: F) -> Result<OptimizationSummary, String>
+    /// Run the optimization cycle: the objective is evaluated in parallel
+    /// (up to `max_concurrent` at once); each completed evaluation
+    /// retrains the model asynchronously and reconfigures the next
+    /// deployment. Returns the Phase III summary (and writes the archive
+    /// if a root was configured). Journal, resume, trace-stream and
+    /// archive failures surface as a typed [`RunError`] instead of a
+    /// panic.
+    pub fn run<F>(&self, objective: F) -> Result<OptimizationSummary, RunError>
     where
         F: Fn(&EvalContext) -> f64 + Send + Sync,
     {
@@ -593,18 +619,28 @@ impl OptimizationManager {
         if let Some(root) = &self.archive_root {
             summary
                 .write_archive(root)
-                .map_err(|e| format!("write optimization archive: {e}"))?;
+                .map_err(|e| RunError::Archive(format!("write optimization archive: {e}")))?;
             // Trial log (JSONL + per-trial progress): the "checkpoints and
             // logging" half of the Phase III story.  Rewritten whole (and
             // atomically) so a resumed run converges on the same bytes as
             // an uninterrupted one.
             let logger = e2c_tune::TrialLogger::new(&root.join("trials"))
-                .map_err(|e| format!("create trial log directory: {e}"))?;
+                .map_err(|e| RunError::Archive(format!("create trial log directory: {e}")))?;
             logger
                 .write_all(summary.analysis.trials())
-                .map_err(|e| format!("write trial log: {e}"))?;
+                .map_err(|e| RunError::Archive(format!("write trial log: {e}")))?;
         }
         Ok(summary)
+    }
+
+    /// Former fallible variant of `run`, kept as a thin compatibility
+    /// wrapper now that `run` itself returns `Result`.
+    #[deprecated(note = "use `run`, which now returns `Result<OptimizationSummary, RunError>`")]
+    pub fn run_checked<F>(&self, objective: F) -> Result<OptimizationSummary, String>
+    where
+        F: Fn(&EvalContext) -> f64 + Send + Sync,
+    {
+        self.run(objective).map_err(|e| e.to_string())
     }
 }
 
@@ -706,7 +742,7 @@ optimization:
         let mut conf = opt_conf("extra_trees", 30);
         conf.max_concurrent = 1;
         let mgr = OptimizationManager::new(conf).with_seed(3);
-        let summary = mgr.run(objective);
+        let summary = mgr.run(objective).unwrap();
         assert_eq!(summary.analysis.trials().len(), 30);
         let best = summary.best_value.unwrap();
         assert!(best < 8.0, "best {best}");
@@ -719,7 +755,7 @@ optimization:
     #[test]
     fn random_algo_also_works() {
         let mgr = OptimizationManager::new(opt_conf("random", 20)).with_seed(1);
-        let summary = mgr.run(objective);
+        let summary = mgr.run(objective).unwrap();
         assert_eq!(summary.analysis.trials().len(), 20);
         assert!(summary.best_value.is_some());
     }
@@ -727,7 +763,7 @@ optimization:
     #[test]
     fn genetic_algorithm_route_works() {
         let mgr = OptimizationManager::new(opt_conf("genetic_algorithm", 40)).with_seed(8);
-        let summary = mgr.run(objective);
+        let summary = mgr.run(objective).unwrap();
         assert_eq!(summary.analysis.trials().len(), 40);
         assert!(
             summary.best_value.expect("successful trials") < 30.0,
@@ -745,6 +781,7 @@ optimization:
             OptimizationManager::new(opt_conf("extra_trees", 12))
                 .with_seed(seed)
                 .run(objective)
+                .unwrap()
         };
         let a = run(9);
         let b = run(9);
@@ -789,7 +826,7 @@ optimization:
             .with_seed(4)
             .with_archive(dir.clone())
             .with_faults(e2c_tune::FaultPlan::new().fail(2, 0));
-        let summary = mgr.run(objective);
+        let summary = mgr.run(objective).unwrap();
 
         // The injected failure was retried: trial 2 ends terminated with
         // its true metric, not a penalty.
@@ -836,7 +873,7 @@ optimization:
             .with_seed(5)
             .with_archive(dir.clone())
             .with_faults(e2c_tune::FaultPlan::new().fail_always(0));
-        let summary = mgr.run(objective);
+        let summary = mgr.run(objective).unwrap();
         let doomed = &summary.analysis.trials()[0];
         assert!(doomed.status.failure().unwrap().contains("injected fault"));
         assert_eq!(doomed.attempt_count(), 2, "1 attempt + 1 retry");
@@ -861,12 +898,14 @@ optimization:
         conf.fault_tolerance.as_mut().unwrap().time_budget_ms = Some(20);
         conf.max_concurrent = 1;
         let mgr = OptimizationManager::new(conf).with_seed(6);
-        let summary = mgr.run(|ctx: &EvalContext| {
-            if ctx.trial_id == 1 {
-                std::thread::sleep(std::time::Duration::from_millis(60));
-            }
-            objective_value(&ctx.point)
-        });
+        let summary = mgr
+            .run(|ctx: &EvalContext| {
+                if ctx.trial_id == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                }
+                objective_value(&ctx.point)
+            })
+            .unwrap();
         assert_eq!(
             summary.analysis.trials()[1].status.failure(),
             Some("deadline exceeded")
@@ -885,12 +924,14 @@ optimization:
         let mgr = OptimizationManager::new(conf)
             .with_seed(7)
             .with_faults(e2c_tune::FaultPlan::new().fail(1, 0));
-        let summary = mgr.run(|ctx: &EvalContext| {
-            if ctx.trial_id == 1 && ctx.attempt > 0 {
-                seen_retry.fetch_add(1, Ordering::SeqCst);
-            }
-            objective_value(&ctx.point)
-        });
+        let summary = mgr
+            .run(|ctx: &EvalContext| {
+                if ctx.trial_id == 1 && ctx.attempt > 0 {
+                    seen_retry.fetch_add(1, Ordering::SeqCst);
+                }
+                objective_value(&ctx.point)
+            })
+            .unwrap();
         assert_eq!(seen_retry.load(Ordering::SeqCst), 1);
         assert!(summary.analysis.trials()[1].value().is_some());
     }
@@ -904,13 +945,15 @@ optimization:
         let mgr = OptimizationManager::new(ft_conf("random", 5, 0))
             .with_seed(11)
             .with_trace(tracer.clone());
-        let summary = mgr.run(|ctx: &EvalContext| {
-            if ctx.trial_id == 2 {
-                f64::NAN // a crashed engine's poisoned response mean
-            } else {
-                objective_value(&ctx.point)
-            }
-        });
+        let summary = mgr
+            .run(|ctx: &EvalContext| {
+                if ctx.trial_id == 2 {
+                    f64::NAN // a crashed engine's poisoned response mean
+                } else {
+                    objective_value(&ctx.point)
+                }
+            })
+            .unwrap();
         assert_eq!(summary.analysis.trials().len(), 5);
         assert!(summary.best_value.is_some());
         let dist = tracer
@@ -930,7 +973,8 @@ optimization:
             OptimizationManager::new(opt_conf("extra_trees", 8))
                 .with_seed(9)
                 .with_trace(tracer.clone())
-                .run(objective);
+                .run(objective)
+                .unwrap();
             tracer.to_jsonl()
         };
         let a = run();
@@ -953,7 +997,7 @@ optimization:
         let mgr = OptimizationManager::new(opt_conf("extra_trees", 8))
             .with_seed(2)
             .with_archive(dir.clone());
-        let summary = mgr.run(objective);
+        let summary = mgr.run(objective).unwrap();
         assert!(dir.join("problem.yaml").is_file());
         assert!(dir.join("evaluations.csv").is_file());
         assert!(dir.join("summary.txt").is_file());
@@ -998,7 +1042,8 @@ optimization:
             .with_archive(root.to_path_buf())
             .with_trace(tracer.clone())
             .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
-            .run(objective);
+            .run(objective)
+            .unwrap();
         (
             read(&root.join("evaluations.csv")),
             read(&root.join("trials").join("trials.jsonl")),
@@ -1020,7 +1065,7 @@ optimization:
             .with_trace(tracer.clone())
             .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
             .with_journal(JournalConfig::fresh(dir.join("journal")))
-            .run_checked(objective)
+            .run(objective)
             .unwrap();
         assert_eq!(read(&dir.join("evaluations.csv")), want_evals);
         assert_eq!(read(&dir.join("trials").join("trials.jsonl")), want_trials);
@@ -1030,9 +1075,10 @@ optimization:
         let err = OptimizationManager::new(journaled_conf())
             .with_seed(13)
             .with_journal(JournalConfig::fresh(dir.join("journal")))
-            .run_checked(objective)
+            .run(objective)
             .unwrap_err();
-        assert!(err.contains("--resume"), "{err}");
+        assert!(matches!(err, RunError::Journal(_)), "{err:?}");
+        assert!(err.to_string().contains("--resume"), "{err}");
 
         // Resuming a completed run re-executes nothing and converges on
         // the same bytes.
@@ -1043,7 +1089,7 @@ optimization:
             .with_trace(tracer.clone())
             .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
             .with_journal(JournalConfig::resume(dir.join("journal")))
-            .run_checked(objective)
+            .run(objective)
             .unwrap();
         assert_eq!(read(&dir.join("evaluations.csv")), want_evals);
         assert_eq!(read(&dir.join("trials").join("trials.jsonl")), want_trials);
@@ -1072,7 +1118,7 @@ optimization:
             .with_trace(tracer.clone())
             .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
             .with_journal(JournalConfig::fresh(dir.join("journal")))
-            .run_checked(objective)
+            .run(objective)
             .unwrap();
         let full_wal = e2c_journal::read_records(&dir.join("journal").join("run.wal")).unwrap();
         let full_stream = read(&dir.join("journal").join("trace.stream.jsonl"));
@@ -1096,7 +1142,7 @@ optimization:
                 .with_trace(tracer.clone())
                 .with_faults(e2c_tune::FaultPlan::new().fail(2, 0))
                 .with_journal(JournalConfig::resume(jdir))
-                .run_checked(objective)
+                .run(objective)
                 .unwrap_or_else(|e| panic!("resume at cut {cut}: {e}"));
             assert_eq!(read(&rdir.join("evaluations.csv")), want_evals, "cut {cut}");
             assert_eq!(
@@ -1118,25 +1164,52 @@ optimization:
         OptimizationManager::new(journaled_conf())
             .with_seed(13)
             .with_journal(JournalConfig::fresh(dir.join("journal")))
-            .run_checked(objective)
+            .run(objective)
             .unwrap();
 
         let err = OptimizationManager::new(journaled_conf())
             .with_seed(14)
             .with_journal(JournalConfig::resume(dir.join("journal")))
-            .run_checked(objective)
+            .run(objective)
             .unwrap_err();
-        assert!(err.contains("different configuration"), "{err}");
+        assert!(matches!(err, RunError::Resume(_)), "{err:?}");
+        assert!(err.to_string().contains("different configuration"), "{err}");
 
         let mut conf = journaled_conf();
         conf.num_samples = 9;
         let err = OptimizationManager::new(conf)
             .with_seed(13)
             .with_journal(JournalConfig::resume(dir.join("journal")))
+            .run(objective)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Resume(_)), "{err:?}");
+        assert!(err.to_string().contains("different configuration"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_checked_wrapper_still_delegates() {
+        let summary = OptimizationManager::new(opt_conf("random", 4))
+            .with_seed(21)
+            .run_checked(objective)
+            .unwrap();
+        assert_eq!(summary.analysis.trials().len(), 4);
+
+        // Errors arrive pre-rendered, exactly as `run(...).to_string()`.
+        let dir = tmp("wrapper-mismatch", line!());
+        OptimizationManager::new(journaled_conf())
+            .with_seed(13)
+            .with_journal(JournalConfig::fresh(dir.join("journal")))
+            .run(objective)
+            .unwrap();
+        let err: String = OptimizationManager::new(journaled_conf())
+            .with_seed(14)
+            .with_journal(JournalConfig::resume(dir.join("journal")))
             .run_checked(objective)
             .unwrap_err();
         assert!(err.contains("different configuration"), "{err}");
-
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -60,12 +60,16 @@ pub trait UserOptimization: Send + Sync {
 
     /// Execute the full optimization cycle. Provided by the framework —
     /// the analogue of instantiating the class and letting Tune drive it.
+    /// Panics on journal/archive errors; drive
+    /// [`OptimizationManager::run`] directly to handle them.
     fn optimize(&self) -> OptimizationSummary {
         let mut manager = OptimizationManager::new(self.setup()).with_seed(self.seed());
         if let Some(root) = self.archive_root() {
             manager = manager.with_archive(root);
         }
-        manager.run(|ctx: &EvalContext| self.run_objective(ctx))
+        manager
+            .run(|ctx: &EvalContext| self.run_objective(ctx))
+            .unwrap_or_else(|e| panic!("optimization run failed: {e}"))
     }
 }
 

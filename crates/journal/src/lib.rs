@@ -67,6 +67,9 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     records: u64,
+    /// Reusable frame assembly buffer: appends are frequent and fsync'd,
+    /// so the encode step should not also pay a heap allocation each time.
+    frame: Vec<u8>,
 }
 
 impl Wal {
@@ -85,6 +88,7 @@ impl Wal {
             file,
             path: path.to_path_buf(),
             records: 0,
+            frame: Vec::new(),
         })
     }
 
@@ -107,6 +111,7 @@ impl Wal {
                 file,
                 path: path.to_path_buf(),
                 records: n,
+                frame: Vec::new(),
             },
             records,
         ))
@@ -120,11 +125,12 @@ impl Wal {
             .ok()
             .filter(|&l| l <= MAX_RECORD)
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "record too large"))?;
-        let mut frame = Vec::with_capacity(HEADER + payload.len());
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
+        self.frame.clear();
+        self.frame.reserve(HEADER + payload.len());
+        self.frame.extend_from_slice(&len.to_le_bytes());
+        self.frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.frame.extend_from_slice(payload);
+        self.file.write_all(&self.frame)?;
         self.file.sync_data()?;
         self.records += 1;
         Ok(())

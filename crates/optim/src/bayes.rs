@@ -227,31 +227,35 @@ impl BayesOpt {
             return self.space.sample(&mut self.rng);
         }
 
-        let pick_best = |acq: &Acquisition, cands: &[Point]| -> Point {
+        // Predict the whole pool once: every acquisition member ranks the
+        // same (mean, std) table, so under gp_hedge the surrogate runs one
+        // batch prediction instead of one full pass per member.
+        let units: Vec<Vec<f64>> = candidates.iter().map(|c| self.space.to_unit(c)).collect();
+        let preds = model.predict_many(&units);
+
+        let pick_best = |acq: &Acquisition| -> Point {
             let mut best_score = f64::NEG_INFINITY;
-            let mut best_point = cands[0].clone();
-            for c in cands {
-                let (mean, std) = model.predict(&self.space.to_unit(c));
+            let mut best_idx = 0;
+            for (i, &(mean, std)) in preds.iter().enumerate() {
                 let score = acq.score(mean, std, best_y);
                 if score > best_score {
                     best_score = score;
-                    best_point = c.clone();
+                    best_idx = i;
                 }
             }
-            best_point
+            candidates[best_idx].clone()
         };
 
         match self.acq {
             Acquisition::GpHedge => {
                 // Each member proposes; probability matching picks one.
                 let members = self.hedge.members().to_vec();
-                let proposals: Vec<Point> =
-                    members.iter().map(|m| pick_best(m, &candidates)).collect();
+                let proposals: Vec<Point> = members.iter().map(pick_best).collect();
                 self.hedge_proposals = proposals.iter().cloned().enumerate().collect();
                 let chosen = self.hedge.choose(self.rng.gen::<f64>());
                 proposals[chosen].clone()
             }
-            ref acq => pick_best(acq, &candidates),
+            ref acq => pick_best(acq),
         }
     }
 }

@@ -70,6 +70,14 @@ impl Forest {
     pub fn n_trees(&self) -> usize {
         self.params.n_trees
     }
+
+    /// Ensemble mean and spread over per-tree predictions.
+    fn moments(preds: &[f64]) -> (f64, f64) {
+        let n = preds.len() as f64;
+        let mean = preds.iter().sum::<f64>() / n;
+        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
 }
 
 impl Surrogate for Forest {
@@ -101,10 +109,23 @@ impl Surrogate for Forest {
     fn predict(&self, x: &[f64]) -> (f64, f64) {
         assert!(!self.trees.is_empty(), "predict before fit");
         let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x).0).collect();
-        let n = preds.len() as f64;
-        let mean = preds.iter().sum::<f64>() / n;
-        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
-        (mean, var.sqrt())
+        Self::moments(&preds)
+    }
+
+    fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        // One per-tree buffer for the whole batch instead of a fresh Vec
+        // per point. The accumulation order matches `predict` exactly, so
+        // both paths return bit-identical values.
+        let mut preds = vec![0.0f64; self.trees.len()];
+        xs.iter()
+            .map(|x| {
+                for (slot, tree) in preds.iter_mut().zip(&self.trees) {
+                    *slot = tree.predict(x).0;
+                }
+                Self::moments(&preds)
+            })
+            .collect()
     }
 
     fn is_fitted(&self) -> bool {

@@ -117,9 +117,18 @@ pub enum RunEvent {
     Complete,
 }
 
-/// Escape a payload for the tab-separated wire format.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// Escape a payload for the tab-separated wire format. Borrows when the
+/// payload needs no escaping — the overwhelmingly common case on the
+/// journal hot path (fingerprints and error payloads rarely carry tabs
+/// or newlines).
+fn escape(s: &str) -> std::borrow::Cow<'_, str> {
+    if !s
+        .bytes()
+        .any(|b| matches!(b, b'\\' | b'\t' | b'\n' | b'\r'))
+    {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
     for c in s.chars() {
         match c {
             '\\' => out.push_str("\\\\"),
@@ -129,7 +138,7 @@ fn escape(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
+    std::borrow::Cow::Owned(out)
 }
 
 fn unescape(s: &str) -> String {
@@ -151,20 +160,9 @@ fn unescape(s: &str) -> String {
     out
 }
 
-fn fmt_f64(v: f64) -> String {
-    format!("{v}")
-}
-
 fn parse_f64(s: &str) -> Result<f64, String> {
     s.parse::<f64>()
         .map_err(|e| format!("bad float `{s}`: {e}"))
-}
-
-fn fmt_opt_f64(v: Option<f64>) -> String {
-    match v {
-        Some(v) => fmt_f64(v),
-        None => "-".to_string(),
-    }
 }
 
 fn parse_opt_f64(s: &str) -> Result<Option<f64>, String> {
@@ -185,38 +183,46 @@ impl RunEvent {
     }
 
     /// Serialize as one tab-separated line. `f64` fields use Rust's
-    /// shortest-round-trip `Display`, so parsing back is exact.
+    /// shortest-round-trip `Display`, so parsing back is exact. The line
+    /// is assembled in a single buffer — no per-field allocations — which
+    /// matters because every journaled state transition encodes through
+    /// here before its fsync'd append.
     pub fn to_line(&self) -> String {
+        use std::fmt::Write;
+        let mut line = String::with_capacity(48);
+        // Writing to a String cannot fail; unwrap keeps write! concise.
         match self {
             // Version-1 metas re-serialize in their original 2-field
             // form, so appending to an old journal never rewrites it.
             RunEvent::Meta {
                 version: 1,
                 fingerprint,
-            } => format!("meta\t{}", escape(fingerprint)),
+            } => write!(line, "meta\t{}", escape(fingerprint)).unwrap(),
             RunEvent::Meta {
                 version,
                 fingerprint,
-            } => format!("meta\t{version}\t{}", escape(fingerprint)),
+            } => write!(line, "meta\t{version}\t{}", escape(fingerprint)).unwrap(),
             RunEvent::Ask { trial, config } => {
-                let cfg = config
-                    .iter()
-                    .map(|v| fmt_f64(*v))
-                    .collect::<Vec<_>>()
-                    .join(",");
-                format!("ask\t{trial}\t{cfg}")
+                write!(line, "ask\t{trial}\t").unwrap();
+                for (i, v) in config.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    write!(line, "{v}").unwrap();
+                }
             }
-            RunEvent::Restart { trial } => format!("restart\t{trial}"),
+            RunEvent::Restart { trial } => write!(line, "restart\t{trial}").unwrap(),
             RunEvent::Report {
                 trial,
                 iteration,
                 normalized,
                 stop,
-            } => format!(
-                "report\t{trial}\t{iteration}\t{}\t{}",
-                fmt_f64(*normalized),
+            } => write!(
+                line,
+                "report\t{trial}\t{iteration}\t{normalized}\t{}",
                 if *stop { "stop" } else { "continue" }
-            ),
+            )
+            .unwrap(),
             RunEvent::Attempt {
                 trial,
                 index,
@@ -224,15 +230,15 @@ impl RunEvent {
                 raw,
                 error,
             } => {
-                let (kind, payload) = match error {
-                    Some(e) => (e.kind(), escape(e.payload())),
-                    None => ("-", String::new()),
-                };
-                format!(
-                    "attempt\t{trial}\t{index}\t{}\t{}\t{kind}\t{payload}",
-                    fmt_f64(*secs),
-                    fmt_opt_f64(*raw)
-                )
+                write!(line, "attempt\t{trial}\t{index}\t{secs}\t").unwrap();
+                match raw {
+                    Some(r) => write!(line, "{r}").unwrap(),
+                    None => line.push('-'),
+                }
+                match error {
+                    Some(e) => write!(line, "\t{}\t{}", e.kind(), escape(e.payload())).unwrap(),
+                    None => line.push_str("\t-\t"),
+                }
             }
             RunEvent::Tell {
                 trial,
@@ -242,24 +248,24 @@ impl RunEvent {
                 trace_mark,
                 asks,
             } => {
-                let (me, mv) = match trace_mark {
-                    Some((e, v)) => (e.to_string(), v.to_string()),
-                    None => ("-".to_string(), "-".to_string()),
-                };
-                let line = format!(
-                    "tell\t{trial}\t{}\t{status}\t{}\t{me}\t{mv}",
-                    fmt_f64(*feedback),
-                    fmt_opt_f64(*value)
-                );
+                write!(line, "tell\t{trial}\t{feedback}\t{status}\t").unwrap();
+                match value {
+                    Some(v) => write!(line, "{v}").unwrap(),
+                    None => line.push('-'),
+                }
+                match trace_mark {
+                    Some((e, v)) => write!(line, "\t{e}\t{v}").unwrap(),
+                    None => line.push_str("\t-\t-"),
+                }
                 // The ask count is the 8th field, appended only when
                 // present — a version-1 tell stays 7 fields.
-                match asks {
-                    Some(a) => format!("{line}\t{a}"),
-                    None => line,
+                if let Some(a) = asks {
+                    write!(line, "\t{a}").unwrap();
                 }
             }
-            RunEvent::Complete => "complete".to_string(),
+            RunEvent::Complete => line.push_str("complete"),
         }
+        line
     }
 
     /// Parse a line produced by [`RunEvent::to_line`].

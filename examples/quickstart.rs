@@ -77,6 +77,7 @@ fn main() {
         spec.warmup = e2clab::des::SimTime::from_secs(15);
         Experiment::run(spec, 10_000 + ctx.trial_id).response.mean
     });
+    let summary = summary.expect("optimization run");
 
     // Phase III: the reproducibility summary.
     println!("--- optimization summary ---\n{}", summary.render());

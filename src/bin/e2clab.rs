@@ -50,6 +50,17 @@
 //!     Run the detlint determinism pass (DET001–DET005) over every `.rs`
 //!     file under `root` (default: this workspace). Exits non-zero when
 //!     unsuppressed error-severity findings remain.
+//! e2clab bench [--filter PAT] [--out DIR] [--iters N] [--warmup N]
+//!              [--seed S] [--list]
+//!     Run the registered benchmark suite (DES event loop, Pl@ntNet 600 s
+//!     run, 50-trial Bayesian cycle, journal WAL append/replay, journal
+//!     wire encode/decode) and write one `BENCH_<name>.json` report per
+//!     benchmark to `--out` (default: current directory). `--filter`
+//!     selects by name substring or exact tag (`smoke` matches every
+//!     registered benchmark); `--iters`/`--warmup` override each
+//!     benchmark's measurement policy (as do the `E2C_BENCH_ITERS` /
+//!     `E2C_BENCH_WARMUP` environment variables); `--list` prints the
+//!     selected names without running anything.
 //! ```
 
 use e2c_conf::schema::ExperimentConf;
@@ -71,7 +82,8 @@ fn usage() -> ExitCode {
          [--crash-at N] <conf.yaml>\n  \
          e2clab report <archive-dir>\n  \
          e2clab trace summarize <dir|trace.jsonl>\n  \
-         e2clab lint [--config FILE] [root]"
+         e2clab lint [--config FILE] [root]\n  \
+         e2clab bench [--filter PAT] [--out DIR] [--iters N] [--warmup N] [--seed S] [--list]"
     );
     ExitCode::from(2)
 }
@@ -80,7 +92,9 @@ fn usage() -> ExitCode {
 /// source tree if it still exists (dev checkout), otherwise the current
 /// directory.
 fn workspace_root() -> PathBuf {
-    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    // The binary lives in the workspace's root package, so its manifest
+    // directory IS the workspace root.
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     if compiled.join("Cargo.toml").is_file() {
         // Canonicalize so report labels are workspace-relative.
         compiled.canonicalize().unwrap_or(compiled)
@@ -230,7 +244,7 @@ fn run_cycle(
     if let Some(jc) = journal {
         manager = manager.with_journal(jc);
     }
-    let summary = manager.run_checked(objective)?;
+    let summary = manager.run(objective).map_err(|e| e.to_string())?;
     if let (Some(tr), Some(dir)) = (&tracer, trace_dir) {
         tr.save(&dir.join("trace.jsonl"))
             .map_err(|e| format!("trace: {}: {e}", dir.display()))?;
@@ -642,6 +656,97 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("lint failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "bench" => {
+            let mut filter: Option<String> = None;
+            let mut out: Option<PathBuf> = None;
+            let mut iters: Option<u32> = None;
+            let mut warmup: Option<u32> = None;
+            let mut seed = 0u64;
+            let mut list = false;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut grab = |name: &str| -> Option<String> {
+                    let v = it.next();
+                    if v.is_none() {
+                        eprintln!("{name} needs a value");
+                    }
+                    v.cloned()
+                };
+                match arg.as_str() {
+                    "--filter" => match grab("--filter") {
+                        Some(v) => filter = Some(v),
+                        None => return usage(),
+                    },
+                    "--out" => match grab("--out") {
+                        Some(v) => out = Some(PathBuf::from(v)),
+                        None => return usage(),
+                    },
+                    "--iters" => match grab("--iters").and_then(|v| v.parse().ok()) {
+                        Some(v) => iters = Some(v),
+                        None => return usage(),
+                    },
+                    "--warmup" => match grab("--warmup").and_then(|v| v.parse().ok()) {
+                        Some(v) => warmup = Some(v),
+                        None => return usage(),
+                    },
+                    "--seed" => match grab("--seed").and_then(|v| v.parse().ok()) {
+                        Some(v) => seed = v,
+                        None => return usage(),
+                    },
+                    "--list" => list = true,
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        return usage();
+                    }
+                }
+            }
+            let mut registry = e2c_bench::default_registry().with_seed(seed);
+            if let Some(pat) = filter {
+                registry = registry.with_filter(pat);
+            }
+            // --iters/--warmup override every benchmark's own policy;
+            // either alone keeps the other knob at the registry default.
+            if iters.is_some() || warmup.is_some() {
+                let base = e2c_bench::BenchPolicy::default();
+                registry = registry.with_policy(e2c_bench::BenchPolicy::new(
+                    warmup.unwrap_or(base.warmup_iters),
+                    iters.unwrap_or(base.measure_iters),
+                ));
+            }
+            if list {
+                for name in registry.selected() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            if registry.selected().is_empty() {
+                eprintln!("bench: no benchmark matches the filter");
+                return ExitCode::FAILURE;
+            }
+            let out_dir = out.unwrap_or_else(|| PathBuf::from("."));
+            if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                eprintln!("bench: create {}: {e}", out_dir.display());
+                return ExitCode::FAILURE;
+            }
+            registry = registry.with_out_dir(out_dir.clone());
+            match registry.run() {
+                Ok(reports) => {
+                    for r in &reports {
+                        println!("{}", r.render_row());
+                    }
+                    println!(
+                        "bench: {} report(s) written to {}",
+                        reports.len(),
+                        out_dir.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("bench: {e}");
                     ExitCode::FAILURE
                 }
             }

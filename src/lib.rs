@@ -25,6 +25,10 @@
 //! | [`workload`] | `e2c-workload` | closed/open-loop generators, seasonal traces |
 //! | [`optim`] | `e2c-optim` | spaces, samplers, surrogates, BO, metaheuristics, sensitivity |
 //! | [`tune`] | `e2c-tune` | async parallel trial runner (searchers, ASHA) |
+//! | [`trace`] | `e2c-trace` | deterministic structured event log + virtual clock |
+//! | [`journal`] | `e2c-journal` | write-ahead log + atomic snapshot writes |
+//! | [`bench`] | `e2c-bench` | benchmark API (`Benchmark`, `BenchRegistry`, `BENCH_*.json`) |
+//! | [`detlint`] | `detlint` | determinism lint (DET001–DET005) |
 //! | [`plantnet`] | `plantnet` | the Pl@ntNet engine model (DES + real threads) |
 //!
 //! ## Quickstart
@@ -46,12 +50,16 @@
 //! assert!(opt.best().is_some());
 //! ```
 
+pub use detlint;
+pub use e2c_bench as bench;
 pub use e2c_conf as conf;
 pub use e2c_core as core;
 pub use e2c_des as des;
+pub use e2c_journal as journal;
 pub use e2c_metrics as metrics;
 pub use e2c_net as net;
 pub use e2c_testbed as testbed;
+pub use e2c_trace as trace;
 pub use e2c_tune as tune;
 pub use e2c_workload as workload;
 pub use plantnet;

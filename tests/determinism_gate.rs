@@ -18,7 +18,8 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    // These tests live in the workspace's root package.
+    Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
 }
 
 /// Root for gate scratch directories: `E2C_GATE_DIR` when set (CI points

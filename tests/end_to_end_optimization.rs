@@ -53,7 +53,9 @@ fn manager() -> OptimizationManager {
 
 #[test]
 fn optimization_cycle_beats_a_bad_seeded_baseline() {
-    let summary = manager().run(|ctx| objective(&ctx.point, 100 + ctx.trial_id));
+    let summary = manager()
+        .run(|ctx| objective(&ctx.point, 100 + ctx.trial_id))
+        .unwrap();
     assert_eq!(summary.analysis.trials().len(), 14);
     let best = summary.best_value.expect("successful trials");
     // A deliberately throttled configuration must lose to the optimum.
@@ -74,7 +76,8 @@ fn archive_round_trips_through_the_filesystem() {
     let _ = std::fs::remove_dir_all(&dir);
     let summary = manager()
         .with_archive(dir.clone())
-        .run(|ctx| objective(&ctx.point, 100 + ctx.trial_id));
+        .run(|ctx| objective(&ctx.point, 100 + ctx.trial_id))
+        .unwrap();
 
     // Phase III files exist.
     for file in [
@@ -120,7 +123,8 @@ fn same_seed_reproduces_the_whole_cycle() {
             .unwrap();
         let summary = OptimizationManager::new(conf)
             .with_seed(3)
-            .run(|ctx| objective(&ctx.point, 100 + ctx.trial_id));
+            .run(|ctx| objective(&ctx.point, 100 + ctx.trial_id))
+            .unwrap();
         let mut evals: Vec<(Vec<f64>, Option<f64>)> = summary
             .analysis
             .trials()

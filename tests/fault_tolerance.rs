@@ -77,7 +77,8 @@ fn engine_crash_is_retried_and_recovers_with_the_true_metric() {
                 kind: ServiceFaultKind::Crash,
             });
             engine(&ctx.point, 100 + ctx.trial_id, fault)
-        });
+        })
+        .unwrap();
 
     let trials = summary.analysis.trials();
     assert_eq!(trials.len(), 6);
@@ -120,7 +121,8 @@ fn slowdown_fault_degrades_the_metric_without_triggering_a_retry() {
                 kind: ServiceFaultKind::SlowDown { factor: 3.0 },
             });
             engine(&ctx.point, 100 + ctx.trial_id, fault)
-        });
+        })
+        .unwrap();
     // A slow engine is a valid (bad) measurement, not a failure.
     for t in summary.analysis.trials() {
         assert!(
@@ -149,7 +151,8 @@ fn deadline_exceeding_trial_fails_without_stalling_the_run() {
                 std::thread::sleep(std::time::Duration::from_millis(120));
             }
             ctx.point.iter().sum()
-        });
+        })
+        .unwrap();
     assert!(
         started.elapsed() < std::time::Duration::from_secs(30),
         "run must not stall"
