@@ -11,6 +11,9 @@
 //! * [`JournalWalBench`] — WAL append (fsync'd) + recovery-scan replay.
 //! * [`JournalWireBench`] — the escaped-TSV wire codec alone
 //!   (`RunEvent::to_line` / `RunEvent::parse`), no I/O.
+//! * [`DetlintWorkspaceBench`] — analyzer throughput: the full detlint
+//!   pipeline (lexer, test-region detection, all rule families,
+//!   suppression matching) over a synthetic in-memory workspace.
 //!
 //! Every suite benchmark carries the `smoke` tag so
 //! `e2clab bench --filter smoke` (the CI job) runs them all.
@@ -34,6 +37,7 @@ pub fn default_registry() -> BenchRegistry {
         .register(BayesCycleBench::new())
         .register(JournalWalBench::new())
         .register(JournalWireBench::new())
+        .register(DetlintWorkspaceBench::new())
 }
 
 // ---------------------------------------------------------------------------
@@ -408,6 +412,119 @@ impl Benchmark for JournalWireBench {
     }
 }
 
+// ---------------------------------------------------------------------------
+// detlint analyzer throughput
+// ---------------------------------------------------------------------------
+
+/// One synthetic source file exercising every analyzer stage: ordinary
+/// code, string/comment stripping, unordered containers, panic/IO/lock
+/// sites, suppressions and a test module. Content varies with `(seed,
+/// index)` but is fully deterministic.
+fn synthetic_source(seed: u64, index: u64) -> String {
+    use std::fmt::Write as _;
+    let mut src = String::with_capacity(4096);
+    let salt = seed.wrapping_mul(0x9E37_79B9).wrapping_add(index);
+    src.push_str("//! Synthetic detlint workload file.\n");
+    src.push_str("use std::collections::HashMap;\n\n");
+    for block in 0..12u64 {
+        let v = salt.wrapping_add(block);
+        let _ = writeln!(src, "fn work_{index}_{block}(xs: &[u64]) -> u64 {{");
+        let _ = writeln!(src, "    let mut map: HashMap<u64, u64> = HashMap::new();");
+        let _ = writeln!(src, "    map.insert({v}, xs.len() as u64);");
+        match v % 5 {
+            0 => {
+                let _ = writeln!(src, "    let head = xs.first().unwrap(); // panic site");
+                let _ = writeln!(src, "    *head + xs[{}]", v % 7);
+            }
+            1 => {
+                let _ = writeln!(src, "    // detlint: allow(PANIC003) bench corpus");
+                let _ = writeln!(src, "    xs[0]");
+            }
+            2 => {
+                let _ = writeln!(src, "    let s = r#\"raw {v} \"quoted\" body\"#;");
+                let _ = writeln!(src, "    /* nested /* comment */ here */ s.len() as u64");
+            }
+            3 => {
+                let _ = writeln!(src, "    std::fs::write(\"out.json\", b\"{v}\").ok();");
+                let _ = writeln!(src, "    xs.iter().sum::<u64>()");
+            }
+            _ => {
+                let _ = writeln!(src, "    let g = LOCKS.lock();");
+                let _ = writeln!(src, "    g.append(&[{v}]).ok();");
+                let _ = writeln!(src, "    0");
+            }
+        }
+        src.push_str("}\n\n");
+    }
+    src.push_str("#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n");
+    src.push_str(
+        "        assert_eq!(super::work_0_0(&[1]).to_string().parse::<u64>().unwrap(), 1);\n",
+    );
+    src.push_str("    }\n}\n");
+    src
+}
+
+/// Analyzer throughput (`crates/detlint`): lex + all rule families +
+/// suppression matching over a synthetic 48-file workspace held in
+/// memory, so the number tracks the analyzer, not the disk. Units are
+/// source lines processed.
+pub struct DetlintWorkspaceBench {
+    /// `(path label, source)` pairs, regenerated per seed.
+    files: Vec<(String, String)>,
+    config: detlint::Config,
+}
+
+impl DetlintWorkspaceBench {
+    pub fn new() -> Self {
+        DetlintWorkspaceBench {
+            files: Vec::new(),
+            config: detlint::Config::default(),
+        }
+    }
+}
+
+impl Default for DetlintWorkspaceBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for DetlintWorkspaceBench {
+    fn name(&self) -> &'static str {
+        "detlint_workspace"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["smoke", "detlint"]
+    }
+    fn policy(&self) -> BenchPolicy {
+        BenchPolicy::new(2, 10)
+    }
+    fn setup(&mut self, seed: u64) {
+        self.files = (0..48)
+            .map(|i| {
+                (
+                    format!("crates/synthetic/src/file_{i:02}.rs"),
+                    synthetic_source(seed, i),
+                )
+            })
+            .collect();
+        let mut config = detlint::Config::default();
+        // Scope the token families onto the synthetic corpus so every
+        // rule pass runs (the realistic worst case for throughput).
+        config.critical_paths.push("crates/synthetic/".to_string());
+        config.artifact_paths.push("crates/synthetic/".to_string());
+        self.config = config;
+    }
+    fn iter(&mut self, _round: u64) -> u64 {
+        let mut lines = 0u64;
+        for (path, text) in &self.files {
+            std::hint::black_box(detlint::lint_source(path, text, &self.config));
+            lines += text.lines().count() as u64;
+        }
+        lines
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,11 +539,31 @@ mod tests {
                 "plantnet_600s",
                 "bayes_cycle50",
                 "journal_wal",
-                "journal_wire"
+                "journal_wire",
+                "detlint_workspace"
             ]
         );
         // Every suite benchmark answers the CI smoke filter.
-        assert_eq!(default_registry().with_filter("smoke").selected().len(), 5);
+        assert_eq!(default_registry().with_filter("smoke").selected().len(), 6);
+    }
+
+    #[test]
+    fn detlint_bench_finds_real_findings_deterministically() {
+        let mut a = DetlintWorkspaceBench::new();
+        a.setup(3);
+        let (path, text) = &a.files[0];
+        let findings = detlint::lint_source(path, text, &a.config);
+        // The synthetic corpus must exercise the token families for the
+        // throughput number to mean anything.
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule.code().starts_with("PANIC") || f.rule.code() == "IO001"),
+            "{findings:?}"
+        );
+        let mut b = DetlintWorkspaceBench::new();
+        b.setup(3);
+        assert_eq!(a.iter(0), b.iter(0));
     }
 
     #[test]

@@ -26,7 +26,8 @@ fn every_registered_benchmark_runs_under_the_smoke_filter() {
             "plantnet_600s",
             "bayes_cycle50",
             "journal_wal",
-            "journal_wire"
+            "journal_wire",
+            "detlint_workspace"
         ]
     );
 

@@ -34,6 +34,15 @@ pub struct Config {
     pub approved_clock_files: Vec<String>,
     /// Path prefixes treated as search/observe hot paths (DET004).
     pub hot_paths: Vec<String>,
+    /// Path prefixes (or suffixes) of crash-safety-critical modules — the
+    /// WAL append/replay code, the commit sequencer, the atomic artifact
+    /// writers. PANIC001–003 and LOCK001 apply only here: a panic or a
+    /// blocked fsync in these files tears the crash-safety story.
+    pub critical_paths: Vec<String>,
+    /// Path prefixes of crates that persist run artifacts. IO001–002
+    /// apply only here: these files must write through
+    /// `e2c-journal::write_atomic` (or fsync directories themselves).
+    pub artifact_paths: Vec<String>,
     /// Directory names skipped by the workspace walker.
     pub skip_dirs: Vec<String>,
 }
@@ -48,10 +57,24 @@ impl Default for Config {
                 "crates/optim/src/".to_string(),
                 "crates/des/src/".to_string(),
             ],
+            critical_paths: vec![
+                "crates/journal/src/".to_string(),
+                "crates/tune/src/journal.rs".to_string(),
+                "crates/tune/src/tuner.rs".to_string(),
+                "crates/tune/src/logger.rs".to_string(),
+            ],
+            artifact_paths: vec![
+                "crates/journal/src/".to_string(),
+                "crates/tune/src/".to_string(),
+                "crates/trace/src/".to_string(),
+                "crates/core/src/".to_string(),
+                "src/".to_string(),
+            ],
             skip_dirs: vec![
                 "target".to_string(),
                 "vendor".to_string(),
                 ".git".to_string(),
+                "fixtures".to_string(),
             ],
         }
     }
@@ -68,7 +91,9 @@ impl Config {
 
     /// Parse a plain `key = value` config file. Recognized keys: rule
     /// codes (`DET001 = warn`), `approve-clock` (adds a DET002-approved
-    /// path suffix), `hot-path` (adds a DET004 prefix), `skip-dir`.
+    /// path suffix), `hot-path` (adds a DET004 prefix), `critical-path`
+    /// (adds a PANIC/LOCK scope prefix), `artifact-path` (adds an IO
+    /// scope prefix), `skip-dir`.
     /// Lines starting with `#` and blank lines are ignored.
     pub fn apply_file(&mut self, text: &str) -> Result<(), String> {
         for (idx, raw) in text.lines().enumerate() {
@@ -88,6 +113,8 @@ impl Config {
                 match key.to_ascii_lowercase().as_str() {
                     "approve-clock" => self.approved_clock_files.push(value.to_string()),
                     "hot-path" => self.hot_paths.push(value.to_string()),
+                    "critical-path" => self.critical_paths.push(value.to_string()),
+                    "artifact-path" => self.artifact_paths.push(value.to_string()),
                     "skip-dir" => self.skip_dirs.push(value.to_string()),
                     other => return Err(format!("line {}: unknown key `{other}`", idx + 1)),
                 }

@@ -1,0 +1,557 @@
+//! A hand-rolled, std-only Rust lexer producing *spanned* tokens.
+//!
+//! The original detlint pass matched blanked per-line text, which cannot
+//! see across lines or into expression structure. The token stream fixes
+//! that: every token carries its byte span, 1-based line and the brace
+//! nesting depth at its position, so rules can ask questions like "is a
+//! lock guard still live when this `append` call happens?" or "is this
+//! `[` an index expression rather than an attribute?" without a parser.
+//!
+//! Guarantees (pinned by `tests/lexer_proptest.rs`):
+//!
+//! * [`tokenize`] never panics, for arbitrary (even non-UTF-8-shaped or
+//!   unterminated) input;
+//! * every token's span is in-bounds, lies on char boundaries, is
+//!   non-empty and strictly follows the previous token's span (tokens
+//!   never overlap);
+//! * comments and the *contents* of string/char literals never produce
+//!   `Ident`/`Punct` tokens, so code patterns cannot be spoofed from
+//!   text.
+//!
+//! This is a lexer, not a parser: it does not build an AST, and keyword
+//! identifiers are plain [`TokenKind::Ident`] tokens. Rules layer their
+//! own (documented, suppressible) heuristics on top.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// Numeric literal (`42`, `0.5`, `0xFF`, `1_000u64`, ...).
+    Number,
+    /// String literal of any flavour (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Character literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `[`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token. The text is not stored — slice the source with
+/// [`Token::text`] — so a token is four words and the stream stays cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first char (inclusive, on a char boundary).
+    pub start: usize,
+    /// Byte offset past the last char (exclusive, on a char boundary).
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// Brace nesting depth: `{` tokens carry the depth *outside* their
+    /// block, the matching `}` carries that same depth, and everything
+    /// between is one deeper.
+    pub depth: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Does this token spell `word` (for [`TokenKind::Ident`] matching)?
+    pub fn is(&self, src: &str, word: &str) -> bool {
+        self.text(src) == word
+    }
+}
+
+/// Tokenize `src`. Comments and whitespace produce no tokens; string and
+/// char literal *contents* are opaque (one `Str`/`Char` token each).
+/// Unterminated literals and comments extend to end of input — garbage
+/// in, tokens out, never a panic.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    /// `(byte offset, char)` pairs — all indexing below is into this vec,
+    /// never raw byte offsets, so char boundaries can't be violated.
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    depth: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            depth: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the char at vec index `i` (or end of input).
+    fn offset(&self, i: usize) -> usize {
+        self.chars.get(i).map_or(self.src.len(), |&(o, _)| o)
+    }
+
+    /// Advance one char, maintaining the line counter.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        self.pos += 1;
+    }
+
+    fn emit(&mut self, kind: TokenKind, start_idx: usize, line: u32, depth: u32) {
+        self.tokens.push(Token {
+            kind,
+            start: self.offset(start_idx),
+            end: self.offset(self.pos),
+            line,
+            depth,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => self.bump(),
+                '/' if self.peek(1) == Some('/') => {
+                    while self.peek(0).is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                }
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(start, line),
+                'b' | 'c' | 'r' if self.literal_prefix().is_some() => {
+                    // `b"..."`, `r"..."`, `br#"..."#`, `c"..."` — consume
+                    // the prefix, then the (possibly raw) string body.
+                    let (prefix_len, raw) = self.literal_prefix().unwrap_or((1, false));
+                    for _ in 0..prefix_len {
+                        self.bump();
+                    }
+                    if raw {
+                        self.raw_string(start, line);
+                    } else {
+                        self.string(start, line);
+                    }
+                }
+                '\'' => self.char_or_lifetime(start, line),
+                c if c.is_alphabetic() || c == '_' => {
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        self.bump();
+                    }
+                    // Raw identifier `r#name` is lexed as one Ident by the
+                    // prefix check above failing (no quote); `r#` followed
+                    // by an ident-start char merges here via Punct '#'
+                    // handling below — close enough for rule matching.
+                    self.emit(TokenKind::Ident, start, line, self.depth);
+                }
+                c if c.is_ascii_digit() => self.number(start, line),
+                '{' => {
+                    self.bump();
+                    self.emit(TokenKind::Punct, start, line, self.depth);
+                    self.depth = self.depth.saturating_add(1);
+                }
+                '}' => {
+                    self.bump();
+                    self.depth = self.depth.saturating_sub(1);
+                    self.emit(TokenKind::Punct, start, line, self.depth);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokenKind::Punct, start, line, self.depth);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// `b` / `r` / `c` / `br` / `cr` prefix directly before a `"` (raw if
+    /// the prefix contains `r`, with optional `#`s). Returns the prefix
+    /// length in chars and whether the string body is raw.
+    fn literal_prefix(&self) -> Option<(usize, bool)> {
+        let (mut i, mut raw) = match self.peek(0)? {
+            'b' | 'c' => (1, false),
+            'r' => (1, true),
+            _ => return None,
+        };
+        if !raw && self.peek(1) == Some('r') {
+            i = 2;
+            raw = true;
+        }
+        if raw {
+            let mut j = i;
+            while self.peek(j) == Some('#') {
+                j += 1;
+            }
+            (self.peek(j) == Some('"')).then_some((i, true))
+        } else {
+            (self.peek(i) == Some('"')).then_some((i, false))
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => return, // unterminated: swallow to EOF
+            }
+        }
+    }
+
+    /// Cooked string body starting at the opening `"` (cursor is on it).
+    fn string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some('\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                Some('"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+                None => break, // unterminated
+            }
+        }
+        self.emit(TokenKind::Str, start, line, self.depth);
+    }
+
+    /// Raw string body: cursor is on the first `#` or the `"`.
+    fn raw_string(&mut self, start: usize, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` raw identifier: emit the ident we already partly
+            // consumed as one Ident token.
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            self.emit(TokenKind::Ident, start, line, self.depth);
+            return;
+        }
+        self.bump(); // opening quote
+        'outer: loop {
+            match self.peek(0) {
+                Some('"') => {
+                    if (1..=hashes).all(|k| self.peek(k) == Some('#')) {
+                        for _ in 0..=hashes {
+                            self.bump();
+                        }
+                        break 'outer;
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+                None => break 'outer, // unterminated
+            }
+        }
+        self.emit(TokenKind::Str, start, line, self.depth);
+    }
+
+    /// `'x'` / `'\n'` char literals vs `'a` lifetimes — same lookahead
+    /// rule as the line scanner: a char literal closes within two chars.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        let is_char = match self.peek(1) {
+            Some('\\') => true,
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        self.bump(); // opening quote
+        if is_char {
+            if self.peek(0) == Some('\\') {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+                // Multi-char escapes (`'\u{1F980}'`, `'\x7F'`): consume to
+                // the closing quote.
+                while self.peek(0).is_some_and(|c| c != '\'' && c != '\n') {
+                    self.bump();
+                }
+            } else if self.peek(0).is_some() {
+                self.bump();
+            }
+            if self.peek(0) == Some('\'') {
+                self.bump();
+            }
+            self.emit(TokenKind::Char, start, line, self.depth);
+        } else {
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            self.emit(TokenKind::Lifetime, start, line, self.depth);
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        // Digits, `_`, alphanumeric suffixes/radix chars, and a single
+        // `.` when followed by a digit (so `0..5` stays three tokens).
+        while let Some(c) = self.peek(0) {
+            let fraction_dot = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c.is_ascii_alphanumeric() || c == '_' || fraction_dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.emit(TokenKind::Number, start, line, self.depth);
+    }
+}
+
+/// Line ranges (1-based, inclusive) covered by `#[cfg(test)]`-gated items
+/// and `#[test]` functions. PANIC/IO/LOCK rules skip findings inside
+/// them: test code legitimately unwraps and writes scratch files, and
+/// burying the signal under hundreds of test findings would make the
+/// crash-safety families unusable.
+pub fn test_regions(src: &str, tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let matched = match_attr(src, tokens, i, &["cfg", "(", "test", ")"])
+            .or_else(|| match_attr(src, tokens, i, &["test"]));
+        let Some(after_attr) = matched else {
+            i += 1;
+            continue;
+        };
+        // The attribute decorates the next item: its body is the first
+        // `{` at the attribute's depth. Stop the search at a `;` or a
+        // shallower depth (attribute on a non-block item).
+        let attr_depth = tokens[i].depth;
+        let mut j = after_attr;
+        let mut open = None;
+        while let Some(t) = tokens.get(j) {
+            if t.depth < attr_depth || (t.kind == TokenKind::Punct && t.text(src) == ";") {
+                break;
+            }
+            if t.kind == TokenKind::Punct && t.text(src) == "{" && t.depth == attr_depth {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = after_attr;
+            continue;
+        };
+        // Matching close: first `}` at the same depth after the open.
+        let mut close = tokens.len().saturating_sub(1);
+        for (k, t) in tokens.iter().enumerate().skip(open + 1) {
+            if t.kind == TokenKind::Punct && t.text(src) == "}" && t.depth == attr_depth {
+                close = k;
+                break;
+            }
+        }
+        regions.push((tokens[i].line, tokens[close].line));
+        i = close + 1;
+    }
+    regions
+}
+
+/// Is `line` inside any of `regions` (as returned by [`test_regions`])?
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// Match `#[` + `inner` + `]` starting at token `i`; returns the index
+/// past the closing `]`.
+fn match_attr(src: &str, tokens: &[Token], i: usize, inner: &[&str]) -> Option<usize> {
+    let mut j = i;
+    for expect in ["#", "["].iter().chain(inner).chain(["]"].iter()) {
+        if tokens.get(j)?.text(src) != *expect {
+            return None;
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src)
+            .iter()
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_calls() {
+        assert_eq!(
+            texts("foo.unwrap();"),
+            vec!["foo", ".", "unwrap", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let src = "let s = \"x.unwrap()\"; done();";
+        let toks = tokenize(src);
+        assert!(toks
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident || t.text(src) != "unwrap"));
+        assert!(toks.iter().any(|t| t.is(src, "done")));
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        let src = r##"let p = r#"a.unwrap()"#; let b = b"x"; t();"##;
+        let toks = tokenize(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+        assert!(toks.iter().any(|t| t.is(src, "t")));
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.is(src, "unwrap")));
+    }
+
+    #[test]
+    fn comments_produce_no_tokens() {
+        let src = "a(); // x.unwrap()\n/* b.expect() /* nested */ */ c();";
+        let toks = tokenize(src);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let src = "fn f() { if x { y(); } }";
+        let toks = tokenize(src);
+        let y = toks.iter().find(|t| t.is(src, "y")).unwrap();
+        assert_eq!(y.depth, 2);
+        let f = toks.iter().find(|t| t.is(src, "f")).unwrap();
+        assert_eq!(f.depth, 0);
+        // Opening and closing braces pair up at the same depth.
+        let braces: Vec<_> = toks
+            .iter()
+            .filter(|t| t.is(src, "{") || t.is(src, "}"))
+            .map(|t| t.depth)
+            .collect();
+        assert_eq!(braces, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'y'; let e = '\\n'; }";
+        let toks = tokenize(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        assert_eq!(texts("0..5"), vec!["0", ".", ".", "5"]);
+        assert_eq!(texts("1.5e3"), vec!["1.5e3"]);
+        assert_eq!(texts("0xFFu32"), vec!["0xFFu32"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a();\nb();\n\nc();";
+        let toks = tokenize(src);
+        let line_of = |w: &str| toks.iter().find(|t| t.is(src, w)).unwrap().line;
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("c"), 4);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in [
+            "\"abc", "r#\"abc", "/* abc", "'", "b\"", "r###", "x.y[", "'\\",
+        ] {
+            let _ = tokenize(src);
+        }
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_mod() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn after() {}\n";
+        let toks = tokenize(src);
+        let regions = test_regions(src, &toks);
+        assert!(in_regions(&regions, 3));
+        assert!(in_regions(&regions, 5));
+        assert!(!in_regions(&regions, 1));
+        assert!(!in_regions(&regions, 7));
+    }
+
+    #[test]
+    fn test_fn_region_is_scoped_to_the_fn() {
+        let src = "#[test]\nfn t() {\n  a.unwrap();\n}\nfn live() { b.unwrap(); }\n";
+        let toks = tokenize(src);
+        let regions = test_regions(src, &toks);
+        assert!(in_regions(&regions, 3));
+        assert!(!in_regions(&regions, 5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { a.unwrap(); }\n";
+        let toks = tokenize(src);
+        assert!(test_regions(src, &toks).is_empty());
+    }
+}

@@ -27,13 +27,19 @@
 //! heuristic — which is why per-line suppressions carry justifications
 //! instead of the tool trying to be clever.
 
+mod baseline;
 mod config;
+mod lexer;
 mod rules;
+mod sarif;
 mod scanner;
 mod walk;
 
+pub use baseline::{fingerprint, Baseline};
 pub use config::{Config, Severity};
+pub use lexer::{tokenize, Token, TokenKind};
 pub use rules::{lint_source, Finding, Rule};
+pub use sarif::{to_json, to_sarif};
 pub use walk::collect_rust_files;
 
 use std::fmt::Write as _;
@@ -47,8 +53,14 @@ pub struct Report {
     pub errors: Vec<Finding>,
     /// Warn-severity findings without a valid suppression.
     pub warnings: Vec<Finding>,
+    /// Error findings accepted by the committed `lint.baseline` — known
+    /// debt being burned down, not a gate failure.
+    pub baselined: Vec<Finding>,
     /// Findings silenced by a justified `detlint: allow(...)` comment.
     pub suppressed: Vec<Finding>,
+    /// Baseline entries that matched no finding — the flagged code was
+    /// fixed or moved; regenerate the baseline to shrink the file.
+    pub stale_baseline: usize,
     /// Files scanned.
     pub files_scanned: usize,
 }
@@ -76,15 +88,41 @@ impl Report {
                 let _ = writeln!(out, "    | {}", f.snippet.trim_end());
             }
         }
+        if self.stale_baseline > 0 {
+            let _ = writeln!(
+                out,
+                "note: {} stale baseline entr{} — run `e2clab lint --update-baseline` to shrink lint.baseline",
+                self.stale_baseline,
+                if self.stale_baseline == 1 { "y" } else { "ies" }
+            );
+        }
         let _ = writeln!(
             out,
-            "detlint: {} file(s), {} error(s), {} warning(s), {} suppressed",
+            "detlint: {} file(s), {} error(s), {} warning(s), {} baselined, {} suppressed",
             self.files_scanned,
             self.errors.len(),
             self.warnings.len(),
+            self.baselined.len(),
             self.suppressed.len()
         );
         out
+    }
+
+    /// Move errors covered by `baseline` into the `baselined` bucket and
+    /// record how many baseline entries went unmatched. Gating then keys
+    /// off `errors` alone: only findings *new* since the baseline fail.
+    pub fn apply_baseline(&mut self, baseline: &Baseline) {
+        let mut remaining = baseline.clone();
+        let mut kept = Vec::with_capacity(self.errors.len());
+        for finding in self.errors.drain(..) {
+            if remaining.consume(&finding) {
+                self.baselined.push(finding);
+            } else {
+                kept.push(finding);
+            }
+        }
+        self.errors = kept;
+        self.stale_baseline = remaining.stale();
     }
 }
 

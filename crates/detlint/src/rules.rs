@@ -1,10 +1,25 @@
-//! The five determinism rules and the per-file analysis pass.
+//! The rule families and the per-file analysis pass.
+//!
+//! Two passes run over every file:
+//!
+//! * the original *line pass* (blanked per-line text from
+//!   [`split_source`]) carries the determinism family DET001–DET005;
+//! * the *token pass* (spanned tokens from [`crate::lexer::tokenize`])
+//!   carries the crash-safety families PANIC001–003, IO001–002 and
+//!   LOCK001, which need to see expression structure and match across
+//!   lines. Token rules skip `#[cfg(test)]` / `#[test]` regions — test
+//!   code legitimately unwraps and writes scratch files.
+//!
+//! SUP001 runs last, over the suppression comments themselves: an
+//! `detlint: allow(...)` that matches no finding is itself a finding, so
+//! burned-down hazards cannot leave silent dead suppressions behind.
 
 use crate::config::Config;
+use crate::lexer::{in_regions, test_regions, tokenize, Token, TokenKind};
 use crate::scanner::{split_source, Line};
 use std::collections::BTreeSet;
 
-/// A determinism hazard class.
+/// A determinism or crash-safety hazard class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// DET001: iteration over an unordered `HashMap`/`HashSet`.
@@ -17,16 +32,41 @@ pub enum Rule {
     SleepInHotPath,
     /// DET005: floating-point accumulation over an unordered collection.
     FloatAccumulation,
+    /// PANIC001: `.unwrap()` / `.expect(...)` in a crash-safety-critical
+    /// module.
+    UnwrapInCritical,
+    /// PANIC002: `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+    /// in a crash-safety-critical module.
+    PanicMacro,
+    /// PANIC003: slice/array index expression in a crash-safety-critical
+    /// module (can panic out of bounds).
+    SliceIndex,
+    /// IO001: raw `std::fs::write` / `File::create` in a crate that
+    /// persists run artifacts (bypasses `e2c-journal::write_atomic`).
+    RawArtifactWrite,
+    /// IO002: `std::fs::rename` with no directory fsync in scope.
+    RenameWithoutFsync,
+    /// LOCK001: `Wal::append` / fsync called while a lock guard is held.
+    LockAcrossWal,
+    /// SUP001: a `detlint: allow(...)` that matches no finding.
+    StaleSuppression,
 }
 
 impl Rule {
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 12;
     pub const ALL: [Rule; Rule::COUNT] = [
         Rule::UnorderedIteration,
         Rule::WallClock,
         Rule::EntropyRng,
         Rule::SleepInHotPath,
         Rule::FloatAccumulation,
+        Rule::UnwrapInCritical,
+        Rule::PanicMacro,
+        Rule::SliceIndex,
+        Rule::RawArtifactWrite,
+        Rule::RenameWithoutFsync,
+        Rule::LockAcrossWal,
+        Rule::StaleSuppression,
     ];
 
     pub fn code(self) -> &'static str {
@@ -36,17 +76,21 @@ impl Rule {
             Rule::EntropyRng => "DET003",
             Rule::SleepInHotPath => "DET004",
             Rule::FloatAccumulation => "DET005",
+            Rule::UnwrapInCritical => "PANIC001",
+            Rule::PanicMacro => "PANIC002",
+            Rule::SliceIndex => "PANIC003",
+            Rule::RawArtifactWrite => "IO001",
+            Rule::RenameWithoutFsync => "IO002",
+            Rule::LockAcrossWal => "LOCK001",
+            Rule::StaleSuppression => "SUP001",
         }
     }
 
     pub fn index(self) -> usize {
-        match self {
-            Rule::UnorderedIteration => 0,
-            Rule::WallClock => 1,
-            Rule::EntropyRng => 2,
-            Rule::SleepInHotPath => 3,
-            Rule::FloatAccumulation => 4,
-        }
+        Rule::ALL
+            .iter()
+            .position(|r| *r == self)
+            .unwrap_or_default()
     }
 
     pub fn from_code(code: &str) -> Option<Rule> {
@@ -66,6 +110,23 @@ impl Rule {
             Rule::FloatAccumulation => {
                 "floating-point accumulation over an unordered collection (fp addition is non-associative)"
             }
+            Rule::UnwrapInCritical => {
+                "unwrap/expect in a crash-safety-critical module aborts mid-commit"
+            }
+            Rule::PanicMacro => "panic-family macro in a crash-safety-critical module",
+            Rule::SliceIndex => {
+                "index expression in a crash-safety-critical module can panic out of bounds"
+            }
+            Rule::RawArtifactWrite => {
+                "raw fs::write/File::create bypasses write_atomic — a crash tears the artifact"
+            }
+            Rule::RenameWithoutFsync => {
+                "rename without a directory fsync may not survive a crash"
+            }
+            Rule::LockAcrossWal => {
+                "WAL append/fsync while holding a lock blocks every other holder for the fsync"
+            }
+            Rule::StaleSuppression => "detlint: allow(...) that matches no finding",
         }
     }
 }
@@ -129,10 +190,36 @@ const ENTROPY_PATTERNS: [&str; 6] = [
 const SLEEP_PATTERNS: [&str; 3] = ["thread::sleep(", "spin_loop(", "yield_now("];
 
 /// Lint one file's text. `path` is the workspace-relative label used in
-/// findings and for the DET002/DET004 path scoping.
+/// findings and for all path scoping (DET002/DET004 hot paths, the
+/// PANIC/LOCK `critical_paths`, the IO `artifact_paths`).
 pub fn lint_source(path: &str, text: &str, config: &Config) -> Vec<Finding> {
     let lines = split_source(text);
-    let unordered = collect_unordered_idents(&lines);
+    let mut findings = det_pass(path, &lines, config);
+    let critical = config
+        .critical_paths
+        .iter()
+        .any(|p| path.starts_with(p.as_str()) || path.ends_with(p.as_str()));
+    let artifact = config
+        .artifact_paths
+        .iter()
+        .any(|p| path.starts_with(p.as_str()) || path.ends_with(p.as_str()));
+    if critical || artifact {
+        let tokens = tokenize(text);
+        let tests = test_regions(text, &tokens);
+        findings.extend(token_pass(
+            path, text, &tokens, &tests, critical, artifact, &lines,
+        ));
+    }
+    attach_suppressions(&mut findings, &lines);
+    let stale = stale_suppressions(path, &lines, &findings);
+    findings.extend(stale);
+    findings.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
+    findings
+}
+
+/// The original line-based determinism pass (DET001–DET005).
+fn det_pass(path: &str, lines: &[Line], config: &Config) -> Vec<Finding> {
+    let unordered = collect_unordered_idents(lines);
     let clock_approved = config
         .approved_clock_files
         .iter()
@@ -276,32 +363,332 @@ pub fn lint_source(path: &str, text: &str, config: &Config) -> Vec<Finding> {
         while unordered_loops.last().is_some_and(|&d| depth < d) {
             unordered_loops.pop();
         }
+    }
+    findings
+}
 
-        // Attach suppressions: trailing comment on the line itself, or an
-        // allow standing alone on the previous line.
-        for finding in &mut findings {
-            if finding.line != idx + 1 || finding.suppression.is_some() {
-                continue;
+/// Attach suppressions: trailing comment on the finding's own line, or an
+/// allow standing alone on the line above it.
+fn attach_suppressions(findings: &mut [Finding], lines: &[Line]) {
+    for finding in findings.iter_mut() {
+        if finding.suppression.is_some() {
+            continue;
+        }
+        let idx = finding.line - 1; // 0-based index of the finding's line
+        let own = lines
+            .get(idx)
+            .and_then(|l| parse_allow(&l.comment, finding.rule));
+        let above = if idx > 0 && lines[idx - 1].code.trim().is_empty() {
+            parse_allow(&lines[idx - 1].comment, finding.rule)
+        } else {
+            None
+        };
+        if let Some(justification) = own.or(above) {
+            if justification.is_empty() {
+                finding.message.push_str(
+                    " [allow found but missing a justification: write `// detlint: allow(",
+                );
+                finding.message.push_str(finding.rule.code());
+                finding.message.push_str(") <reason>`]");
             }
-            let own = parse_allow(&line.comment, finding.rule);
-            let above = if idx > 0 && lines[idx - 1].code.trim().is_empty() {
-                parse_allow(&lines[idx - 1].comment, finding.rule)
-            } else {
-                None
-            };
-            if let Some(justification) = own.or(above) {
-                if justification.is_empty() {
-                    finding.message.push_str(
-                        " [allow found but missing a justification: write `// detlint: allow(",
-                    );
-                    finding.message.push_str(finding.rule.code());
-                    finding.message.push_str(") <reason>`]");
+            finding.suppression = Some(Suppression { justification });
+        }
+    }
+}
+
+/// Keywords that can directly precede a `[` without the bracket being an
+/// index expression (`for x in [..]`, `return [..]`, ...).
+const NONINDEX_KEYWORDS: [&str; 10] = [
+    "in", "return", "break", "else", "match", "if", "while", "loop", "move", "as",
+];
+
+/// Macros whose invocation aborts the process.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Calls that block under a held lock guard (LOCK001): the WAL append and
+/// the fsync family.
+const BLOCKING_UNDER_LOCK: [&str; 3] = ["append", "sync_all", "sync_data"];
+
+/// The token-based crash-safety pass: PANIC001–003 (`critical`),
+/// IO001–002 (`artifact`), LOCK001 (`critical`). Findings inside
+/// `#[cfg(test)]` / `#[test]` regions are skipped.
+fn token_pass(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    tests: &[(u32, u32)],
+    critical: bool,
+    artifact: bool,
+    lines: &[Line],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let snippet = |line: u32| {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.raw.clone())
+            .unwrap_or_default()
+    };
+    let mut hit = |rule: Rule, line: u32, message: String| {
+        findings.push(Finding {
+            rule,
+            file: path.to_string(),
+            line: line as usize,
+            message,
+            snippet: snippet(line),
+            suppression: None,
+        });
+    };
+    let text = |i: usize| tokens.get(i).map(|t| t.text(src)).unwrap_or("");
+    let is_method_call = |i: usize| {
+        i > 0
+            && text(i - 1) == "."
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == "(")
+    };
+    // `a :: b` path segment ending at ident index i? (checks `fs::write`
+    // style qualifier immediately before i).
+    let qualified_by = |i: usize, qual: &str| {
+        i >= 3 && text(i - 1) == ":" && text(i - 2) == ":" && text(i - 3) == qual
+    };
+    // Forward extent of the block enclosing token i: indices j > i while
+    // tokens stay at i's depth or deeper.
+    let block_extent = |i: usize| {
+        let d = tokens[i].depth;
+        let mut j = i + 1;
+        while j < tokens.len() && tokens[j].depth >= d {
+            j += 1;
+        }
+        j
+    };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if in_regions(tests, tok.line) {
+            continue;
+        }
+        let word = tok.text(src);
+        if critical && tok.kind == TokenKind::Ident {
+            // PANIC001 — `.unwrap()` / `.expect(...)`.
+            if (word == "unwrap" || word == "expect") && is_method_call(i) {
+                hit(
+                    Rule::UnwrapInCritical,
+                    tok.line,
+                    format!(
+                        "`.{word}()` in a crash-safety-critical module aborts mid-commit; \
+                         bubble the error through the typed error enum"
+                    ),
+                );
+            }
+            // PANIC002 — panic-family macro invocation.
+            if PANIC_MACROS.contains(&word) && text(i + 1) == "!" {
+                hit(
+                    Rule::PanicMacro,
+                    tok.line,
+                    format!(
+                        "`{word}!` in a crash-safety-critical module aborts the process; \
+                         return an error instead"
+                    ),
+                );
+            }
+            // LOCK001 — `.lock()` whose guard is live across a WAL
+            // append / fsync call.
+            if word == "lock" && is_method_call(i) {
+                let end = lock_guard_extent(src, tokens, i, block_extent(i));
+                for (j, held) in tokens.iter().enumerate().take(end).skip(i + 2) {
+                    let w = text(j);
+                    if held.kind == TokenKind::Ident
+                        && BLOCKING_UNDER_LOCK.contains(&w)
+                        && j > 0
+                        && text(j - 1) == "."
+                        && text(j + 1) == "("
+                        && !in_regions(tests, held.line)
+                    {
+                        hit(
+                            Rule::LockAcrossWal,
+                            held.line,
+                            format!(
+                                "`.{w}(...)` runs while the lock guard taken on line {} is \
+                                 still held — the fsync blocks every other holder",
+                                tok.line
+                            ),
+                        );
+                    }
                 }
-                finding.suppression = Some(Suppression { justification });
+            }
+        }
+        if critical && tok.kind == TokenKind::Punct && word == "[" {
+            // PANIC003 — index expression: `expr[...]` where expr ends in
+            // an identifier (not a keyword), `)` or `]`; `#[attr]`, macro
+            // `vec![`, array types/literals and full-range `[..]` don't
+            // match.
+            let prev_ok = i > 0
+                && match tokens[i - 1].kind {
+                    TokenKind::Ident => !NONINDEX_KEYWORDS.contains(&text(i - 1)),
+                    TokenKind::Punct => matches!(text(i - 1), ")" | "]"),
+                    _ => false,
+                };
+            let full_range = text(i + 1) == "." && text(i + 2) == "." && text(i + 3) == "]";
+            if prev_ok && !full_range {
+                hit(
+                    Rule::SliceIndex,
+                    tok.line,
+                    "index expression in a crash-safety-critical module can panic out of \
+                     bounds; use `.get()` or a bounds-checked helper"
+                        .to_string(),
+                );
+            }
+        }
+        if artifact && tok.kind == TokenKind::Ident {
+            // IO001 — raw full-file writes bypassing write_atomic.
+            let raw_write = (word == "write" && qualified_by(i, "fs"))
+                || (word == "create" && qualified_by(i, "File"));
+            if raw_write && text(i + 1) == "(" {
+                let what = if word == "write" {
+                    "std::fs::write"
+                } else {
+                    "File::create"
+                };
+                hit(
+                    Rule::RawArtifactWrite,
+                    tok.line,
+                    format!(
+                        "`{what}` bypasses `e2c-journal::write_atomic`; a crash mid-write \
+                         tears the artifact"
+                    ),
+                );
+            }
+            // IO002 — rename with no directory fsync in the enclosing
+            // block.
+            if word == "rename" && qualified_by(i, "fs") && text(i + 1) == "(" {
+                let end = block_extent(i);
+                let fsynced = (i + 2..end)
+                    .any(|j| tokens[j].kind == TokenKind::Ident && text(j) == "sync_all");
+                if !fsynced {
+                    hit(
+                        Rule::RenameWithoutFsync,
+                        tok.line,
+                        "`std::fs::rename` without fsyncing the parent directory may not \
+                         survive a crash; fsync the dir (or use `write_atomic`)"
+                            .to_string(),
+                    );
+                }
             }
         }
     }
+    // A guard held across several appends yields one finding per call
+    // site but never duplicates on the same line for the same rule.
+    findings.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
+    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
     findings
+}
+
+/// How far the guard created by the `.lock()` call at token `i` stays
+/// live: to the end of the enclosing block when the call initializes a
+/// `let` binding, otherwise (a temporary in a method chain) to the end of
+/// the statement. Returns an exclusive token index bounded by
+/// `block_end`.
+fn lock_guard_extent(src: &str, tokens: &[Token], i: usize, block_end: usize) -> usize {
+    // Walk back to the start of the statement: just past the previous
+    // `;`, `{` or `}` at any shallower-or-equal depth.
+    let mut start = i;
+    while start > 0 {
+        let t = &tokens[start - 1];
+        if t.kind == TokenKind::Punct && matches!(t.text(src), ";" | "{" | "}") {
+            break;
+        }
+        start -= 1;
+    }
+    let is_let_binding = tokens.get(start).is_some_and(|t| t.text(src) == "let");
+    if is_let_binding {
+        return block_end;
+    }
+    // Temporary guard: drops at the end of the statement.
+    let d = tokens[i].depth;
+    for (j, t) in tokens.iter().enumerate().skip(i + 1).take(block_end - i) {
+        if t.kind == TokenKind::Punct && t.text(src) == ";" && t.depth <= d {
+            return j;
+        }
+    }
+    block_end
+}
+
+/// SUP001: every code named by a `detlint: allow(...)` must match a
+/// finding on the allow's own line or (for a standalone allow) the line
+/// below. `allow(SUP001)` is exempt — it suppresses this rule itself.
+fn stale_suppressions(path: &str, lines: &[Line], findings: &[Finding]) -> Vec<Finding> {
+    let mut stale = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(codes) = parse_allow_codes(&line.comment) else {
+            continue;
+        };
+        let standalone = line.code.trim().is_empty();
+        for code in codes {
+            let Some(rule) = Rule::from_code(&code) else {
+                stale.push(Finding {
+                    rule: Rule::StaleSuppression,
+                    file: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "suppression names unknown rule `{code}`; fix or delete the allow"
+                    ),
+                    snippet: line.raw.clone(),
+                    suppression: None,
+                });
+                continue;
+            };
+            if rule == Rule::StaleSuppression {
+                continue;
+            }
+            let matched = findings.iter().any(|f| {
+                f.rule == rule && (f.line == idx + 1 || (standalone && f.line == idx + 2))
+            });
+            if !matched {
+                stale.push(Finding {
+                    rule: Rule::StaleSuppression,
+                    file: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "stale suppression: `{}` matches no finding on this or the next \
+                         line; delete the allow",
+                        rule.code()
+                    ),
+                    snippet: line.raw.clone(),
+                    suppression: None,
+                });
+            }
+        }
+    }
+    // Stale-suppression findings are themselves suppressible (with
+    // `detlint: allow(SUP001) <why>`), e.g. for allows kept against
+    // platform-conditional code.
+    let mut stale_slice = stale;
+    attach_suppressions(&mut stale_slice, lines);
+    stale_slice
+}
+
+/// The text after `detlint: allow(` when the comment *is* a directive.
+/// The directive must open the comment text: doc comments keep their
+/// third `/` or `!` as comment text, so prose that merely *mentions* the
+/// allow syntax (`/// ... \`detlint: allow(...)\` ...`) never parses as
+/// a suppression.
+fn allow_directive(comment: &str) -> Option<&str> {
+    let rest = comment.trim_start().strip_prefix("detlint:")?;
+    let rest = rest.trim_start().strip_prefix("allow")?.trim_start();
+    rest.strip_prefix('(')
+}
+
+/// The codes listed by a `detlint: allow(...)` directive comment, or
+/// `None` when the comment has no allow.
+fn parse_allow_codes(comment: &str) -> Option<Vec<String>> {
+    let rest = allow_directive(comment)?;
+    let close = rest.find(')')?;
+    Some(
+        rest[..close]
+            .split(',')
+            .map(|c| c.trim().to_ascii_uppercase())
+            .filter(|c| !c.is_empty())
+            .collect(),
+    )
 }
 
 /// Identifiers declared as `HashMap`/`HashSet` in this file (let bindings,
@@ -435,10 +822,7 @@ fn is_for_loop_target(code: &str, pos: usize) -> bool {
 /// Parse `detlint: allow(DETxxx[, DETyyy]) justification` from a comment;
 /// returns the justification (possibly empty) when `rule` is covered.
 fn parse_allow(comment: &str, rule: Rule) -> Option<String> {
-    let at = comment.find("detlint:")?;
-    let rest = comment[at + "detlint:".len()..].trim_start();
-    let rest = rest.strip_prefix("allow")?.trim_start();
-    let rest = rest.strip_prefix('(')?;
+    let rest = allow_directive(comment)?;
     let close = rest.find(')')?;
     let codes = &rest[..close];
     let justification = rest[close + 1..].trim();

@@ -1,0 +1,23 @@
+// Fixture: IO001–002 positives in an artifact-persisting module.
+
+use std::fs;
+use std::fs::File;
+
+pub fn snapshot(dir: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(dir.join("summary.json"), bytes)?; // IO001
+    fs::write(dir.join("evaluations.csv"), bytes)?; // IO001
+    let mut f = File::create(dir.join("trials.jsonl"))?; // IO001
+    f.write_all(bytes)?;
+    Ok(())
+}
+
+pub fn publish(tmp: &Path, target: &Path) -> std::io::Result<()> {
+    fs::rename(tmp, target)?; // IO002: no dir fsync in this block
+    Ok(())
+}
+
+pub fn publish_durably(tmp: &Path, target: &Path, dir: &Path) -> std::io::Result<()> {
+    fs::rename(tmp, target)?; // clean: the rename is fsync'd below
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}

@@ -1,0 +1,6 @@
+// Fixture: IO001 silenced by a justified allow (scratch output).
+
+pub fn dump_debug(bytes: &[u8]) -> std::io::Result<()> {
+    // detlint: allow(IO001) debug scratch file, never read back by a resume
+    std::fs::write("/tmp/e2c-debug.bin", bytes)
+}

@@ -1,0 +1,21 @@
+// Fixture: LOCK001 — a lock guard held across a WAL append / fsync.
+
+pub fn commit(state: &Mutex<State>, wal: &Mutex<Wal>) {
+    let mut st = state.lock();
+    st.pending += 1;
+    wal.lock().append(b"commit").ok(); // LOCK001: st's guard spans the append
+    st.pending -= 1;
+}
+
+pub fn flush(file: &Mutex<File>, counter: &Mutex<u64>) {
+    *counter.lock() += 1; // temporary guard, dropped at the `;`
+    file.lock().sync_all().ok(); // LOCK001: the temporary spans the fsync
+}
+
+pub fn clean(state: &Mutex<State>, wal: &mut Wal) {
+    {
+        let mut st = state.lock();
+        st.pending += 1;
+    } // guard dropped here
+    wal.append(b"commit").ok(); // clean: no guard live
+}

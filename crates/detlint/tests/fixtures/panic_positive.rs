@@ -1,0 +1,33 @@
+// Fixture: PANIC001–003 positives in a crash-safety-critical module.
+// Not compiled — linted as text by tests/token_rules.rs (and kept out of
+// workspace lint runs by the default `fixtures` skip-dir).
+
+pub fn commit(frames: &[Frame], journal: &mut Wal) -> u64 {
+    let head = frames.first().unwrap(); // PANIC001
+    let tail = frames.last().expect("non-empty batch"); // PANIC001
+    if head.seq > tail.seq {
+        panic!("frame order inverted"); // PANIC002
+    }
+    let mid = frames[frames.len() / 2].seq; // PANIC003
+    let window = &frames[1..3]; // PANIC003
+    let full = &frames[..]; // full-range slice: not a PANIC003
+    let literal = [head.seq, mid]; // array literal: not a PANIC003
+    for f in [tail] {
+        // `in [` is iteration, not indexing: not a PANIC003
+        journal.push(f.seq);
+    }
+    drop((window, full, literal));
+    todo!() // PANIC002
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        // Token rules skip test regions: none of these are findings.
+        let v = vec![1, 2, 3];
+        assert_eq!(v.first().unwrap(), &1);
+        let x = v[0];
+        assert_eq!(x, 1);
+    }
+}

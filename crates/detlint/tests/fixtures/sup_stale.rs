@@ -1,0 +1,8 @@
+// Fixture: SUP001 — stale and malformed suppressions.
+
+pub fn tidy() -> u64 {
+    // detlint: allow(DET002) the clock read below was removed last release
+    let x = 1; // SUP001: the allow above matches no finding
+    let y = 2; // detlint: allow(DET999) no such rule — SUP001
+    x + y
+}

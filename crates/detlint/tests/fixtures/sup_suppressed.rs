@@ -1,0 +1,8 @@
+// Fixture: a deliberately-kept allow, exempted from SUP001 by listing
+// SUP001 alongside the kept code with a justification.
+
+pub fn tidy() -> u64 {
+    // detlint: allow(DET002, SUP001) kept for the cfg(windows) build where QueryPerformanceCounter is read here
+    let x = 1;
+    x
+}

@@ -1,0 +1,96 @@
+//! Property coverage of the hand-rolled lexer: whatever bytes come in —
+//! unterminated strings, nested comment soup, stray quotes, multi-byte
+//! unicode — tokenization must terminate without panicking, and every
+//! token span must be in-bounds, on char boundaries, non-overlapping and
+//! consistent with its recorded line number. Extends the wire-format
+//! proptest beachhead toward the ROADMAP fuzzing item: the linter runs on
+//! every CI push, so "never panics on weird source" is a gate, not a wish.
+
+use detlint::{lint_source, tokenize, Config};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Printable ASCII (all Rust punctuation) plus whitespace, quotes and
+/// multi-byte unicode — raw character soup.
+const SOUP: &str = "[ -~\t\n\réà→ß🦀]{0,80}";
+
+/// Code-shaped input: random concatenations of the exact constructs the
+/// lexer special-cases (raw strings, nested comments, lifetimes, char
+/// literals, attributes, suppressions), so boundary interactions between
+/// them get exercised far more often than raw soup would manage.
+fn code_fragments() -> impl Strategy<Value = String> {
+    let fragment = Union::new(vec![
+        Just("fn f() { ").boxed(),
+        Just("}").boxed(),
+        Just("let s = \"tab\\t\";").boxed(),
+        Just("r#\"raw \" body\"#").boxed(),
+        Just("br\"bytes\"").boxed(),
+        Just("'a>").boxed(),
+        Just("'x'").boxed(),
+        Just("b'\\n'").boxed(),
+        Just("/* outer /* nested */ still */").boxed(),
+        Just("// line comment\n").boxed(),
+        Just("// detlint: allow(DET001) reason\n").boxed(),
+        Just("#[cfg(test)] mod t { ").boxed(),
+        Just("#[test] fn u() { x.unwrap(); } ").boxed(),
+        Just("v[i..j]").boxed(),
+        Just("0x1f_u32 1.5e-3 0..10").boxed(),
+        Just("std::fs::write(p, b)?;").boxed(),
+        Just("\"unterminated").boxed(),
+        Just("/* unterminated").boxed(),
+        Just("é→🦀").boxed(),
+        Just("\n").boxed(),
+    ]);
+    proptest::collection::vec(fragment, 0..12).prop_map(|v| v.concat())
+}
+
+/// The span/line invariants every tokenization must uphold.
+fn check_tokens(src: &str) -> Result<(), TestCaseError> {
+    let tokens = tokenize(src);
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        prop_assert!(t.start < t.end, "empty span {t:?}");
+        prop_assert!(t.end <= src.len(), "span past EOF {t:?}");
+        prop_assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span splits a char {t:?}"
+        );
+        prop_assert!(
+            t.start >= prev_end,
+            "tokens overlap or run backwards at {t:?}"
+        );
+        prop_assert_eq!(t.text(src), &src[t.start..t.end]);
+        let line = 1 + src[..t.start].matches('\n').count();
+        prop_assert_eq!(t.line as usize, line, "line number drifted {:?}", t);
+        prev_end = t.end;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_is_sound_on_character_soup(src in SOUP) {
+        check_tokens(&src)?;
+    }
+
+    #[test]
+    fn lexer_is_sound_on_code_shaped_input(src in code_fragments()) {
+        check_tokens(&src)?;
+    }
+
+    /// The whole pipeline — lexer, test-region detection, every rule
+    /// family, suppression attachment — terminates on arbitrary input
+    /// with all path scopes active.
+    #[test]
+    fn full_lint_pipeline_never_panics(src in SOUP) {
+        let mut config = Config::default();
+        config.critical_paths.push("fuzz/".to_string());
+        config.artifact_paths.push("fuzz/".to_string());
+        let findings = lint_source("fuzz/input.rs", &src, &config);
+        for f in findings {
+            prop_assert!(f.line >= 1, "0-based line leaked: {f:?}");
+        }
+    }
+}

@@ -47,7 +47,7 @@ const fn crc_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        table[i] = c; // detlint: allow(PANIC003) i < 256 by the loop bound; const fn evaluated at compile time
         i += 1;
     }
     table
@@ -57,6 +57,7 @@ const fn crc_table() -> [u32; 256] {
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // detlint: allow(PANIC003) index is masked to 0..=255 and the table has 256 entries
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -147,27 +148,39 @@ impl Wal {
     }
 }
 
+/// A little-endian `u32` at `pos`, or `None` when fewer than four bytes
+/// remain — the bounds-checked primitive the frame scanner is built on.
+fn read_u32_le(bytes: &[u8], pos: usize) -> Option<u32> {
+    let src = bytes.get(pos..pos.checked_add(4)?)?;
+    let mut word = [0u8; 4];
+    word.copy_from_slice(src);
+    Some(u32::from_le_bytes(word))
+}
+
 /// Scan framed records from `bytes`, stopping at the first invalid frame.
 /// Returns the intact records and the byte length of the valid prefix.
+/// Every access is bounds-checked: a short header, an out-of-range length
+/// or a bad CRC all mean "torn tail", never a panic — recovery code that
+/// aborts on the very corruption it exists to handle is no recovery.
 fn scan(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
-    while bytes.len() - pos >= HEADER {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+    while let (Some(len), Some(crc)) = (read_u32_le(bytes, pos), read_u32_le(bytes, pos + 4)) {
         if len > MAX_RECORD {
             break;
         }
-        let end = pos + HEADER + len as usize;
-        if end > bytes.len() {
+        let start = pos + HEADER;
+        let Some(payload) = start
+            .checked_add(len as usize)
+            .and_then(|end| bytes.get(start..end))
+        else {
             break;
-        }
-        let payload = &bytes[pos + HEADER..end];
+        };
         if crc32(payload) != crc {
             break;
         }
         records.push(payload.to_vec());
-        pos = end;
+        pos = start + payload.len();
     }
     (records, pos)
 }
@@ -192,6 +205,7 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
     {
+        // detlint: allow(IO001) this IS the write_atomic implementation — the raw create targets the tmp sibling, and the rename + dir fsync below provide the atomicity
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;

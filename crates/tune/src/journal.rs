@@ -190,39 +190,49 @@ impl RunEvent {
     pub fn to_line(&self) -> String {
         use std::fmt::Write;
         let mut line = String::with_capacity(48);
-        // Writing to a String cannot fail; unwrap keeps write! concise.
+        // Writing to a String cannot fail; the results are discarded with
+        // `let _ =` instead of unwrapped so the encode path — which runs
+        // inside the commit sequence of every journaled transition —
+        // carries no panic sites.
         match self {
             // Version-1 metas re-serialize in their original 2-field
             // form, so appending to an old journal never rewrites it.
             RunEvent::Meta {
                 version: 1,
                 fingerprint,
-            } => write!(line, "meta\t{}", escape(fingerprint)).unwrap(),
+            } => {
+                let _ = write!(line, "meta\t{}", escape(fingerprint));
+            }
             RunEvent::Meta {
                 version,
                 fingerprint,
-            } => write!(line, "meta\t{version}\t{}", escape(fingerprint)).unwrap(),
+            } => {
+                let _ = write!(line, "meta\t{version}\t{}", escape(fingerprint));
+            }
             RunEvent::Ask { trial, config } => {
-                write!(line, "ask\t{trial}\t").unwrap();
+                let _ = write!(line, "ask\t{trial}\t");
                 for (i, v) in config.iter().enumerate() {
                     if i > 0 {
                         line.push(',');
                     }
-                    write!(line, "{v}").unwrap();
+                    let _ = write!(line, "{v}");
                 }
             }
-            RunEvent::Restart { trial } => write!(line, "restart\t{trial}").unwrap(),
+            RunEvent::Restart { trial } => {
+                let _ = write!(line, "restart\t{trial}");
+            }
             RunEvent::Report {
                 trial,
                 iteration,
                 normalized,
                 stop,
-            } => write!(
-                line,
-                "report\t{trial}\t{iteration}\t{normalized}\t{}",
-                if *stop { "stop" } else { "continue" }
-            )
-            .unwrap(),
+            } => {
+                let _ = write!(
+                    line,
+                    "report\t{trial}\t{iteration}\t{normalized}\t{}",
+                    if *stop { "stop" } else { "continue" }
+                );
+            }
             RunEvent::Attempt {
                 trial,
                 index,
@@ -230,13 +240,17 @@ impl RunEvent {
                 raw,
                 error,
             } => {
-                write!(line, "attempt\t{trial}\t{index}\t{secs}\t").unwrap();
+                let _ = write!(line, "attempt\t{trial}\t{index}\t{secs}\t");
                 match raw {
-                    Some(r) => write!(line, "{r}").unwrap(),
+                    Some(r) => {
+                        let _ = write!(line, "{r}");
+                    }
                     None => line.push('-'),
                 }
                 match error {
-                    Some(e) => write!(line, "\t{}\t{}", e.kind(), escape(e.payload())).unwrap(),
+                    Some(e) => {
+                        let _ = write!(line, "\t{}\t{}", e.kind(), escape(e.payload()));
+                    }
                     None => line.push_str("\t-\t"),
                 }
             }
@@ -248,19 +262,23 @@ impl RunEvent {
                 trace_mark,
                 asks,
             } => {
-                write!(line, "tell\t{trial}\t{feedback}\t{status}\t").unwrap();
+                let _ = write!(line, "tell\t{trial}\t{feedback}\t{status}\t");
                 match value {
-                    Some(v) => write!(line, "{v}").unwrap(),
+                    Some(v) => {
+                        let _ = write!(line, "{v}");
+                    }
                     None => line.push('-'),
                 }
                 match trace_mark {
-                    Some((e, v)) => write!(line, "\t{e}\t{v}").unwrap(),
+                    Some((e, v)) => {
+                        let _ = write!(line, "\t{e}\t{v}");
+                    }
                     None => line.push_str("\t-\t-"),
                 }
                 // The ask count is the 8th field, appended only when
                 // present — a version-1 tell stays 7 fields.
                 if let Some(a) = asks {
-                    write!(line, "\t{a}").unwrap();
+                    let _ = write!(line, "\t{a}");
                 }
             }
             RunEvent::Complete => line.push_str("complete"),
@@ -424,6 +442,7 @@ impl RunJournal {
         let line = event.to_line();
         {
             let mut wal = self.inner.wal.lock();
+            // detlint: allow(LOCK001) the WAL mutex IS the append serialization point — every holder is doing exactly this fsync'd append, there is no faster work being starved
             if let Err(e) = wal.append(line.as_bytes()) {
                 eprintln!("journal: append to {} failed: {e}", wal.path().display());
                 std::process::exit(1);

@@ -41,13 +41,14 @@ impl TrialLogger {
         writeln!(jsonl, "{}", Self::to_json(trial))?;
 
         if !trial.reports.is_empty() {
+            // Same atomic write-rename path as `write_all`: progress.csv
+            // is small, and a torn half-file would poison a resume diff.
             let dir = self.root.join(format!("trial_{}", trial.id));
-            std::fs::create_dir_all(&dir)?;
-            let mut csv = std::fs::File::create(dir.join("progress.csv"))?;
-            writeln!(csv, "iteration,value")?;
+            let mut csv = String::from("iteration,value\n");
             for (iter, value) in &trial.reports {
-                writeln!(csv, "{iter},{value}")?;
+                let _ = writeln!(csv, "{iter},{value}");
             }
+            e2c_journal::write_atomic(&dir.join("progress.csv"), csv.as_bytes())?;
         }
         Ok(())
     }
@@ -128,9 +129,9 @@ impl TrialLogger {
             let grab = |key: &str| -> Option<String> {
                 let tag = format!("\"{key}\":");
                 let start = line.find(&tag)? + tag.len();
-                let rest = &line[start..];
+                let rest = line.get(start..)?;
                 let end = rest.find([',', '}']).unwrap_or(rest.len());
-                Some(rest[..end].trim_matches('"').to_string())
+                Some(rest.get(..end)?.trim_matches('"').to_string())
             };
             let id: u64 = grab("id")
                 .and_then(|s| s.parse().ok())

@@ -46,10 +46,21 @@
 //! e2clab trace summarize <dir|trace.jsonl>
 //!     Render a recorded trace as per-phase breakdowns and per-trial
 //!     critical paths (ask -> execute -> tell, in virtual-time units).
-//! e2clab lint [--config FILE] [root]
-//!     Run the detlint determinism pass (DET001–DET005) over every `.rs`
-//!     file under `root` (default: this workspace). Exits non-zero when
-//!     unsuppressed error-severity findings remain.
+//! e2clab lint [--config FILE] [--format text|json|sarif] [--out FILE]
+//!             [--baseline FILE] [--update-baseline] [--no-baseline] [root]
+//!     Run the detlint static-analysis pass — determinism (DET001–005),
+//!     crash-safety panics (PANIC001–003), non-atomic artifact I/O
+//!     (IO001–002), blocking-under-lock (LOCK001) and stale suppressions
+//!     (SUP001) — over every `.rs` file under `root` (default: this
+//!     workspace). Findings recorded in the committed baseline
+//!     (`<root>/lint.baseline`, override with `--baseline`) are reported
+//!     as accepted debt; only *new* findings fail the run.
+//!     `--update-baseline` regenerates the baseline from the current
+//!     findings and exits clean; `--no-baseline` gates on the raw finding
+//!     set. `--format json|sarif` emits machine-readable output (byte-
+//!     stable, fixed key order); `--out FILE` writes it atomically via
+//!     the journal crate's write-rename path while the text summary still
+//!     goes to stdout.
 //! e2clab bench [--filter PAT] [--out DIR] [--iters N] [--warmup N]
 //!              [--seed S] [--list]
 //!     Run the registered benchmark suite (DES event loop, Pl@ntNet 600 s
@@ -82,7 +93,8 @@ fn usage() -> ExitCode {
          [--crash-at N] <conf.yaml>\n  \
          e2clab report <archive-dir>\n  \
          e2clab trace summarize <dir|trace.jsonl>\n  \
-         e2clab lint [--config FILE] [root]\n  \
+         e2clab lint [--config FILE] [--format text|json|sarif] [--out FILE] \
+         [--baseline FILE] [--update-baseline] [--no-baseline] [root]\n  \
          e2clab bench [--filter PAT] [--out DIR] [--iters N] [--warmup N] [--seed S] [--list]"
     );
     ExitCode::from(2)
@@ -208,7 +220,7 @@ fn run_cycle(
             let path = dir
                 .join("cycles")
                 .join(format!("cycle_{:04}.prom", ctx.trial_id));
-            if let Err(e) = std::fs::write(&path, buf) {
+            if let Err(e) = e2c_journal::write_atomic(&path, &buf) {
                 eprintln!("trace: {}: {e}", path.display());
             }
             let completed = metrics.runs.iter().map(|r| r.completed).sum::<u64>();
@@ -259,7 +271,7 @@ fn run_cycle(
         }
         let mut buf = Vec::new();
         let _ = registry.write_prometheus(&mut buf);
-        std::fs::write(dir.join("metrics.prom"), buf)
+        e2c_journal::write_atomic(&dir.join("metrics.prom"), &buf)
             .map_err(|e| format!("trace: {}: {e}", dir.display()))?;
     }
     Ok(summary)
@@ -617,6 +629,11 @@ fn main() -> ExitCode {
         "lint" => {
             let mut config = detlint::Config::default();
             let mut root: Option<PathBuf> = None;
+            let mut format = String::from("text");
+            let mut out_path: Option<PathBuf> = None;
+            let mut baseline_path: Option<PathBuf> = None;
+            let mut update_baseline = false;
+            let mut no_baseline = false;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -637,6 +654,33 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                     }
+                    "--format" => {
+                        let Some(value) = it.next() else {
+                            eprintln!("--format needs a value");
+                            return usage();
+                        };
+                        if !matches!(value.as_str(), "text" | "json" | "sarif") {
+                            eprintln!("--format must be text, json or sarif");
+                            return usage();
+                        }
+                        format = value.clone();
+                    }
+                    "--out" => {
+                        let Some(value) = it.next() else {
+                            eprintln!("--out needs a value");
+                            return usage();
+                        };
+                        out_path = Some(PathBuf::from(value));
+                    }
+                    "--baseline" => {
+                        let Some(value) = it.next() else {
+                            eprintln!("--baseline needs a value");
+                            return usage();
+                        };
+                        baseline_path = Some(PathBuf::from(value));
+                    }
+                    "--update-baseline" => update_baseline = true,
+                    "--no-baseline" => no_baseline = true,
                     other if !other.starts_with("--") => root = Some(PathBuf::from(other)),
                     other => {
                         eprintln!("unknown flag {other}");
@@ -645,19 +689,75 @@ fn main() -> ExitCode {
                 }
             }
             let root = root.unwrap_or_else(workspace_root);
-            match detlint::lint_workspace(&root, &config) {
-                Ok(report) => {
-                    print!("{}", report.render());
-                    if report.is_clean() {
-                        ExitCode::SUCCESS
-                    } else {
-                        ExitCode::FAILURE
-                    }
-                }
+            let baseline_file = baseline_path.unwrap_or_else(|| root.join("lint.baseline"));
+            let mut report = match detlint::lint_workspace(&root, &config) {
+                Ok(report) => report,
                 Err(e) => {
                     eprintln!("lint failed: {e}");
-                    ExitCode::FAILURE
+                    return ExitCode::FAILURE;
                 }
+            };
+            if update_baseline {
+                // Record the current raw finding set as accepted debt,
+                // then gate this run against it (always clean).
+                let baseline = detlint::Baseline::from_findings(report.errors.iter());
+                let rendered = baseline.render();
+                if let Err(e) = e2c_journal::write_atomic(&baseline_file, rendered.as_bytes()) {
+                    eprintln!("{}: {e}", baseline_file.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "wrote {} ({} entr{})",
+                    baseline_file.display(),
+                    baseline.len(),
+                    if baseline.len() == 1 { "y" } else { "ies" }
+                );
+                report.apply_baseline(&baseline);
+            } else if !no_baseline && baseline_file.is_file() {
+                let text = match std::fs::read_to_string(&baseline_file) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("{}: {e}", baseline_file.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match detlint::Baseline::parse(&text) {
+                    Ok(baseline) => report.apply_baseline(&baseline),
+                    Err(e) => {
+                        eprintln!("{}: {e}", baseline_file.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let machine = match format.as_str() {
+                "json" => Some(detlint::to_json(&report)),
+                "sarif" => Some(detlint::to_sarif(&report)),
+                _ => None,
+            };
+            match (machine, out_path) {
+                (Some(rendered), Some(path)) => {
+                    if let Err(e) = e2c_journal::write_atomic(&path, rendered.as_bytes()) {
+                        eprintln!("{}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    // Keep the human summary on stdout for CI logs.
+                    print!("{}", report.render());
+                }
+                (Some(rendered), None) => print!("{rendered}"),
+                (None, Some(path)) => {
+                    let rendered = report.render();
+                    if let Err(e) = e2c_journal::write_atomic(&path, rendered.as_bytes()) {
+                        eprintln!("{}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    print!("{rendered}");
+                }
+                (None, None) => print!("{}", report.render()),
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
         }
         "bench" => {
