@@ -16,6 +16,13 @@
 use crate::value::Value;
 use std::fmt;
 
+/// Maximum nesting depth, counting block levels and flow-sequence levels
+/// together. Real configurations are a handful of levels deep; the bound
+/// exists so a pathological document (`[[[[…`, or ten thousand lines each
+/// indented one step deeper) is a typed [`ParseError`] instead of a stack
+/// overflow — the parser feeds on hand-edited files and must never abort.
+const MAX_DEPTH: usize = 64;
+
 /// A parse failure with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -47,8 +54,10 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
         return Ok(Value::Null);
     }
     let mut pos = 0;
-    let root_indent = lines[0].indent;
-    let value = parse_block(&lines, &mut pos, root_indent)?;
+    // `lines` was checked non-empty above, but use the non-panicking
+    // accessor anyway: this is the entry point for arbitrary user bytes.
+    let root_indent = lines.first().map_or(0, |l| l.indent);
+    let value = parse_block(&lines, &mut pos, root_indent, 0)?;
     if pos < lines.len() {
         return Err(ParseError {
             line: lines[pos].number,
@@ -65,12 +74,6 @@ fn preprocess(input: &str) -> Result<Vec<Line>, ParseError> {
     let mut out = Vec::new();
     for (i, raw) in input.lines().enumerate() {
         let number = i + 1;
-        if raw.trim_start().starts_with('\t') || raw.starts_with('\t') {
-            return Err(ParseError {
-                line: number,
-                message: "tabs are not allowed for indentation".into(),
-            });
-        }
         let without_comment = strip_comment(raw);
         let trimmed = without_comment.trim_end();
         let content = trimmed.trim_start();
@@ -79,6 +82,20 @@ fn preprocess(input: &str) -> Result<Vec<Line>, ParseError> {
         }
         if number == 1 && content == "---" {
             continue;
+        }
+        // Indentation must be plain spaces. Checking the leading run
+        // directly (rather than `starts_with('\t')`) also catches tabs
+        // *mixed into* the run (`"  \tkey:"`), which `trim_start`-based
+        // checks silently accept as indentation.
+        if trimmed[..trimmed.len() - content.len()]
+            .chars()
+            .any(|c| c != ' ')
+        {
+            return Err(ParseError {
+                line: number,
+                message: "only spaces are allowed for indentation (no tabs or other whitespace)"
+                    .into(),
+            });
         }
         let indent = trimmed.len() - content.len();
         out.push(Line {
@@ -119,16 +136,47 @@ fn strip_comment(line: &str) -> String {
     out
 }
 
-fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, ParseError> {
-    let line = &lines[*pos];
+fn parse_block(
+    lines: &[Line],
+    pos: &mut usize,
+    indent: usize,
+    depth: usize,
+) -> Result<Value, ParseError> {
+    let Some(line) = lines.get(*pos) else {
+        return Ok(Value::Null);
+    };
+    if depth >= MAX_DEPTH {
+        return Err(ParseError {
+            line: line.number,
+            message: format!("nesting deeper than {MAX_DEPTH} levels"),
+        });
+    }
     if line.content.starts_with("- ") || line.content == "-" {
-        parse_sequence(lines, pos, indent)
+        parse_sequence(lines, pos, indent, depth)
+    } else if split_key(&line.content).is_none()
+        && lines.get(*pos + 1).is_none_or(|l| l.indent < indent)
+    {
+        // A lone keyless line is a scalar document (or scalar block
+        // value): `null`, `42`, a bare string. Without this case a
+        // serialized scalar root could not be read back.
+        let number = line.number;
+        let content = line.content.clone();
+        *pos += 1;
+        parse_scalar(&content, number, depth)
     } else {
-        parse_mapping(lines, pos, indent)
+        parse_mapping(lines, pos, indent, depth)
     }
 }
 
-fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, ParseError> {
+fn parse_sequence(
+    lines: &[Line],
+    pos: &mut usize,
+    indent: usize,
+    depth: usize,
+) -> Result<Value, ParseError> {
+    if depth >= MAX_DEPTH {
+        return Err(too_deep(lines.get(*pos).map_or(0, |l| l.number)));
+    }
     let mut items = Vec::new();
     while *pos < lines.len() {
         let line = &lines[*pos];
@@ -150,7 +198,7 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Valu
             *pos += 1;
             if *pos < lines.len() && lines[*pos].indent > indent {
                 let child_indent = lines[*pos].indent;
-                items.push(parse_block(lines, pos, child_indent)?);
+                items.push(parse_block(lines, pos, child_indent, depth + 1)?);
             } else {
                 items.push(Value::Null);
             }
@@ -163,7 +211,8 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Valu
             let virtual_indent = indent + 2;
             let mut map_pairs = Vec::new();
             *pos += 1; // consume the `- key: ...` line itself
-            let first_val = parse_mapping_value(lines, pos, virtual_indent, &inline, number)?;
+            let first_val =
+                parse_mapping_value(lines, pos, virtual_indent, &inline, number, depth + 1)?;
             map_pairs.push((key, first_val));
             // Continue the mapping on subsequent lines at the same virtual
             // indent.
@@ -180,19 +229,27 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Valu
                 };
                 let num = l.number;
                 *pos += 1;
-                let v = parse_mapping_value(lines, pos, virtual_indent, &inline, num)?;
+                let v = parse_mapping_value(lines, pos, virtual_indent, &inline, num, depth + 1)?;
                 map_pairs.push((k, v));
             }
             items.push(Value::Map(map_pairs));
         } else {
             *pos += 1;
-            items.push(parse_scalar(&rest, number)?);
+            items.push(parse_scalar(&rest, number, depth + 1)?);
         }
     }
     Ok(Value::Seq(items))
 }
 
-fn parse_mapping(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, ParseError> {
+fn parse_mapping(
+    lines: &[Line],
+    pos: &mut usize,
+    indent: usize,
+    depth: usize,
+) -> Result<Value, ParseError> {
+    if depth >= MAX_DEPTH {
+        return Err(too_deep(lines.get(*pos).map_or(0, |l| l.number)));
+    }
     let mut pairs: Vec<(String, Value)> = Vec::new();
     while *pos < lines.len() {
         let line = &lines[*pos];
@@ -222,7 +279,7 @@ fn parse_mapping(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value
         }
         let number = line.number;
         *pos += 1;
-        let value = parse_mapping_value(lines, pos, indent, &inline, number)?;
+        let value = parse_mapping_value(lines, pos, indent, &inline, number, depth)?;
         pairs.push((key, value));
     }
     Ok(Value::Map(pairs))
@@ -238,18 +295,19 @@ fn parse_mapping_value(
     indent: usize,
     inline: &str,
     line_number: usize,
+    depth: usize,
 ) -> Result<Value, ParseError> {
     if !inline.is_empty() {
-        return parse_scalar(inline, line_number);
+        return parse_scalar(inline, line_number, depth);
     }
     if *pos < lines.len() {
         let next = &lines[*pos];
         if next.indent > indent {
             let child_indent = next.indent;
-            return parse_block(lines, pos, child_indent);
+            return parse_block(lines, pos, child_indent, depth + 1);
         }
         if next.indent == indent && (next.content.starts_with("- ") || next.content == "-") {
-            return parse_sequence(lines, pos, indent);
+            return parse_sequence(lines, pos, indent, depth + 1);
         }
     }
     Ok(Value::Null)
@@ -299,10 +357,21 @@ fn unquote(s: &str) -> String {
     }
 }
 
-fn parse_scalar(text: &str, line: usize) -> Result<Value, ParseError> {
+/// The typed error for a document that nests past [`MAX_DEPTH`].
+fn too_deep(line: usize) -> ParseError {
+    ParseError {
+        line,
+        message: format!("nesting deeper than {MAX_DEPTH} levels"),
+    }
+}
+
+fn parse_scalar(text: &str, line: usize, depth: usize) -> Result<Value, ParseError> {
     let t = text.trim();
     if t.is_empty() {
         return Ok(Value::Null);
+    }
+    if depth >= MAX_DEPTH {
+        return Err(too_deep(line));
     }
     // Empty flow containers (the emitter's spelling for empty collections).
     if t == "{}" {
@@ -320,13 +389,14 @@ fn parse_scalar(text: &str, line: usize) -> Result<Value, ParseError> {
         let mut items = Vec::new();
         if !inner.trim().is_empty() {
             for part in split_flow_items(inner) {
-                items.push(parse_scalar(part.trim(), line)?);
+                items.push(parse_scalar(part.trim(), line, depth + 1)?);
             }
         }
         return Ok(Value::Seq(items));
     }
-    if t.starts_with('"') || t.starts_with('\'') {
-        let quote = t.chars().next().expect("non-empty");
+    // A quoted scalar. Matching on the first char (instead of indexing
+    // into it) keeps this arm free of panic-reachable `expect`s.
+    if let Some(quote @ ('"' | '\'')) = t.chars().next() {
         if t.len() < 2 || !t.ends_with(quote) {
             return Err(ParseError {
                 line,
@@ -493,6 +563,91 @@ mod tests {
     #[test]
     fn bad_indent_rejected() {
         assert!(parse("a: 1\n   b: 2\n").is_err());
+    }
+
+    /// Minimized fuzz regression: a tab (or any non-space whitespace)
+    /// *mixed into* the leading run used to slip past the tab check and
+    /// count as indentation bytes, silently misparsing the document.
+    #[test]
+    fn tab_mixed_into_indentation_rejected() {
+        let err = parse("a:\n \tb: 1\n").unwrap_err();
+        assert!(err.message.contains("spaces"), "{}", err.message);
+        assert_eq!(err.line, 2);
+        // Unicode whitespace (NBSP here) is not indentation either.
+        assert!(parse("a:\n\u{00A0}b: 1\n").is_err());
+    }
+
+    /// Minimized fuzz regression: `k: [[[[…` recursed once per bracket
+    /// and overflowed the stack. Nesting past MAX_DEPTH is a ParseError.
+    #[test]
+    fn deep_flow_nesting_is_a_typed_error() {
+        let doc = format!("k: {}{}", "[".repeat(2000), "]".repeat(2000));
+        let err = parse(&doc).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+    }
+
+    /// Minimized fuzz regression: one-level-deeper indentation per line
+    /// recursed once per line; thousands of lines overflowed the stack.
+    #[test]
+    fn deep_block_nesting_is_a_typed_error() {
+        let mut doc = String::new();
+        for i in 0..2000 {
+            doc.push_str(&" ".repeat(i));
+            doc.push_str("a:\n");
+        }
+        let err = parse(&doc).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+    }
+
+    /// The depth bound is far above anything a real configuration uses.
+    #[test]
+    fn realistic_nesting_depth_stays_accepted() {
+        let mut doc = String::new();
+        for i in 0..20 {
+            doc.push_str(&" ".repeat(2 * i));
+            doc.push_str(if i == 19 { "leaf: 1\n" } else { "a:\n" });
+        }
+        let parsed = parse(&doc).unwrap();
+        let mut v = &parsed;
+        for _ in 0..19 {
+            v = v.get("a").unwrap();
+        }
+        assert_eq!(v.get("leaf").unwrap().as_int(), Some(1));
+        // A few levels of comma-free flow nesting stay accepted (flow
+        // items containing commas are "scalars only" by design).
+        let flow = parse("k: [[[3]]]").unwrap();
+        assert_eq!(
+            flow.get("k")
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .idx(0),
+            Some(&Value::Int(3))
+        );
+    }
+
+    /// A document that is a single scalar (what `to_yaml` writes for a
+    /// scalar root) must read back — found by the fuzz harness: `parse`
+    /// of the empty document yields `Null`, whose serialized form `null`
+    /// then failed to parse.
+    #[test]
+    fn scalar_root_documents_parse() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("hello").unwrap(), Value::Str("hello".into()));
+        assert_eq!(
+            parse("[1, 2]").unwrap(),
+            Value::Seq(vec![Value::Int(1), Value::Int(2)])
+        );
+        // A scalar block value under a key reads back too.
+        let v = parse("k:\n  just a string\n").unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("just a string"));
+        // Multi-line keyless content is still an error, not a scalar.
+        assert!(parse("foo\nbar: 1\n").is_err());
     }
 
     #[test]

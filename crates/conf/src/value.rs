@@ -96,10 +96,52 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Render the value as a canonical, line-oriented tree — one node per
+    /// line, two-space indent, scalars tagged with their type. This is the
+    /// *differential-testing* form: the fixture corpus under
+    /// `crates/conf/tests/corpus/` commits the expected `.tree` rendering
+    /// of each `.yaml` fixture, and both the corpus test and `e2clab fuzz
+    /// --codec conf_yaml` byte-compare against it. Unlike `to_yaml` it is
+    /// total (floats render via `{:?}`, so NaN/inf are representable) and
+    /// unambiguous (Int(2) vs Float(2.0) vs Str("2") all render apart).
+    pub fn to_tree(&self) -> String {
+        let mut out = String::new();
+        self.write_tree(&mut out, 0);
+        out
+    }
+
+    fn write_tree(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Value::Null => out.push_str(&format!("{pad}null\n")),
+            Value::Bool(b) => out.push_str(&format!("{pad}bool {b}\n")),
+            Value::Int(i) => out.push_str(&format!("{pad}int {i}\n")),
+            Value::Float(f) => out.push_str(&format!("{pad}float {f:?}\n")),
+            Value::Str(s) => out.push_str(&format!("{pad}str {s:?}\n")),
+            Value::Seq(items) => {
+                out.push_str(&format!("{pad}seq[{}]\n", items.len()));
+                for item in items {
+                    item.write_tree(out, indent + 1);
+                }
+            }
+            Value::Map(pairs) => {
+                out.push_str(&format!("{pad}map[{}]\n", pairs.len()));
+                for (k, v) in pairs {
+                    out.push_str(&format!("{pad}  key {k:?}\n"));
+                    v.write_tree(out, indent + 2);
+                }
+            }
+        }
+    }
+
     /// Serialize back to the YAML subset (block style, two-space indent).
     pub fn to_yaml(&self) -> String {
         let mut out = String::new();
         match self {
+            // Empty collections have no block form — an empty document
+            // re-parses as Null — so they get their flow spelling.
+            Value::Seq(items) if items.is_empty() => out.push_str("[]"),
+            Value::Map(pairs) if pairs.is_empty() => out.push_str("{}"),
             Value::Seq(_) | Value::Map(_) => self.write_block(&mut out, 0),
             scalar => out.push_str(&scalar.scalar_repr()),
         }
@@ -120,11 +162,14 @@ impl Value {
                 }
             }
             Value::Str(s) => {
+                // `s.trim() != s` (not just edge *spaces*): the parser
+                // trims any whitespace off bare scalars, so a tab-edged
+                // string emitted bare would re-parse differently.
                 let needs_quotes = s.is_empty()
+                    || s.trim() != s
                     || s.contains(':')
                     || s.contains('#')
-                    || s.starts_with(['-', '[', ']', '{', '}', '\'', '"', ' '])
-                    || s.ends_with(' ')
+                    || s.starts_with(['-', '[', ']', '{', '}', '\'', '"'])
                     || parses_as_non_string(s);
                 if needs_quotes {
                     format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
@@ -141,6 +186,7 @@ impl Value {
         match self {
             Value::Map(pairs) => {
                 for (k, v) in pairs {
+                    let k = key_repr(k);
                     match v {
                         Value::Map(m) if !m.is_empty() => {
                             out.push_str(&format!("{pad}{k}:\n"));
@@ -168,6 +214,7 @@ impl Value {
                         Value::Map(pairs) => {
                             // `- key: value` with the rest indented.
                             let (k0, v0) = &pairs[0];
+                            let k0 = key_repr(k0);
                             match v0 {
                                 Value::Map(m) if m.is_empty() => {
                                     out.push_str(&format!("{pad}- {k0}: {{}}\n"))
@@ -183,6 +230,7 @@ impl Value {
                                     .push_str(&format!("{pad}- {k0}: {}\n", scalar.scalar_repr())),
                             }
                             for (k, v) in &pairs[1..] {
+                                let k = key_repr(k);
                                 match v {
                                     Value::Map(m) if m.is_empty() => {
                                         out.push_str(&format!("{pad}  {k}: {{}}\n"))
@@ -211,6 +259,25 @@ impl Value {
             }
             _ => unreachable!("write_block on scalar"),
         }
+    }
+}
+
+/// Render a mapping key so it re-parses to the same key. Bare keys must
+/// survive comment stripping, `split_key` and `trim` unchanged; anything
+/// else (embedded colons, `#`, quotes, edge whitespace, sequence-looking
+/// prefixes) is double-quoted with the escape set `unquote` reverses.
+/// Emitting such keys bare used to *misparse* on reload: `"a: b": 1`
+/// round-tripped to `a: b: 1`, which reads back as `a: "b: 1"`.
+fn key_repr(k: &str) -> String {
+    let bare_is_safe = !k.is_empty()
+        && k == k.trim()
+        && !k.contains([':', '#', '"', '\''])
+        && !k.starts_with("- ")
+        && k != "-";
+    if bare_is_safe {
+        k.to_string()
+    } else {
+        format!("\"{}\"", k.replace('\\', "\\\\").replace('"', "\\\""))
     }
 }
 
@@ -294,5 +361,47 @@ mod tests {
     fn float_serialization_keeps_floatness() {
         assert_eq!(Value::Float(2.0).to_yaml(), "2.0");
         assert_eq!(Value::Float(2.5).to_yaml(), "2.5");
+    }
+
+    #[test]
+    fn hostile_keys_are_quoted() {
+        let v = Value::Map(vec![
+            ("a: b".into(), Value::Int(1)),
+            ("a #c".into(), Value::Int(2)),
+            ("he said \"hi\"".into(), Value::Int(3)),
+            (" padded ".into(), Value::Int(4)),
+            ("".into(), Value::Int(5)),
+            ("plain".into(), Value::Int(6)),
+        ]);
+        let yaml = v.to_yaml();
+        assert!(yaml.contains("\"a: b\": 1"), "{yaml}");
+        assert!(yaml.contains("\"a #c\": 2"), "{yaml}");
+        assert!(yaml.contains("\"he said \\\"hi\\\"\": 3"), "{yaml}");
+        assert!(yaml.contains("\" padded \": 4"), "{yaml}");
+        assert!(yaml.contains("\"\": 5"), "{yaml}");
+        assert!(yaml.contains("plain: 6"), "{yaml}");
+    }
+
+    #[test]
+    fn empty_root_collections_round_trip() {
+        // Fuzz find: an empty Seq at the root serialized to an empty
+        // document, which re-parses as Null. Flow form survives.
+        for (v, want) in [(Value::Seq(vec![]), "[]"), (Value::Map(vec![]), "{}")] {
+            let yaml = v.to_yaml();
+            assert_eq!(yaml, want);
+            assert_eq!(crate::parse(&yaml).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn tree_rendering_is_canonical() {
+        let v = Value::Map(vec![
+            ("f".into(), Value::Float(f64::NAN)),
+            ("s".into(), Value::Seq(vec![Value::Int(2), Value::Null])),
+        ]);
+        assert_eq!(
+            v.to_tree(),
+            "map[2]\n  key \"f\"\n    float NaN\n  key \"s\"\n    seq[2]\n      int 2\n      null\n"
+        );
     }
 }

@@ -1,0 +1,87 @@
+//! Differential fixture corpus: every `tests/corpus/*.yaml` document has a
+//! committed `*.tree` file holding the expected [`Value::to_tree`]
+//! rendering. The test byte-compares the parse of each fixture against its
+//! tree, so any behavioural drift in the parser shows up as a readable
+//! fixture diff instead of a silent semantic change. The fuzz harness
+//! (`e2clab fuzz --codec conf_yaml`) embeds the same pairs and re-checks
+//! them as its differential preflight.
+//!
+//! To (re)generate trees after an *intentional* parser change:
+//!
+//! ```text
+//! E2C_CORPUS_REGEN=1 cargo test -p e2c-conf --test corpus
+//! ```
+//!
+//! then review the `.tree` diffs like any other code change.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+#[test]
+fn every_fixture_matches_its_committed_tree() {
+    let regen = std::env::var_os("E2C_CORPUS_REGEN").is_some();
+    let mut yaml_files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "yaml"))
+        .collect();
+    yaml_files.sort();
+    assert!(
+        !yaml_files.is_empty(),
+        "corpus is empty — fixtures were deleted?"
+    );
+    let mut mismatches = Vec::new();
+    for yaml_path in &yaml_files {
+        let name = yaml_path.file_stem().unwrap().to_string_lossy().to_string();
+        let text = fs::read_to_string(yaml_path).unwrap();
+        let value = e2c_conf::parse(&text)
+            .unwrap_or_else(|e| panic!("fixture {name}.yaml no longer parses: {e}"));
+        let tree = value.to_tree();
+        let tree_path = yaml_path.with_extension("tree");
+        if regen {
+            fs::write(&tree_path, &tree).unwrap();
+            continue;
+        }
+        let expected = fs::read_to_string(&tree_path).unwrap_or_else(|e| {
+            panic!(
+                "missing {}: {e} (run with E2C_CORPUS_REGEN=1)",
+                tree_path.display()
+            )
+        });
+        if tree != expected {
+            mismatches.push(format!(
+                "{name}: parsed tree differs from committed fixture\n--- expected\n{expected}--- got\n{tree}"
+            ));
+        }
+    }
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+}
+
+#[test]
+fn every_fixture_reserializes_stably() {
+    // encode → decode → encode must be byte-stable on corpus documents.
+    for entry in fs::read_dir(corpus_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "yaml") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        let v1 = e2c_conf::parse(&text).unwrap();
+        let yaml1 = v1.to_yaml();
+        let v2 = e2c_conf::parse(&yaml1).unwrap_or_else(|e| {
+            panic!("{}: serialized form no longer parses: {e}", path.display())
+        });
+        assert_eq!(
+            v2.to_yaml(),
+            yaml1,
+            "{} is not encode-stable",
+            path.display()
+        );
+    }
+}

@@ -25,11 +25,13 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Frame header size: 4-byte length + 4-byte CRC32, both little-endian.
-const HEADER: usize = 8;
+/// Public so differential tests (the fuzz harness's torn-WAL oracle) can
+/// compute expected recovery prefixes without re-stating the format.
+pub const HEADER: usize = 8;
 
 /// Sanity cap on a single record (64 MiB). A declared length beyond this
 /// is treated as frame corruption, not an allocation request.
-const MAX_RECORD: u32 = 64 * 1024 * 1024;
+pub const MAX_RECORD: u32 = 64 * 1024 * 1024;
 
 const CRC_TABLE: [u32; 256] = crc_table();
 
@@ -165,11 +167,24 @@ fn read_u32_le(bytes: &[u8], pos: usize) -> Option<u32> {
 fn scan(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
-    while let (Some(len), Some(crc)) = (read_u32_le(bytes, pos), read_u32_le(bytes, pos + 4)) {
+    // All offset arithmetic is checked: `pos` is in-bounds here, but
+    // `pos + 4` / `pos + HEADER` / `start + len` must not be assumed
+    // representable — a declared length near `u32::MAX` combined with
+    // an offset near the end of a large mapping would otherwise wrap
+    // and turn the bounds check into a slice panic.
+    while let Some(len) = read_u32_le(bytes, pos) {
+        let Some(crc) = pos.checked_add(4).and_then(|p| read_u32_le(bytes, p)) else {
+            break;
+        };
         if len > MAX_RECORD {
             break;
         }
-        let start = pos + HEADER;
+        let Some(start) = pos.checked_add(HEADER) else {
+            break;
+        };
+        // A frame whose declared length (≤ MAX_RECORD, so it always fits
+        // usize) runs past the end of the file is a torn tail: truncate
+        // at the frame boundary, never slice past the buffer.
         let Some(payload) = start
             .checked_add(len as usize)
             .and_then(|end| bytes.get(start..end))
@@ -183,6 +198,16 @@ fn scan(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
         pos = start + payload.len();
     }
     (records, pos)
+}
+
+/// Scan a WAL *image* already in memory, returning the intact records and
+/// the byte length of the valid prefix — [`Wal::open`]'s recovery rule
+/// without touching the filesystem. This is the surface the fuzz harness
+/// and the torn-tail truncation oracle drive: it lets every mutated byte
+/// string exercise recovery directly, with file-backed `open` checked on
+/// a sample.
+pub fn scan_records(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    scan(bytes)
 }
 
 /// Read every intact record of a log without taking write access (the
@@ -265,6 +290,96 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         std::fs::write(&path, b"x").unwrap();
         assert!(Wal::create(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Build one valid frame for `payload`.
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut f = Vec::with_capacity(HEADER + payload.len());
+        f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        f.extend_from_slice(&crc32(payload).to_le_bytes());
+        f.extend_from_slice(payload);
+        f
+    }
+
+    /// A declared length just *under* MAX_RECORD with only a short tail
+    /// behind the header is a torn frame: the scan truncates at the frame
+    /// boundary instead of slicing past the buffer.
+    #[test]
+    fn declared_len_near_max_with_short_tail_truncates() {
+        let mut bytes = frame(b"good");
+        let good_len = bytes.len();
+        bytes.extend_from_slice(&(MAX_RECORD - 1).to_le_bytes());
+        bytes.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        bytes.extend_from_slice(b"short tail");
+        let (records, valid) = scan_records(&bytes);
+        assert_eq!(records, vec![b"good".to_vec()]);
+        assert_eq!(valid, good_len);
+    }
+
+    /// A declared length *over* MAX_RECORD is corruption, not an
+    /// allocation request — even when the bytes to back it exist.
+    #[test]
+    fn declared_len_over_max_is_corruption() {
+        let mut bytes = (MAX_RECORD + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 12]);
+        let (records, valid) = scan_records(&bytes);
+        assert!(records.is_empty());
+        assert_eq!(valid, 0);
+        // u32::MAX (the adversarial extreme: start + len wraps a u32) too.
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 12]);
+        assert_eq!(scan_records(&bytes).1, 0);
+    }
+
+    /// Headers cut at every length short of 8 bytes are torn tails.
+    #[test]
+    fn truncated_headers_are_torn_tails() {
+        let full = frame(b"payload");
+        for cut in 0..HEADER {
+            let (records, valid) = scan_records(&full[..cut]);
+            assert!(records.is_empty(), "cut {cut}");
+            assert_eq!(valid, 0, "cut {cut}");
+        }
+    }
+
+    /// Torn-tail recovery through the real file path: a good record with
+    /// a half-written second frame behind it opens to exactly the good
+    /// record, truncates the file, and accepts further appends.
+    #[test]
+    fn open_truncates_torn_tail_and_appends() {
+        let path = tmp("torn.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut bytes = frame(b"alpha");
+        let keep = bytes.len();
+        let second = frame(b"beta");
+        bytes.extend_from_slice(&second[..second.len() - 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![b"alpha".to_vec()]);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep as u64);
+        wal.append(b"gamma").unwrap();
+        drop(wal);
+        let (_, records) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![b"alpha".to_vec(), b"gamma".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The in-memory scan and the file-backed open agree byte-for-byte on
+    /// what survives an arbitrary corruption.
+    #[test]
+    fn scan_records_matches_open() {
+        let path = tmp("scan-match.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut bytes = frame(b"one");
+        bytes.extend_from_slice(&frame(b"two"));
+        bytes[HEADER + 1] ^= 0x40; // corrupt record one's payload
+        std::fs::write(&path, &bytes).unwrap();
+        let (records, valid) = scan_records(&bytes);
+        assert!(records.is_empty());
+        assert_eq!(valid, 0);
+        let (_, opened) = Wal::open(&path).unwrap();
+        assert_eq!(opened, records);
         std::fs::remove_file(&path).unwrap();
     }
 

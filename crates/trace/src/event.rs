@@ -272,13 +272,22 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+pub use parse::Json;
+
 /// Minimal recursive-descent JSON parser — just enough to read back the
 /// lines this crate writes (and reject anything malformed with a useful
 /// message).  Numbers keep their raw text so u64 sequence numbers never
-/// round-trip through f64.
-mod parse {
+/// round-trip through f64.  Public so the fuzz harness can drive the
+/// parser directly ([`Json::parse`]) with arbitrary byte soup.
+pub mod parse {
     use super::Value;
     use std::collections::BTreeMap;
+
+    /// Maximum object/array nesting. The writer emits at most two levels
+    /// (the event object and its `fields`); the bound turns `[[[[…` —
+    /// which used to recurse once per bracket and overflow the stack —
+    /// into a typed error.
+    const MAX_DEPTH: usize = 64;
 
     #[derive(Debug, Clone, PartialEq)]
     pub enum Json {
@@ -291,6 +300,13 @@ mod parse {
     }
 
     impl Json {
+        /// Parse a complete JSON document (no trailing bytes). This is
+        /// [`parse`] as an associated function — the entry point the fuzz
+        /// harness and external tests use.
+        pub fn parse(input: &str) -> Result<Json, String> {
+            parse(input)
+        }
+
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Json::Num(raw) => raw.parse().ok(),
@@ -311,6 +327,10 @@ mod parse {
                 Json::Num(raw) => {
                     if let Ok(u) = raw.parse::<u64>() {
                         Value::U64(u)
+                    } else if raw.starts_with('-') && raw.parse::<i64>() == Ok(0) {
+                        // `-0` is integer-parseable but would re-encode as
+                        // `0`; keep the sign by staying in float space.
+                        Value::F64(-0.0)
                     } else if let Ok(i) = raw.parse::<i64>() {
                         Value::I64(i)
                     } else {
@@ -327,7 +347,7 @@ mod parse {
     pub fn parse(input: &str) -> Result<Json, String> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
-        let v = value(bytes, &mut pos)?;
+        let v = value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing bytes at offset {pos}"));
@@ -341,11 +361,16 @@ mod parse {
         }
     }
 
-    fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
         skip_ws(b, pos);
+        if depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at offset {pos}"
+            ));
+        }
         match b.get(*pos) {
-            Some(b'{') => object(b, pos),
-            Some(b'[') => array(b, pos),
+            Some(b'{') => object(b, pos, depth),
+            Some(b'[') => array(b, pos, depth),
             Some(b'"') => Ok(Json::Str(string(b, pos)?)),
             Some(b't') => literal(b, pos, "true", Json::Bool(true)),
             Some(b'f') => literal(b, pos, "false", Json::Bool(false)),
@@ -379,7 +404,11 @@ mod parse {
     }
 
     fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        debug_assert_eq!(b[*pos], b'"');
+        // Callers dispatch here on a leading quote; verify rather than
+        // assert so no call path can turn a logic slip into a panic.
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at offset {pos}"));
+        }
         *pos += 1;
         let mut out = String::new();
         loop {
@@ -417,7 +446,9 @@ mod parse {
                 Some(_) => {
                     // Consume one UTF-8 scalar.
                     let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err("unterminated string".into());
+                    };
                     out.push(c);
                     *pos += c.len_utf8();
                 }
@@ -425,7 +456,7 @@ mod parse {
         }
     }
 
-    fn object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    fn object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
         *pos += 1; // {
         let mut map = BTreeMap::new();
         skip_ws(b, pos);
@@ -444,7 +475,7 @@ mod parse {
                 return Err(format!("expected `:` at offset {pos}"));
             }
             *pos += 1;
-            let v = value(b, pos)?;
+            let v = value(b, pos, depth + 1)?;
             map.insert(key, v);
             skip_ws(b, pos);
             match b.get(*pos) {
@@ -458,7 +489,7 @@ mod parse {
         }
     }
 
-    fn array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    fn array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
         *pos += 1; // [
         let mut items = Vec::new();
         skip_ws(b, pos);
@@ -467,7 +498,7 @@ mod parse {
             return Ok(Json::Arr(items));
         }
         loop {
-            items.push(value(b, pos)?);
+            items.push(value(b, pos, depth + 1)?);
             skip_ws(b, pos);
             match b.get(*pos) {
                 Some(b',') => *pos += 1,
@@ -566,5 +597,79 @@ mod tests {
         assert!(TraceEvent::from_json("{not json").is_err());
         assert!(TraceEvent::from_json("[1,2]").is_err());
         assert!(TraceEvent::from_json("{\"seq\":1}").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // 100k opening brackets used to recurse once per bracket.
+        let bomb = "[".repeat(100_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+
+        let obj_bomb = "{\"k\":".repeat(100_000);
+        let err = Json::parse(&obj_bomb).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+
+        // Realistic depth stays accepted (writer emits ≤ 2 levels).
+        let nested = format!("{}1{}", "[".repeat(20), "]".repeat(20));
+        assert!(Json::parse(&nested).is_ok());
+    }
+
+    #[test]
+    fn json_parse_never_panics_on_malformed_input() {
+        for s in [
+            "",
+            "\"",
+            "\"\\",
+            "\"\\u12",
+            "\"\\u12zz\"",
+            "{\"a\"",
+            "{\"a\":",
+            "[1,",
+            "-",
+            "1e",
+            "truf",
+            "nul",
+            "\u{fffd}",
+            "{\"a\":1}x",
+        ] {
+            assert!(Json::parse(s).is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_encode_is_byte_stable() {
+        let mut fields = BTreeMap::new();
+        fields.insert("value".to_string(), Value::F64(f64::INFINITY));
+        fields.insert("note".to_string(), Value::Str("tab\there".into()));
+        let ev = TraceEvent {
+            seq: 3,
+            vt: 8,
+            phase: "tuner".into(),
+            name: "objective".into(),
+            kind: EventKind::Begin,
+            trial: Some(1),
+            span: Some(2),
+            fields,
+        };
+        let once = ev.to_json();
+        let twice = TraceEvent::from_json(&once).unwrap().to_json();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn negative_zero_field_keeps_its_sign() {
+        // Fuzz find: `-0` parses as i64 zero, which re-encoded as `0` and
+        // broke the encode fixpoint. It must stay a (negative) float.
+        let line = r#"{"seq":1,"vt":2,"phase":"p","name":"n","kind":"point","fields":{"x":-0}}"#;
+        let ev = TraceEvent::from_json(line).unwrap();
+        match ev.fields["x"] {
+            Value::F64(f) => assert!(f == 0.0 && f.is_sign_negative()),
+            ref other => panic!("expected F64(-0.0), got {other:?}"),
+        }
+        let once = ev.to_json();
+        let twice = TraceEvent::from_json(&once).unwrap().to_json();
+        assert_eq!(once, twice);
+        assert!(once.contains("\"x\":-0"), "sign lost in {once}");
     }
 }

@@ -458,6 +458,35 @@ mod tests {
     }
 
     #[test]
+    fn tolerant_load_survives_truncation_at_every_byte() {
+        // A crash can cut the unsynced tail anywhere — including inside a
+        // string, an escape sequence, or a `\u` hex run. Every cut must
+        // recover exactly the complete-line prefix, never error or panic.
+        let dir = std::env::temp_dir().join(format!("e2c-trace-cut-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = Tracer::new();
+        let mut fields = Fields::new();
+        fields.insert("note".into(), Value::Str("esc \"\\\t\u{1}\" end".into()));
+        t.point("a", "x", None, fields);
+        t.point("a", "y", None, Fields::new());
+        let full = t.snapshot();
+        let text = t.to_jsonl();
+        // A line's event is recoverable once all its content bytes are on
+        // disk — the trailing newline itself is not required.
+        let line_ends: Vec<usize> = text.match_indices('\n').map(|(i, _)| i).collect();
+        let path = dir.join("cut.jsonl");
+        for cut in 0..=text.len() {
+            std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+            let (events, _) = load_jsonl_tolerant(&path)
+                .unwrap_or_else(|e| panic!("cut at {cut} was a hard error: {e}"));
+            let expect = line_ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(events, full[..expect], "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn splice_relocates_a_detached_buffer() {
         // Main trace already has one event (clock at 1).
         let main = Tracer::new();

@@ -17,6 +17,15 @@
 //! reconstructs matches the one the live run journaled. Version 1
 //! records (no meta version, 7-field tells) still parse.
 //!
+//! Field parsing is *strict and version-uniform*: integers must be
+//! canonical decimals (no sign, no leading zeros, and the attempt index
+//! must fit `u32`), floats must be the exact shortest-round-trip
+//! `Display` spelling the encoder writes (`NaN`/`inf`/`-inf` round-trip;
+//! `nan`, `+inf`, `infinity`, `1e6`, `007` are rejected), and escapes are
+//! limited to the four the escaper emits. Consequently every *accepted*
+//! record — v1 or v2 — re-encodes byte-identically, which is the
+//! roundtrip property `e2clab fuzz --codec journal_wire` checks.
+//!
 //! * [`RunEvent::Meta`] — the wire version and a configuration
 //!   fingerprint, written first; resume refuses a journal whose
 //!   fingerprint does not match or whose version is newer than this
@@ -141,10 +150,15 @@ fn escape(s: &str) -> std::borrow::Cow<'_, str> {
     std::borrow::Cow::Owned(out)
 }
 
-fn unescape(s: &str) -> String {
+fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
+        if c == '\n' || c == '\r' {
+            // The escaper always writes these as `\n` / `\r`; a literal
+            // one cannot re-encode to the same bytes, so it is corruption.
+            return Err("raw control character in journal field".to_string());
+        }
         if c != '\\' {
             out.push(c);
             continue;
@@ -153,16 +167,55 @@ fn unescape(s: &str) -> String {
             Some('t') => out.push('\t'),
             Some('n') => out.push('\n'),
             Some('r') => out.push('\r'),
-            Some(other) => out.push(other),
-            None => out.push('\\'),
+            Some('\\') => out.push('\\'),
+            // The escaper only ever writes the four sequences above.
+            // Accepting `\q` as `q` (as this decoder once did) made
+            // decode → encode lossy; a journal is machine-written, so an
+            // unknown escape is corruption, not intent.
+            Some(other) => return Err(format!("invalid escape `\\{other}` in journal field")),
+            None => return Err("dangling `\\` at end of journal field".to_string()),
         }
     }
-    out
+    Ok(out)
 }
 
+/// Strict canonical-decimal `u64`: ASCII digits only — no sign, no
+/// leading zeros, no whitespace — exactly the spelling `Display` writes.
+/// The rule is the same for version-1 and version-2 records.
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let canonical =
+        !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) && (s == "0" || !s.starts_with('0'));
+    if !canonical {
+        return Err(format!("bad integer `{s}`: not a canonical decimal"));
+    }
+    s.parse::<u64>()
+        .map_err(|e| format!("bad integer `{s}`: {e}"))
+}
+
+/// Strict `u32` (the attempt index). Parsing as `u64` and truncating with
+/// `as u32` — the old behaviour — silently misread indices ≥ 2³²; out of
+/// range is now a typed error.
+fn parse_u32(s: &str) -> Result<u32, String> {
+    u32::try_from(parse_u64(s)?).map_err(|_| format!("bad integer `{s}`: exceeds u32"))
+}
+
+/// Strict `f64`: the field must be the exact shortest-round-trip form
+/// Rust's `Display` writes — the only spelling [`RunEvent::to_line`] ever
+/// produces, in every wire version. `NaN`, `inf` and `-inf` are therefore
+/// accepted (journals legitimately record non-finite objective returns),
+/// while alternate spellings a hand edit or corruption could introduce
+/// (`nan`, `+inf`, `infinity`, `1e6`, `007`, `1.50`) are rejected: any
+/// accepted field re-encodes byte-identically.
 fn parse_f64(s: &str) -> Result<f64, String> {
-    s.parse::<f64>()
-        .map_err(|e| format!("bad float `{s}`: {e}"))
+    let v = s
+        .parse::<f64>()
+        .map_err(|e| format!("bad float `{s}`: {e}"))?;
+    if v.to_string() != s {
+        return Err(format!(
+            "bad float `{s}`: not canonical (the journal writes `{v}`)"
+        ));
+    }
+    Ok(v)
 }
 
 fn parse_opt_f64(s: &str) -> Result<Option<f64>, String> {
@@ -300,22 +353,30 @@ impl RunEvent {
                 ))
             }
         };
-        let int = |s: &str| -> Result<u64, String> {
-            s.parse::<u64>()
-                .map_err(|e| format!("bad integer `{s}`: {e}"))
-        };
+        let int = parse_u64;
         match fields[0] {
             "meta" => {
                 // 2 fields: legacy version-1 form; 3 fields: versioned.
                 match fields.len() {
                     2 => Ok(RunEvent::Meta {
                         version: 1,
-                        fingerprint: unescape(fields[1]),
+                        fingerprint: unescape(fields[1])?,
                     }),
-                    3 => Ok(RunEvent::Meta {
-                        version: int(fields[1])?,
-                        fingerprint: unescape(fields[2]),
-                    }),
+                    3 => {
+                        let version = int(fields[1])?;
+                        // A version-1 meta is *defined* as the 2-field
+                        // form; a 3-field `meta\t1\t...` would re-encode
+                        // as 2 fields and lose byte identity.
+                        if version == 1 {
+                            return Err(
+                                "3-field meta claims version 1 (the 2-field form)".to_string()
+                            );
+                        }
+                        Ok(RunEvent::Meta {
+                            version,
+                            fingerprint: unescape(fields[2])?,
+                        })
+                    }
                     n => Err(format!(
                         "journal record `meta...`: expected 2 or 3 fields, got {n}"
                     )),
@@ -359,13 +420,22 @@ impl RunEvent {
             "attempt" => {
                 need(7)?;
                 let error = if fields[5] == "-" {
+                    // The no-error form writes an empty payload field;
+                    // accepting a non-empty one here would drop it on
+                    // re-encode.
+                    if !fields[6].is_empty() {
+                        return Err(format!(
+                            "attempt without error carries a payload `{}`",
+                            fields[6]
+                        ));
+                    }
                     None
                 } else {
-                    Some(TrialError::from_parts(fields[5], &unescape(fields[6]))?)
+                    Some(TrialError::from_parts(fields[5], &unescape(fields[6])?)?)
                 };
                 Ok(RunEvent::Attempt {
                     trial: int(fields[1])?,
-                    index: int(fields[2])? as u32,
+                    index: parse_u32(fields[2])?,
                     secs: parse_f64(fields[3])?,
                     raw: parse_opt_f64(fields[4])?,
                     error,
@@ -799,6 +869,81 @@ mod tests {
         assert!(RunEvent::parse("attempt\t1\t0\t0.1\t-\tweird\t").is_err());
         assert!(RunEvent::parse("meta\t2\tfp\textra").is_err());
         assert!(RunEvent::parse("tell\t0\t1\tterminated\t1\t-\t-\t3\textra").is_err());
+    }
+
+    /// The explicit field rejection rules (uniform across wire versions):
+    /// canonical decimals, canonical `Display` floats, known escapes only.
+    /// Every spelling here was *accepted* before this was pinned — the
+    /// integer ones silently misparsing (`+5` → 5, index 2³² → 0).
+    #[test]
+    fn non_canonical_fields_are_rejected() {
+        // Integers: sign, leading zeros, whitespace, overflow.
+        for bad in ["+5", "07", " 5", "5 ", "-1", ""] {
+            assert!(
+                RunEvent::parse(&format!("restart\t{bad}")).is_err(),
+                "{bad:?}"
+            );
+        }
+        // Attempt index must fit u32 — 2³² used to truncate to index 0.
+        assert!(RunEvent::parse("attempt\t1\t4294967296\t0.1\t-\t-\t").is_err());
+        assert!(RunEvent::parse("attempt\t1\t4294967295\t0.1\t-\t-\t").is_ok());
+        // Floats: only the canonical shortest-round-trip Display form.
+        for bad in [
+            "nan", "+inf", "infinity", "Infinity", "1e6", "00.5", "1.50", "+1",
+        ] {
+            let line = format!("report\t1\t2\t{bad}\tcontinue");
+            assert!(RunEvent::parse(&line).is_err(), "{bad:?}");
+        }
+        for good in ["NaN", "inf", "-inf", "-0", "0.1", "1000000"] {
+            let line = format!("report\t1\t2\t{good}\tcontinue");
+            let ev = RunEvent::parse(&line).unwrap();
+            // Accepted fields re-encode byte-identically.
+            assert_eq!(ev.to_line(), line, "{good:?}");
+        }
+        // Escapes: only the four the escaper writes; `\q` used to decode
+        // as `q`, making decode → encode lossy.
+        assert!(RunEvent::parse("meta\t2\ta\\qb").is_err());
+        assert!(RunEvent::parse("meta\t2\ttrailing\\").is_err());
+        assert_eq!(
+            RunEvent::parse("meta\t2\ta\\tb").unwrap(),
+            RunEvent::Meta {
+                version: 2,
+                fingerprint: "a\tb".into()
+            }
+        );
+        // Raw control characters in an escaped field can never re-encode
+        // to the same bytes (the escaper writes `\n`), so they are
+        // corruption, not content.
+        assert!(RunEvent::parse("meta\t2\ttwo\nlines").is_err());
+        assert!(RunEvent::parse("meta\t2\tcr\rhere").is_err());
+        // A no-error attempt writes an empty payload field; a non-empty
+        // one would silently vanish on re-encode.
+        assert!(RunEvent::parse("attempt\t1\t0\t0.5\t-\t-\tstray").is_err());
+        assert!(RunEvent::parse("attempt\t1\t0\t0.5\t-\t-\t").is_ok());
+        // A 3-field meta claiming version 1 re-encodes as 2 fields.
+        assert!(RunEvent::parse("meta\t1\tfp").is_err());
+        assert!(RunEvent::parse("meta\t2\tfp").is_ok());
+    }
+
+    /// Decode → encode is the identity on every accepted line (parse is
+    /// strict enough that nothing normalizes).
+    #[test]
+    fn accepted_lines_reencode_byte_identically() {
+        for line in [
+            "meta\tfp",
+            "meta\t2\tfp\\n2",
+            "ask\t3\t",
+            "ask\t3\t1,2.5,NaN,-inf",
+            "restart\t7",
+            "report\t1\t2\t0.25\tstop",
+            "attempt\t1\t0\t0.5\tNaN\tnonfinite\tNaN",
+            "tell\t0\t1.5\tterminated\t1.5\t-\t-",
+            "tell\t0\t1.5\tterminated\t1.5\t17\t42\t3",
+            "complete",
+        ] {
+            let ev = RunEvent::parse(line).unwrap();
+            assert_eq!(ev.to_line(), line);
+        }
     }
 
     /// Version-1 journals (unversioned meta, 7-field tells) still parse,

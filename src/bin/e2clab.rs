@@ -95,7 +95,8 @@ fn usage() -> ExitCode {
          e2clab trace summarize <dir|trace.jsonl>\n  \
          e2clab lint [--config FILE] [--format text|json|sarif] [--out FILE] \
          [--baseline FILE] [--update-baseline] [--no-baseline] [root]\n  \
-         e2clab bench [--filter PAT] [--out DIR] [--iters N] [--warmup N] [--seed S] [--list]"
+         e2clab bench [--filter PAT] [--out DIR] [--iters N] [--warmup N] [--seed S] [--list]\n  \
+         e2clab fuzz [--codec NAME] [--iters N] [--seed S] [--out DIR] [--list]"
     );
     ExitCode::from(2)
 }
@@ -847,6 +848,98 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("bench: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "fuzz" => {
+            let mut codec: Option<String> = None;
+            let mut out: Option<PathBuf> = None;
+            let mut iters = 10_000u64;
+            let mut seed = 1u64;
+            let mut list = false;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut grab = |name: &str| -> Option<String> {
+                    let v = it.next();
+                    if v.is_none() {
+                        eprintln!("{name} needs a value");
+                    }
+                    v.cloned()
+                };
+                match arg.as_str() {
+                    "--codec" => match grab("--codec") {
+                        Some(v) => codec = Some(v),
+                        None => return usage(),
+                    },
+                    "--out" => match grab("--out") {
+                        Some(v) => out = Some(PathBuf::from(v)),
+                        None => return usage(),
+                    },
+                    "--iters" => match grab("--iters").and_then(|v| v.parse().ok()) {
+                        Some(v) => iters = v,
+                        None => return usage(),
+                    },
+                    "--seed" => match grab("--seed").and_then(|v| v.parse().ok()) {
+                        Some(v) => seed = v,
+                        None => return usage(),
+                    },
+                    "--list" => list = true,
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        return usage();
+                    }
+                }
+            }
+            let mut registry = e2c_fuzz::default_registry()
+                .with_seed(seed)
+                .with_iters(iters);
+            if let Some(pat) = codec {
+                registry = registry.with_filter(pat);
+            }
+            if list {
+                for name in registry.selected() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            if registry.selected().is_empty() {
+                eprintln!("fuzz: no codec matches the filter");
+                return ExitCode::FAILURE;
+            }
+            let out_dir = out.unwrap_or_else(|| PathBuf::from("."));
+            if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                eprintln!("fuzz: create {}: {e}", out_dir.display());
+                return ExitCode::FAILURE;
+            }
+            registry = registry.with_out_dir(out_dir.clone());
+            match registry.run() {
+                Ok(reports) => {
+                    let mut failed = false;
+                    for r in &reports {
+                        println!("{}", r.render_row());
+                        if let Some(f) = &r.failure {
+                            failed = true;
+                            eprintln!(
+                                "fuzz: {}: {}\nreproduce: e2clab fuzz --codec {} --seed {} --iters {}\nartifact: {}",
+                                r.name,
+                                f.kind,
+                                r.name,
+                                r.seed,
+                                r.iters_requested,
+                                out_dir.join(format!("FUZZ_{}.crash", r.name)).display()
+                            );
+                        }
+                    }
+                    if failed {
+                        ExitCode::FAILURE
+                    } else {
+                        println!("fuzz: {} codec(s) clean", reports.len());
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("fuzz: {e}");
                     ExitCode::FAILURE
                 }
             }
