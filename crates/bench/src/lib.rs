@@ -6,7 +6,8 @@
 //!    builder-style [`BenchRegistry`], and stable [`BenchReport`]
 //!    artifacts written as `BENCH_<name>.json`. The [`suite`] module
 //!    registers one benchmark per load-bearing path (DES event loop, full
-//!    Pl@ntNet run, Bayesian cycle, journal append/replay, wire codec);
+//!    Pl@ntNet run, Bayesian cycle, journal append/replay, wire codec,
+//!    detlint throughput, worker-farm dispatch overhead);
 //!    [`default_registry`] wires them up and `e2clab bench` runs them, so
 //!    every PR can regenerate the performance trajectory.
 //! 2. **The paper harness**: one binary per table/figure of the paper
@@ -26,7 +27,7 @@ pub mod suite;
 pub use harness::{BenchError, BenchPolicy, BenchRegistry, BenchReport, Benchmark, WallStats};
 pub use suite::{
     default_registry, BayesCycleBench, DesMm1Bench, JournalWalBench, JournalWireBench,
-    PlantnetRunBench,
+    PlantnetRunBench, WorkerFarmOverheadBench,
 };
 
 use e2c_des::SimTime;

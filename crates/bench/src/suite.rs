@@ -14,6 +14,9 @@
 //! * [`DetlintWorkspaceBench`] — analyzer throughput: the full detlint
 //!   pipeline (lexer, test-region detection, all rule families,
 //!   suppression matching) over a synthetic in-memory workspace.
+//! * [`WorkerFarmOverheadBench`] — the multi-process trial farm's
+//!   dispatch tax: asks round-tripped through live `e2clab worker`
+//!   processes running a near-free builtin objective.
 //!
 //! Every suite benchmark carries the `smoke` tag so
 //! `e2clab bench --filter smoke` (the CI job) runs them all.
@@ -38,6 +41,7 @@ pub fn default_registry() -> BenchRegistry {
         .register(JournalWalBench::new())
         .register(JournalWireBench::new())
         .register(DetlintWorkspaceBench::new())
+        .register(WorkerFarmOverheadBench::new())
 }
 
 // ---------------------------------------------------------------------------
@@ -525,6 +529,112 @@ impl Benchmark for DetlintWorkspaceBench {
     }
 }
 
+// ---------------------------------------------------------------------------
+// worker-farm dispatch overhead
+// ---------------------------------------------------------------------------
+
+/// Locate a binary that speaks the `e2clab worker` protocol.
+///
+/// * `E2C_WORKER_BIN` overrides everything (CI and local experiments);
+/// * when the running process *is* `e2clab` (the `e2clab bench` path),
+///   it serves as its own worker;
+/// * under `cargo test` the current executable is a test harness, so the
+///   workspace's `e2clab` binary is searched for next to it
+///   (`target/<profile>/e2clab`, one directory above `deps/`).
+fn worker_binary() -> Option<std::path::PathBuf> {
+    if let Some(path) = std::env::var_os("E2C_WORKER_BIN") {
+        return Some(std::path::PathBuf::from(path));
+    }
+    let exe = std::env::current_exe().ok()?;
+    if exe.file_stem().is_some_and(|s| s == "e2clab") {
+        return Some(exe);
+    }
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        for name in ["e2clab", "e2clab.exe"] {
+            let candidate = dir.join(name);
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// Multi-process farm dispatch overhead (`crates/tune/src/farm.rs`): asks
+/// round-tripped through live `e2clab worker --builtin quad` processes —
+/// frame encode, pipe write, worker turnaround, result parse, supervisor
+/// bookkeeping — with the objective itself near-free, so the number *is*
+/// the farm tax per evaluation. Units are completed asks.
+pub struct WorkerFarmOverheadBench {
+    farm: Option<e2c_tune::WorkerFarm>,
+    trial: u64,
+}
+
+impl WorkerFarmOverheadBench {
+    pub fn new() -> Self {
+        WorkerFarmOverheadBench {
+            farm: None,
+            trial: 0,
+        }
+    }
+
+    /// Asks dispatched per iteration.
+    const ASKS: u64 = 64;
+}
+
+impl Default for WorkerFarmOverheadBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for WorkerFarmOverheadBench {
+    fn name(&self) -> &'static str {
+        "worker_farm_overhead"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["smoke", "farm"]
+    }
+    fn policy(&self) -> BenchPolicy {
+        BenchPolicy::new(1, 5)
+    }
+    fn setup(&mut self, seed: u64) {
+        let bin = worker_binary().expect(
+            "no `e2clab` binary found for the farm bench: build the workspace \
+             (cargo build) or point E2C_WORKER_BIN at one",
+        );
+        let spec = e2c_tune::FarmSpec::new(
+            bin,
+            vec!["worker".to_string(), "--builtin".to_string(), "quad".to_string()],
+            2,
+            seed,
+        );
+        self.farm = Some(e2c_tune::WorkerFarm::launch(spec).expect("launch farm"));
+        self.trial = 0;
+    }
+    fn iter(&mut self, _round: u64) -> u64 {
+        let farm = self.farm.as_ref().expect("setup ran");
+        for i in 0..Self::ASKS {
+            let config = [self.trial as f64, (i % 7) as f64, 1.0];
+            let outcome = farm
+                .execute(self.trial, 0, &config, None)
+                .expect("farm ask");
+            match outcome {
+                e2c_tune::FarmOutcome::Value { value, .. } => {
+                    std::hint::black_box(value);
+                }
+                e2c_tune::FarmOutcome::Panicked { payload } => {
+                    panic!("builtin quad objective panicked: {payload}")
+                }
+            }
+            self.trial += 1;
+        }
+        Self::ASKS
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,11 +650,12 @@ mod tests {
                 "bayes_cycle50",
                 "journal_wal",
                 "journal_wire",
-                "detlint_workspace"
+                "detlint_workspace",
+                "worker_farm_overhead"
             ]
         );
         // Every suite benchmark answers the CI smoke filter.
-        assert_eq!(default_registry().with_filter("smoke").selected().len(), 6);
+        assert_eq!(default_registry().with_filter("smoke").selected().len(), 7);
     }
 
     #[test]

@@ -27,7 +27,8 @@ fn every_registered_benchmark_runs_under_the_smoke_filter() {
             "bayes_cycle50",
             "journal_wal",
             "journal_wire",
-            "detlint_workspace"
+            "detlint_workspace",
+            "worker_farm_overhead"
         ]
     );
 

@@ -100,6 +100,11 @@ pub enum RunError {
     Trace(String),
     /// The reproducibility archive or trial log could not be written.
     Archive(String),
+    /// The multi-process worker farm could not be launched (no worker
+    /// spawned at all). Losses *during* the run are not this error —
+    /// they surface per-attempt as `TrialError::WorkerLost` through the
+    /// ordinary retry machinery.
+    Farm(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -107,7 +112,8 @@ impl std::fmt::Display for RunError {
         let (RunError::Journal(msg)
         | RunError::Resume(msg)
         | RunError::Trace(msg)
-        | RunError::Archive(msg)) = self;
+        | RunError::Archive(msg)
+        | RunError::Farm(msg)) = self;
         f.write_str(msg)
     }
 }
@@ -247,7 +253,14 @@ pub struct OptimizationManager {
     faults: FaultPlan,
     tracer: Option<e2c_trace::Tracer>,
     journal: Option<JournalConfig>,
+    farm: Option<e2c_tune::FarmSpec>,
+    aux_hook: Option<AuxHook>,
 }
+
+/// Artifact hook for farmed runs: receives the auxiliary key/value pairs
+/// a worker shipped with its result, in place of the side effects the
+/// in-process objective would have performed itself.
+pub type AuxHook = Arc<dyn Fn(&EvalContext, &[(String, String)]) + Send + Sync>;
 
 impl OptimizationManager {
     /// Manager for a problem definition (seed 0, FIFO scheduling, no
@@ -261,6 +274,8 @@ impl OptimizationManager {
             faults: FaultPlan::new(),
             tracer: None,
             journal: None,
+            farm: None,
+            aux_hook: None,
         }
     }
 
@@ -310,6 +325,28 @@ impl OptimizationManager {
     /// concurrency.
     pub fn with_journal(mut self, journal: JournalConfig) -> Self {
         self.journal = Some(journal);
+        self
+    }
+
+    /// Execute evaluations in a farm of worker processes instead of in
+    /// process: the manager spawns `spec.workers` copies of the worker
+    /// command, streams asks to them, and supervises crashes, hangs and
+    /// protocol garbage (respawn with seeded backoff; transparent ask
+    /// re-dispatch; typed `WorkerLost` failures once the budget is
+    /// spent). Every decision stays in this process, so artifacts are
+    /// byte-identical to an in-process run at any worker count — which
+    /// is also why the process count is *not* part of the journal
+    /// fingerprint.
+    pub fn with_farm(mut self, spec: e2c_tune::FarmSpec) -> Self {
+        self.farm = Some(spec);
+        self
+    }
+
+    /// Install the artifact hook farmed runs call with each successful
+    /// evaluation's auxiliary pairs (see [`AuxHook`]). Ignored without
+    /// [`OptimizationManager::with_farm`].
+    pub fn with_aux_hook(mut self, hook: AuxHook) -> Self {
+        self.aux_hook = Some(hook);
         self
     }
 
@@ -550,6 +587,16 @@ impl OptimizationManager {
         }
         tuner = tuner.resume(resume_state);
         let archive_root = self.archive_root.clone();
+        // Farmed execution: spawn the worker processes up front; a farm
+        // that cannot start at all is a run error, not a trial failure.
+        let farm = match &self.farm {
+            Some(spec) => Some(Arc::new(
+                e2c_tune::WorkerFarm::launch(spec.clone())
+                    .map_err(|e| RunError::Farm(format!("--workers: {e}")))?,
+            )),
+            None => None,
+        };
+        let aux_hook = self.aux_hook.clone();
         let analysis = tuner.run(searcher, scheduler, move |point, tctx| {
             // prepare(): a dedicated directory per model evaluation.
             let eval_dir = archive_root.as_ref().map(|root| {
@@ -564,8 +611,33 @@ impl OptimizationManager {
                 eval_dir: eval_dir.clone(),
                 tracer: tctx.tracer().cloned(),
             };
-            // launch(): deploy + execute the user workload.
-            let value = objective(&ctx);
+            // launch(): deploy + execute the user workload — in process,
+            // or shipped to a farm worker. Either way the tuner sees
+            // exactly what an in-process run would: returns classify
+            // identically, worker panics re-raise with their original
+            // payload, and only infrastructure failures (a lost worker
+            // past the re-dispatch budget) take the typed abort path.
+            let value = match &farm {
+                Some(farm) => {
+                    match farm.execute(tctx.trial_id, tctx.attempt, point, tctx.tracer()) {
+                        Ok(e2c_tune::FarmOutcome::Value { value, aux }) => {
+                            if let Some(hook) = &aux_hook {
+                                hook(&ctx, &aux);
+                            }
+                            value
+                        }
+                        Ok(e2c_tune::FarmOutcome::Panicked { payload }) => {
+                            std::panic::panic_any(payload)
+                        }
+                        Err(error) => {
+                            // No evaluation record: the objective never
+                            // produced a value to archive.
+                            return tctx.fail_attempt(error);
+                        }
+                    }
+                }
+                None => objective(&ctx),
+            };
             // finalize(): record this evaluation's computations.
             if let Some(dir) = eval_dir {
                 let _ = archive::write_evaluation(&dir, tctx.trial_id, point, value);

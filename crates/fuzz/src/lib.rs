@@ -1,12 +1,13 @@
 //! # e2c-fuzz — deterministic fuzz + differential-test harness
 //!
-//! The repository hand-rolls four codecs — the YAML-subset configuration
+//! The repository hand-rolls five codecs — the YAML-subset configuration
 //! parser (`e2c-conf`), the tab-separated journal wire format
-//! (`e2c-tune`), the JSONL trace format (`e2c-trace`) and the CRC-framed
-//! write-ahead log (`e2c-journal`). Each sits on a crash-recovery or
-//! reproducibility path, where a panic on malformed bytes *is* data loss.
-//! This crate drives all four with seeded byte mutation and checks three
-//! property classes:
+//! (`e2c-tune`), the worker-farm stdio protocol (`e2c-tune`), the JSONL
+//! trace format (`e2c-trace`) and the CRC-framed write-ahead log
+//! (`e2c-journal`). Each sits on a crash-recovery or reproducibility
+//! path, where a panic on malformed bytes *is* data loss. This crate
+//! drives all five with seeded byte mutation and checks three property
+//! classes:
 //!
 //! 1. **No panics** — feeding arbitrary bytes to a parser must return
 //!    `Ok`/`Err`, never unwind ([`engine::guard`] converts an unwind into
@@ -33,7 +34,9 @@ pub mod engine;
 pub mod targets;
 
 pub use engine::{FailKind, SplitMix64};
-pub use targets::{ConfYamlTarget, JournalWalTarget, JournalWireTarget, TraceJsonlTarget};
+pub use targets::{
+    ConfYamlTarget, JournalWalTarget, JournalWireTarget, TraceJsonlTarget, WorkerWireTarget,
+};
 
 use std::path::PathBuf;
 
@@ -306,11 +309,12 @@ impl FuzzRegistry {
     }
 }
 
-/// The registry with all four codec targets, in dependency order.
+/// The registry with all five codec targets, in dependency order.
 pub fn default_registry() -> FuzzRegistry {
     FuzzRegistry::new()
         .register(ConfYamlTarget::new())
         .register(JournalWireTarget::new())
+        .register(WorkerWireTarget::new())
         .register(TraceJsonlTarget::new())
         .register(JournalWalTarget::new())
 }

@@ -1,11 +1,11 @@
-//! The four codec targets. Each pairs a deterministic input generator
+//! The five codec targets. Each pairs a deterministic input generator
 //! (seed corpus + byte mutation) with the property checks its codec
 //! promises; see the crate docs for the three property classes.
 
 use crate::engine::{mutate, SplitMix64};
 use crate::FuzzTarget;
 use e2c_trace::{EventKind, TraceEvent, Value as TraceValue};
-use e2c_tune::RunEvent;
+use e2c_tune::{RunEvent, WireMsg};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -252,6 +252,107 @@ impl FuzzTarget for JournalWireTarget {
             return Err(format!(
                 "decode → encode is not the identity:\naccepted: {:?}\nre-encoded: {reencoded:?}",
                 line.as_ref()
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// worker_wire — the multi-process farm's framed stdio protocol.
+// ---------------------------------------------------------------------
+
+/// A random syntactically valid [`WireMsg`] — every frame family,
+/// including non-finite floats, empty configs, and aux/event strings full
+/// of the wire's escape-relevant characters.
+fn random_wire_msg(rng: &mut SplitMix64) -> WireMsg {
+    let f = |rng: &mut SplitMix64| f64::from_bits(rng.next_u64());
+    match rng.below(6) {
+        0 => WireMsg::Hello {
+            version: rng.below(4),
+        },
+        1 => WireMsg::Heartbeat {
+            seq: rng.below(1_000_000),
+        },
+        2 => WireMsg::Ask(e2c_tune::WorkerAsk {
+            trial: rng.below(1000),
+            attempt: rng.below(4) as u32,
+            traced: rng.chance(1, 2),
+            config: (0..rng.index(5)).map(|_| f(rng)).collect(),
+        }),
+        3 => WireMsg::ResultOk {
+            trial: rng.below(1000),
+            attempt: rng.below(4) as u32,
+            reply: e2c_tune::WorkerReply {
+                value: f(rng),
+                aux: (0..rng.index(3))
+                    .map(|_| (random_name(rng), random_name(rng)))
+                    .collect(),
+                events: (0..rng.index(4))
+                    .map(|_| (random_name(rng), rng.chance(1, 2)))
+                    .collect(),
+                end_clock: rng.below(1_000_000),
+            },
+        },
+        4 => WireMsg::ResultPanic {
+            trial: rng.below(1000),
+            attempt: rng.below(4) as u32,
+            payload: random_name(rng),
+        },
+        _ => WireMsg::Shutdown,
+    }
+}
+
+/// Fuzzes [`WireMsg::parse`] — the farm's frame payload codec. No panics
+/// on arbitrary text, and — because field parsing is strict and floats
+/// are canonical — decode → encode is the *identity* on every accepted
+/// payload: a worker and its supervisor can never disagree about what a
+/// frame said.
+pub struct WorkerWireTarget;
+
+impl WorkerWireTarget {
+    pub fn new() -> Self {
+        WorkerWireTarget
+    }
+}
+
+impl Default for WorkerWireTarget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FuzzTarget for WorkerWireTarget {
+    fn name(&self) -> &'static str {
+        "worker_wire"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["text", "smoke"]
+    }
+
+    fn generate(&mut self, rng: &mut SplitMix64) -> Vec<u8> {
+        match rng.below(5) {
+            0 | 1 => random_wire_msg(rng).encode().into_bytes(),
+            2 | 3 => {
+                let mut data = random_wire_msg(rng).encode().into_bytes();
+                mutate(rng, &mut data);
+                data
+            }
+            _ => random_text_soup(rng, 64),
+        }
+    }
+
+    fn check(&self, input: &[u8]) -> Result<(), String> {
+        let payload = String::from_utf8_lossy(input);
+        let Ok(msg) = WireMsg::parse(&payload) else {
+            return Ok(()); // rejection is fine; panicking is not
+        };
+        let reencoded = msg.encode();
+        if reencoded != payload {
+            return Err(format!(
+                "decode → encode is not the identity:\naccepted: {:?}\nre-encoded: {reencoded:?}",
+                payload.as_ref()
             ));
         }
         Ok(())
@@ -573,8 +674,29 @@ mod tests {
     }
 
     #[test]
+    fn worker_wire_smoke() {
+        exercise(&mut WorkerWireTarget::new(), 300);
+    }
+
+    #[test]
     fn trace_jsonl_smoke() {
         exercise(&mut TraceJsonlTarget::new(), 300);
+    }
+
+    #[test]
+    fn wire_generator_covers_every_frame_family() {
+        let mut rng = SplitMix64::new(23);
+        let mut families = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let payload = random_wire_msg(&mut rng).encode();
+            families.insert(payload.split('\t').next().unwrap().to_string());
+        }
+        for family in ["hello", "heartbeat", "ask", "result", "shutdown"] {
+            assert!(
+                families.contains(family),
+                "generator never emitted {family}"
+            );
+        }
     }
 
     #[test]

@@ -13,12 +13,17 @@
 //! * [`write_atomic`] — full-file snapshot writes via a tmp sibling +
 //!   `rename`, with the file and its directory fsync'd, so readers only
 //!   ever observe the old bytes or the new bytes, never a truncated mix.
+//! * [`wire`] — the shared tab-separated text spelling (escaping and
+//!   canonical numeric forms) that both record protocols layered on this
+//!   crate — the run journal and the worker-farm frames — encode with.
 //!
 //! The framing is deliberately dumb: no compression, no sequence numbers,
 //! no format versioning beyond the frame itself. Interpretation of the
 //! payload belongs to the caller (`e2c-tune`'s run journal gives records
 //! meaning — including their wire version, carried in its meta record —
 //! this crate only promises they are whole).
+
+pub mod wire;
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};

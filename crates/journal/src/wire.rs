@@ -1,0 +1,164 @@
+//! Shared text-wire primitives for tab-separated record formats.
+//!
+//! Both line protocols in this workspace — the run journal's WAL records
+//! (`e2c-tune::journal`) and the worker farm's stdio frames
+//! (`e2c-tune::worker`) — spell their payloads the same way: fields
+//! separated by tabs, strings escaped with exactly four sequences
+//! (`\\`, `\t`, `\n`, `\r`), integers as canonical decimals and floats
+//! as Rust's shortest-round-trip `Display` form. This module is that
+//! spelling, factored out so the two codecs cannot drift: every accepted
+//! field re-encodes byte-identically, which is the roundtrip property the
+//! fuzz harness checks for both protocols.
+
+use std::borrow::Cow;
+
+/// Escape a payload for the tab-separated wire format. Borrows when the
+/// payload needs no escaping — the overwhelmingly common case on the
+/// journal hot path (fingerprints and error payloads rarely carry tabs
+/// or newlines).
+pub fn escape(s: &str) -> Cow<'_, str> {
+    if !s
+        .bytes()
+        .any(|b| matches!(b, b'\\' | b'\t' | b'\n' | b'\r'))
+    {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Decode an escaped field. Only the four sequences the escaper writes
+/// are accepted; raw control characters and unknown escapes are
+/// corruption (they could never re-encode to the same bytes).
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\n' || c == '\r' {
+            // The escaper always writes these as `\n` / `\r`; a literal
+            // one cannot re-encode to the same bytes, so it is corruption.
+            return Err("raw control character in wire field".to_string());
+        }
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            // The escaper only ever writes the four sequences above.
+            // Accepting `\q` as `q` (as the journal decoder once did)
+            // made decode → encode lossy; these records are
+            // machine-written, so an unknown escape is corruption, not
+            // intent.
+            Some(other) => return Err(format!("invalid escape `\\{other}` in wire field")),
+            None => return Err("dangling `\\` at end of wire field".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Strict canonical-decimal `u64`: ASCII digits only — no sign, no
+/// leading zeros, no whitespace — exactly the spelling `Display` writes.
+pub fn parse_u64(s: &str) -> Result<u64, String> {
+    let canonical =
+        !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) && (s == "0" || !s.starts_with('0'));
+    if !canonical {
+        return Err(format!("bad integer `{s}`: not a canonical decimal"));
+    }
+    s.parse::<u64>()
+        .map_err(|e| format!("bad integer `{s}`: {e}"))
+}
+
+/// Strict `u32` (e.g. an attempt index). Parsing as `u64` and truncating
+/// with `as u32` would silently misread values ≥ 2³²; out of range is a
+/// typed error instead.
+pub fn parse_u32(s: &str) -> Result<u32, String> {
+    u32::try_from(parse_u64(s)?).map_err(|_| format!("bad integer `{s}`: exceeds u32"))
+}
+
+/// Strict `f64`: the field must be the exact shortest-round-trip form
+/// Rust's `Display` writes — the only spelling the encoders ever
+/// produce. `NaN`, `inf` and `-inf` are therefore accepted (records
+/// legitimately carry non-finite objective returns), while alternate
+/// spellings a hand edit or corruption could introduce (`nan`, `+inf`,
+/// `infinity`, `1e6`, `007`, `1.50`) are rejected: any accepted field
+/// re-encodes byte-identically.
+pub fn parse_f64(s: &str) -> Result<f64, String> {
+    let v = s
+        .parse::<f64>()
+        .map_err(|e| format!("bad float `{s}`: {e}"))?;
+    if v.to_string() != s {
+        return Err(format!(
+            "bad float `{s}`: not canonical (the wire writes `{v}`)"
+        ));
+    }
+    Ok(v)
+}
+
+/// Optional float: `-` means absent, anything else must be canonical.
+pub fn parse_opt_f64(s: &str) -> Result<Option<f64>, String> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        parse_f64(s).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_borrows_the_common_case_and_roundtrips_the_rest() {
+        assert!(matches!(escape("plain"), Cow::Borrowed(_)));
+        for s in ["a\tb", "line\nbreak", "cr\rhere", "back\\slash", ""] {
+            let escaped = escape(s);
+            assert!(!escaped.contains('\t') || s.is_empty());
+            assert_eq!(unescape(&escaped).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_corruption() {
+        assert!(unescape("a\\qb").is_err());
+        assert!(unescape("trailing\\").is_err());
+        assert!(unescape("raw\nnewline").is_err());
+        assert!(unescape("raw\rcr").is_err());
+    }
+
+    #[test]
+    fn integers_must_be_canonical() {
+        assert_eq!(parse_u64("0").unwrap(), 0);
+        assert_eq!(parse_u64("42").unwrap(), 42);
+        for bad in ["+5", "07", " 5", "5 ", "-1", "", "٤"] {
+            assert!(parse_u64(bad).is_err(), "{bad:?}");
+        }
+        assert!(parse_u32("4294967295").is_ok());
+        assert!(parse_u32("4294967296").is_err());
+    }
+
+    #[test]
+    fn floats_must_be_shortest_round_trip_display() {
+        for good in ["NaN", "inf", "-inf", "-0", "0.1", "1000000"] {
+            let v = parse_f64(good).unwrap();
+            assert_eq!(v.to_string(), good);
+        }
+        for bad in ["nan", "+inf", "infinity", "1e6", "00.5", "1.50", "+1"] {
+            assert!(parse_f64(bad).is_err(), "{bad:?}");
+        }
+        assert_eq!(parse_opt_f64("-").unwrap(), None);
+        assert_eq!(parse_opt_f64("2.5").unwrap(), Some(2.5));
+    }
+}

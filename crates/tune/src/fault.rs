@@ -138,6 +138,16 @@ pub enum FaultAction {
     /// The attempt is delayed by this long before the objective runs
     /// (a straggler; combined with a deadline this overruns the budget).
     Delay(Duration),
+    /// The worker process executing the attempt is reported crashed
+    /// (SIGKILL mid-trial, with the farm's re-dispatch budget spent): the
+    /// attempt fails with a typed
+    /// [`TrialError::WorkerLost`](crate::trial::TrialError::WorkerLost)
+    /// without invoking the objective. Injected tuner-side so the record
+    /// is byte-identical whether or not a real farm is attached.
+    WorkerCrash,
+    /// Like [`FaultAction::WorkerCrash`] but modelling a hang: the worker
+    /// missed its heartbeat deadline and was declared lost.
+    WorkerStall,
 }
 
 /// One scripted fault: which trial, which attempt, what happens.
@@ -214,6 +224,28 @@ impl FaultPlan {
         self
     }
 
+    /// Report the worker running trial `trial` crashed on attempt
+    /// `attempt`.
+    pub fn worker_crash(mut self, trial: u64, attempt: u32) -> Self {
+        self.specs.push(FaultSpec {
+            trial,
+            attempt: Some(attempt),
+            action: FaultAction::WorkerCrash,
+        });
+        self
+    }
+
+    /// Report the worker running trial `trial` hung past its heartbeat
+    /// deadline on attempt `attempt`.
+    pub fn worker_stall(mut self, trial: u64, attempt: u32) -> Self {
+        self.specs.push(FaultSpec {
+            trial,
+            attempt: Some(attempt),
+            action: FaultAction::WorkerStall,
+        });
+        self
+    }
+
     /// The action scripted for `(trial, attempt)`, if any. The most
     /// recently added matching spec wins, letting narrower rules override
     /// `attempt: None` catch-alls.
@@ -226,8 +258,9 @@ impl FaultPlan {
     }
 
     /// Parse the `--faults` knob: entries separated by `;` or `,`, each
-    /// `fail:TRIAL[@ATTEMPT]`, `nan:TRIAL[@ATTEMPT]` or
-    /// `delay:TRIAL[@ATTEMPT]:MILLIS`. Omitting `@ATTEMPT` hits every
+    /// `fail:TRIAL[@ATTEMPT]`, `nan:TRIAL[@ATTEMPT]`,
+    /// `delay:TRIAL[@ATTEMPT]:MILLIS`, `worker-crash:TRIAL[@ATTEMPT]` or
+    /// `worker-stall:TRIAL[@ATTEMPT]`. Omitting `@ATTEMPT` hits every
     /// attempt of the trial.
     ///
     /// ```
@@ -261,9 +294,12 @@ impl FaultPlan {
                         .map_err(|e| format!("`{entry}`: bad millis ({e})"))?;
                     FaultAction::Delay(Duration::from_millis(ms))
                 }
+                "worker-crash" => FaultAction::WorkerCrash,
+                "worker-stall" => FaultAction::WorkerStall,
                 other => {
                     return Err(format!(
-                        "`{entry}`: unknown fault kind `{other}` (expected fail, nan or delay)"
+                        "`{entry}`: unknown fault kind `{other}` (expected fail, nan, delay, \
+                         worker-crash or worker-stall)"
                     ))
                 }
             };
@@ -356,6 +392,18 @@ mod tests {
             Some(FaultAction::Delay(Duration::from_millis(250)))
         );
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_parses_worker_fault_kinds() {
+        let plan = FaultPlan::parse("worker-crash:2@0; worker-stall:3").unwrap();
+        assert_eq!(plan.lookup(2, 0), Some(FaultAction::WorkerCrash));
+        assert_eq!(plan.lookup(2, 1), None);
+        assert_eq!(plan.lookup(3, 5), Some(FaultAction::WorkerStall));
+        // Builders mirror the grammar.
+        let built = FaultPlan::new().worker_crash(2, 0).worker_stall(1, 1);
+        assert_eq!(built.lookup(2, 0), Some(FaultAction::WorkerCrash));
+        assert_eq!(built.lookup(1, 1), Some(FaultAction::WorkerStall));
     }
 
     #[test]

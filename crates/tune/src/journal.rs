@@ -126,105 +126,11 @@ pub enum RunEvent {
     Complete,
 }
 
-/// Escape a payload for the tab-separated wire format. Borrows when the
-/// payload needs no escaping — the overwhelmingly common case on the
-/// journal hot path (fingerprints and error payloads rarely carry tabs
-/// or newlines).
-fn escape(s: &str) -> std::borrow::Cow<'_, str> {
-    if !s
-        .bytes()
-        .any(|b| matches!(b, b'\\' | b'\t' | b'\n' | b'\r'))
-    {
-        return std::borrow::Cow::Borrowed(s);
-    }
-    let mut out = String::with_capacity(s.len() + 8);
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\t' => out.push_str("\\t"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            c => out.push(c),
-        }
-    }
-    std::borrow::Cow::Owned(out)
-}
-
-fn unescape(s: &str) -> Result<String, String> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c == '\n' || c == '\r' {
-            // The escaper always writes these as `\n` / `\r`; a literal
-            // one cannot re-encode to the same bytes, so it is corruption.
-            return Err("raw control character in journal field".to_string());
-        }
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next() {
-            Some('t') => out.push('\t'),
-            Some('n') => out.push('\n'),
-            Some('r') => out.push('\r'),
-            Some('\\') => out.push('\\'),
-            // The escaper only ever writes the four sequences above.
-            // Accepting `\q` as `q` (as this decoder once did) made
-            // decode → encode lossy; a journal is machine-written, so an
-            // unknown escape is corruption, not intent.
-            Some(other) => return Err(format!("invalid escape `\\{other}` in journal field")),
-            None => return Err("dangling `\\` at end of journal field".to_string()),
-        }
-    }
-    Ok(out)
-}
-
-/// Strict canonical-decimal `u64`: ASCII digits only — no sign, no
-/// leading zeros, no whitespace — exactly the spelling `Display` writes.
-/// The rule is the same for version-1 and version-2 records.
-fn parse_u64(s: &str) -> Result<u64, String> {
-    let canonical =
-        !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) && (s == "0" || !s.starts_with('0'));
-    if !canonical {
-        return Err(format!("bad integer `{s}`: not a canonical decimal"));
-    }
-    s.parse::<u64>()
-        .map_err(|e| format!("bad integer `{s}`: {e}"))
-}
-
-/// Strict `u32` (the attempt index). Parsing as `u64` and truncating with
-/// `as u32` — the old behaviour — silently misread indices ≥ 2³²; out of
-/// range is now a typed error.
-fn parse_u32(s: &str) -> Result<u32, String> {
-    u32::try_from(parse_u64(s)?).map_err(|_| format!("bad integer `{s}`: exceeds u32"))
-}
-
-/// Strict `f64`: the field must be the exact shortest-round-trip form
-/// Rust's `Display` writes — the only spelling [`RunEvent::to_line`] ever
-/// produces, in every wire version. `NaN`, `inf` and `-inf` are therefore
-/// accepted (journals legitimately record non-finite objective returns),
-/// while alternate spellings a hand edit or corruption could introduce
-/// (`nan`, `+inf`, `infinity`, `1e6`, `007`, `1.50`) are rejected: any
-/// accepted field re-encodes byte-identically.
-fn parse_f64(s: &str) -> Result<f64, String> {
-    let v = s
-        .parse::<f64>()
-        .map_err(|e| format!("bad float `{s}`: {e}"))?;
-    if v.to_string() != s {
-        return Err(format!(
-            "bad float `{s}`: not canonical (the journal writes `{v}`)"
-        ));
-    }
-    Ok(v)
-}
-
-fn parse_opt_f64(s: &str) -> Result<Option<f64>, String> {
-    if s == "-" {
-        Ok(None)
-    } else {
-        parse_f64(s).map(Some)
-    }
-}
+// The field spelling — escaping, canonical integers and floats — is the
+// shared `e2c_journal::wire` dialect, factored out so the worker-farm
+// protocol (`crate::worker`) cannot drift from the journal's. The rules
+// are the same for version-1 and version-2 records.
+use e2c_journal::wire::{escape, parse_f64, parse_opt_f64, parse_u32, parse_u64, unescape};
 
 impl RunEvent {
     /// A meta record at the current [`WIRE_VERSION`].
@@ -339,138 +245,143 @@ impl RunEvent {
         line
     }
 
-    /// Parse a line produced by [`RunEvent::to_line`].
+    /// Parse a line produced by [`RunEvent::to_line`]. Matching on field
+    /// *slices* (not positional indexing) makes every arity check part of
+    /// the pattern, so a short record is a typed error, never a panic —
+    /// this is journal-recovery code, and a corrupt record must surface
+    /// as `Err`, not tear the resuming process down.
     pub fn parse(line: &str) -> Result<RunEvent, String> {
         let fields: Vec<&str> = line.split('\t').collect();
-        let need = |n: usize| -> Result<(), String> {
-            if fields.len() == n {
-                Ok(())
-            } else {
-                Err(format!(
-                    "journal record `{}...`: expected {n} fields, got {}",
-                    fields[0],
-                    fields.len()
-                ))
-            }
-        };
         let int = parse_u64;
-        match fields[0] {
-            "meta" => {
-                // 2 fields: legacy version-1 form; 3 fields: versioned.
-                match fields.len() {
-                    2 => Ok(RunEvent::Meta {
-                        version: 1,
-                        fingerprint: unescape(fields[1])?,
-                    }),
-                    3 => {
-                        let version = int(fields[1])?;
-                        // A version-1 meta is *defined* as the 2-field
-                        // form; a 3-field `meta\t1\t...` would re-encode
-                        // as 2 fields and lose byte identity.
-                        if version == 1 {
-                            return Err(
-                                "3-field meta claims version 1 (the 2-field form)".to_string()
-                            );
-                        }
-                        Ok(RunEvent::Meta {
-                            version,
-                            fingerprint: unescape(fields[2])?,
-                        })
-                    }
-                    n => Err(format!(
-                        "journal record `meta...`: expected 2 or 3 fields, got {n}"
-                    )),
+        match fields.as_slice() {
+            // 2 fields: legacy version-1 form; 3 fields: versioned.
+            ["meta", fingerprint] => Ok(RunEvent::Meta {
+                version: 1,
+                fingerprint: unescape(fingerprint)?,
+            }),
+            ["meta", version, fingerprint] => {
+                let version = int(version)?;
+                // A version-1 meta is *defined* as the 2-field form; a
+                // 3-field `meta\t1\t...` would re-encode as 2 fields and
+                // lose byte identity.
+                if version == 1 {
+                    return Err("3-field meta claims version 1 (the 2-field form)".to_string());
                 }
+                Ok(RunEvent::Meta {
+                    version,
+                    fingerprint: unescape(fingerprint)?,
+                })
             }
-            "ask" => {
-                need(3)?;
-                let config = if fields[2].is_empty() {
+            ["meta", ..] => Err(format!(
+                "journal record `meta...`: expected 2 or 3 fields, got {}",
+                fields.len()
+            )),
+            ["ask", trial, config] => {
+                let config = if config.is_empty() {
                     Vec::new()
                 } else {
-                    fields[2]
+                    config
                         .split(',')
                         .map(parse_f64)
                         .collect::<Result<_, _>>()?
                 };
                 Ok(RunEvent::Ask {
-                    trial: int(fields[1])?,
+                    trial: int(trial)?,
                     config,
                 })
             }
-            "restart" => {
-                need(2)?;
-                Ok(RunEvent::Restart {
-                    trial: int(fields[1])?,
-                })
-            }
-            "report" => {
-                need(5)?;
-                let stop = match fields[4] {
+            ["restart", trial] => Ok(RunEvent::Restart {
+                trial: int(trial)?,
+            }),
+            ["report", trial, iteration, normalized, decision] => {
+                let stop = match *decision {
                     "stop" => true,
                     "continue" => false,
                     other => return Err(format!("bad decision `{other}`")),
                 };
                 Ok(RunEvent::Report {
-                    trial: int(fields[1])?,
-                    iteration: int(fields[2])?,
-                    normalized: parse_f64(fields[3])?,
+                    trial: int(trial)?,
+                    iteration: int(iteration)?,
+                    normalized: parse_f64(normalized)?,
                     stop,
                 })
             }
-            "attempt" => {
-                need(7)?;
-                let error = if fields[5] == "-" {
+            ["attempt", trial, index, secs, raw, kind, payload] => {
+                let error = if *kind == "-" {
                     // The no-error form writes an empty payload field;
                     // accepting a non-empty one here would drop it on
                     // re-encode.
-                    if !fields[6].is_empty() {
+                    if !payload.is_empty() {
                         return Err(format!(
-                            "attempt without error carries a payload `{}`",
-                            fields[6]
+                            "attempt without error carries a payload `{payload}`"
                         ));
                     }
                     None
                 } else {
-                    Some(TrialError::from_parts(fields[5], &unescape(fields[6])?)?)
+                    Some(TrialError::from_parts(kind, &unescape(payload)?)?)
                 };
                 Ok(RunEvent::Attempt {
-                    trial: int(fields[1])?,
-                    index: parse_u32(fields[2])?,
-                    secs: parse_f64(fields[3])?,
-                    raw: parse_opt_f64(fields[4])?,
+                    trial: int(trial)?,
+                    index: parse_u32(index)?,
+                    secs: parse_f64(secs)?,
+                    raw: parse_opt_f64(raw)?,
                     error,
                 })
             }
-            "tell" => {
-                // 7 fields: version-1 form (no ask count); 8: versioned.
-                let asks = match fields.len() {
-                    7 => None,
-                    8 => Some(int(fields[7])?),
-                    n => {
-                        return Err(format!(
-                            "journal record `tell...`: expected 7 or 8 fields, got {n}"
-                        ))
-                    }
-                };
-                let trace_mark = match (fields[5], fields[6]) {
-                    ("-", "-") => None,
-                    (e, v) => Some((int(e)?, int(v)?)),
-                };
-                Ok(RunEvent::Tell {
-                    trial: int(fields[1])?,
-                    feedback: parse_f64(fields[2])?,
-                    status: fields[3].to_string(),
-                    value: parse_opt_f64(fields[4])?,
-                    trace_mark,
-                    asks,
-                })
+            // 7 fields: version-1 form (no ask count); 8: versioned.
+            ["tell", trial, feedback, status, value, mark_events, mark_vt] => {
+                Self::parse_tell(trial, feedback, status, value, mark_events, mark_vt, None)
             }
-            "complete" => {
-                need(1)?;
-                Ok(RunEvent::Complete)
+            ["tell", trial, feedback, status, value, mark_events, mark_vt, asks] => {
+                Self::parse_tell(
+                    trial,
+                    feedback,
+                    status,
+                    value,
+                    mark_events,
+                    mark_vt,
+                    Some(int(asks)?),
+                )
             }
-            other => Err(format!("unknown journal record `{other}`")),
+            ["tell", ..] => Err(format!(
+                "journal record `tell...`: expected 7 or 8 fields, got {}",
+                fields.len()
+            )),
+            ["complete"] => Ok(RunEvent::Complete),
+            [kind, ..] if matches!(*kind, "ask" | "restart" | "report" | "attempt" | "complete") => {
+                Err(format!(
+                    "journal record `{kind}...`: wrong field count ({})",
+                    fields.len()
+                ))
+            }
+            [other, ..] => Err(format!("unknown journal record `{other}`")),
+            [] => Err("empty journal record".to_string()),
         }
+    }
+
+    /// Shared body of the two tell arities.
+    #[allow(clippy::too_many_arguments)]
+    fn parse_tell(
+        trial: &str,
+        feedback: &str,
+        status: &str,
+        value: &str,
+        mark_events: &str,
+        mark_vt: &str,
+        asks: Option<u64>,
+    ) -> Result<RunEvent, String> {
+        let trace_mark = match (mark_events, mark_vt) {
+            ("-", "-") => None,
+            (e, v) => Some((parse_u64(e)?, parse_u64(v)?)),
+        };
+        Ok(RunEvent::Tell {
+            trial: parse_u64(trial)?,
+            feedback: parse_f64(feedback)?,
+            status: status.to_string(),
+            value: parse_opt_f64(value)?,
+            trace_mark,
+            asks,
+        })
     }
 }
 

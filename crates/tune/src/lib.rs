@@ -35,25 +35,39 @@
 //!   "asynchronous model optimization");
 //! * [`analysis`] — the result set: best trial, per-trial records;
 //! * [`clock`] — the single sanctioned wall-clock read (detlint DET002):
-//!   watchdog, backoff and deadline timing all route through it.
+//!   watchdog, backoff and deadline timing all route through it;
+//! * [`worker`] — the framed stdio protocol of the multi-process trial
+//!   farm, and [`worker::serve`], the worker-process main loop;
+//! * [`supervisor`] — the farm's crash-tolerance core as a pure,
+//!   property-tested state machine (heartbeats, stall deadlines, seeded
+//!   respawn backoff, single-resolution tickets);
+//! * [`farm`] — the parent side: [`farm::WorkerFarm`] spawns sanitized
+//!   worker processes, re-dispatches asks off lost workers, and keeps
+//!   every artifact byte-identical to an in-process run.
 
 pub mod analysis;
 pub mod clock;
 pub mod evolution;
+pub mod farm;
 pub mod fault;
 pub mod journal;
 pub mod logger;
 pub mod scheduler;
 pub mod searcher;
+pub mod supervisor;
 pub mod trial;
 pub mod tuner;
+pub mod worker;
 
 pub use analysis::Analysis;
 pub use evolution::EvolutionSearch;
+pub use farm::{FarmOutcome, FarmSpec, WorkerFarm};
 pub use fault::{FaultAction, FaultPlan, FaultSpec, RetryPolicy};
 pub use journal::{load_events, replay, ResumeState, RunEvent, RunJournal, CRASH_EXIT_CODE};
 pub use logger::TrialLogger;
 pub use scheduler::{AsyncHyperBand, Decision, Fifo, MedianStopping, Scheduler, TracingScheduler};
 pub use searcher::{ConcurrencyLimiter, GridSearch, RandomSearch, Searcher, SkOptSearch};
+pub use supervisor::{SlotState, StaleResult, Supervisor};
 pub use trial::{Attempt, Trial, TrialError, TrialStatus};
 pub use tuner::{TrialContext, Tuner};
+pub use worker::{serve, WireMsg, WorkerAsk, WorkerReply};

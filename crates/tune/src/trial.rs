@@ -23,6 +23,12 @@ pub enum TrialError {
     /// A scripted [`FaultPlan`](crate::fault::FaultPlan) fault failed the
     /// attempt; the full injected message rides along.
     Injected(String),
+    /// The worker process executing this attempt died, hung past its
+    /// heartbeat deadline, or spoke protocol garbage — and the farm's
+    /// re-dispatch budget was spent (transparent re-dispatch to a healthy
+    /// worker hides isolated deaths from the attempt record). The payload
+    /// describes what was lost.
+    WorkerLost(String),
 }
 
 impl TrialError {
@@ -33,13 +39,17 @@ impl TrialError {
             TrialError::NonFinite(_) => "nonfinite",
             TrialError::DeadlineExceeded => "deadline",
             TrialError::Injected(_) => "injected",
+            TrialError::WorkerLost(_) => "workerlost",
         }
     }
 
     /// The variant's payload ("" for payload-free variants).
     pub fn payload(&self) -> &str {
         match self {
-            TrialError::Panicked(s) | TrialError::NonFinite(s) | TrialError::Injected(s) => s,
+            TrialError::Panicked(s)
+            | TrialError::NonFinite(s)
+            | TrialError::Injected(s)
+            | TrialError::WorkerLost(s) => s,
             TrialError::DeadlineExceeded => "",
         }
     }
@@ -51,6 +61,7 @@ impl TrialError {
             "nonfinite" => Ok(TrialError::NonFinite(payload.to_string())),
             "deadline" => Ok(TrialError::DeadlineExceeded),
             "injected" => Ok(TrialError::Injected(payload.to_string())),
+            "workerlost" => Ok(TrialError::WorkerLost(payload.to_string())),
             other => Err(format!("unknown trial error kind `{other}`")),
         }
     }
@@ -59,7 +70,9 @@ impl TrialError {
 impl fmt::Display for TrialError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TrialError::Panicked(s) | TrialError::Injected(s) => f.write_str(s),
+            TrialError::Panicked(s) | TrialError::Injected(s) | TrialError::WorkerLost(s) => {
+                f.write_str(s)
+            }
             TrialError::NonFinite(v) => write!(f, "non-finite metric {v}"),
             TrialError::DeadlineExceeded => f.write_str("deadline exceeded"),
         }
@@ -266,6 +279,7 @@ mod tests {
             TrialError::NonFinite("inf".into()),
             TrialError::DeadlineExceeded,
             TrialError::Injected("i".into()),
+            TrialError::WorkerLost("worker 2 died mid-trial".into()),
         ] {
             assert_eq!(TrialError::from_parts(e.kind(), e.payload()).unwrap(), e);
         }

@@ -76,6 +76,9 @@ pub struct TrialContext<'a> {
     stopped: bool,
     deadline: Option<Instant>,
     expired: Arc<AtomicBool>,
+    /// Set by [`TrialContext::fail_attempt`]: the attempt is settled with
+    /// this typed error instead of whatever value the objective returned.
+    abort: Option<TrialError>,
 }
 
 impl<'a> TrialContext<'a> {
@@ -133,6 +136,17 @@ impl<'a> TrialContext<'a> {
     /// events land mid-buffer in nondeterministic order.
     pub fn tracer(&self) -> Option<&e2c_trace::Tracer> {
         self.tracer
+    }
+
+    /// Fail this attempt with a typed infrastructure error (e.g. a worker
+    /// farm reporting [`TrialError::WorkerLost`] after its re-dispatch
+    /// budget ran out). The returned `f64` is a placeholder to hand back
+    /// from the objective — once an abort is set the return value is
+    /// ignored, the attempt records no raw value, and the retry layer
+    /// treats the error exactly like one raised inside the tuner.
+    pub fn fail_attempt(&mut self, error: TrialError) -> f64 {
+        self.abort = Some(error);
+        f64::NAN
     }
 
     /// Whether this attempt's wall-clock budget is spent (flagged by the
@@ -385,7 +399,7 @@ impl Tuner {
         let (seq, trials, worst_seen) = (&seq, &trials, &worst_seen);
         let (live_workers, watch) = (&live_workers, &watch);
 
-        crossbeam::thread::scope(|scope| {
+        let scoped = crossbeam::thread::scope(|scope| {
             // Deadline watchdog: sweeps running attempts and flags the
             // overdue ones so cooperative objectives bail out promptly.
             if self.time_budget.is_some() {
@@ -564,6 +578,7 @@ impl Tuner {
                                 stopped: false,
                                 deadline,
                                 expired: expired.clone(),
+                                abort: None,
                             };
                             let started = clock::now();
                             let fault = self.faults.lookup(id, attempt);
@@ -575,6 +590,8 @@ impl Tuner {
                                         FaultAction::Fail => "fail",
                                         FaultAction::Nan => "nan",
                                         FaultAction::Delay(_) => "delay",
+                                        FaultAction::WorkerCrash => "worker-crash",
+                                        FaultAction::WorkerStall => "worker-stall",
                                     };
                                     f.insert("fault".to_string(), kind.into());
                                 }
@@ -591,6 +608,15 @@ impl Tuner {
                                     "injected fault: fail (attempt {attempt})"
                                 ))),
                                 Some(FaultAction::Nan) => Ok(f64::NAN),
+                                // Worker faults short-circuit tuner-side so a
+                                // fault plan replays byte-identically whether
+                                // or not a process farm is attached.
+                                Some(FaultAction::WorkerCrash) => Err(TrialError::WorkerLost(
+                                    format!("injected worker-crash (attempt {attempt})"),
+                                )),
+                                Some(FaultAction::WorkerStall) => Err(TrialError::WorkerLost(
+                                    format!("injected worker-stall (attempt {attempt})"),
+                                )),
                                 Some(FaultAction::Delay(d)) => {
                                     // detlint: allow(DET004) injected-fault delay: reproduces a configured, deterministic slowdown
                                     std::thread::sleep(d);
@@ -605,14 +631,17 @@ impl Tuner {
                             let overran = expired.load(Ordering::SeqCst)
                                 || deadline.is_some_and(|d| clock::now() >= d);
                             let stopped = ctx.stopped;
+                            let abort = ctx.abort;
                             let reports = ctx.reports;
-                            let raw = if invoked {
+                            let raw = if invoked && abort.is_none() {
                                 outcome.as_ref().ok().copied()
                             } else {
                                 None
                             };
                             let (error, value) = if overran {
                                 (Some(TrialError::DeadlineExceeded), None)
+                            } else if let Some(e) = abort {
+                                (Some(e), None)
                             } else {
                                 match outcome {
                                     Ok(v) if v.is_finite() => (None, Some(v)),
@@ -729,7 +758,7 @@ impl Tuner {
                                 (Some(tr), Some(buf)) => {
                                     let (events, end_clock) = buf.drain_for_splice();
                                     let seq_map = tr.splice(&events, end_clock);
-                                    exec_span.map(|s| seq_map[s as usize])
+                                    exec_span.and_then(|s| seq_map.get(s as usize).copied())
                                 }
                                 _ => exec_span,
                             };
@@ -824,9 +853,17 @@ impl Tuner {
                             }
                             (status, feedback, final_reports)
                         } else {
-                            let (status, feedback) = live_settled
-                                .clone()
-                                .expect("live execution settles the trial");
+                            // The live attempt loop always settles before
+                            // reaching here; fail the trial rather than
+                            // poison the run if that invariant ever breaks.
+                            let (status, feedback) = live_settled.clone().unwrap_or_else(|| {
+                                (
+                                    TrialStatus::Failed(
+                                        "live attempt loop ended without settling".to_string(),
+                                    ),
+                                    self.failure_penalty(worst_seen),
+                                )
+                            });
                             if let (Some(tr), Some(span)) = (tracer, exec_span) {
                                 let outcome = match &status {
                                     TrialStatus::Terminated(_) => "terminated",
@@ -908,22 +945,29 @@ impl Tuner {
                         seq.cv.notify_all();
                         drop(st);
                         {
+                            // Recorded when the ask was admitted; a missing
+                            // entry would mean the bookkeeping already lost
+                            // the trial, and panicking here could not get it
+                            // back.
                             let mut t = trials.lock();
-                            let trial = t
-                                .iter_mut()
-                                .find(|tr| tr.id == id)
-                                .expect("trial recorded at start");
-                            trial.reports = final_reports;
-                            trial.attempts = exec.into_iter().map(|ea| ea.attempt).collect();
-                            trial.status = status;
+                            if let Some(trial) = t.iter_mut().find(|tr| tr.id == id) {
+                                trial.reports = final_reports;
+                                trial.attempts = exec.into_iter().map(|ea| ea.attempt).collect();
+                                trial.status = status;
+                            }
                         }
                     };
                     work();
                     live_workers.fetch_sub(1, Ordering::SeqCst);
                 });
             }
-        })
-        .expect("worker thread panicked outside catch_unwind");
+        });
+        if let Err(panic) = scoped {
+            // A worker thread died outside catch_unwind (tuner bug, not an
+            // objective failure): re-raise on the caller's thread instead
+            // of aborting with a bare expect.
+            std::panic::resume_unwind(panic);
+        }
 
         let mut trials = std::mem::take(&mut *trials.lock());
         trials.sort_by_key(|t| t.id);

@@ -41,6 +41,19 @@
 //!     Journaled runs execute trials on up to `max_concurrent` workers;
 //!     effects commit in canonical ask order, so resume is deterministic
 //!     at any concurrency.
+//!     `--workers N` farms evaluations out to N `e2clab worker` child
+//!     processes over a framed stdio protocol. The commit sequencer is
+//!     unchanged, so every artifact is byte-identical to an in-process
+//!     run — even when workers are killed mid-trial (the supervisor
+//!     detects the loss, respawns with seeded backoff and re-dispatches
+//!     the ask transparently). `--kill-worker W@N` is the matching chaos
+//!     knob: SIGKILL worker W after its Nth dispatched ask.
+//! e2clab worker [--repeat N] [--duration SECS] [--clients N]
+//!               [--builtin quad]
+//!     Farm child process (spawned by `optimize --workers`): speaks the
+//!     length-prefixed, CRC-framed protocol on stdin/stdout and runs one
+//!     engine evaluation per ask. `--builtin quad` swaps in a cheap
+//!     deterministic quadratic objective for tests and benches.
 //! e2clab report <archive-dir>
 //!     Re-print the summary of a previously written archive.
 //! e2clab trace summarize <dir|trace.jsonl>
@@ -90,7 +103,8 @@ fn usage() -> ExitCode {
         "usage:\n  e2clab validate <conf.yaml>\n  e2clab deploy <conf.yaml>\n  \
          e2clab optimize [--repeat N] [--duration SECS] [--seed S] [--archive DIR] \
          [--faults SPEC] [--trace DIR] [--replay-check] [--journal DIR | --resume DIR] \
-         [--crash-at N] <conf.yaml>\n  \
+         [--crash-at N] [--workers N] [--kill-worker W@N] <conf.yaml>\n  \
+         e2clab worker [--repeat N] [--duration SECS] [--clients N] [--builtin quad]\n  \
          e2clab report <archive-dir>\n  \
          e2clab trace summarize <dir|trace.jsonl>\n  \
          e2clab lint [--config FILE] [--format text|json|sarif] [--out FILE] \
@@ -137,6 +151,7 @@ fn run_cycle(
     trace_dir: Option<&std::path::Path>,
     spec: CycleSpec,
     journal: Option<JournalConfig>,
+    farm: Option<e2c_tune::FarmSpec>,
 ) -> Result<e2c_core::optimization::OptimizationSummary, String> {
     let tracer = trace_dir.map(|_| e2c_trace::Tracer::new());
     if let Some(dir) = trace_dir {
@@ -147,8 +162,12 @@ fn run_cycle(
     // than a Registry because concurrent workers finish trials out of
     // order, while a TimeSeries only accepts in-order appends — the
     // registry is built from the sorted map after the run, which also
-    // keeps `metrics.prom` deterministic under concurrency.
-    let cycle_samples = std::sync::Mutex::new(std::collections::BTreeMap::new());
+    // keeps `metrics.prom` deterministic under concurrency. Shared (Arc)
+    // between the in-process objective and the farm's aux hook — farmed
+    // runs must land their samples in exactly the same map.
+    let cycle_samples = std::sync::Arc::new(std::sync::Mutex::new(
+        std::collections::BTreeMap::new(),
+    ));
     // Journaled + traced runs persist the per-trial samples in a side WAL
     // (`samples.wal`): completed trials are not re-evaluated on resume,
     // yet `metrics.prom` must still cover them.
@@ -188,14 +207,17 @@ fn run_cycle(
                     }
                 })?
             };
-            Some(std::sync::Mutex::new(wal))
+            Some(std::sync::Arc::new(std::sync::Mutex::new(wal)))
         }
         _ => None,
     };
-    let samples_wal = &samples_wal;
     let trace_out = trace_dir.map(std::path::Path::to_path_buf);
-    let samples = &cycle_samples;
+    let obj_trace_out = trace_out.clone();
+    let samples = std::sync::Arc::clone(&cycle_samples);
+    let samples_wal_obj = samples_wal.clone();
     let objective = move |ctx: &e2c_core::optimization::EvalContext| {
+        let trace_out = &obj_trace_out;
+        let samples_wal = &samples_wal_obj;
         let cfg = PoolConfig::from_point(&ctx.point);
         let mut espec = ExperimentSpec::paper(cfg, spec.clients);
         espec.duration = SimTime::from_secs(spec.duration);
@@ -257,14 +279,61 @@ fn run_cycle(
     if let Some(jc) = journal {
         manager = manager.with_journal(jc);
     }
+    if let Some(spec) = farm {
+        // Multi-process execution: the engine runs in `e2clab worker`
+        // children; this hook lands each result's side artifacts exactly
+        // where the in-process objective would have written them, so a
+        // farmed run's outputs are byte-identical to an in-process one.
+        manager = manager.with_farm(spec);
+        let trace_out = trace_out.clone();
+        let samples = std::sync::Arc::clone(&cycle_samples);
+        let samples_wal = samples_wal.clone();
+        manager = manager.with_aux_hook(std::sync::Arc::new(
+            move |ctx: &e2c_core::optimization::EvalContext, aux: &[(String, String)]| {
+                let Some(dir) = &trace_out else { return };
+                let field = |name: &str| {
+                    aux.iter()
+                        .find(|(k, _)| k == name)
+                        .map(|(_, v)| v.as_str())
+                };
+                if let Some(prom) = field("prom") {
+                    let path = dir
+                        .join("cycles")
+                        .join(format!("cycle_{:04}.prom", ctx.trial_id));
+                    if let Err(e) = e2c_journal::write_atomic(&path, prom.as_bytes()) {
+                        eprintln!("trace: {}: {e}", path.display());
+                    }
+                }
+                let mean = field("mean").and_then(|v| v.parse::<f64>().ok());
+                let completed = field("completed").and_then(|v| v.parse::<f64>().ok());
+                if let (Some(mean), Some(completed)) = (mean, completed) {
+                    samples
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .insert(ctx.trial_id, (mean, completed));
+                    if let Some(wal) = &samples_wal {
+                        let line = format!("{}\t{}\t{}", ctx.trial_id, mean, completed);
+                        if let Err(e) = wal
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .append(line.as_bytes())
+                        {
+                            eprintln!("samples.wal: {e}");
+                        }
+                    }
+                }
+            },
+        ));
+    }
     let summary = manager.run(objective).map_err(|e| e.to_string())?;
     if let (Some(tr), Some(dir)) = (&tracer, trace_dir) {
         tr.save(&dir.join("trace.jsonl"))
             .map_err(|e| format!("trace: {}: {e}", dir.display()))?;
         let mut registry = e2c_metrics::Registry::new();
-        for (trial, (mean, completed)) in cycle_samples
-            .into_inner()
+        for (&trial, &(mean, completed)) in cycle_samples
+            .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
         {
             let t = trial as f64;
             registry.record("objective_response_mean", t, mean);
@@ -312,6 +381,7 @@ fn run_replay_check(
             Some(dir.clone()),
             tdir,
             spec,
+            None,
             None,
         ) {
             Ok(summary) => {
@@ -458,6 +528,8 @@ fn main() -> ExitCode {
             let mut journal: Option<PathBuf> = None;
             let mut resume: Option<PathBuf> = None;
             let mut crash_at: Option<u64> = None;
+            let mut workers = 0usize;
+            let mut kill_worker: Option<(usize, u64)> = None;
             let mut conf_path: Option<String> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
@@ -511,6 +583,19 @@ fn main() -> ExitCode {
                         Some(v) => crash_at = Some(v),
                         None => return usage(),
                     },
+                    "--workers" => match grab("--workers").and_then(|v| v.parse().ok()) {
+                        Some(v) => workers = v,
+                        None => return usage(),
+                    },
+                    // Chaos knob for the crash gate: SIGKILL worker W after
+                    // its Nth dispatched ask. `W@N`, e.g. `--kill-worker 1@2`.
+                    "--kill-worker" => match grab("--kill-worker").and_then(|v| {
+                        let (w, n) = v.split_once('@')?;
+                        Some((w.parse().ok()?, n.parse().ok()?))
+                    }) {
+                        Some(v) => kill_worker = Some(v),
+                        None => return usage(),
+                    },
                     "--replay-check" => replay_check = true,
                     other if !other.starts_with("--") => conf_path = Some(other.to_string()),
                     other => {
@@ -560,6 +645,39 @@ fn main() -> ExitCode {
                 eprintln!("--replay-check cannot be combined with --journal/--resume");
                 return usage();
             }
+            if kill_worker.is_some() && workers == 0 {
+                eprintln!("--kill-worker needs --workers");
+                return usage();
+            }
+            if workers > 0 && replay_check {
+                eprintln!("--workers cannot be combined with --replay-check");
+                return usage();
+            }
+            // `--workers N` farms evaluations out to N `e2clab worker`
+            // child processes. Deliberately NOT part of the journal
+            // fingerprint: the worker count shapes wall-clock only, never
+            // artifacts, so a resume may change it freely.
+            let farm_spec = (workers > 0).then(|| {
+                let exe = match std::env::current_exe() {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("--workers: cannot locate own binary: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                let wargs = vec![
+                    "worker".to_string(),
+                    "--repeat".to_string(),
+                    spec.repeat.to_string(),
+                    "--duration".to_string(),
+                    spec.duration.to_string(),
+                    "--clients".to_string(),
+                    spec.clients.to_string(),
+                ];
+                let mut fs = e2c_tune::FarmSpec::new(exe, wargs, workers, seed);
+                fs.kill_after = kill_worker;
+                fs
+            });
             let journal_conf = journal
                 .map(JournalConfig::fresh)
                 .or_else(|| resume.map(JournalConfig::resume))
@@ -585,6 +703,7 @@ fn main() -> ExitCode {
                 trace.as_deref(),
                 spec,
                 journal_conf,
+                farm_spec,
             ) {
                 Ok(summary) => {
                     print!("{}", summary.render());
@@ -598,6 +717,107 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "worker" => {
+            // Farm child: speaks the framed stdio protocol on stdin/stdout
+            // and runs one engine evaluation per ask. Spawned by
+            // `optimize --workers N`; not intended for interactive use.
+            let mut repeat = 1usize;
+            let mut duration = 1380u64;
+            let mut clients = 80usize;
+            let mut builtin: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut grab = |name: &str| -> Option<String> {
+                    let v = it.next();
+                    if v.is_none() {
+                        eprintln!("{name} needs a value");
+                    }
+                    v.cloned()
+                };
+                match arg.as_str() {
+                    "--repeat" => match grab("--repeat").and_then(|v| v.parse().ok()) {
+                        Some(v) => repeat = v,
+                        None => return usage(),
+                    },
+                    "--duration" => match grab("--duration").and_then(|v| v.parse().ok()) {
+                        Some(v) => duration = v,
+                        None => return usage(),
+                    },
+                    "--clients" => match grab("--clients").and_then(|v| v.parse().ok()) {
+                        Some(v) => clients = v,
+                        None => return usage(),
+                    },
+                    // Cheap deterministic objective for farm tests and
+                    // benches: no engine run, just a quadratic bowl.
+                    "--builtin" => match grab("--builtin") {
+                        Some(v) => builtin = Some(v),
+                        None => return usage(),
+                    },
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        return usage();
+                    }
+                }
+            }
+            let result = match builtin.as_deref() {
+                Some("quad") => e2c_tune::worker::serve(|ask, _tracer| {
+                    let value = ask
+                        .config
+                        .iter()
+                        .map(|x| (x - 3.0) * (x - 3.0))
+                        .sum::<f64>();
+                    (value, Vec::new())
+                }),
+                Some(other) => {
+                    eprintln!("unknown --builtin objective `{other}` (expected quad)");
+                    return ExitCode::FAILURE;
+                }
+                // The engine objective: the exact computation the
+                // in-process path runs, with side artifacts shipped back
+                // as aux strings instead of written locally — the parent
+                // owns the archive/trace directories.
+                None => e2c_tune::worker::serve(move |ask, tracer| {
+                    let cfg = PoolConfig::from_point(&ask.config);
+                    let mut espec = ExperimentSpec::paper(cfg, clients);
+                    espec.duration = SimTime::from_secs(duration);
+                    espec.warmup = SimTime::from_secs((duration / 10).min(60));
+                    let metrics = EngineRun::run_repeated_traced(
+                        espec,
+                        repeat,
+                        1000 + ask.trial,
+                        tracer.cloned(),
+                    );
+                    let mut aux = Vec::new();
+                    if ask.traced {
+                        let mut merged = e2c_metrics::Registry::new();
+                        for (rep, run) in metrics.runs.iter().enumerate() {
+                            merged
+                                .append_shifted(&run.registry, (rep as u64 * duration) as f64);
+                        }
+                        let mut buf = Vec::new();
+                        let _ = merged.write_prometheus(&mut buf);
+                        let completed =
+                            metrics.runs.iter().map(|r| r.completed).sum::<u64>();
+                        // f64 `Display` round-trips exactly through `parse`,
+                        // so the parent re-renders identical bytes.
+                        aux.push(("mean".to_string(), metrics.response.mean.to_string()));
+                        aux.push(("completed".to_string(), (completed as f64).to_string()));
+                        aux.push((
+                            "prom".to_string(),
+                            String::from_utf8_lossy(&buf).into_owned(),
+                        ));
+                    }
+                    (metrics.response.mean, aux)
+                }),
+            };
+            match result {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("worker: {e}");
                     ExitCode::FAILURE
                 }
             }
