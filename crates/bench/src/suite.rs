@@ -17,6 +17,9 @@
 //! * [`WorkerFarmOverheadBench`] — the multi-process trial farm's
 //!   dispatch tax: asks round-tripped through live `e2clab worker`
 //!   processes running a near-free builtin objective.
+//! * [`ServingEpochBench`] — one serving epoch under overload: an
+//!   open-loop run at the 2.5M-users/day spring-peak rate against the
+//!   baseline pools, with bounded admission and deadline shedding.
 //!
 //! Every suite benchmark carries the `smoke` tag so
 //! `e2clab bench --filter smoke` (the CI job) runs them all.
@@ -42,6 +45,7 @@ pub fn default_registry() -> BenchRegistry {
         .register(JournalWireBench::new())
         .register(DetlintWorkspaceBench::new())
         .register(WorkerFarmOverheadBench::new())
+        .register(ServingEpochBench::new())
 }
 
 // ---------------------------------------------------------------------------
@@ -607,7 +611,11 @@ impl Benchmark for WorkerFarmOverheadBench {
         );
         let spec = e2c_tune::FarmSpec::new(
             bin,
-            vec!["worker".to_string(), "--builtin".to_string(), "quad".to_string()],
+            vec![
+                "worker".to_string(),
+                "--builtin".to_string(),
+                "quad".to_string(),
+            ],
             2,
             seed,
         );
@@ -635,6 +643,64 @@ impl Benchmark for WorkerFarmOverheadBench {
     }
 }
 
+// ---------------------------------------------------------------------------
+// open-loop serving epoch
+// ---------------------------------------------------------------------------
+
+/// One serving epoch under overload (`crates/plantnet` serving path +
+/// `crates/workload` thinning): 120 simulated seconds of open-loop
+/// arrivals at the 2.5M-users/day spring-peak rate (~55 req/s) against
+/// the baseline pools, with a bounded admission queue and deadline
+/// shedding — the hot loop behind every `e2clab serve` trial. Units are
+/// offered arrivals processed.
+pub struct ServingEpochBench {
+    seed: u64,
+}
+
+impl ServingEpochBench {
+    pub fn new() -> Self {
+        ServingEpochBench { seed: 0 }
+    }
+}
+
+impl Default for ServingEpochBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for ServingEpochBench {
+    fn name(&self) -> &'static str {
+        "serving_epoch"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["smoke", "plantnet", "serve"]
+    }
+    fn policy(&self) -> BenchPolicy {
+        BenchPolicy::new(1, 5)
+    }
+    fn setup(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+    fn iter(&mut self, round: u64) -> u64 {
+        // The May peak of a 2.5M-users/day trace: mean ~29 req/s times
+        // the 1.9× seasonal factor, saturating the baseline engine so
+        // rejection, shedding and SLO accounting are all on the path.
+        let schedule = e2c_workload::RateSchedule::constant(55.0, SimTime::from_secs(120))
+            .expect("valid rate");
+        let spec =
+            plantnet::sim::ExperimentSpec::serving(PoolConfig::baseline(), schedule.horizon());
+        let metrics = Experiment::run_serving(
+            spec,
+            &schedule,
+            Some(plantnet::OverloadPolicy::paper_slo(64)),
+            self.seed.wrapping_add(round),
+        );
+        let overload = metrics.overload.expect("serving run has overload totals");
+        overload.offered
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,11 +717,23 @@ mod tests {
                 "journal_wal",
                 "journal_wire",
                 "detlint_workspace",
-                "worker_farm_overhead"
+                "worker_farm_overhead",
+                "serving_epoch"
             ]
         );
         // Every suite benchmark answers the CI smoke filter.
-        assert_eq!(default_registry().with_filter("smoke").selected().len(), 7);
+        assert_eq!(default_registry().with_filter("smoke").selected().len(), 8);
+    }
+
+    #[test]
+    fn serving_epoch_bench_saturates_and_is_deterministic() {
+        let mut a = ServingEpochBench::new();
+        let mut b = ServingEpochBench::new();
+        a.setup(7);
+        b.setup(7);
+        assert_eq!(a.iter(0), b.iter(0));
+        // 55 req/s over 120 s: thousands of offered arrivals.
+        assert!(a.iter(1) > 5_000);
     }
 
     #[test]

@@ -28,7 +28,8 @@ fn every_registered_benchmark_runs_under_the_smoke_filter() {
             "journal_wal",
             "journal_wire",
             "detlint_workspace",
-            "worker_farm_overhead"
+            "worker_farm_overhead",
+            "serving_epoch"
         ]
     );
 

@@ -25,9 +25,11 @@ pub mod experiment;
 pub mod managers;
 pub mod optimization;
 pub mod service;
+pub mod serving;
 pub mod user_api;
 
 pub use experiment::Experiment;
 pub use optimization::{EvalContext, OptimizationManager, OptimizationSummary, RunError};
 pub use service::Service;
+pub use serving::{EpochRow, ServingConfig, ServingReport};
 pub use user_api::UserOptimization;

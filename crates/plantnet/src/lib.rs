@@ -36,5 +36,5 @@ pub mod sim;
 
 pub use config::PoolConfig;
 pub use model::EngineModel;
-pub use monitor::EngineMetrics;
-pub use sim::{Experiment, ServiceFault, ServiceFaultKind};
+pub use monitor::{EngineMetrics, OverloadTotals};
+pub use sim::{Experiment, OverloadPolicy, ServiceFault, ServiceFaultKind};

@@ -37,6 +37,39 @@ pub mod names {
     pub const EXTRACT_QUEUE: &str = "extract_queue_depth";
     /// Requests waiting on the simsearch pool at the window boundary.
     pub const SIMSEARCH_QUEUE: &str = "simsearch_queue_depth";
+    /// Open-loop arrivals offered in the window (serving mode).
+    pub const OFFERED: &str = "offered_arrivals";
+    /// Arrivals bounced by the admission bound in the window.
+    pub const REJECTED: &str = "admission_rejected";
+    /// Queued requests shed past their deadline in the window.
+    pub const SHED: &str = "queue_shed";
+    /// Completions above the SLO bound in the window.
+    pub const SLO_VIOLATIONS: &str = "slo_violations";
+}
+
+/// Overload accounting for an open-loop serving run. Counts are event
+/// counts in simulated time (never wall-clock), so they ride the
+/// deterministic artifact formats unchanged.
+///
+/// Conservation holds exactly at the end of every run:
+/// `admitted + rejected + shed == offered`, where `shed` includes
+/// queued requests abandoned when the run ended (offered but never
+/// served — they are not admissions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadTotals {
+    /// Open-loop arrivals offered to the engine.
+    pub offered: u64,
+    /// Requests that entered service (acquired an HTTP slot).
+    pub admitted: u64,
+    /// Arrivals bounced because the admission queue was full.
+    pub rejected: u64,
+    /// Requests dropped from the admission queue without service
+    /// (deadline sheds plus the end-of-run queue flush).
+    pub shed: u64,
+    /// Completions whose response time exceeded the SLO bound.
+    pub slo_violations: u64,
+    /// Deepest admission queue observed at any point in the run.
+    pub peak_queue_depth: usize,
 }
 
 /// Everything measured in one engine run.
@@ -68,6 +101,9 @@ pub struct EngineMetrics {
     pub gpu_mem_gb: f64,
     /// Container memory footprint (constant per configuration).
     pub sys_mem_gb: f64,
+    /// Overload accounting — `Some` for open-loop serving runs, `None`
+    /// for the closed-loop protocol (which has no admission control).
+    pub overload: Option<OverloadTotals>,
 }
 
 impl EngineMetrics {
@@ -161,6 +197,7 @@ mod tests {
             throughput: 30.0,
             gpu_mem_gb: 7.0,
             sys_mem_gb: 10.0,
+            overload: None,
         }
     }
 

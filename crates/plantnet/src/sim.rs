@@ -22,15 +22,18 @@
 
 use crate::config::PoolConfig;
 use crate::model::EngineModel;
-use crate::monitor::{names, EngineMetrics, RepeatedMetrics};
+use crate::monitor::{names, EngineMetrics, OverloadTotals, RepeatedMetrics};
 use crate::pipeline::Task;
 use e2c_des::resources::{Discipline, ProcShare, Tokens};
 use e2c_des::{Context, Dist, EventHandle, Model, SimTime, Simulation};
 use e2c_metrics::{Histogram, OnlineStats, Registry, Summary};
 use e2c_net::{LinkSpec, SharedLink};
-use e2c_workload::ImageMix;
+use e2c_workload::{ImageMix, RateSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// What a [`ServiceFault`] does to the engine once it triggers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +58,74 @@ pub struct ServiceFault {
     pub at: SimTime,
     /// What happens.
     pub kind: ServiceFaultKind,
+}
+
+/// Overload policy for an open-loop serving run.
+///
+/// The HTTP pool's wait queue becomes a *bounded* admission queue:
+/// arrivals finding `queue_bound` requests already waiting are rejected
+/// outright, and queued requests older than `shed_after` are shed —
+/// deterministically, at service-start and window boundaries — instead
+/// of serving a response the user gave up on long ago. Completions
+/// slower than `slo` count as SLO violations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadPolicy {
+    /// Maximum admission-queue depth; arrivals beyond it are rejected.
+    pub queue_bound: usize,
+    /// Shed queued requests older than this (`None`: never shed).
+    pub shed_after: Option<SimTime>,
+    /// Response-time SLO bound in seconds (the paper's 4 s tolerance).
+    pub slo: f64,
+}
+
+impl OverloadPolicy {
+    /// A policy with the paper's 4 s SLO, a queue bound sized like a
+    /// production listen backlog, and shedding at twice the SLO.
+    pub fn paper_slo(queue_bound: usize) -> Self {
+        OverloadPolicy {
+            queue_bound,
+            shed_after: Some(SimTime::from_secs(8)),
+            slo: 4.0,
+        }
+    }
+}
+
+/// Open-loop serving bookkeeping. Lives on the model (not the `Copy`
+/// spec): the arrival schedule is data, and the overload counters are
+/// run state.
+struct Serving {
+    policy: Option<OverloadPolicy>,
+    /// FIFO mirror of the HTTP admission queue: `(req, enqueued_at)`.
+    /// `Tokens` keeps the authoritative queue; this adds the enqueue
+    /// timestamps shedding needs. Orders always agree (both FIFO).
+    waiting: VecDeque<(u64, SimTime)>,
+    totals: OverloadTotals,
+    // Window counters, reset at each sample boundary.
+    win_offered: u64,
+    win_rejected: u64,
+    win_shed: u64,
+    win_slo: u64,
+}
+
+impl Serving {
+    fn new(policy: Option<OverloadPolicy>) -> Self {
+        if let Some(p) = policy {
+            assert!(
+                p.slo.is_finite() && p.slo > 0.0,
+                "SLO bound must be finite and positive, got {}",
+                p.slo
+            );
+        }
+        Serving {
+            policy,
+            waiting: VecDeque::new(),
+            totals: OverloadTotals::default(),
+            win_offered: 0,
+            win_rejected: 0,
+            win_shed: 0,
+            win_slo: 0,
+        }
+    }
 }
 
 /// Full description of one engine experiment.
@@ -105,6 +176,22 @@ impl ExperimentSpec {
             duration: SimTime::from_secs(138),
             warmup: SimTime::from_secs(20),
             ..ExperimentSpec::paper(config, clients)
+        }
+    }
+
+    /// Spec for an open-loop serving run over `horizon` of simulated
+    /// time. `clients` is irrelevant in open loop (arrivals come from
+    /// the schedule); no warm-up exclusion — a serving window accounts
+    /// for every request it saw. The sampling interval adapts to short
+    /// horizons so every run gets a handful of windows.
+    pub fn serving(config: PoolConfig, horizon: SimTime) -> Self {
+        let interval =
+            SimTime((horizon.0 / 12).clamp(SimTime::from_secs(1).0, SimTime::from_secs(10).0));
+        ExperimentSpec {
+            duration: horizon,
+            sample_interval: interval,
+            warmup: SimTime::ZERO,
+            ..ExperimentSpec::paper(config, 1)
         }
     }
 }
@@ -178,6 +265,8 @@ pub struct Experiment {
     /// Set once a [`ServiceFaultKind::Crash`] triggers; every later
     /// event is dropped and `finish` reports a NaN response mean.
     crashed: bool,
+    /// Open-loop serving state (`None` in the closed-loop protocol).
+    serving: Option<Serving>,
     /// Optional trace sink: per-window `sim/queues` events (pool queue
     /// depths) and the `sim/crash` marker, stamped with sim microseconds.
     tracer: Option<e2c_trace::Tracer>,
@@ -190,7 +279,6 @@ impl Experiment {
     /// Build the model for a spec.
     pub fn new(spec: ExperimentSpec) -> Self {
         spec.config.validate().expect("invalid pool configuration");
-        assert!(spec.clients > 0, "need at least one client");
         if let Some(ServiceFault {
             kind: ServiceFaultKind::SlowDown { factor },
             ..
@@ -225,6 +313,7 @@ impl Experiment {
             completed: 0,
             completed_after_warmup: 0,
             crashed: false,
+            serving: None,
             tracer: None,
             prev_cpu_demand: 0.0,
             prev_busy: [0.0; 4],
@@ -245,6 +334,7 @@ impl Experiment {
         seed: u64,
         tracer: Option<e2c_trace::Tracer>,
     ) -> EngineMetrics {
+        assert!(spec.clients > 0, "need at least one client");
         let mut model = Experiment::new(spec);
         model.tracer = tracer.clone();
         let mut sim = Simulation::new(model, seed);
@@ -257,6 +347,53 @@ impl Experiment {
         for client in 0..spec.clients as u32 {
             let at = SimTime(ramp.0 * client as u64 / n);
             sim.schedule(at, Ev::Arrive { client });
+        }
+        sim.schedule(spec.sample_interval, Ev::Sample);
+        sim.run_until(spec.duration);
+        sim.into_model().finish()
+    }
+
+    /// Open-loop serving run: arrivals replay `schedule` (thinned
+    /// deterministically from `seed`), the closed loop is off, and
+    /// `policy` — if any — bounds admission and sheds stale queue
+    /// entries. With `policy = None` the run is bitwise-identical to
+    /// the engine without overload semantics: the policy checks draw no
+    /// randomness and touch no service path.
+    pub fn run_serving(
+        spec: ExperimentSpec,
+        schedule: &RateSchedule,
+        policy: Option<OverloadPolicy>,
+        seed: u64,
+    ) -> EngineMetrics {
+        Experiment::run_serving_traced(spec, schedule, policy, seed, None)
+    }
+
+    /// [`Experiment::run_serving`] with an optional trace sink
+    /// (per-window `sim/queues` and `sim/overload` events).
+    pub fn run_serving_traced(
+        spec: ExperimentSpec,
+        schedule: &RateSchedule,
+        policy: Option<OverloadPolicy>,
+        seed: u64,
+        tracer: Option<e2c_trace::Tracer>,
+    ) -> EngineMetrics {
+        let mut model = Experiment::new(spec);
+        model.serving = Some(Serving::new(policy));
+        model.tracer = tracer.clone();
+        let mut sim = Simulation::new(model, seed);
+        if let Some(tr) = tracer {
+            sim.set_trace(tr, "plantnet");
+        }
+        // The arrival stream comes from its own derived RNG so it is a
+        // pure function of (schedule, seed) — independent of how many
+        // service times the engine happens to draw.
+        let mut arr_rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        let horizon = spec.duration.min(schedule.horizon());
+        for (i, at) in schedule.arrivals(&mut arr_rng).into_iter().enumerate() {
+            if at > horizon {
+                break;
+            }
+            sim.schedule(at, Ev::Arrive { client: i as u32 });
         }
         sim.schedule(spec.sample_interval, Ev::Sample);
         sim.run_until(spec.duration);
@@ -484,6 +621,18 @@ impl Experiment {
             self.completed_after_warmup += 1;
             self.responses.record(response);
         }
+        if let Some(s) = &mut self.serving {
+            if let Some(p) = s.policy {
+                if response > p.slo {
+                    s.totals.slo_violations += 1;
+                    s.win_slo += 1;
+                }
+            }
+            // Open loop: no client to reschedule. Pass the freed HTTP
+            // slot down the admission queue (shedding stale waiters).
+            self.release_admission(ctx);
+            return;
+        }
         // Release the HTTP slot; an admission-queued request starts now.
         if let Some(waiter) = self.http.release(now) {
             self.start_preprocess(ctx, waiter);
@@ -494,6 +643,34 @@ impl Experiment {
             SimTime::from_secs_f64(d.sample(ctx.rng()))
         };
         ctx.schedule_in(think, Ev::Arrive { client: r.client });
+    }
+
+    /// Serving-mode release path: grant the freed HTTP slot to the
+    /// oldest waiter, shedding any whose queueing delay already exceeds
+    /// the policy deadline at the moment it would start service.
+    fn release_admission(&mut self, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        while let Some(waiter) = self.http.release(now) {
+            let s = self.serving.as_mut().expect("serving mode");
+            let (id, enqueued) = s.waiting.pop_front().expect("mirrored admission queue");
+            debug_assert_eq!(id, waiter, "admission FIFO mirror out of sync");
+            let stale = s
+                .policy
+                .and_then(|p| p.shed_after)
+                .map(|d| now - enqueued > d)
+                .unwrap_or(false);
+            if stale {
+                s.totals.shed += 1;
+                s.win_shed += 1;
+                self.reqs.remove(&waiter);
+                // The shed request held the freshly granted slot;
+                // release again for the next waiter.
+                continue;
+            }
+            s.totals.admitted += 1;
+            self.start_preprocess(ctx, waiter);
+            break;
+        }
     }
 
     // ---- monitoring ----
@@ -510,6 +687,51 @@ impl Experiment {
                 .record(names::THROUGHPUT, t, self.window_resp.count() as f64 / dt);
         }
         self.window_resp = OnlineStats::new();
+
+        // Serving mode: shed expired waiters at the boundary (they are
+        // a prefix of the FIFO — enqueue times are monotone), then
+        // record this window's overload counters.
+        if let Some(s) = &mut self.serving {
+            if let Some(d) = s.policy.and_then(|p| p.shed_after) {
+                while let Some(&(id, enq)) = s.waiting.front() {
+                    if now - enq > d {
+                        let cancelled = self.http.cancel_wait(now, id);
+                        debug_assert!(cancelled, "mirrored waiter not in queue");
+                        s.waiting.pop_front();
+                        self.reqs.remove(&id);
+                        s.totals.shed += 1;
+                        s.win_shed += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.registry
+                .record(names::OFFERED, t, s.win_offered as f64);
+            self.registry
+                .record(names::REJECTED, t, s.win_rejected as f64);
+            self.registry.record(names::SHED, t, s.win_shed as f64);
+            self.registry
+                .record(names::SLO_VIOLATIONS, t, s.win_slo as f64);
+            if let Some(tr) = &self.tracer {
+                tr.point_at(
+                    now.as_micros(),
+                    "sim",
+                    "overload",
+                    None,
+                    e2c_trace::fields([
+                        ("offered", s.win_offered.into()),
+                        ("rejected", s.win_rejected.into()),
+                        ("shed", s.win_shed.into()),
+                        ("slo_violations", s.win_slo.into()),
+                    ]),
+                );
+            }
+            s.win_offered = 0;
+            s.win_rejected = 0;
+            s.win_shed = 0;
+            s.win_slo = 0;
+        }
 
         // Windowed CPU utilization from the demand integral.
         let cpu_int = self.cpu.demand_integral(now);
@@ -591,7 +813,14 @@ impl Experiment {
     }
 
     /// Final packaging of a finished run.
-    fn finish(self) -> EngineMetrics {
+    fn finish(mut self) -> EngineMetrics {
+        if let Some(s) = &mut self.serving {
+            // Requests still queued at the horizon were offered but
+            // never served: account them as sheds so conservation
+            // (admitted + rejected + shed == offered) holds exactly.
+            s.totals.shed += s.waiting.len() as u64;
+            s.waiting.clear();
+        }
         let mut response = self.registry.summary(names::RESPONSE);
         if self.crashed {
             // A crashed engine produced no valid measurement; a NaN mean
@@ -630,6 +859,7 @@ impl Experiment {
                 .spec
                 .model
                 .sys_memory_gb(self.spec.config.extract, self.spec.config.http),
+            overload: self.serving.as_ref().map(|s| s.totals),
             registry: self.registry,
         }
     }
@@ -667,6 +897,10 @@ impl Model for Experiment {
                 let req = self.next_req;
                 self.next_req += 1;
                 let now = ctx.now();
+                if let Some(s) = &mut self.serving {
+                    s.totals.offered += 1;
+                    s.win_offered += 1;
+                }
                 self.reqs.insert(
                     req,
                     Req {
@@ -676,10 +910,31 @@ impl Model for Experiment {
                     },
                 );
                 if self.http.try_acquire(now, req) {
+                    if let Some(s) = &mut self.serving {
+                        s.totals.admitted += 1;
+                    }
                     self.start_preprocess(ctx, req);
+                } else if let Some(s) = &mut self.serving {
+                    // Queued. Enforce the admission bound: the arrival
+                    // that would push the queue past it is bounced.
+                    let over = s
+                        .policy
+                        .map(|p| self.http.queue_len() > p.queue_bound)
+                        .unwrap_or(false);
+                    if over {
+                        let cancelled = self.http.cancel_wait(now, req);
+                        debug_assert!(cancelled, "rejected arrival not in queue");
+                        self.reqs.remove(&req);
+                        s.totals.rejected += 1;
+                        s.win_rejected += 1;
+                    } else {
+                        s.waiting.push_back((req, now));
+                        s.totals.peak_queue_depth =
+                            s.totals.peak_queue_depth.max(self.http.queue_len());
+                    }
                 }
-                // Otherwise the request waits in the HTTP admission queue;
-                // complete_request's release will start it.
+                // Closed loop: the request waits in the (unbounded) HTTP
+                // admission queue; complete_request's release starts it.
             }
 
             Ev::CpuDone { job } => {
@@ -1031,5 +1286,101 @@ mod tests {
             kind: ServiceFaultKind::SlowDown { factor: 0.0 },
         });
         Experiment::new(spec);
+    }
+
+    // ---- open-loop serving ----
+
+    fn serving_bits(m: &EngineMetrics) -> (u64, u64, u64) {
+        (
+            m.completed,
+            m.response.mean.to_bits(),
+            m.throughput.to_bits(),
+        )
+    }
+
+    #[test]
+    fn light_serving_run_admits_everything() {
+        let sched = RateSchedule::constant(5.0, SimTime::from_secs(120)).unwrap();
+        let spec = ExperimentSpec::serving(PoolConfig::baseline(), sched.horizon());
+        let policy = OverloadPolicy::paper_slo(100);
+        let m = Experiment::run_serving(spec, &sched, Some(policy), 3);
+        let o = m.overload.expect("serving run reports overload totals");
+        assert!(o.offered > 300, "offered {}", o.offered);
+        assert_eq!(o.rejected, 0);
+        assert_eq!(o.shed, 0);
+        assert_eq!(o.admitted + o.rejected + o.shed, o.offered);
+        assert!(m.completed > 0);
+    }
+
+    #[test]
+    fn saturating_serving_run_rejects_and_sheds() {
+        // ~100 req/s against the baseline config (capacity well below
+        // that): the bounded queue fills, rejections and sheds follow.
+        let sched = RateSchedule::constant(100.0, SimTime::from_secs(120)).unwrap();
+        let spec = ExperimentSpec::serving(PoolConfig::baseline(), sched.horizon());
+        let policy = OverloadPolicy {
+            queue_bound: 50,
+            shed_after: Some(SimTime::from_secs(8)),
+            slo: 4.0,
+        };
+        let m = Experiment::run_serving(spec, &sched, Some(policy), 3);
+        let o = m.overload.unwrap();
+        assert!(o.rejected > 0, "expected rejections: {o:?}");
+        assert!(o.shed > 0, "expected sheds: {o:?}");
+        assert!(o.slo_violations > 0, "expected SLO violations: {o:?}");
+        assert_eq!(o.admitted + o.rejected + o.shed, o.offered);
+        assert!(o.peak_queue_depth <= 50, "bound violated: {o:?}");
+        // The window series rode the registry.
+        assert!(m.registry.summary(names::REJECTED).mean > 0.0);
+        assert!(m.registry.summary(names::SHED).mean >= 0.0);
+    }
+
+    #[test]
+    fn no_op_policy_is_bitwise_identical_to_no_policy() {
+        // A policy that never triggers must not perturb the run at all:
+        // admission checks draw no randomness.
+        let sched = RateSchedule::constant(60.0, SimTime::from_secs(120)).unwrap();
+        let spec = ExperimentSpec::serving(PoolConfig::baseline(), sched.horizon());
+        let inert = OverloadPolicy {
+            queue_bound: usize::MAX,
+            shed_after: None,
+            slo: 4.0,
+        };
+        let a = Experiment::run_serving(spec, &sched, None, 11);
+        let b = Experiment::run_serving(spec, &sched, Some(inert), 11);
+        assert_eq!(serving_bits(&a), serving_bits(&b));
+        let (oa, mut ob) = (a.overload.unwrap(), b.overload.unwrap());
+        // SLO accounting is pure bookkeeping that needs a policy to
+        // define the bound; everything else must match exactly.
+        assert!(ob.slo_violations > 0, "saturated run must violate SLO");
+        ob.slo_violations = oa.slo_violations;
+        assert_eq!(oa, ob);
+        assert_eq!(oa.rejected, 0);
+        // Deadline sheds are impossible without a policy; any sheds
+        // here are the end-of-run queue flush, identical in both runs.
+        assert_eq!(oa.admitted + oa.shed, oa.offered);
+    }
+
+    #[test]
+    fn serving_is_deterministic_per_seed() {
+        let sched = RateSchedule::constant(80.0, SimTime::from_secs(90)).unwrap();
+        let spec = ExperimentSpec::serving(PoolConfig::baseline(), sched.horizon());
+        let policy = OverloadPolicy::paper_slo(30);
+        let a = Experiment::run_serving(spec, &sched, Some(policy), 42);
+        let b = Experiment::run_serving(spec, &sched, Some(policy), 42);
+        assert_eq!(serving_bits(&a), serving_bits(&b));
+        assert_eq!(a.overload, b.overload);
+        let c = Experiment::run_serving(spec, &sched, Some(policy), 43);
+        assert_ne!(a.overload.unwrap().offered, c.overload.unwrap().offered);
+    }
+
+    #[test]
+    fn zero_rate_schedule_serves_nothing() {
+        let sched = RateSchedule::constant(0.0, SimTime::from_secs(60)).unwrap();
+        let spec = ExperimentSpec::serving(PoolConfig::baseline(), sched.horizon());
+        let m = Experiment::run_serving(spec, &sched, None, 1);
+        let o = m.overload.unwrap();
+        assert_eq!(o.offered, 0);
+        assert_eq!(m.completed, 0);
     }
 }

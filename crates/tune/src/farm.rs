@@ -183,8 +183,10 @@ impl FarmInner {
         }
         if let Some(ticket) = st.sup.lost(worker, now) {
             st.inflight.remove(&ticket);
-            st.results
-                .insert(ticket, AskOutcome::Lost(format!("worker {worker} {reason}")));
+            st.results.insert(
+                ticket,
+                AskOutcome::Lost(format!("worker {worker} {reason}")),
+            );
         }
         eprintln!("e2clab: farm: worker {worker} {reason}");
         self.cv.notify_all();
@@ -210,7 +212,7 @@ impl WorkerFarm {
             spec.heartbeat_timeout.as_millis() as u64,
             spec.max_respawns,
             spec.seed,
-            spec.respawn_backoff.clone(),
+            spec.respawn_backoff,
         );
         let inner = Arc::new(FarmInner {
             spec,
@@ -284,10 +286,7 @@ impl WorkerFarm {
     ) -> Result<FarmOutcome, TrialError> {
         let mut redispatches = 0u32;
         loop {
-            let ticket = match self.dispatch(trial, attempt, config, tracer.is_some()) {
-                Ok(t) => t,
-                Err(e) => return Err(e),
-            };
+            let ticket = self.dispatch(trial, attempt, config, tracer.is_some())?;
             let outcome = {
                 let mut st = self.inner.state.lock();
                 loop {

@@ -280,19 +280,14 @@ impl RunEvent {
                 let config = if config.is_empty() {
                     Vec::new()
                 } else {
-                    config
-                        .split(',')
-                        .map(parse_f64)
-                        .collect::<Result<_, _>>()?
+                    config.split(',').map(parse_f64).collect::<Result<_, _>>()?
                 };
                 Ok(RunEvent::Ask {
                     trial: int(trial)?,
                     config,
                 })
             }
-            ["restart", trial] => Ok(RunEvent::Restart {
-                trial: int(trial)?,
-            }),
+            ["restart", trial] => Ok(RunEvent::Restart { trial: int(trial)? }),
             ["report", trial, iteration, normalized, decision] => {
                 let stop = match *decision {
                     "stop" => true,
@@ -348,7 +343,9 @@ impl RunEvent {
                 fields.len()
             )),
             ["complete"] => Ok(RunEvent::Complete),
-            [kind, ..] if matches!(*kind, "ask" | "restart" | "report" | "attempt" | "complete") => {
+            [kind, ..]
+                if matches!(*kind, "ask" | "restart" | "report" | "attempt" | "complete") =>
+            {
                 Err(format!(
                     "journal record `{kind}...`: wrong field count ({})",
                     fields.len()

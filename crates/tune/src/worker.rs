@@ -475,7 +475,10 @@ mod tests {
             attempt: 1,
             reply: WorkerReply {
                 value: -2.5,
-                aux: vec![("mean".into(), "1.25".into()), ("odd\tkey".into(), "".into())],
+                aux: vec![
+                    ("mean".into(), "1.25".into()),
+                    ("odd\tkey".into(), "".into()),
+                ],
                 events: vec![("{\"seq\":0}".into(), true), ("has\ttab".into(), false)],
                 end_clock: 17,
             },
@@ -495,9 +498,9 @@ mod tests {
             "hello",
             "hello\t01",
             "heartbeat\t1\textra",
-            "ask\t1\t0\t2\t1.5",        // bad traced flag
-            "ask\t1\t0\t1\t1.5,,2.0",   // empty config entry
-            "ask\t1\t0\t1\t",           // empty config field must be `-`
+            "ask\t1\t0\t2\t1.5",           // bad traced flag
+            "ask\t1\t0\t1\t1.5,,2.0",      // empty config entry
+            "ask\t1\t0\t1\t",              // empty config field must be `-`
             "result\t1\t0\tok\t1.5\t1\tk", // aux count overruns fields
             "result\t1\t0\tok\t1.5\t0\t0\t0\textra",
             "result\t1\t0\tok\t01.5\t0\t0\t0", // non-canonical value

@@ -48,9 +48,9 @@ enum Op {
 
 fn arb_op(workers: usize) -> impl Strategy<Value = Op> {
     let w = 0..workers + 2; // +2: out-of-range indices must be harmless
-    // Assign/complete arms are repeated: interleavings should spend most
-    // of their steps actually cycling permits (the vendored proptest has
-    // no weighted `prop_oneof`).
+                            // Assign/complete arms are repeated: interleavings should spend most
+                            // of their steps actually cycling permits (the vendored proptest has
+                            // no weighted `prop_oneof`).
     prop_oneof![
         Just(Op::Assign),
         Just(Op::Assign),

@@ -8,6 +8,8 @@
 //! * [`ClosedLoop`] — N clients, each holding exactly one outstanding
 //!   request (the paper's "simultaneous requests");
 //! * [`OpenLoop`] — Poisson arrivals, for open-system experiments;
+//! * [`trace`] — piecewise-rate open-loop replay of the seasonal trace
+//!   (deterministic thinning), the serving mode's arrival source;
 //! * [`seasonal`] — a synthetic new-users-per-month trace with exponential
 //!   year-over-year growth and May–June peaks (Fig. 2's shape);
 //! * [`ImageMix`] — the size distribution of uploaded plant images;
@@ -18,7 +20,9 @@ pub mod arrivals;
 pub mod diurnal;
 pub mod images;
 pub mod seasonal;
+pub mod trace;
 
-pub use arrivals::{ClosedLoop, OpenLoop};
+pub use arrivals::{ClosedLoop, OpenLoop, RateError};
 pub use diurnal::Diurnal;
 pub use images::ImageMix;
+pub use trace::{serving_schedule, RateEpoch, RateSchedule};

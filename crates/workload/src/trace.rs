@@ -1,0 +1,314 @@
+//! Trace-driven open-loop arrivals: a piecewise-constant rate schedule
+//! replayed as a non-homogeneous Poisson process by deterministic
+//! thinning over the [`OpenLoop`] machinery.
+//!
+//! The serving mode builds its schedule from the Fig. 2 seasonal curve
+//! ([`crate::seasonal::GrowthModel`]) scaled to a target users/day, one
+//! epoch per trace month compressed to a configurable simulated
+//! duration. Given a seed the arrival instants are a pure function of
+//! the schedule — the property every serving determinism gate leans on.
+
+use crate::arrivals::{OpenLoop, RateError};
+use crate::seasonal::GrowthModel;
+use e2c_des::SimTime;
+use rand::Rng;
+
+/// One piecewise-constant segment of the rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateEpoch {
+    /// Human-readable label (e.g. `2017-05` for a trace month).
+    pub label: String,
+    /// Mean arrival rate over the epoch, in requests per second.
+    pub rate: f64,
+    /// Epoch length in simulated time.
+    pub duration: SimTime,
+}
+
+/// A piecewise-constant arrival-rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSchedule {
+    epochs: Vec<RateEpoch>,
+}
+
+impl RateSchedule {
+    /// Build a schedule, validating every epoch rate. Zero-rate epochs
+    /// are allowed (zero demand is representable); negative or
+    /// non-finite rates and zero-length epochs are rejected.
+    pub fn new(epochs: Vec<RateEpoch>) -> Result<RateSchedule, RateError> {
+        for e in &epochs {
+            // Reuse the OpenLoop constructor as the single source of
+            // truth for what a valid rate is.
+            OpenLoop::new(e.rate)?;
+            if e.duration == SimTime::ZERO {
+                return Err(RateError::NonFinite(e.rate));
+            }
+        }
+        Ok(RateSchedule { epochs })
+    }
+
+    /// A single-epoch schedule (constant rate for `duration`).
+    pub fn constant(rate: f64, duration: SimTime) -> Result<RateSchedule, RateError> {
+        RateSchedule::new(vec![RateEpoch {
+            label: "const".to_string(),
+            rate,
+            duration,
+        }])
+    }
+
+    /// The epochs in schedule order.
+    pub fn epochs(&self) -> &[RateEpoch] {
+        &self.epochs
+    }
+
+    /// Total schedule length.
+    pub fn horizon(&self) -> SimTime {
+        SimTime(self.epochs.iter().map(|e| e.duration.0).sum())
+    }
+
+    /// The maximum epoch rate (the thinning envelope).
+    pub fn peak_rate(&self) -> f64 {
+        self.epochs.iter().map(|e| e.rate).fold(0.0, f64::max)
+    }
+
+    /// The rate in force at simulated time `t` (0 past the horizon).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let mut start = SimTime::ZERO;
+        for e in &self.epochs {
+            let end = SimTime(start.0 + e.duration.0);
+            if t < end {
+                return e.rate;
+            }
+            start = end;
+        }
+        0.0
+    }
+
+    /// Index of the epoch containing `t`, if within the horizon.
+    pub fn epoch_index_at(&self, t: SimTime) -> Option<usize> {
+        let mut start = SimTime::ZERO;
+        for (i, e) in self.epochs.iter().enumerate() {
+            let end = SimTime(start.0 + e.duration.0);
+            if t < end {
+                return Some(i);
+            }
+            start = end;
+        }
+        None
+    }
+
+    /// Expected arrival count in epoch `i` (closed form: rate × length).
+    pub fn expected_arrivals(&self, i: usize) -> f64 {
+        let e = &self.epochs[i];
+        e.rate * e.duration.as_secs_f64()
+    }
+
+    /// Generate the full arrival stream by thinning: candidates come
+    /// from a homogeneous [`OpenLoop`] at the peak rate, and each is
+    /// accepted with probability `rate(t) / peak` drawn from the same
+    /// seeded RNG. Deterministic per (schedule, RNG-state); nested
+    /// across proportionally scaled schedules thinned from a shared
+    /// envelope (see [`RateSchedule::arrivals_under_envelope`]).
+    pub fn arrivals<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<SimTime> {
+        self.arrivals_under_envelope(self.peak_rate(), rng)
+    }
+
+    /// Thinning with an explicit envelope rate `>= peak_rate()`. Two
+    /// schedules that differ only by a factor `<= 1` in every epoch,
+    /// thinned from the *same* envelope and seed, produce nested
+    /// arrival sets — the coupling the overload monotonicity tests use.
+    pub fn arrivals_under_envelope<R: Rng + ?Sized>(
+        &self,
+        envelope: f64,
+        rng: &mut R,
+    ) -> Vec<SimTime> {
+        let peak = self.peak_rate();
+        assert!(
+            envelope >= peak,
+            "envelope {envelope} below schedule peak {peak}"
+        );
+        if envelope == 0.0 {
+            return Vec::new();
+        }
+        let candidates = match OpenLoop::new(envelope) {
+            Ok(src) => src.arrivals_until(self.horizon(), rng),
+            // Unreachable: envelope >= peak >= 0 and finite by
+            // construction of a validated schedule.
+            Err(_) => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for t in candidates {
+            let accept = self.rate_at(t) / envelope;
+            // One uniform draw per candidate keeps the stream aligned
+            // across schedules sharing the envelope.
+            let u: f64 = rng.gen();
+            if u < accept {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+/// Build the serving-mode schedule from the Fig. 2 growth model.
+///
+/// Takes `epochs` consecutive trace months starting January of
+/// `first_year`, compresses each month to `epoch_duration` of simulated
+/// time, and scales rates so the *mean* epoch serves `users_per_day`
+/// requests per day (1 request per user visit). Month-to-month shape —
+/// exponential growth plus the May–June bump — is preserved, so peak
+/// epochs run at roughly `spring_peak ×` the yearly mean.
+pub fn serving_schedule(
+    model: &GrowthModel,
+    first_year: u32,
+    epochs: usize,
+    epoch_duration: SimTime,
+    users_per_day: f64,
+) -> Result<RateSchedule, RateError> {
+    if !users_per_day.is_finite() {
+        return Err(RateError::NonFinite(users_per_day));
+    }
+    if users_per_day < 0.0 {
+        return Err(RateError::Negative(users_per_day));
+    }
+    let last_year = first_year + (epochs.max(1) as u32 - 1) / 12;
+    let months = model.trace(first_year, last_year);
+    let selected = &months[..epochs];
+    let mean_w = selected.iter().map(|m| m.new_users).sum::<f64>() / epochs.max(1) as f64;
+    let mean_rate = users_per_day / 86_400.0;
+    let out = selected
+        .iter()
+        .map(|m| RateEpoch {
+            label: format!("{:04}-{:02}", m.year, m.month),
+            rate: mean_rate * m.new_users / mean_w,
+            duration: epoch_duration,
+        })
+        .collect();
+    RateSchedule::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sched(rates: &[f64], secs: u64) -> RateSchedule {
+        RateSchedule::new(
+            rates
+                .iter()
+                .enumerate()
+                .map(|(i, &rate)| RateEpoch {
+                    label: format!("e{i}"),
+                    rate,
+                    duration: SimTime::from_secs(secs),
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schedule_geometry() {
+        let s = sched(&[10.0, 50.0, 5.0], 100);
+        assert_eq!(s.horizon(), SimTime::from_secs(300));
+        assert_eq!(s.peak_rate(), 50.0);
+        assert_eq!(s.rate_at(SimTime::from_secs(0)), 10.0);
+        assert_eq!(s.rate_at(SimTime::from_secs(150)), 50.0);
+        assert_eq!(s.rate_at(SimTime::from_secs(299)), 5.0);
+        assert_eq!(s.rate_at(SimTime::from_secs(300)), 0.0);
+        assert_eq!(s.epoch_index_at(SimTime::from_secs(150)), Some(1));
+        assert_eq!(s.epoch_index_at(SimTime::from_secs(300)), None);
+        assert_eq!(s.expected_arrivals(1), 5000.0);
+    }
+
+    #[test]
+    fn schedule_rejects_bad_rates_and_zero_epochs() {
+        assert!(RateSchedule::constant(-1.0, SimTime::from_secs(1)).is_err());
+        assert!(RateSchedule::constant(f64::NAN, SimTime::from_secs(1)).is_err());
+        assert!(RateSchedule::constant(1.0, SimTime::ZERO).is_err());
+        // Zero demand is representable.
+        let s = RateSchedule::constant(0.0, SimTime::from_secs(60)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(s.arrivals(&mut rng).is_empty());
+    }
+
+    /// Per-epoch counts for fixed seeds sit within deterministic bounds
+    /// of the closed-form expectation λT (±5 σ, σ = sqrt(λT)).
+    #[test]
+    fn thinning_matches_closed_form_per_epoch_counts() {
+        let s = sched(&[10.0, 50.0, 5.0], 100);
+        for seed in [1u64, 7, 42] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let arrivals = s.arrivals(&mut rng);
+            let mut counts = [0u64; 3];
+            for t in &arrivals {
+                counts[s.epoch_index_at(*t).unwrap()] += 1;
+            }
+            for (i, &count) in counts.iter().enumerate() {
+                let lambda_t = s.expected_arrivals(i);
+                let sigma = lambda_t.sqrt();
+                let delta = (count as f64 - lambda_t).abs();
+                assert!(
+                    delta <= 5.0 * sigma,
+                    "seed {seed} epoch {i}: count {count} vs λT {lambda_t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thinning_is_deterministic_per_seed() {
+        let s = sched(&[20.0, 80.0], 60);
+        let a: Vec<SimTime> = s.arrivals(&mut StdRng::seed_from_u64(9));
+        let b: Vec<SimTime> = s.arrivals(&mut StdRng::seed_from_u64(9));
+        let c: Vec<SimTime> = s.arrivals(&mut StdRng::seed_from_u64(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for pair in a.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+    }
+
+    /// Scaling every epoch down and thinning from the shared envelope
+    /// yields a subset of the arrivals — the coupling behind the SLO
+    /// monotonicity property.
+    #[test]
+    fn shared_envelope_thinning_nests_scaled_schedules() {
+        let hi = sched(&[40.0, 80.0], 120);
+        let lo = sched(&[10.0, 20.0], 120);
+        let env = hi.peak_rate();
+        let a_hi = hi.arrivals_under_envelope(env, &mut StdRng::seed_from_u64(3));
+        let a_lo = lo.arrivals_under_envelope(env, &mut StdRng::seed_from_u64(3));
+        assert!(a_lo.len() < a_hi.len());
+        let hi_set: std::collections::BTreeSet<_> = a_hi.iter().collect();
+        assert!(a_lo.iter().all(|t| hi_set.contains(t)), "not nested");
+    }
+
+    #[test]
+    fn serving_schedule_scales_to_users_per_day() {
+        let m = GrowthModel::default();
+        let s = serving_schedule(&m, 2017, 12, SimTime::from_secs(600), 2_500_000.0).unwrap();
+        assert_eq!(s.epochs().len(), 12);
+        assert_eq!(s.epochs()[0].label, "2017-01");
+        assert_eq!(s.epochs()[4].label, "2017-05");
+        // Mean epoch rate equals the nominal users/day converted to /s.
+        let mean = s.epochs().iter().map(|e| e.rate).sum::<f64>() / 12.0;
+        let nominal = 2_500_000.0 / 86_400.0;
+        assert!((mean - nominal).abs() < 1e-9 * nominal, "mean {mean}");
+        // Spring peak well above the mean, and the envelope saturates a
+        // paper-scale engine (≳ 50 req/s).
+        assert!(s.peak_rate() > 1.5 * mean);
+        assert!(s.peak_rate() > 50.0);
+    }
+
+    #[test]
+    fn serving_schedule_rejects_bad_scale() {
+        let m = GrowthModel::default();
+        let d = SimTime::from_secs(60);
+        assert!(serving_schedule(&m, 2017, 3, d, -5.0).is_err());
+        assert!(serving_schedule(&m, 2017, 3, d, f64::NAN).is_err());
+        // Zero scale is a valid (dark) schedule.
+        let s = serving_schedule(&m, 2017, 3, d, 0.0).unwrap();
+        assert_eq!(s.peak_rate(), 0.0);
+    }
+}

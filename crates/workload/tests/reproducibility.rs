@@ -18,7 +18,7 @@ fn streams(seed: u64) -> (Vec<SimTime>, Vec<SimTime>, Vec<SimTime>, Vec<u64>) {
     let thinks: Vec<SimTime> = (0..200).map(|_| closed.next_think(&mut rng)).collect();
     let ramp = closed.initial_arrivals(SimTime::from_secs(10));
 
-    let open = OpenLoop::new(40.0);
+    let open = OpenLoop::new(40.0).expect("positive rate");
     let mut rng = StdRng::seed_from_u64(seed);
     let arrivals = open.arrivals_until(SimTime::from_secs(30), &mut rng);
 

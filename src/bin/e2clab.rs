@@ -54,6 +54,28 @@
 //!     length-prefixed, CRC-framed protocol on stdin/stdout and runs one
 //!     engine evaluation per ask. `--builtin quad` swaps in a cheap
 //!     deterministic quadratic objective for tests and benches.
+//! e2clab serve --out DIR [--scale USERS_PER_DAY] [--epochs N]
+//!              [--epoch-duration SECS] [--samples N] [--concurrent N]
+//!              [--slo SECS] [--queue-bound N] [--shed-after SECS]
+//!              [--seed S] [--first-year Y] [--replay-check]
+//!              [--journal DIR | --resume DIR] [--crash-at N]
+//!              [--crash-at-epoch K]
+//!     Open-loop serving mode with continuous re-optimization: replay
+//!     the Fig. 2 seasonal growth curve scaled to `--scale` users/day as
+//!     a piecewise-constant arrival schedule (one epoch per trace
+//!     month), and re-run the seeded optimization cycle per epoch under
+//!     overload semantics (admission queue bounded at `--queue-bound`,
+//!     deadline shedding after `--shed-after` seconds, `--slo` response
+//!     bound). Writes `DIR/serving.csv` (one row per epoch: offered /
+//!     admitted / rejected / shed / SLO violations plus the tuned pool
+//!     config), `DIR/trace.jsonl` and a full per-epoch archive under
+//!     `DIR/epochs/epoch_NN/`. `--journal` makes the run crash-safe
+//!     (per-epoch journals plus a serving-level WAL of rendered CSV
+//!     rows); `--resume` continues a killed run to byte-identical
+//!     artifacts; `--crash-at N` kills mid-epoch after the Nth journal
+//!     append, `--crash-at-epoch K` kills at the epoch-K boundary (both
+//!     exit 86). `--replay-check` runs the whole serving loop twice and
+//!     byte-diffs serving.csv, trace.jsonl and every epoch archive.
 //! e2clab report <archive-dir>
 //!     Re-print the summary of a previously written archive.
 //! e2clab trace summarize <dir|trace.jsonl>
@@ -105,6 +127,10 @@ fn usage() -> ExitCode {
          [--faults SPEC] [--trace DIR] [--replay-check] [--journal DIR | --resume DIR] \
          [--crash-at N] [--workers N] [--kill-worker W@N] <conf.yaml>\n  \
          e2clab worker [--repeat N] [--duration SECS] [--clients N] [--builtin quad]\n  \
+         e2clab serve --out DIR [--scale USERS_PER_DAY] [--epochs N] [--epoch-duration SECS] \
+         [--samples N] [--concurrent N] [--slo SECS] [--queue-bound N] [--shed-after SECS] \
+         [--seed S] [--first-year Y] [--replay-check] [--journal DIR | --resume DIR] \
+         [--crash-at N] [--crash-at-epoch K]\n  \
          e2clab report <archive-dir>\n  \
          e2clab trace summarize <dir|trace.jsonl>\n  \
          e2clab lint [--config FILE] [--format text|json|sarif] [--out FILE] \
@@ -143,6 +169,7 @@ struct CycleSpec {
 /// fresh [`e2c_trace::Tracer`] through the manager, tuner, scheduler and
 /// the Pl@ntNet engine, then exports `trace.jsonl`, a cycle-level
 /// `metrics.prom` and one `cycles/cycle_<trial>.prom` snapshot per trial.
+#[allow(clippy::too_many_arguments)]
 fn run_cycle(
     opt_conf: &e2c_conf::schema::OptimizationConf,
     seed: u64,
@@ -165,9 +192,8 @@ fn run_cycle(
     // keeps `metrics.prom` deterministic under concurrency. Shared (Arc)
     // between the in-process objective and the farm's aux hook — farmed
     // runs must land their samples in exactly the same map.
-    let cycle_samples = std::sync::Arc::new(std::sync::Mutex::new(
-        std::collections::BTreeMap::new(),
-    ));
+    let cycle_samples =
+        std::sync::Arc::new(std::sync::Mutex::new(std::collections::BTreeMap::new()));
     // Journaled + traced runs persist the per-trial samples in a side WAL
     // (`samples.wal`): completed trials are not re-evaluated on resume,
     // yet `metrics.prom` must still cover them.
@@ -291,11 +317,8 @@ fn run_cycle(
         manager = manager.with_aux_hook(std::sync::Arc::new(
             move |ctx: &e2c_core::optimization::EvalContext, aux: &[(String, String)]| {
                 let Some(dir) = &trace_out else { return };
-                let field = |name: &str| {
-                    aux.iter()
-                        .find(|(k, _)| k == name)
-                        .map(|(_, v)| v.as_str())
-                };
+                let field =
+                    |name: &str| aux.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str());
                 if let Some(prom) = field("prom") {
                     let path = dir
                         .join("cycles")
@@ -448,6 +471,75 @@ fn run_replay_check(
     }
     if ok {
         println!("replay-check: PASS — seeded run replays byte-identically");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Run the serving loop twice — the second time into scratch dirs — and
+/// byte-diff every serving artifact: `serving.csv`, `trace.jsonl` and
+/// the per-epoch archives. The serving driver layers epoch cycles over
+/// the same commit sequencer as `optimize`, so the whole multi-epoch run
+/// must replay bit-exactly.
+fn run_serve_replay_check(cfg: &e2c_core::ServingConfig) -> ExitCode {
+    let pid = std::process::id();
+    let dir_b = std::env::temp_dir().join(format!("e2clab-serve-replay-b-{pid}"));
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let mut cfg_b = cfg.clone();
+    cfg_b.out_dir = dir_b.clone();
+    for (c, first) in [(cfg, true), (&cfg_b, false)] {
+        match e2c_core::serving::run_serving(c) {
+            Ok(report) => {
+                if first {
+                    print!("{}", report.render());
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut rels = vec!["serving.csv".to_string(), "trace.jsonl".to_string()];
+    if let Ok(read) = std::fs::read_dir(cfg.out_dir.join("epochs")) {
+        let mut names: Vec<String> = read
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        for name in names {
+            for file in ["evaluations.csv", "best.yaml", "trials/trials.jsonl"] {
+                rels.push(format!("epochs/{name}/{file}"));
+            }
+        }
+    }
+    let mut ok = true;
+    for rel in rels {
+        match (
+            std::fs::read(cfg.out_dir.join(&rel)),
+            std::fs::read(dir_b.join(&rel)),
+        ) {
+            (Ok(a), Ok(b)) if a == b => {
+                println!("replay-check: {rel} identical ({} bytes)", a.len());
+            }
+            (Ok(a), Ok(b)) => {
+                eprintln!(
+                    "replay-check: {rel} DIFFERS ({} vs {} bytes) — run is not replayable",
+                    a.len(),
+                    b.len()
+                );
+                ok = false;
+            }
+            (a, b) => {
+                eprintln!("replay-check: {rel}: {:?} vs {:?}", a.err(), b.err());
+                ok = false;
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir_b);
+    if ok {
+        println!("replay-check: PASS — serving run replays byte-identically");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -721,6 +813,154 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "serve" => {
+            let mut out: Option<PathBuf> = None;
+            let mut scale = 2_500_000.0f64;
+            let mut epochs = 6usize;
+            let mut epoch_duration = 180u64;
+            let mut samples = 8usize;
+            let mut concurrent = 2usize;
+            let mut slo = 4.0f64;
+            let mut queue_bound = 64usize;
+            let mut shed_after = 8.0f64;
+            let mut seed = 0u64;
+            let mut first_year = 2017u32;
+            let mut replay_check = false;
+            let mut journal: Option<PathBuf> = None;
+            let mut resume: Option<PathBuf> = None;
+            let mut crash_at: Option<u64> = None;
+            let mut crash_at_epoch: Option<usize> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut grab = |name: &str| -> Option<String> {
+                    let v = it.next();
+                    if v.is_none() {
+                        eprintln!("{name} needs a value");
+                    }
+                    v.cloned()
+                };
+                match arg.as_str() {
+                    "--out" => match grab("--out") {
+                        Some(v) => out = Some(PathBuf::from(v)),
+                        None => return usage(),
+                    },
+                    "--scale" => match grab("--scale").and_then(|v| v.parse().ok()) {
+                        Some(v) => scale = v,
+                        None => return usage(),
+                    },
+                    "--epochs" => match grab("--epochs").and_then(|v| v.parse().ok()) {
+                        Some(v) => epochs = v,
+                        None => return usage(),
+                    },
+                    "--epoch-duration" => {
+                        match grab("--epoch-duration").and_then(|v| v.parse().ok()) {
+                            Some(v) => epoch_duration = v,
+                            None => return usage(),
+                        }
+                    }
+                    "--samples" => match grab("--samples").and_then(|v| v.parse().ok()) {
+                        Some(v) => samples = v,
+                        None => return usage(),
+                    },
+                    "--concurrent" => match grab("--concurrent").and_then(|v| v.parse().ok()) {
+                        Some(v) => concurrent = v,
+                        None => return usage(),
+                    },
+                    "--slo" => match grab("--slo").and_then(|v| v.parse().ok()) {
+                        Some(v) => slo = v,
+                        None => return usage(),
+                    },
+                    "--queue-bound" => match grab("--queue-bound").and_then(|v| v.parse().ok()) {
+                        Some(v) => queue_bound = v,
+                        None => return usage(),
+                    },
+                    // `--shed-after 0` disables deadline shedding.
+                    "--shed-after" => match grab("--shed-after").and_then(|v| v.parse().ok()) {
+                        Some(v) => shed_after = v,
+                        None => return usage(),
+                    },
+                    "--seed" => match grab("--seed").and_then(|v| v.parse().ok()) {
+                        Some(v) => seed = v,
+                        None => return usage(),
+                    },
+                    "--first-year" => match grab("--first-year").and_then(|v| v.parse().ok()) {
+                        Some(v) => first_year = v,
+                        None => return usage(),
+                    },
+                    "--journal" => match grab("--journal") {
+                        Some(v) => journal = Some(PathBuf::from(v)),
+                        None => return usage(),
+                    },
+                    "--resume" => match grab("--resume") {
+                        Some(v) => resume = Some(PathBuf::from(v)),
+                        None => return usage(),
+                    },
+                    "--crash-at" => match grab("--crash-at").and_then(|v| v.parse().ok()) {
+                        Some(v) => crash_at = Some(v),
+                        None => return usage(),
+                    },
+                    "--crash-at-epoch" => {
+                        match grab("--crash-at-epoch").and_then(|v| v.parse().ok()) {
+                            Some(v) => crash_at_epoch = Some(v),
+                            None => return usage(),
+                        }
+                    }
+                    "--replay-check" => replay_check = true,
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        return usage();
+                    }
+                }
+            }
+            let Some(out) = out else {
+                eprintln!("serve needs --out DIR");
+                return usage();
+            };
+            if journal.is_some() && resume.is_some() {
+                eprintln!("--journal and --resume are mutually exclusive");
+                return usage();
+            }
+            if (crash_at.is_some() || crash_at_epoch.is_some())
+                && journal.is_none()
+                && resume.is_none()
+            {
+                eprintln!("--crash-at/--crash-at-epoch need --journal or --resume");
+                return usage();
+            }
+            if replay_check && (journal.is_some() || resume.is_some()) {
+                eprintln!("--replay-check cannot be combined with --journal/--resume");
+                return usage();
+            }
+            let mut cfg = e2c_core::ServingConfig::new(out);
+            cfg.scale = scale;
+            cfg.epochs = epochs;
+            cfg.epoch_duration = SimTime::from_secs(epoch_duration);
+            cfg.samples = samples;
+            cfg.max_concurrent = concurrent;
+            cfg.slo = slo;
+            cfg.queue_bound = queue_bound;
+            cfg.shed_after = (shed_after > 0.0).then(|| SimTime::from_secs_f64(shed_after));
+            cfg.seed = seed;
+            cfg.first_year = first_year;
+            cfg.resume = resume.is_some();
+            cfg.journal_dir = journal.or(resume);
+            cfg.crash_at = crash_at;
+            cfg.crash_at_epoch = crash_at_epoch;
+            if replay_check {
+                return run_serve_replay_check(&cfg);
+            }
+            match e2c_core::serving::run_serving(&cfg) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    println!("serving artifacts written to {}", cfg.out_dir.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "worker" => {
             // Farm child: speaks the framed stdio protocol on stdin/stdout
             // and runs one engine evaluation per ask. Spawned by
@@ -795,13 +1035,11 @@ fn main() -> ExitCode {
                     if ask.traced {
                         let mut merged = e2c_metrics::Registry::new();
                         for (rep, run) in metrics.runs.iter().enumerate() {
-                            merged
-                                .append_shifted(&run.registry, (rep as u64 * duration) as f64);
+                            merged.append_shifted(&run.registry, (rep as u64 * duration) as f64);
                         }
                         let mut buf = Vec::new();
                         let _ = merged.write_prometheus(&mut buf);
-                        let completed =
-                            metrics.runs.iter().map(|r| r.completed).sum::<u64>();
+                        let completed = metrics.runs.iter().map(|r| r.completed).sum::<u64>();
                         // f64 `Display` round-trips exactly through `parse`,
                         // so the parent re-renders identical bytes.
                         aux.push(("mean".to_string(), metrics.response.mean.to_string()));

@@ -128,3 +128,55 @@ fn fig9b_wait_extract_falls_and_simsearch_rises_with_extract_threads() {
         "simsearch time must rise as feeding steals CPU"
     );
 }
+
+#[test]
+fn fig2_replayed_trace_peaks_in_may_june_at_every_scale() {
+    // The serving schedule replays the Fig. 2 seasonal growth curve as
+    // per-month arrival rates. At any users/day scale, each replayed
+    // year must peak in the May–June spring bump, and the rates must
+    // scale linearly with the requested load (the curve's *shape* is
+    // scale-invariant).
+    use e2clab::workload::seasonal::GrowthModel;
+    use e2clab::workload::serving_schedule;
+
+    let model = GrowthModel::default();
+    let duration = SimTime::from_secs(60);
+    let reference = serving_schedule(&model, 2017, 24, duration, 400_000.0).unwrap();
+    for scale in [400_000.0f64, 2_500_000.0, 10_000_000.0] {
+        let schedule = serving_schedule(&model, 2017, 24, duration, scale).unwrap();
+        let epochs = schedule.epochs();
+        assert_eq!(epochs.len(), 24);
+        for year in 0..2 {
+            let months = &epochs[year * 12..(year + 1) * 12];
+            let (argmax, peak) = months
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.rate.total_cmp(&b.1.rate))
+                .map(|(i, e)| (i + 1, e.rate))
+                .unwrap();
+            assert!(
+                argmax == 5 || argmax == 6,
+                "scale {scale}, year {year}: peak in month {argmax}, not May–June"
+            );
+            // The spring bump is a real peak, not a plateau artifact.
+            assert!(
+                peak > 1.5 * months[0].rate,
+                "scale {scale}, year {year}: peak {peak} vs January {}",
+                months[0].rate
+            );
+        }
+        // Year-over-year growth: the second spring beats the first.
+        assert!(epochs[16].rate > epochs[4].rate, "scale {scale}: no growth");
+        // Linear scaling against the reference schedule.
+        let k = scale / 400_000.0;
+        for (e, r) in epochs.iter().zip(reference.epochs()) {
+            assert!(
+                (e.rate - k * r.rate).abs() <= 1e-9 * e.rate.max(1.0),
+                "scale {scale}: month {} rate {} is not {k}× the reference {}",
+                e.label,
+                e.rate,
+                r.rate
+            );
+        }
+    }
+}

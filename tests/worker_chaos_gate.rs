@@ -127,7 +127,11 @@ fn assert_artifacts_identical(
     assert!(!names.is_empty(), "{label}: no per-trial prom snapshots");
     rels.extend(names.into_iter().map(|n| format!("cycles/{n}")));
     for rel in rels {
-        pairs.push((format!("trace/{rel}"), trace_a.join(&rel), trace_b.join(&rel)));
+        pairs.push((
+            format!("trace/{rel}"),
+            trace_a.join(&rel),
+            trace_b.join(&rel),
+        ));
     }
     for (rel, path_a, path_b) in pairs {
         let a = std::fs::read(&path_a)
@@ -181,7 +185,12 @@ fn killed_workers_leave_artifacts_byte_identical() {
     let reference = scratch.optimize(
         "reference",
         seed,
-        &["--workers", "1", "--journal", scratch.root.join("ref-journal").to_str().unwrap()],
+        &[
+            "--workers",
+            "1",
+            "--journal",
+            scratch.root.join("ref-journal").to_str().unwrap(),
+        ],
     );
     // Kill matrix: worker × dispatch point, across farm sizes. Every
     // victim is SIGKILLed mid-run; the supervisor must absorb it.
@@ -216,11 +225,7 @@ fn injected_worker_faults_replay_identically() {
     let seed = 3u64;
     let plan = "worker-crash:1@0;worker-stall:3@0";
     let inproc = scratch.optimize("faults-inproc", seed, &["--faults", plan]);
-    let farmed = scratch.optimize(
-        "faults-farmed",
-        seed,
-        &["--faults", plan, "--workers", "2"],
-    );
+    let farmed = scratch.optimize("faults-farmed", seed, &["--faults", plan, "--workers", "2"]);
     assert_artifacts_identical(
         "injected worker faults, in-process vs farmed",
         &inproc,
